@@ -1,0 +1,85 @@
+// Ablation A4 — the UserMonitor hot path (google-benchmark).
+//
+// Table 1's fine-grained column is dominated by the per-call monitor
+// cost.  This bench isolates the pieces: the raw counter+threshold
+// tick, the full TDBG_FUNCTION scope guard inside a session, and the
+// guard's cost when no session is bound (instrumented binaries running
+// outside the debugger).
+
+#include <benchmark/benchmark.h>
+
+#include "instrument/api.hpp"
+#include "instrument/session.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+void BM_MonitorTick(benchmark::State& state) {
+  instr::MonitorState monitor;
+  bool hit = false;
+  std::uint64_t marker = 0;
+  for (auto _ : state) {
+    marker = monitor.tick(1, 2, 3, &hit);
+    benchmark::DoNotOptimize(marker);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_MonitorTick);
+
+void BM_MonitorTickArmedThreshold(benchmark::State& state) {
+  instr::MonitorState monitor;
+  monitor.threshold.store(~std::uint64_t{0} - 1);
+  bool hit = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.tick(1, 2, 3, &hit));
+  }
+}
+BENCHMARK(BM_MonitorTickArmedThreshold);
+
+void instrumented_leaf() { TDBG_FUNCTION(); }
+
+void BM_FunctionScopeNoSession(benchmark::State& state) {
+  // The "instrumented binary, debugger absent" cost: one thread-local
+  // load and branch.
+  for (auto _ : state) {
+    instrumented_leaf();
+  }
+}
+BENCHMARK(BM_FunctionScopeNoSession);
+
+void BM_FunctionScopeInSession(benchmark::State& state) {
+  // Run the loop inside a rank so the session is bound; recording off
+  // (markers only), the Table 1 configuration.
+  instr::SessionOptions so;
+  so.record_function_events = false;
+  instr::Session session(1, nullptr, so);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [&](mpi::Comm&) {
+    for (auto _ : state) {
+      instrumented_leaf();
+    }
+  }, options);
+}
+BENCHMARK(BM_FunctionScopeInSession);
+
+void BM_FunctionScopeRecording(benchmark::State& state) {
+  // With trace records flowing into the collector.
+  trace::TraceCollector collector(1, instr::global_constructs());
+  instr::Session session(1, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [&](mpi::Comm&) {
+    for (auto _ : state) {
+      instrumented_leaf();
+    }
+  }, options);
+  state.SetLabel(std::to_string(collector.total_count()) + " records");
+}
+BENCHMARK(BM_FunctionScopeRecording);
+
+}  // namespace
+
+BENCHMARK_MAIN();

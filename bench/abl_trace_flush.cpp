@@ -1,0 +1,86 @@
+// Ablation A5 — trace collection and flush-on-demand (google-benchmark).
+//
+// The paper had to convert AIMS from post-mortem file dumping to
+// on-demand flushing (§2.1).  This bench measures the collector's
+// append path (buffered), the auto-flush path (records streaming to a
+// writer), and the binary encode throughput of the writer itself.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "trace/collector.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+trace::Event sample_event() {
+  trace::Event e;
+  e.kind = trace::EventKind::kSend;
+  e.rank = 0;
+  e.marker = 42;
+  e.construct = 1;
+  e.t_start = 1000;
+  e.t_end = 2000;
+  e.peer = 3;
+  e.tag = 7;
+  e.bytes = 128;
+  return e;
+}
+
+void BM_CollectorAppendBuffered(benchmark::State& state) {
+  trace::TraceCollector collector(1);
+  const auto e = sample_event();
+  for (auto _ : state) {
+    collector.append(e);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CollectorAppendBuffered);
+
+void BM_CollectorAppendDisabled(benchmark::State& state) {
+  trace::TraceCollector collector(1);
+  collector.set_enabled(false);
+  const auto e = sample_event();
+  for (auto _ : state) {
+    collector.append(e);
+  }
+}
+BENCHMARK(BM_CollectorAppendDisabled);
+
+void BM_CollectorAutoFlush(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tdbg_bench_autoflush.trc";
+  auto registry = std::make_shared<trace::ConstructRegistry>();
+  trace::TraceCollector collector(1, registry);
+  trace::TraceWriter writer(path, 1, registry);
+  collector.attach_writer(&writer, static_cast<std::size_t>(state.range(0)));
+  const auto e = sample_event();
+  for (auto _ : state) {
+    collector.append(e);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  collector.attach_writer(nullptr);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_CollectorAutoFlush)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_WriterEncodeBinary(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tdbg_bench_writer.trc";
+  auto registry = std::make_shared<trace::ConstructRegistry>();
+  trace::TraceWriter writer(path, 1, registry);
+  const auto e = sample_event();
+  for (auto _ : state) {
+    writer.write_event(e);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 55);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WriterEncodeBinary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+
+/// \file bench_util.hpp
+/// Shared helpers for the per-figure/per-table bench binaries.  Each
+/// binary regenerates one table or figure of the paper's evaluation
+/// and prints the corresponding rows (plus, where the paper reports
+/// numbers, the paper's values for shape comparison — absolute times
+/// differ: the paper ran on a 1998 SGI Power Challenge cluster, this
+/// harness runs ranks as threads in one process).
+
+namespace tdbg::bench {
+
+/// Median wall-clock seconds of `reps` runs of `fn`.
+inline double time_median_s(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    support::Stopwatch sw;
+    fn();
+    samples.push_back(sw.elapsed_s());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Prints a section header.
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Prints a key/value informational line.
+inline void note(const std::string& text) {
+  std::printf("     %s\n", text.c_str());
+}
+
+}  // namespace tdbg::bench

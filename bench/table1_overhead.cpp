@@ -1,0 +1,119 @@
+// Table 1 — Instrumentation overhead (seconds).
+//
+// Paper's table:
+//                    Strassen matrix multiply (4 procs)   Fibonacci
+//   Input size/value   96.128.112      192.256.224        34        35
+//   Number of calls    136             136                18454930  29860704
+//   Time (uninstr.)    8.19            28.72              5.17      8.36
+//   Time (instr.)      8.46            28.77              20.98     34.12
+//
+// Shape to reproduce: for the coarse-grained Strassen workload the
+// UserMonitor overhead is in the noise (~1-3%); for the fine-grained
+// Fibonacci recursion — tens of millions of instrumented calls — the
+// instrumented run is several times slower, because the monitor call
+// costs as much as the function body.
+//
+// Workloads are scaled to finish in seconds on a laptop: Strassen uses
+// square matrices (the paper's were mildly rectangular — same
+// communication structure) and Fibonacci uses n=28/30 (call counts in
+// the 0.8M-2.2M range; the per-call cost ratio is what carries the
+// shape, not the absolute count).
+
+#include <cinttypes>
+
+#include "apps/fib.hpp"
+#include "apps/strassen.hpp"
+#include "bench_util.hpp"
+#include "instrument/session.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+struct Cell {
+  std::uint64_t calls = 0;
+  double uninstr_s = 0.0;
+  double instr_s = 0.0;
+};
+
+Cell strassen_cell(std::size_t n, int reps) {
+  apps::strassen::Options opts;
+  opts.n = n;
+  opts.cutoff = 32;
+  opts.verify = false;  // the paper timed the multiply, not a check
+  const auto body = [opts](mpi::Comm& comm) {
+    apps::strassen::rank_body(comm, opts);
+  };
+
+  Cell cell;
+  cell.uninstr_s = bench::time_median_s(reps, [&] { mpi::run(4, body); });
+
+  // Instrumented: UserMonitor counts markers on every function entry
+  // and MPI call (no trace records — Table 1 measures the monitor).
+  cell.instr_s = bench::time_median_s(reps, [&] {
+    instr::Session session(4, nullptr);
+    mpi::RunOptions options;
+    options.hooks = &session;
+    mpi::run(4, body, options);
+  });
+  {
+    instr::Session session(4, nullptr);
+    mpi::RunOptions options;
+    options.hooks = &session;
+    mpi::run(4, body, options);
+    for (mpi::Rank r = 0; r < 4; ++r) cell.calls += session.counter(r);
+  }
+  return cell;
+}
+
+Cell fib_cell(unsigned n, int reps) {
+  Cell cell;
+  cell.calls = apps::fib_call_count(n);
+  volatile std::uint64_t sink = 0;
+  cell.uninstr_s =
+      bench::time_median_s(reps, [&] { sink = apps::fib_plain(n); });
+  cell.instr_s = bench::time_median_s(reps, [&] {
+    instr::Session session(1, nullptr);
+    mpi::RunOptions options;
+    options.hooks = &session;
+    mpi::run(1, [&](mpi::Comm&) { sink = apps::fib_instrumented(n); },
+             options);
+  });
+  (void)sink;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 1: instrumentation overhead (seconds)");
+
+  const auto s1 = strassen_cell(256, 5);
+  const auto s2 = strassen_cell(512, 3);
+  const auto f1 = fib_cell(28, 5);
+  const auto f2 = fib_cell(30, 3);
+
+  std::printf("%-18s %14s %14s %14s %14s\n", "", "Strassen 256",
+              "Strassen 512", "fib(28)", "fib(30)");
+  std::printf("%-18s %14" PRIu64 " %14" PRIu64 " %14" PRIu64 " %14" PRIu64
+              "\n",
+              "Number of calls", s1.calls, s2.calls, f1.calls, f2.calls);
+  std::printf("%-18s %14.4f %14.4f %14.4f %14.4f\n", "Time (uninstr.)",
+              s1.uninstr_s, s2.uninstr_s, f1.uninstr_s, f2.uninstr_s);
+  std::printf("%-18s %14.4f %14.4f %14.4f %14.4f\n", "Time (instr.)",
+              s1.instr_s, s2.instr_s, f1.instr_s, f2.instr_s);
+  std::printf("%-18s %13.2fx %13.2fx %13.2fx %13.2fx\n", "Overhead",
+              s1.instr_s / s1.uninstr_s, s2.instr_s / s2.uninstr_s,
+              f1.instr_s / f1.uninstr_s, f2.instr_s / f2.uninstr_s);
+
+  bench::note("paper (SGI PCA cluster): Strassen 8.19->8.46s (1.03x) and "
+              "28.72->28.77s (1.00x);");
+  bench::note("fib(34) 5.17->20.98s (4.06x), fib(35) 8.36->34.12s (4.08x).");
+  bench::note("shape check: coarse-grain overhead ~1x, fine-grain many x.");
+  bench::note("(the fine-grain ratio exceeds the paper's 4x because a 2026 "
+              "compiler makes the bare call far cheaper than a 1998 one; "
+              "the per-call monitor cost itself is ~40ns, see "
+              "abl_marker_cost)");
+  return 0;
+}

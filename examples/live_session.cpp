@@ -1,0 +1,68 @@
+// Live debugging — p2d2's primary mode: breakpoints on the FIRST
+// execution, no prior recording.  The live run is simultaneously
+// recorded, so when it ends the whole trace-driven toolbox (analyses,
+// exact replay of the same nondeterministic matches) applies to it.
+//
+// The target is the self-scheduling task farm: its ANY_SOURCE receives
+// make every run order-unique, which is exactly when "debug the run
+// you are looking at, then replay that same run" matters.
+
+#include <iostream>
+
+#include "apps/taskfarm.hpp"
+#include "debugger/debugger.hpp"
+#include "instrument/api.hpp"
+
+int main() {
+  using namespace tdbg;
+
+  apps::taskfarm::Options opts;
+  opts.num_tasks = 20;
+  dbg::Debugger debugger(4, [opts](mpi::Comm& comm) {
+    apps::taskfarm::rank_body(comm, opts);
+  });
+
+  // Launch live, stopping every rank at its 3rd instrumented event.
+  replay::Stopline line;
+  line.thresholds.assign(4, std::uint64_t{3});
+  auto stops = debugger.launch(line);
+  std::cout << "live run parked " << stops.size() << " ranks at marker 3\n";
+
+  // Arm a message breakpoint: stop rank 0 (the master) when it is
+  // about to receive a result, then let it run.
+  replay::MessageBreak on_result;
+  on_result.on_send = false;
+  on_result.tag = apps::taskfarm::kTagResult;
+  debugger.break_on_message(0, on_result);
+  // Workers must run free or the master has nothing to receive.
+  for (mpi::Rank r = 1; r < 4; ++r) debugger.continue_rank(r);
+  const auto stop = debugger.continue_rank(0);
+  if (stop) {
+    std::cout << "master stopped before its first result receive "
+                 "(marker " << stop->marker << ")\n";
+  }
+
+  // Undo: even on a live run, the partially recorded match log lets
+  // the debugger replay back to the previous stop.
+  if (const auto undone = debugger.undo()) {
+    std::cout << "undo: " << undone->size() << " rank(s) re-parked\n";
+  }
+
+  // Finish: the live history becomes the recorded run.
+  const auto result = debugger.end_replay();
+  std::cout << "live run "
+            << (result && result->completed ? "completed" : "failed")
+            << "; captured " << debugger.trace().size() << " records\n";
+
+  // The captured wildcard matches are now replayable — and the race
+  // report shows why that matters.
+  const auto races = debugger.races();
+  std::cout << races.races.size()
+            << " wildcard receives raced in the captured run; a replay "
+               "pins every one of them.\n";
+  const auto again = debugger.replay_to(line);
+  std::cout << "replayed the captured run to the same stopline: "
+            << again.size() << " ranks parked\n";
+  debugger.end_replay();
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tdbg::analysis {
+
+CriticalPath critical_path(const trace::Trace& trace) {
+  CriticalPath out;
+  out.per_rank.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
+  if (trace.empty()) return out;
+
+  const auto matches = trace.match_report();
+  std::unordered_map<std::size_t, std::size_t> send_of_recv;
+  for (const auto& m : matches.matches) {
+    send_of_recv.emplace(m.recv_index, m.send_index);
+  }
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<support::TimeNs> best(trace.size(), 0);  // path cost ending here
+  std::vector<support::TimeNs> eff(trace.size(), 0);   // effective durations
+  std::vector<std::size_t> pred(trace.size(), kNone);
+
+  // Weights are profiler-style *self times*: an event's interval minus
+  // the intervals of events directly nested inside it on the same rank
+  // (a compute scope around blocking receives must not count their
+  // waits as its own work), and a matched receive's time spent blocked
+  // before its sender finished counts as edge latency, not rank work.
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    std::vector<std::size_t> stack;  // open enclosing intervals
+    for (const std::size_t e : trace.rank_events(r)) {
+      const auto& ev = trace.event(e);
+      const auto raw = std::max<support::TimeNs>(0, ev.t_end - ev.t_start);
+      eff[e] = raw;
+      while (!stack.empty() &&
+             trace.event(stack.back()).t_end <= ev.t_start) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && ev.t_end <= trace.event(stack.back()).t_end) {
+        eff[stack.back()] = std::max<support::TimeNs>(
+            0, eff[stack.back()] - raw);  // direct parent loses child time
+        stack.push_back(e);
+      } else if (stack.empty()) {
+        stack.push_back(e);
+      }
+    }
+  }
+  for (const auto& m : matches.matches) {
+    const auto& recv = trace.event(m.recv_index);
+    const auto& send = trace.event(m.send_index);
+    eff[m.recv_index] = std::max<support::TimeNs>(
+        0, recv.t_end - std::max(recv.t_start, send.t_end));
+  }
+
+  // Process in dependency order: per-rank program order, with receives
+  // gated on their matched send (same worklist scheme as CausalOrder).
+  std::vector<std::size_t> next(static_cast<std::size_t>(trace.num_ranks()), 0);
+  std::vector<bool> done(trace.size(), false);
+  std::size_t remaining = trace.size();
+  bool progressed = true;
+  while (remaining > 0) {
+    TDBG_CHECK(progressed, "cyclic message dependency in trace");
+    progressed = false;
+    for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+      const auto& seq = trace.rank_events(r);
+      auto& pos = next[static_cast<std::size_t>(r)];
+      while (pos < seq.size()) {
+        const std::size_t e = seq[pos];
+        const auto dep = send_of_recv.find(e);
+        if (dep != send_of_recv.end() && !done[dep->second]) break;
+
+        support::TimeNs incoming = 0;
+        std::size_t from = kNone;
+        if (pos > 0) {
+          incoming = best[seq[pos - 1]];
+          from = seq[pos - 1];
+        }
+        if (dep != send_of_recv.end() && best[dep->second] > incoming) {
+          incoming = best[dep->second];
+          from = dep->second;
+        }
+        best[e] = incoming + eff[e];
+        pred[e] = from;
+        done[e] = true;
+        --remaining;
+        ++pos;
+        progressed = true;
+      }
+    }
+  }
+
+  // Walk back from the costliest endpoint.
+  std::size_t tail = 0;
+  for (std::size_t e = 1; e < trace.size(); ++e) {
+    if (best[e] > best[tail]) tail = e;
+  }
+  out.total = best[tail];
+  for (std::size_t e = tail; e != kNone; e = pred[e]) {
+    out.events.push_back(e);
+  }
+  std::reverse(out.events.begin(), out.events.end());
+
+  mpi::Rank prev_rank = -1;
+  out.durations.reserve(out.events.size());
+  for (const auto e : out.events) {
+    const auto& ev = trace.event(e);
+    out.durations.push_back(eff[e]);
+    out.per_rank[static_cast<std::size_t>(ev.rank)] += eff[e];
+    if (prev_rank >= 0 && ev.rank != prev_rank) ++out.rank_switches;
+    prev_rank = ev.rank;
+  }
+  return out;
+}
+
+std::string CriticalPath::to_string(const trace::Trace& trace,
+                                    std::size_t max_rows) const {
+  std::ostringstream os;
+  os << "critical path: " << events.size() << " events, "
+     << support::human_duration(total) << ", " << rank_switches
+     << " rank switch(es)\n";
+  os << "per-rank share:\n";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    if (per_rank[r] == 0) continue;
+    os << "  rank " << r << ": " << support::human_duration(per_rank[r]);
+    if (total > 0) {
+      os << " (" << (100 * per_rank[r] / total) << "%)";
+    }
+    os << "\n";
+  }
+  // The heaviest events on the path, by effective duration.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return durations[a] > durations[b];
+  });
+  os << "heaviest path events:\n";
+  for (std::size_t i = 0; i < order.size() && i < max_rows; ++i) {
+    if (durations[order[i]] == 0) break;
+    const auto& e = trace.event(events[order[i]]);
+    os << "  rank " << e.rank << "  "
+       << trace::event_kind_name(e.kind) << "  "
+       << (e.construct == trace::kNoConstruct
+               ? std::string("?")
+               : trace.constructs().info(e.construct).name)
+       << "  " << support::human_duration(durations[order[i]]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::analysis

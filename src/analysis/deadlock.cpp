@@ -1,0 +1,102 @@
+#include "analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdbg::analysis {
+
+namespace {
+
+/// Finds one cycle in the wait-for graph restricted to blocked ranks,
+/// following each blocked rank's *specific-source* edges (wildcard
+/// receives wait on everyone, so any blocked candidate continues the
+/// walk).  Returns the cycle in wait-for order, or empty.
+std::vector<mpi::Rank> find_cycle(const std::vector<mpi::WaitInfo>& waits) {
+  const auto n = waits.size();
+  const auto blocked = [&](mpi::Rank r) {
+    const auto k = waits[static_cast<std::size_t>(r)].kind;
+    return k == mpi::WaitKind::kRecv || k == mpi::WaitKind::kSsend;
+  };
+  // Walk the wait-for graph from each blocked rank; a revisit of a
+  // rank on the current path is a cycle.
+  for (std::size_t start = 0; start < n; ++start) {
+    if (!blocked(static_cast<mpi::Rank>(start))) continue;
+    std::vector<mpi::Rank> path;
+    std::vector<int> pos_on_path(n, -1);
+    mpi::Rank cur = static_cast<mpi::Rank>(start);
+    while (blocked(cur)) {
+      if (pos_on_path[static_cast<std::size_t>(cur)] >= 0) {
+        const auto from =
+            static_cast<std::size_t>(pos_on_path[static_cast<std::size_t>(cur)]);
+        return {path.begin() + static_cast<std::ptrdiff_t>(from), path.end()};
+      }
+      pos_on_path[static_cast<std::size_t>(cur)] =
+          static_cast<int>(path.size());
+      path.push_back(cur);
+      const auto& w = waits[static_cast<std::size_t>(cur)];
+      if (w.peer != mpi::kAnySource) {
+        cur = w.peer;
+        continue;
+      }
+      // Wildcard: follow any blocked candidate (deterministically the
+      // lowest-numbered one not already explored from here).
+      mpi::Rank next = -1;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (static_cast<mpi::Rank>(r) != cur &&
+            blocked(static_cast<mpi::Rank>(r))) {
+          next = static_cast<mpi::Rank>(r);
+          break;
+        }
+      }
+      if (next < 0) break;
+      cur = next;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+DeadlockReport explain_deadlock(const std::vector<mpi::WaitInfo>& waits) {
+  DeadlockReport report;
+
+  for (const auto& w : waits) {
+    if (w.kind != mpi::WaitKind::kRecv && w.kind != mpi::WaitKind::kSsend) {
+      continue;
+    }
+    if (w.peer == mpi::kAnySource) {
+      for (const auto& other : waits) {
+        if (other.rank == w.rank) continue;
+        report.edges.push_back(WaitEdge{w.rank, other.rank, w.kind, w.tag});
+      }
+    } else {
+      report.edges.push_back(WaitEdge{w.rank, w.peer, w.kind, w.tag});
+      if (waits[static_cast<std::size_t>(w.peer)].kind ==
+          mpi::WaitKind::kFinished) {
+        report.starved.push_back(w.rank);
+      }
+    }
+  }
+  report.cycle = find_cycle(waits);
+  report.deadlocked = !report.cycle.empty() || !report.starved.empty();
+
+  std::ostringstream os;
+  if (!report.cycle.empty()) {
+    os << "circular wait: ";
+    for (std::size_t i = 0; i < report.cycle.size(); ++i) {
+      if (i != 0) os << " -> ";
+      os << "rank " << report.cycle[i];
+    }
+    os << " -> rank " << report.cycle.front();
+  }
+  if (!report.starved.empty()) {
+    if (!report.cycle.empty()) os << "; ";
+    os << "waiting on finished ranks:";
+    for (const auto r : report.starved) os << " " << r;
+  }
+  if (!report.deadlocked) os << "no circular or starved waits";
+  report.description = os.str();
+  return report;
+}
+
+}  // namespace tdbg::analysis

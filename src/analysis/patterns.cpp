@@ -1,0 +1,154 @@
+#include "analysis/patterns.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tdbg::analysis {
+
+namespace {
+
+bool kind_from_name(const std::string& name, trace::EventKind* kind) {
+  if (name == "enter") { *kind = trace::EventKind::kEnter; return true; }
+  if (name == "send") { *kind = trace::EventKind::kSend; return true; }
+  if (name == "recv") { *kind = trace::EventKind::kRecv; return true; }
+  if (name == "coll") { *kind = trace::EventKind::kCollective; return true; }
+  if (name == "compute") { *kind = trace::EventKind::kCompute; return true; }
+  if (name == "mark") { *kind = trace::EventKind::kMark; return true; }
+  return false;
+}
+
+bool token_matches(const PatternToken& token, const graph::Action& action,
+                   const trace::ConstructRegistry& constructs) {
+  if (!token.any_kind && action.kind != token.kind) return false;
+  if (!token.construct.empty()) {
+    if (action.construct == trace::kNoConstruct) return false;
+    if (constructs.info(action.construct).name != token.construct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Backtracking sequence match: can pattern[j..] consume actions[i..]
+/// entirely?  Action counts are already collapsed (one action = one
+/// run), so `+`/`*` quantify over *actions*, not raw events.
+bool match_from(const std::vector<graph::Action>& actions,
+                const std::vector<PatternToken>& pattern,
+                const trace::ConstructRegistry& constructs, std::size_t i,
+                std::size_t j, std::size_t* deepest) {
+  *deepest = std::max(*deepest, i);
+  if (j == pattern.size()) return i == actions.size();
+  const auto& t = pattern[j];
+  switch (t.rep) {
+    case PatternToken::Rep::kOnce:
+      return i < actions.size() && token_matches(t, actions[i], constructs) &&
+             match_from(actions, pattern, constructs, i + 1, j + 1, deepest);
+    case PatternToken::Rep::kOpt:
+      if (i < actions.size() && token_matches(t, actions[i], constructs) &&
+          match_from(actions, pattern, constructs, i + 1, j + 1, deepest)) {
+        return true;
+      }
+      return match_from(actions, pattern, constructs, i, j + 1, deepest);
+    case PatternToken::Rep::kPlus:
+      if (i >= actions.size() || !token_matches(t, actions[i], constructs)) {
+        return false;
+      }
+      ++i;
+      [[fallthrough]];
+    case PatternToken::Rep::kStar: {
+      // Greedy with backtracking: consume k matching actions, longest
+      // first.
+      std::size_t max_run = i;
+      while (max_run < actions.size() &&
+             token_matches(t, actions[max_run], constructs)) {
+        ++max_run;
+      }
+      for (std::size_t stop = max_run + 1; stop-- > i;) {
+        if (match_from(actions, pattern, constructs, stop, j + 1, deepest)) {
+          return true;
+        }
+        if (stop == i) break;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PatternToken> parse_pattern(const std::string& pattern) {
+  std::vector<PatternToken> tokens;
+  std::istringstream in(pattern);
+  std::string word;
+  while (in >> word) {
+    PatternToken token;
+    if (!word.empty() &&
+        (word.back() == '*' || word.back() == '+' || word.back() == '?')) {
+      token.rep = word.back() == '*'   ? PatternToken::Rep::kStar
+                  : word.back() == '+' ? PatternToken::Rep::kPlus
+                                       : PatternToken::Rep::kOpt;
+      word.pop_back();
+    }
+    const auto colon = word.find(':');
+    const auto kind_name = word.substr(0, colon);
+    if (colon != std::string::npos) {
+      token.construct = word.substr(colon + 1);
+    }
+    if (kind_name == "any") {
+      token.any_kind = true;
+    } else if (!kind_from_name(kind_name, &token.kind)) {
+      throw Error("bad pattern token kind: '" + kind_name +
+                  "' (want enter/send/recv/coll/compute/mark/any)");
+    }
+    TDBG_CHECK(!kind_name.empty(), "empty pattern token");
+    tokens.push_back(std::move(token));
+  }
+  TDBG_CHECK(!tokens.empty(), "empty pattern");
+  return tokens;
+}
+
+ModelResult check_model(const trace::Trace& trace,
+                        const graph::ActionGraph& actions, mpi::Rank rank,
+                        const std::vector<PatternToken>& pattern) {
+  ModelResult result;
+  result.rank = rank;
+  const auto& seq = actions.actions(rank);
+  std::size_t deepest = 0;
+  result.matched = match_from(seq, pattern, trace.constructs(), 0, 0,
+                              &deepest);
+  if (!result.matched) {
+    result.failed_at = deepest;
+    std::ostringstream os;
+    if (deepest < seq.size()) {
+      const auto& a = seq[deepest];
+      os << "diverges at action " << deepest << ": "
+         << trace::event_kind_name(a.kind) << " "
+         << (a.construct == trace::kNoConstruct
+                 ? std::string("?")
+                 : trace.constructs().info(a.construct).name);
+      if (a.count > 1) os << " x" << a.count;
+    } else {
+      os << "history ends after " << seq.size()
+         << " actions but the model expects more";
+    }
+    result.detail = os.str();
+  }
+  return result;
+}
+
+std::vector<ModelResult> check_model_all(const trace::Trace& trace,
+                                         const std::string& pattern) {
+  const auto tokens = parse_pattern(pattern);
+  const auto actions = graph::ActionGraph::from_trace(trace);
+  std::vector<ModelResult> results;
+  results.reserve(static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    results.push_back(check_model(trace, actions, r, tokens));
+  }
+  return results;
+}
+
+}  // namespace tdbg::analysis

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/action_graph.hpp"
+#include "trace/trace.hpp"
+
+/// \file patterns.hpp
+/// Behavioral model checking against the trace — the Ariadne idea the
+/// paper surveys in §5: "Ariadne ... is able to match a user-specified
+/// model with the actual behavior captured in event traces."
+///
+/// A *model* is a sequence pattern over a rank's actions (the §4.4
+/// action abstraction: maximal runs of one construct).  Token syntax:
+///
+///     kind[:construct][rep]
+///
+/// where `kind` is one of `enter`, `send`, `recv`, `coll`, `compute`,
+/// `mark`, or `any`; `:construct` optionally pins the construct name;
+/// and `rep` is `*` (zero or more actions), `+` (one or more), or `?`
+/// (optional).  Example — the Strassen master's model:
+///
+///     enter:rank_body enter:master any* send:MatrSend+ any* recv:MatrRecv+ any*
+///
+/// Checking a model against every rank immediately shows which ranks
+/// deviate — the Fig. 6 diagnosis ("process 7 is not behaving like
+/// processes 1-6") as a query.
+
+namespace tdbg::analysis {
+
+/// One parsed model token.
+struct PatternToken {
+  trace::EventKind kind = trace::EventKind::kEnter;
+  bool any_kind = false;
+  std::string construct;  ///< empty = any construct
+  enum class Rep : std::uint8_t { kOnce, kStar, kPlus, kOpt } rep = Rep::kOnce;
+};
+
+/// Parses a model string; throws `tdbg::Error` on syntax errors.
+std::vector<PatternToken> parse_pattern(const std::string& pattern);
+
+/// Result of checking one rank.
+struct ModelResult {
+  mpi::Rank rank = 0;
+  bool matched = false;
+  /// When unmatched: index of the first action the model could not
+  /// consume (== number of actions when the model wanted more).
+  std::size_t failed_at = 0;
+  /// Human-readable mismatch description (empty when matched).
+  std::string detail;
+};
+
+/// Checks the model against one rank's action sequence.
+ModelResult check_model(const trace::Trace& trace,
+                        const graph::ActionGraph& actions, mpi::Rank rank,
+                        const std::vector<PatternToken>& pattern);
+
+/// Checks every rank; convenience over `check_model`.
+std::vector<ModelResult> check_model_all(const trace::Trace& trace,
+                                         const std::string& pattern);
+
+}  // namespace tdbg::analysis

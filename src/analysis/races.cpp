@@ -1,0 +1,66 @@
+#include "analysis/races.hpp"
+
+#include <unordered_map>
+
+namespace tdbg::analysis {
+
+RaceReport find_races(const trace::Trace& trace,
+                      const causality::CausalOrder& order) {
+  RaceReport report;
+  const auto& matches = order.matches();
+
+  std::unordered_map<std::size_t, std::size_t> send_of_recv;
+  std::unordered_map<std::size_t, std::size_t> recv_of_send;
+  for (const auto& m : matches.matches) {
+    send_of_recv.emplace(m.recv_index, m.send_index);
+    recv_of_send.emplace(m.send_index, m.recv_index);
+  }
+
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    const auto& recv = trace.event(r);
+    if (recv.kind != trace::EventKind::kRecv || !recv.wildcard) continue;
+    const auto matched_it = send_of_recv.find(r);
+    if (matched_it == send_of_recv.end()) continue;
+    const std::size_t matched = matched_it->second;
+    const auto& matched_send = trace.event(matched);
+
+    MessageRace race;
+    race.recv_index = r;
+    race.matched_send = matched;
+
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      if (s == matched) continue;
+      const auto& send = trace.event(s);
+      if (send.kind != trace::EventKind::kSend) continue;
+      if (send.peer != recv.rank) continue;  // different destination
+      // Tag compatibility with the posted receive.  The posted tag is
+      // not stored separately; the matched message's tag equals it
+      // unless the receive was also ANY_TAG.  Requiring equal tags is
+      // the conservative (no-false-positive) choice.
+      if (send.tag != recv.tag) continue;
+      // m' cannot race if its send causally requires R to be done.
+      if (order.happens_before(r, s)) continue;
+      // m' cannot race if it was consumed strictly before R could see
+      // it.
+      const auto consumed = recv_of_send.find(s);
+      if (consumed != recv_of_send.end() &&
+          order.happens_before(consumed->second, r)) {
+        continue;
+      }
+      // Non-overtaking: an earlier same-channel message than m from
+      // the same source is ordered, not racing — but only when it
+      // precedes m on the same (source, dest) channel AND was
+      // consumed by the same rank earlier; a *later* same-source
+      // message can still race.  Distinct sources always race.
+      if (send.rank == matched_send.rank &&
+          order.happens_before(s, matched)) {
+        continue;
+      }
+      race.candidates.push_back(s);
+    }
+    if (!race.candidates.empty()) report.races.push_back(std::move(race));
+  }
+  return report;
+}
+
+}  // namespace tdbg::analysis

@@ -1,0 +1,65 @@
+#include "analysis/supervision.hpp"
+
+#include "support/error.hpp"
+
+namespace tdbg::analysis {
+
+LiveSupervisor::LiveSupervisor(int num_ranks) {
+  TDBG_CHECK(num_ranks > 0, "supervisor needs at least one rank");
+}
+
+void LiveSupervisor::on_call_end(const mpi::CallInfo& info,
+                                 const mpi::Status* status) {
+  switch (info.kind) {
+    case mpi::CallKind::kSend:
+    case mpi::CallKind::kSsend: {
+      std::lock_guard lk(mu_);
+      auto& ch = channels_[{info.rank, info.peer}];
+      const auto seq = ch.next_send_seq++;
+      ch.pending.emplace(
+          seq, OutstandingSend{info.rank, info.peer, info.tag, seq,
+                               info.bytes});
+      ++sends_;
+      break;
+    }
+    case mpi::CallKind::kRecv: {
+      TDBG_CHECK(status != nullptr, "recv completion without status");
+      std::lock_guard lk(mu_);
+      ++recvs_;
+      auto it = channels_.find({status->source, info.rank});
+      if (it == channels_.end() ||
+          it->second.pending.erase(status->channel_seq) == 0) {
+        ++orphans_;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<OutstandingSend> LiveSupervisor::outstanding() const {
+  std::lock_guard lk(mu_);
+  std::vector<OutstandingSend> out;
+  for (const auto& [key, ch] : channels_) {
+    for (const auto& [seq, send] : ch.pending) out.push_back(send);
+  }
+  return out;
+}
+
+std::size_t LiveSupervisor::orphan_recvs() const {
+  std::lock_guard lk(mu_);
+  return orphans_;
+}
+
+std::uint64_t LiveSupervisor::total_sends() const {
+  std::lock_guard lk(mu_);
+  return sends_;
+}
+
+std::uint64_t LiveSupervisor::total_recvs() const {
+  std::lock_guard lk(mu_);
+  return recvs_;
+}
+
+}  // namespace tdbg::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mpi/hooks.hpp"
+
+/// \file supervision.hpp
+/// Live communication supervision (paper §4.4): "The debugger
+/// maintains a list of unmatched sends and receives.  The list is
+/// updated as execution progresses.  ...  As soon as the communication
+/// graph has been built, the user is informed about the unmatched
+/// send/receives."
+///
+/// `LiveSupervisor` is a profiling hook: install it (alongside the
+/// session) and it mirrors the runtime's FIFO channel discipline to
+/// keep a current list of sends that no receive has consumed yet —
+/// during the run, not post-mortem.
+
+namespace tdbg::analysis {
+
+/// A send that has not (yet) been received.
+struct OutstandingSend {
+  mpi::Rank src = 0;
+  mpi::Rank dst = 0;
+  mpi::Tag tag = mpi::kAnyTag;
+  mpi::ChannelSeq seq = 0;
+  std::size_t bytes = 0;
+};
+
+/// Online unmatched send/receive tracker.
+class LiveSupervisor : public mpi::ProfilingHooks {
+ public:
+  explicit LiveSupervisor(int num_ranks);
+
+  void on_call_end(const mpi::CallInfo& info,
+                   const mpi::Status* status) override;
+
+  /// Sends currently outstanding (sent, not received), in channel
+  /// order.
+  [[nodiscard]] std::vector<OutstandingSend> outstanding() const;
+
+  /// Receives observed with no recorded send (possible only when the
+  /// sender's instrumentation was off).
+  [[nodiscard]] std::size_t orphan_recvs() const;
+
+  /// Totals.
+  [[nodiscard]] std::uint64_t total_sends() const;
+  [[nodiscard]] std::uint64_t total_recvs() const;
+
+ private:
+  struct Channel {
+    mpi::ChannelSeq next_send_seq = 0;
+    std::map<mpi::ChannelSeq, OutstandingSend> pending;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<mpi::Rank, mpi::Rank>, Channel> channels_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t recvs_ = 0;
+  std::size_t orphans_ = 0;
+};
+
+}  // namespace tdbg::analysis

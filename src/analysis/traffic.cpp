@@ -1,0 +1,125 @@
+#include "analysis/traffic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdbg::analysis {
+
+TrafficReport analyze_traffic(const trace::Trace& trace) {
+  TrafficReport report;
+  const auto matches = trace.match_report();
+
+  std::map<std::pair<mpi::Rank, mpi::Rank>, ChannelStats> channels;
+  report.ranks.resize(static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    report.ranks[static_cast<std::size_t>(r)].rank = r;
+  }
+
+  for (const auto& m : matches.matches) {
+    const auto& send = trace.event(m.send_index);
+    const auto& recv = trace.event(m.recv_index);
+    auto& ch = channels[{send.rank, send.peer}];
+    ch.src = send.rank;
+    ch.dst = send.peer;
+    const auto latency = recv.t_end - send.t_start;
+    if (ch.messages == 0) {
+      ch.min_latency = ch.max_latency = latency;
+    } else {
+      ch.min_latency = std::min(ch.min_latency, latency);
+      ch.max_latency = std::max(ch.max_latency, latency);
+    }
+    ch.mean_latency += static_cast<double>(latency);
+    ++ch.messages;
+    ch.bytes += send.bytes;
+
+    auto& s = report.ranks[static_cast<std::size_t>(send.rank)];
+    ++s.sends;
+    s.bytes_out += send.bytes;
+    auto& d = report.ranks[static_cast<std::size_t>(recv.rank)];
+    ++d.recvs;
+    d.bytes_in += recv.bytes;
+  }
+  for (auto& [key, ch] : channels) {
+    if (ch.messages > 0) {
+      ch.mean_latency /= static_cast<double>(ch.messages);
+    }
+    report.channels.push_back(ch);
+  }
+
+  // Irregularities: missed messages first.
+  for (std::size_t i : matches.unmatched_sends) {
+    const auto& e = trace.event(i);
+    std::ostringstream os;
+    os << "missed message: send " << e.rank << "->" << e.peer << " tag "
+       << e.tag << " was never received";
+    report.irregularities.push_back(Irregularity{
+        Irregularity::Kind::kUnmatchedSend, e.rank, i, os.str()});
+  }
+  for (std::size_t i : matches.unmatched_recvs) {
+    const auto& e = trace.event(i);
+    std::ostringstream os;
+    os << "orphan receive on rank " << e.rank << " from " << e.peer
+       << " (no send record)";
+    report.irregularities.push_back(
+        Irregularity{Irregularity::Kind::kOrphanRecv, e.rank, i, os.str()});
+  }
+
+  // Receive-count outliers among the non-root ranks (the Fig. 6
+  // observation: workers 1-6 received 2 messages, worker 7 only 1).
+  // A rank is an outlier when its receive count differs from the
+  // majority count of ranks with the same role; as a simple robust
+  // proxy, compare against the modal receive count over ranks > 0.
+  if (trace.num_ranks() > 2) {
+    std::map<std::uint64_t, int> histogram;
+    for (mpi::Rank r = 1; r < trace.num_ranks(); ++r) {
+      ++histogram[report.ranks[static_cast<std::size_t>(r)].recvs];
+    }
+    std::uint64_t modal = 0;
+    int best = -1;
+    for (const auto& [count, freq] : histogram) {
+      if (freq > best) {
+        best = freq;
+        modal = count;
+      }
+    }
+    if (histogram.size() > 1) {
+      for (mpi::Rank r = 1; r < trace.num_ranks(); ++r) {
+        const auto& rt = report.ranks[static_cast<std::size_t>(r)];
+        if (rt.recvs != modal) {
+          std::ostringstream os;
+          os << "rank " << r << " received " << rt.recvs
+             << " messages; its peers received " << modal;
+          report.irregularities.push_back(Irregularity{
+              Irregularity::Kind::kRecvCountOutlier, r, 0, os.str()});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string TrafficReport::to_string() const {
+  std::ostringstream os;
+  os << "traffic report: " << channels.size() << " channels\n";
+  for (const auto& ch : channels) {
+    os << "  " << ch.src << " -> " << ch.dst << ": " << ch.messages
+       << " msgs, " << ch.bytes << " bytes, latency mean "
+       << static_cast<long long>(ch.mean_latency) << " ns\n";
+  }
+  os << "per-rank:\n";
+  for (const auto& r : ranks) {
+    os << "  rank " << r.rank << ": " << r.sends << " sends / " << r.recvs
+       << " recvs, " << r.bytes_out << " out / " << r.bytes_in << " in\n";
+  }
+  if (irregularities.empty()) {
+    os << "no irregularities\n";
+  } else {
+    os << "irregularities:\n";
+    for (const auto& irr : irregularities) {
+      os << "  ! " << irr.description << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::analysis

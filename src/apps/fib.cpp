@@ -1,0 +1,33 @@
+#include "apps/fib.hpp"
+
+#include "instrument/api.hpp"
+
+namespace tdbg::apps {
+
+// noinline keeps both variants honest for the Table 1 comparison: the
+// point of the workload is one real call per recursion step (the
+// paper's 1998 compiler certainly made them), not whatever a modern
+// optimizer can collapse the recursion into.
+[[gnu::noinline]] std::uint64_t fib_instrumented(unsigned n) {
+  TDBG_FUNCTION_ARGS(n, 0);
+  if (n < 2) return n;
+  return fib_instrumented(n - 1) + fib_instrumented(n - 2);
+}
+
+[[gnu::noinline]] std::uint64_t fib_plain(unsigned n) {
+  if (n < 2) return n;
+  return fib_plain(n - 1) + fib_plain(n - 2);
+}
+
+std::uint64_t fib_call_count(unsigned n) {
+  // The naive recursion makes 2*fib(n+1) - 1 calls in total.
+  std::uint64_t a = 0, b = 1;  // fib(0), fib(1)
+  for (unsigned i = 0; i < n + 1; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return 2 * a - 1;
+}
+
+}  // namespace tdbg::apps

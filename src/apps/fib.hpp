@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file fib.hpp
+/// Recursive Fibonacci — the paper's worst-case instrumentation
+/// workload for Table 1: ~30 million instrumented calls for fib(35),
+/// where `UserMonitor` dominates the runtime.
+
+namespace tdbg::apps {
+
+/// Recursive Fibonacci with a `TDBG_FUNCTION` guard on every call.
+/// Deliberately naive: the point is the call volume.
+std::uint64_t fib_instrumented(unsigned n);
+
+/// The same recursion without any instrumentation statement (the
+/// "uninstrumented" row of Table 1).
+std::uint64_t fib_plain(unsigned n);
+
+/// Number of calls the recursion makes for `n` (2*fib(n+1)-1), which
+/// is the "Number of calls" row of Table 1.
+std::uint64_t fib_call_count(unsigned n);
+
+}  // namespace tdbg::apps

@@ -1,0 +1,67 @@
+#include "apps/halo.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "instrument/api.hpp"
+
+namespace tdbg::apps::halo {
+
+void HaloApp::init(mpi::Comm& comm) {
+  rank_ = comm.rank();
+  size_ = comm.size();
+  data_.assign(options_.cells, static_cast<double>(rank_ + 1));
+}
+
+bool HaloApp::step(mpi::Comm& comm, std::uint64_t index) {
+  TDBG_FUNCTION_ARGS(index, 0);
+  const mpi::Rank left = rank_ > 0 ? rank_ - 1 : mpi::kAnySource;
+  const mpi::Rank right = rank_ < size_ - 1 ? rank_ + 1 : mpi::kAnySource;
+
+  // Send my boundary values out, then receive the neighbours' —
+  // quiescent by construction.
+  if (left != mpi::kAnySource) {
+    comm.send_value<double>(data_.front(), left, 1, "halo_send");
+  }
+  if (right != mpi::kAnySource) {
+    comm.send_value<double>(data_.back(), right, 2, "halo_send");
+  }
+  double from_right = data_.back();
+  double from_left = data_.front();
+  if (right != mpi::kAnySource) {
+    from_right = comm.recv_value<double>(right, 1, nullptr, "halo_recv");
+  }
+  if (left != mpi::kAnySource) {
+    from_left = comm.recv_value<double>(left, 2, nullptr, "halo_recv");
+  }
+
+  std::vector<double> next(data_);
+  next.front() = 0.5 * (data_.front() + from_left);
+  next.back() = 0.5 * (data_.back() + from_right);
+  for (std::size_t i = 1; i + 1 < data_.size(); ++i) {
+    next[i] = 0.25 * (data_[i - 1] + 2 * data_[i] + data_[i + 1]);
+  }
+  data_ = std::move(next);
+  return index + 1 < options_.max_steps;
+}
+
+std::vector<std::byte> HaloApp::snapshot() const {
+  std::vector<std::byte> bytes(data_.size() * sizeof(double));
+  std::memcpy(bytes.data(), data_.data(), bytes.size());
+  return bytes;
+}
+
+void HaloApp::restore(std::span<const std::byte> state) {
+  data_.resize(state.size() / sizeof(double));
+  std::memcpy(data_.data(), state.data(), state.size());
+}
+
+double HaloApp::checksum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+replay::SteppableFactory factory(Options options) {
+  return [options](mpi::Rank) { return std::make_unique<HaloApp>(options); };
+}
+
+}  // namespace tdbg::apps::halo

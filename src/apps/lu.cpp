@@ -1,0 +1,195 @@
+#include "apps/lu.hpp"
+
+#include <vector>
+
+#include "instrument/api.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::apps::lu {
+
+namespace {
+
+/// Local block with one ghost row (index 0) and ghost column (index 0).
+class Block {
+ public:
+  Block(std::size_t nx, std::size_t ny)
+      : nx_(nx), ny_(ny), cells_((nx + 1) * (ny + 1), 0.0) {}
+
+  double& at(std::size_t i, std::size_t j) { return cells_[i * (ny_ + 1) + j]; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return cells_[i * (ny_ + 1) + j];
+  }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+
+ private:
+  std::size_t nx_, ny_;
+  std::vector<double> cells_;
+};
+
+void fill_block(Block& b, std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i <= b.nx(); ++i) {
+    for (std::size_t j = 0; j <= b.ny(); ++j) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      b.at(i, j) = static_cast<double>((x >> 33) % 1000) / 1000.0;
+    }
+  }
+}
+
+/// One wavefront relaxation pass in the (+i, +j) direction.
+void relax_lower(Block& b) {
+  TDBG_FUNCTION();
+  instr::ComputeScope scope("relax_lower");
+  for (std::size_t i = 1; i <= b.nx(); ++i) {
+    for (std::size_t j = 1; j <= b.ny(); ++j) {
+      b.at(i, j) = 0.25 * (2.0 * b.at(i, j) + b.at(i - 1, j) + b.at(i, j - 1));
+    }
+  }
+}
+
+/// One wavefront relaxation pass in the (-i, -j) direction.
+void relax_upper(Block& b) {
+  TDBG_FUNCTION();
+  instr::ComputeScope scope("relax_upper");
+  for (std::size_t i = b.nx(); i >= 1; --i) {
+    for (std::size_t j = b.ny(); j >= 1; --j) {
+      b.at(i, j) = 0.25 * (2.0 * b.at(i, j) + b.at(i + 1 <= b.nx() ? i + 1 : i, j) +
+                           b.at(i, j + 1 <= b.ny() ? j + 1 : j));
+    }
+  }
+}
+
+std::vector<double> east_boundary(const Block& b) {
+  std::vector<double> col(b.nx());
+  for (std::size_t i = 1; i <= b.nx(); ++i) col[i - 1] = b.at(i, b.ny());
+  return col;
+}
+
+std::vector<double> south_boundary(const Block& b) {
+  std::vector<double> row(b.ny());
+  for (std::size_t j = 1; j <= b.ny(); ++j) row[j - 1] = b.at(b.nx(), j);
+  return row;
+}
+
+std::vector<double> west_boundary(const Block& b) {
+  std::vector<double> col(b.nx());
+  for (std::size_t i = 1; i <= b.nx(); ++i) col[i - 1] = b.at(i, 1);
+  return col;
+}
+
+std::vector<double> north_boundary(const Block& b) {
+  std::vector<double> row(b.ny());
+  for (std::size_t j = 1; j <= b.ny(); ++j) row[j - 1] = b.at(1, j);
+  return row;
+}
+
+void set_west_ghost(Block& b, const std::vector<double>& col) {
+  for (std::size_t i = 1; i <= b.nx(); ++i) b.at(i, 0) = col[i - 1];
+}
+
+void set_north_ghost(Block& b, const std::vector<double>& row) {
+  for (std::size_t j = 1; j <= b.ny(); ++j) b.at(0, j) = row[j - 1];
+}
+
+}  // namespace
+
+double rank_body(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(comm.size() == options.px * options.py,
+             "LU needs exactly px*py ranks");
+  const int cx = comm.rank() % options.px;  // column in processor grid
+  const int cy = comm.rank() / options.px;  // row in processor grid
+  const mpi::Rank west = cx > 0 ? comm.rank() - 1 : mpi::kAnySource;
+  const mpi::Rank east = cx < options.px - 1 ? comm.rank() + 1 : mpi::kAnySource;
+  const mpi::Rank north = cy > 0 ? comm.rank() - options.px : mpi::kAnySource;
+  const mpi::Rank south =
+      cy < options.py - 1 ? comm.rank() + options.px : mpi::kAnySource;
+
+  Block block(options.nx, options.ny);
+  fill_block(block, options.seed + static_cast<std::uint64_t>(comm.rank()));
+
+  std::vector<double> ghost;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Lower-triangular sweep: the wavefront enters from the north-west.
+    if (options.nonblocking) {
+      // Overlapped variant: post both entry receives up front, then
+      // complete them in order (waitall — the §6 restrictions allow
+      // WAITALL, only WAITANY is excluded).
+      std::vector<std::byte> wbuf, nbuf;
+      std::vector<mpi::Request> reqs;
+      if (west != mpi::kAnySource) {
+        reqs.push_back(comm.irecv(wbuf, west, kTagEast, "lu_irecv_west"));
+      }
+      if (north != mpi::kAnySource) {
+        reqs.push_back(comm.irecv(nbuf, north, kTagSouth, "lu_irecv_north"));
+      }
+      comm.waitall(reqs);
+      if (west != mpi::kAnySource) {
+        ghost.resize(wbuf.size() / sizeof(double));
+        std::memcpy(ghost.data(), wbuf.data(), wbuf.size());
+        set_west_ghost(block, ghost);
+      }
+      if (north != mpi::kAnySource) {
+        ghost.resize(nbuf.size() / sizeof(double));
+        std::memcpy(ghost.data(), nbuf.data(), nbuf.size());
+        set_north_ghost(block, ghost);
+      }
+    } else {
+      if (west != mpi::kAnySource) {
+        comm.recv_into(ghost, west, kTagEast, nullptr, "lu_recv_west");
+        set_west_ghost(block, ghost);
+      }
+      if (north != mpi::kAnySource) {
+        comm.recv_into(ghost, north, kTagSouth, nullptr, "lu_recv_north");
+        set_north_ghost(block, ghost);
+      }
+    }
+    relax_lower(block);
+    if (east != mpi::kAnySource) {
+      const auto col = east_boundary(block);
+      comm.send_span<double>(col, east, kTagEast, "lu_send_east");
+    }
+    if (south != mpi::kAnySource) {
+      const auto row = south_boundary(block);
+      comm.send_span<double>(row, south, kTagSouth, "lu_send_south");
+    }
+
+    // Upper-triangular sweep: the wavefront enters from the south-east.
+    if (east != mpi::kAnySource) {
+      comm.recv_into(ghost, east, kTagWest, nullptr, "lu_recv_east");
+      // Incoming east ghost data folds into the outermost column.
+      for (std::size_t i = 1; i <= block.nx(); ++i) {
+        block.at(i, block.ny()) = 0.5 * (block.at(i, block.ny()) + ghost[i - 1]);
+      }
+    }
+    if (south != mpi::kAnySource) {
+      comm.recv_into(ghost, south, kTagNorth, nullptr, "lu_recv_south");
+      for (std::size_t j = 1; j <= block.ny(); ++j) {
+        block.at(block.nx(), j) = 0.5 * (block.at(block.nx(), j) + ghost[j - 1]);
+      }
+    }
+    relax_upper(block);
+    if (west != mpi::kAnySource) {
+      const auto col = west_boundary(block);
+      comm.send_span<double>(col, west, kTagWest, "lu_send_west");
+    }
+    if (north != mpi::kAnySource) {
+      const auto row = north_boundary(block);
+      comm.send_span<double>(row, north, kTagNorth, "lu_send_north");
+    }
+  }
+
+  double checksum = 0.0;
+  for (std::size_t i = 1; i <= block.nx(); ++i) {
+    for (std::size_t j = 1; j <= block.ny(); ++j) {
+      checksum += block.at(i, j);
+    }
+  }
+  return comm.allreduce_value<double>(checksum,
+                                      [](double a, double b) { return a + b; },
+                                      "lu_checksum");
+}
+
+}  // namespace tdbg::apps::lu

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/comm.hpp"
+
+/// \file lu.hpp
+/// An SSOR wavefront kernel with the communication structure of the
+/// NAS Parallel Benchmark LU — the trace behind the paper's Figure 8
+/// (past/future frontiers of a point in an NPB-LU execution).
+///
+/// Ranks form a `px × py` processor grid; each owns a block of a 2-D
+/// domain.  The lower-triangular sweep updates cells in dependence
+/// order (i-1, j) and (i, j-1), so each rank must receive its west
+/// ghost column and north ghost row before computing, then forward its
+/// east/south boundaries — the classic pipelined wavefront.  The upper
+/// sweep runs the same pipeline in the opposite direction.  This
+/// staggered neighbour traffic is what gives the LU trace its
+/// non-trivial causal structure: the past/future frontier of a
+/// mid-trace event slopes across the process axis instead of being
+/// vertical.
+
+namespace tdbg::apps::lu {
+
+/// Workload parameters; the run needs exactly `px * py` ranks.
+struct Options {
+  int px = 4;              ///< processor-grid width
+  int py = 2;              ///< processor-grid height
+  std::size_t nx = 24;     ///< local block width (cells)
+  std::size_t ny = 24;     ///< local block height (cells)
+  int iterations = 3;      ///< SSOR iterations (lower + upper sweep each)
+  std::uint64_t seed = 7;  ///< initial field pattern
+  bool nonblocking = false;  ///< post both sweep-entry receives with
+                             ///< irecv and complete them at wait — the
+                             ///< overlapped-communication variant
+};
+
+/// Message tags (one per sweep direction and boundary).
+inline constexpr mpi::Tag kTagEast = 11;   ///< west → east ghost column
+inline constexpr mpi::Tag kTagSouth = 12;  ///< north → south ghost row
+inline constexpr mpi::Tag kTagWest = 13;   ///< east → west ghost column
+inline constexpr mpi::Tag kTagNorth = 14;  ///< south → north ghost row
+
+/// The rank body.  Returns this rank's final block checksum (summed
+/// across ranks by an allreduce, so every rank returns the same global
+/// value — tests use it as a determinism witness).
+double rank_body(mpi::Comm& comm, const Options& options);
+
+}  // namespace tdbg::apps::lu

@@ -1,0 +1,131 @@
+#include "apps/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "instrument/api.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::apps {
+
+void Matrix::fill_pattern(std::uint64_t seed) {
+  // SplitMix64: deterministic, seed-selectable, no <random> state.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+  for (auto& v : data_) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    v = static_cast<double>(z % 1000) / 100.0 - 5.0;
+  }
+}
+
+Matrix multiply_standard(const Matrix& a, const Matrix& b) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(a.cols() == b.rows(), "multiply: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "add: dimension mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.data().size(); ++i) {
+    c.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "sub: dimension mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.data().size(); ++i) {
+    c.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  TDBG_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: dimension mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+Quadrants split(const Matrix& m) {
+  TDBG_CHECK(m.rows() % 2 == 0 && m.cols() % 2 == 0,
+             "split needs even dimensions");
+  const std::size_t hr = m.rows() / 2;
+  const std::size_t hc = m.cols() / 2;
+  Quadrants q{Matrix(hr, hc), Matrix(hr, hc), Matrix(hr, hc), Matrix(hr, hc)};
+  for (std::size_t i = 0; i < hr; ++i) {
+    for (std::size_t j = 0; j < hc; ++j) {
+      q.q11.at(i, j) = m.at(i, j);
+      q.q12.at(i, j) = m.at(i, j + hc);
+      q.q21.at(i, j) = m.at(i + hr, j);
+      q.q22.at(i, j) = m.at(i + hr, j + hc);
+    }
+  }
+  return q;
+}
+
+Matrix combine(const Quadrants& q) {
+  const std::size_t hr = q.q11.rows();
+  const std::size_t hc = q.q11.cols();
+  Matrix m(hr * 2, hc * 2);
+  for (std::size_t i = 0; i < hr; ++i) {
+    for (std::size_t j = 0; j < hc; ++j) {
+      m.at(i, j) = q.q11.at(i, j);
+      m.at(i, j + hc) = q.q12.at(i, j);
+      m.at(i + hr, j) = q.q21.at(i, j);
+      m.at(i + hr, j + hc) = q.q22.at(i, j);
+    }
+  }
+  return m;
+}
+
+Matrix strassen_local(const Matrix& a, const Matrix& b, std::size_t cutoff) {
+  TDBG_FUNCTION_ARGS(a.rows(), b.cols());
+  TDBG_CHECK(a.cols() == b.rows(), "strassen: inner dimensions differ");
+  if (a.rows() <= cutoff || a.cols() <= cutoff || b.cols() <= cutoff ||
+      a.rows() % 2 != 0 || a.cols() % 2 != 0 || b.cols() % 2 != 0) {
+    return multiply_standard(a, b);
+  }
+  const Quadrants qa = split(a);
+  const Quadrants qb = split(b);
+
+  // Strassen's seven products.
+  const Matrix m1 = strassen_local(add(qa.q11, qa.q22), add(qb.q11, qb.q22), cutoff);
+  const Matrix m2 = strassen_local(add(qa.q21, qa.q22), qb.q11, cutoff);
+  const Matrix m3 = strassen_local(qa.q11, sub(qb.q12, qb.q22), cutoff);
+  const Matrix m4 = strassen_local(qa.q22, sub(qb.q21, qb.q11), cutoff);
+  const Matrix m5 = strassen_local(add(qa.q11, qa.q12), qb.q22, cutoff);
+  const Matrix m6 = strassen_local(sub(qa.q21, qa.q11), add(qb.q11, qb.q12), cutoff);
+  const Matrix m7 = strassen_local(sub(qa.q12, qa.q22), add(qb.q21, qb.q22), cutoff);
+
+  Quadrants qc;
+  qc.q11 = add(sub(add(m1, m4), m5), m7);
+  qc.q12 = add(m3, m5);
+  qc.q21 = add(m2, m4);
+  qc.q22 = add(sub(add(m1, m3), m2), m6);
+  return combine(qc);
+}
+
+}  // namespace tdbg::apps

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file matrix.hpp
+/// Dense row-major matrices and Strassen's algorithm — the paper's
+/// running example workload (Figures 3–7 and Table 1 all use a
+/// distributed Strassen matrix multiplication).
+
+namespace tdbg::apps {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+  /// Fills with a deterministic pseudo-random pattern (`seed` selects
+  /// the sequence); used by tests and benchmarks.
+  void fill_pattern(std::uint64_t seed);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B by the schoolbook algorithm (reference for correctness
+/// checks and the Strassen recursion base case).
+Matrix multiply_standard(const Matrix& a, const Matrix& b);
+
+/// Elementwise sum; dimensions must match.
+Matrix add(const Matrix& a, const Matrix& b);
+
+/// Elementwise difference; dimensions must match.
+Matrix sub(const Matrix& a, const Matrix& b);
+
+/// Largest absolute elementwise difference (for approximate checks).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// The four quadrants of an even-dimensioned matrix, in row-major
+/// block order: {a11, a12, a21, a22}.
+struct Quadrants {
+  Matrix q11, q12, q21, q22;
+};
+
+/// Splits an even-dimensioned matrix into quadrants.
+Quadrants split(const Matrix& m);
+
+/// Reassembles quadrants into one matrix.
+Matrix combine(const Quadrants& q);
+
+/// Local (single-process) Strassen multiplication, recursing down to
+/// `cutoff` where it switches to the schoolbook algorithm.  Dimensions
+/// must be powers of two times the cutoff, or simply even at each
+/// level; odd sizes fall back to the standard algorithm.
+/// Instrumented with TDBG_FUNCTION (this is the function-call workload
+/// behind Table 1's "number of calls").
+Matrix strassen_local(const Matrix& a, const Matrix& b,
+                      std::size_t cutoff = 32);
+
+}  // namespace tdbg::apps

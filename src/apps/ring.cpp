@@ -1,0 +1,36 @@
+#include "apps/ring.hpp"
+
+#include "instrument/api.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::apps::ring {
+
+std::uint64_t rank_body(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  const int p = comm.size();
+  const mpi::Rank left = (comm.rank() - 1 + p) % p;
+  const mpi::Rank right = (comm.rank() + 1) % p;
+
+  std::uint64_t token = 0;
+  if (comm.rank() == 0) {
+    for (int lap = 0; lap < options.laps; ++lap) {
+      comm.send_value<std::uint64_t>(token + options.increment, right,
+                                     kTagToken, "ring_send");
+      token = comm.recv_value<std::uint64_t>(left, kTagToken, nullptr,
+                                             "ring_recv");
+    }
+    TDBG_CHECK(token == static_cast<std::uint64_t>(options.laps) *
+                            static_cast<std::uint64_t>(p) * options.increment,
+               "ring token has wrong final value");
+    return token;
+  }
+  for (int lap = 0; lap < options.laps; ++lap) {
+    const auto incoming =
+        comm.recv_value<std::uint64_t>(left, kTagToken, nullptr, "ring_recv");
+    comm.send_value<std::uint64_t>(incoming + options.increment, right,
+                                   kTagToken, "ring_send");
+  }
+  return 0;
+}
+
+}  // namespace tdbg::apps::ring

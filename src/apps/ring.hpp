@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/comm.hpp"
+
+/// \file ring.hpp
+/// Token-ring example: the smallest message-passing program with a
+/// non-trivial time-space diagram.  Used by the quickstart example and
+/// as a compact workload in tests.
+
+namespace tdbg::apps::ring {
+
+/// Workload parameters.
+struct Options {
+  int laps = 3;                 ///< times the token goes all the way around
+  std::uint64_t increment = 1;  ///< added to the token at each hop
+};
+
+inline constexpr mpi::Tag kTagToken = 21;
+
+/// The rank body: rank 0 injects a token; each rank receives from its
+/// left neighbour, adds `increment`, and forwards right.  Returns the
+/// final token value on rank 0 (laps * size * increment) and 0
+/// elsewhere.
+std::uint64_t rank_body(mpi::Comm& comm, const Options& options);
+
+}  // namespace tdbg::apps::ring

@@ -1,0 +1,169 @@
+#include "apps/strassen.hpp"
+
+#include <cstring>
+
+#include "instrument/api.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::apps::strassen {
+
+namespace {
+
+struct WireHeader {
+  std::uint64_t rows;
+  std::uint64_t cols;
+};
+
+std::vector<std::byte> pack(const Matrix& m) {
+  std::vector<std::byte> buf(sizeof(WireHeader) + m.data().size() * sizeof(double));
+  const WireHeader h{m.rows(), m.cols()};
+  std::memcpy(buf.data(), &h, sizeof h);
+  std::memcpy(buf.data() + sizeof h, m.data().data(),
+              m.data().size() * sizeof(double));
+  return buf;
+}
+
+Matrix unpack(const std::vector<std::byte>& buf) {
+  TDBG_CHECK(buf.size() >= sizeof(WireHeader), "matrix payload too short");
+  WireHeader h;
+  std::memcpy(&h, buf.data(), sizeof h);
+  Matrix m(h.rows, h.cols);
+  TDBG_CHECK(buf.size() == sizeof h + m.data().size() * sizeof(double),
+             "matrix payload size mismatch");
+  std::memcpy(m.data().data(), buf.data() + sizeof h,
+              m.data().size() * sizeof(double));
+  return m;
+}
+
+}  // namespace
+
+void MatrSend(mpi::Comm& comm, const Matrix& m, mpi::Rank dest, mpi::Tag tag) {
+  TDBG_FUNCTION_ARGS(dest, tag);
+  const auto buf = pack(m);
+  comm.send(std::span<const std::byte>(buf), dest, tag, "MatrSend");
+}
+
+Matrix MatrRecv(mpi::Comm& comm, mpi::Rank source, mpi::Tag tag) {
+  TDBG_FUNCTION_ARGS(source, tag);
+  std::vector<std::byte> buf;
+  comm.recv(buf, source, tag, "MatrRecv");
+  return unpack(buf);
+}
+
+mpi::Rank worker_for_product(int jres, int world_size) {
+  TDBG_CHECK(world_size >= 2, "need at least one worker");
+  return 1 + jres % (world_size - 1);
+}
+
+std::vector<std::pair<Matrix, Matrix>> product_operands(const Matrix& a,
+                                                        const Matrix& b) {
+  const Quadrants qa = split(a);
+  const Quadrants qb = split(b);
+  std::vector<std::pair<Matrix, Matrix>> ops;
+  ops.reserve(7);
+  ops.emplace_back(add(qa.q11, qa.q22), add(qb.q11, qb.q22));  // M1
+  ops.emplace_back(add(qa.q21, qa.q22), qb.q11);               // M2
+  ops.emplace_back(qa.q11, sub(qb.q12, qb.q22));               // M3
+  ops.emplace_back(qa.q22, sub(qb.q21, qb.q11));               // M4
+  ops.emplace_back(add(qa.q11, qa.q12), qb.q22);               // M5
+  ops.emplace_back(sub(qa.q21, qa.q11), add(qb.q11, qb.q12));  // M6
+  ops.emplace_back(sub(qa.q12, qa.q22), add(qb.q21, qb.q22));  // M7
+  return ops;
+}
+
+Matrix combine_products(const std::vector<Matrix>& m) {
+  TDBG_CHECK(m.size() == 7, "Strassen needs exactly seven products");
+  Quadrants qc;
+  qc.q11 = add(sub(add(m[0], m[3]), m[4]), m[6]);
+  qc.q12 = add(m[2], m[4]);
+  qc.q21 = add(m[1], m[3]);
+  qc.q22 = add(sub(add(m[0], m[2]), m[1]), m[5]);
+  return combine(qc);
+}
+
+namespace {
+
+void master(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  Matrix a(options.n, options.n);
+  Matrix b(options.n, options.n);
+  a.fill_pattern(options.seed);
+  b.fill_pattern(options.seed + 1);
+
+  const auto operands = product_operands(a, b);
+
+  {
+    instr::ComputeScope distribute("distribute_products");
+    for (int jres = 0; jres < 7; ++jres) {
+      const auto& [left, right] = operands[static_cast<std::size_t>(jres)];
+      MatrSend(comm, left, worker_for_product(jres, comm.size()),
+               kTagOperandA);
+      // The paper's bug (Fig. 7): the destination of the second operand
+      // is `jres` where it should be `jres + 1` — i.e. one less than
+      // the correct worker — so the last worker never gets its second
+      // operand.
+      const mpi::Rank dest =
+          options.buggy ? worker_for_product(jres, comm.size()) - 1
+                        : worker_for_product(jres, comm.size());
+      MatrSend(comm, right, dest, kTagOperandB);
+    }
+  }
+
+  std::vector<Matrix> partials(7);
+  {
+    instr::ComputeScope collect("collect_partials");
+    for (int jres = 0; jres < 7; ++jres) {
+      partials[static_cast<std::size_t>(jres)] =
+          MatrRecv(comm, worker_for_product(jres, comm.size()), kTagResult);
+    }
+  }
+
+  const Matrix c = combine_products(partials);
+  if (options.verify && !options.buggy) {
+    const Matrix reference = multiply_standard(a, b);
+    const double err = max_abs_diff(c, reference);
+    TDBG_CHECK(err < 1e-6, "distributed Strassen result diverges from "
+                           "reference by " + std::to_string(err));
+  }
+}
+
+void worker(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  // How many products round-robin assigns to this worker.
+  int assigned = 0;
+  for (int jres = 0; jres < 7; ++jres) {
+    if (worker_for_product(jres, comm.size()) == comm.rank()) ++assigned;
+  }
+  for (int i = 0; i < assigned; ++i) {
+    const Matrix left = MatrRecv(comm, 0, kTagOperandA);
+    // The short computation "tick" visible before the main bar in the
+    // paper's Figure 6: a small amount of work at the first receive.
+    {
+      instr::ComputeScope tick("prepare_operands");
+      volatile double sink = 0.0;
+      for (double v : left.data()) sink = sink + v;
+    }
+    const Matrix right = MatrRecv(comm, 0, kTagOperandB);
+    Matrix product;
+    {
+      instr::ComputeScope compute("compute_product");
+      product = strassen_local(left, right, options.cutoff);
+    }
+    MatrSend(comm, product, 0, kTagResult);
+  }
+}
+
+}  // namespace
+
+void rank_body(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(comm.size() >= 2, "Strassen example needs >= 2 ranks");
+  TDBG_CHECK(options.n % 2 == 0, "matrix size must be even");
+  if (comm.rank() == 0) {
+    master(comm, options);
+  } else {
+    worker(comm, options);
+  }
+}
+
+}  // namespace tdbg::apps::strassen

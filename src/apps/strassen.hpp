@@ -1,0 +1,65 @@
+#pragma once
+
+#include "apps/matrix.hpp"
+#include "mpi/comm.hpp"
+
+/// \file strassen.hpp
+/// The paper's running example: a master/worker distributed Strassen
+/// matrix multiplication (Figures 3–7, Table 1).
+///
+/// Process 0 splits A and B into quadrants, forms the seven Strassen
+/// product operand pairs, and distributes them round-robin to the
+/// worker ranks — two sends per product, one per operand ("each send
+/// is shown as a separate message", Fig. 3).  Each worker receives its
+/// operands, multiplies them locally, and returns the partial result,
+/// which process 0 combines into the product.  On 8 ranks each worker
+/// computes exactly one of the seven products, giving the paper's
+/// communication picture.
+///
+/// The *buggy* variant reproduces Figures 5–7: in the distribution
+/// loop the second operand is sent to destination `jres` instead of
+/// `jres + 1` (the paper's line-161 bug in `MatrSend`), so process 7
+/// never receives its second operand and ends blocked in a receive
+/// while process 0 blocks waiting for 7's result — the missed-message
+/// deadlock of Figure 5.
+
+namespace tdbg::apps::strassen {
+
+/// Workload parameters.
+struct Options {
+  std::size_t n = 128;        ///< A, B are n×n (n even)
+  std::size_t cutoff = 32;    ///< local Strassen recursion cutoff
+  bool buggy = false;         ///< inject the Fig. 5–7 destination bug
+  bool verify = true;         ///< master checks the result (ignored when buggy)
+  std::uint64_t seed = 1;     ///< input pattern seed
+};
+
+/// Message tags used by the example (visible in traces).
+inline constexpr mpi::Tag kTagOperandA = 1;
+inline constexpr mpi::Tag kTagOperandB = 2;
+inline constexpr mpi::Tag kTagResult = 3;
+
+/// Sends a matrix as one message (header + payload).  Named after the
+/// paper's `MatrSend` (Fig. 7 steps through "the loop of MatrSend").
+void MatrSend(mpi::Comm& comm, const Matrix& m, mpi::Rank dest, mpi::Tag tag);
+
+/// Receives a matrix sent by `MatrSend`.
+Matrix MatrRecv(mpi::Comm& comm, mpi::Rank source, mpi::Tag tag);
+
+/// The rank body.  Run with at least 2 ranks; 8 ranks reproduces the
+/// paper's figures.  Throws on verification failure.
+void rank_body(mpi::Comm& comm, const Options& options);
+
+/// Worker rank that will compute product `jres` (0-based) among
+/// `world_size - 1` workers: round-robin assignment.
+mpi::Rank worker_for_product(int jres, int world_size);
+
+/// The seven Strassen operand pairs of (a, b)'s quadrants, in M1..M7
+/// order.
+std::vector<std::pair<Matrix, Matrix>> product_operands(const Matrix& a,
+                                                        const Matrix& b);
+
+/// Combines the seven partial products into the result matrix.
+Matrix combine_products(const std::vector<Matrix>& m);
+
+}  // namespace tdbg::apps::strassen

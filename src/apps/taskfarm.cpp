@@ -1,0 +1,102 @@
+#include "apps/taskfarm.hpp"
+
+#include "instrument/api.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::apps::taskfarm {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Busywork whose duration varies by task, so workers finish out of
+/// order and race to the master's ANY_SOURCE receive.
+std::uint64_t compute_task(int task_id, const Options& options) {
+  TDBG_FUNCTION_ARGS(task_id, 0);
+  instr::ComputeScope scope("compute_task");
+  return task_value(task_id, options);
+}
+
+}  // namespace
+
+std::uint64_t task_value(int task_id, const Options& options) {
+  const auto rounds =
+      (mix(options.seed + static_cast<std::uint64_t>(task_id)) % 7 + 1) *
+      options.work_scale;
+  std::uint64_t acc = static_cast<std::uint64_t>(task_id);
+  for (std::uint64_t i = 0; i < rounds; ++i) acc = mix(acc + i);
+  return acc;
+}
+
+namespace {
+
+std::uint64_t master(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  const int workers = comm.size() - 1;
+  int next_task = 0;
+  int outstanding = 0;
+  std::uint64_t total = 0;
+
+  // Prime every worker with one task (or stop it immediately if there
+  // are fewer tasks than workers).
+  for (mpi::Rank w = 1; w <= workers; ++w) {
+    if (next_task < options.num_tasks) {
+      comm.send_value<int>(next_task++, w, kTagTask, "farm_send_task");
+      ++outstanding;
+    } else {
+      comm.send_value<int>(-1, w, kTagStop, "farm_send_stop");
+    }
+  }
+
+  // Self-scheduling loop: whichever worker answers first gets the next
+  // task — the ANY_SOURCE receive that makes the run nondeterministic.
+  while (outstanding > 0) {
+    mpi::Status st;
+    const auto result = comm.recv_value<std::uint64_t>(
+        mpi::kAnySource, kTagResult, &st, "farm_recv_result");
+    total += result;
+    --outstanding;
+    if (next_task < options.num_tasks) {
+      comm.send_value<int>(next_task++, st.source, kTagTask, "farm_send_task");
+      ++outstanding;
+    } else {
+      comm.send_value<int>(-1, st.source, kTagStop, "farm_send_stop");
+    }
+  }
+
+  // Verify independently of completion order.
+  std::uint64_t expected = 0;
+  for (int t = 0; t < options.num_tasks; ++t) {
+    expected += task_value(t, options);
+  }
+  TDBG_CHECK(total == expected, "task farm total mismatch");
+  return total;
+}
+
+std::uint64_t worker(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  std::uint64_t processed = 0;
+  for (;;) {
+    mpi::Status st;
+    const int task = comm.recv_value<int>(0, mpi::kAnyTag, &st, "farm_recv");
+    if (st.tag == kTagStop) break;
+    const auto result = compute_task(task, options);
+    comm.send_value<std::uint64_t>(result, 0, kTagResult, "farm_send_result");
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace
+
+std::uint64_t rank_body(mpi::Comm& comm, const Options& options) {
+  TDBG_FUNCTION();
+  TDBG_CHECK(comm.size() >= 2, "task farm needs >= 2 ranks");
+  return comm.rank() == 0 ? master(comm, options) : worker(comm, options);
+}
+
+}  // namespace tdbg::apps::taskfarm

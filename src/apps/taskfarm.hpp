@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/comm.hpp"
+
+/// \file taskfarm.hpp
+/// A self-scheduling master/worker farm — the runtime's genuinely
+/// nondeterministic workload.  The master hands out tasks to whichever
+/// worker reports back first, using `ANY_SOURCE` receives, so the
+/// message-matching order differs from run to run.  This is exactly
+/// the nondeterminism the paper's §4.2 replay control has to pin down
+/// ("the behavior of nondeterministic statements (such as statements
+/// using the MPI_ANY_SOURCE wild card) can be controlled by p2d2 with
+/// the information available in the program trace").
+
+namespace tdbg::apps::taskfarm {
+
+/// Workload parameters.
+struct Options {
+  int num_tasks = 40;        ///< tasks to farm out
+  unsigned work_scale = 50;  ///< per-task busywork multiplier
+  std::uint64_t seed = 3;    ///< task-cost pattern seed
+};
+
+inline constexpr mpi::Tag kTagTask = 31;
+inline constexpr mpi::Tag kTagResult = 32;
+inline constexpr mpi::Tag kTagStop = 33;
+
+/// Deterministic per-task result the farm computes (so the master can
+/// verify the total regardless of completion order).
+std::uint64_t task_value(int task_id, const Options& options);
+
+/// The rank body.  Needs >= 2 ranks.  On rank 0 returns the verified
+/// sum of all task results; on workers returns the number of tasks
+/// they processed.
+std::uint64_t rank_body(mpi::Comm& comm, const Options& options);
+
+}  // namespace tdbg::apps::taskfarm

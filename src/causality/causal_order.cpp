@@ -1,0 +1,267 @@
+#include "causality/causal_order.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace tdbg::causality {
+
+CausalOrder::CausalOrder(const trace::Trace& trace)
+    : trace_(&trace), matches_(trace.match_report()) {
+  const auto n = trace.size();
+  const auto ranks = static_cast<std::size_t>(trace.num_ranks());
+  clocks_.assign(n, {});
+  positions_.assign(n, 0);
+
+  // Map receive event -> matched send event.
+  std::unordered_map<std::size_t, std::size_t> send_of_recv;
+  send_of_recv.reserve(matches_.matches.size());
+  for (const auto& m : matches_.matches) {
+    send_of_recv.emplace(m.recv_index, m.send_index);
+  }
+
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto& seq = trace.rank_events(r);
+    for (std::size_t pos = 0; pos < seq.size(); ++pos) {
+      positions_[seq[pos]] = pos;
+    }
+  }
+
+  // Propagate clocks in dependency order.  Each rank's events are
+  // processed in program order; a receive additionally waits for its
+  // matched send.  Round-robin over ranks until everything is done —
+  // progress is guaranteed because the trace comes from a real
+  // execution, whose message edges cannot form a cycle with program
+  // order.
+  std::vector<std::size_t> next(ranks, 0);
+  std::size_t done = 0;
+  bool progressed = true;
+  while (done < n) {
+    TDBG_CHECK(progressed,
+               "cyclic message dependency in trace (corrupt trace file?)");
+    progressed = false;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+      while (next[r] < seq.size()) {
+        const std::size_t e = seq[next[r]];
+        const auto it = send_of_recv.find(e);
+        const bool needs_send = it != send_of_recv.end();
+        if (needs_send && clocks_[it->second].empty()) break;  // wait for send
+
+        std::vector<std::uint32_t> vc(ranks, 0);
+        if (next[r] > 0) vc = clocks_[seq[next[r] - 1]];
+        if (needs_send) {
+          const auto& sc = clocks_[it->second];
+          for (std::size_t q = 0; q < ranks; ++q) {
+            vc[q] = std::max(vc[q], sc[q]);
+          }
+        }
+        vc[r] = static_cast<std::uint32_t>(next[r] + 1);
+        clocks_[e] = std::move(vc);
+        ++next[r];
+        ++done;
+        progressed = true;
+      }
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& CausalOrder::clock(std::size_t e) const {
+  return clocks_.at(e);
+}
+
+std::size_t CausalOrder::position(std::size_t e) const {
+  return positions_.at(e);
+}
+
+bool CausalOrder::happens_before(std::size_t a, std::size_t b) const {
+  if (a == b) return false;
+  const auto ra = static_cast<std::size_t>(trace_->event(a).rank);
+  // a happens before b iff b's clock has seen a's position on a's rank.
+  return clocks_.at(b)[ra] >= positions_.at(a) + 1;
+}
+
+bool CausalOrder::concurrent(std::size_t a, std::size_t b) const {
+  return a != b && !happens_before(a, b) && !happens_before(b, a);
+}
+
+Frontier CausalOrder::past_frontier(std::size_t e) const {
+  const auto ranks = static_cast<std::size_t>(trace_->num_ranks());
+  const auto& vc = clocks_.at(e);
+  Frontier frontier(ranks);
+  const auto re = static_cast<std::size_t>(trace_->event(e).rank);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    // Events of r in the strict past: vc[r] of them, except on e's own
+    // rank where vc counts e itself.
+    std::size_t count = vc[r];
+    if (r == re) --count;  // exclude e
+    if (count == 0) continue;
+    frontier[r] = trace_->rank_events(static_cast<mpi::Rank>(r))[count - 1];
+  }
+  return frontier;
+}
+
+Frontier CausalOrder::future_frontier(std::size_t e) const {
+  const auto ranks = static_cast<std::size_t>(trace_->num_ranks());
+  Frontier frontier(ranks);
+  const auto re = static_cast<std::size_t>(trace_->event(e).rank);
+  const auto threshold = static_cast<std::uint32_t>(positions_.at(e) + 1);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    if (r == re) {
+      if (positions_.at(e) + 1 < seq.size()) {
+        frontier[r] = seq[positions_.at(e) + 1];
+      }
+      continue;
+    }
+    // clock component `re` is nondecreasing along rank r's sequence:
+    // binary-search the first event that has seen e.
+    const auto it = std::partition_point(
+        seq.begin(), seq.end(), [&](std::size_t f) {
+          return clocks_[f][re] < threshold;
+        });
+    if (it != seq.end()) frontier[r] = *it;
+  }
+  return frontier;
+}
+
+std::vector<std::size_t> CausalOrder::causal_past(std::size_t e) const {
+  std::vector<std::size_t> past;
+  const auto frontier = past_frontier(e);
+  for (std::size_t r = 0; r < frontier.size(); ++r) {
+    if (!frontier[r]) continue;
+    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    const auto last_pos = positions_.at(*frontier[r]);
+    for (std::size_t pos = 0; pos <= last_pos; ++pos) past.push_back(seq[pos]);
+  }
+  std::sort(past.begin(), past.end());
+  return past;
+}
+
+std::vector<std::size_t> CausalOrder::causal_future(std::size_t e) const {
+  std::vector<std::size_t> future;
+  const auto frontier = future_frontier(e);
+  for (std::size_t r = 0; r < frontier.size(); ++r) {
+    if (!frontier[r]) continue;
+    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    for (std::size_t pos = positions_.at(*frontier[r]); pos < seq.size();
+         ++pos) {
+      future.push_back(seq[pos]);
+    }
+  }
+  std::sort(future.begin(), future.end());
+  return future;
+}
+
+std::vector<std::size_t> CausalOrder::concurrency_region(std::size_t e) const {
+  std::vector<std::size_t> region;
+  for (std::size_t f = 0; f < trace_->size(); ++f) {
+    if (f != e && concurrent(e, f)) region.push_back(f);
+  }
+  return region;
+}
+
+Cut CausalOrder::past_frontier_cut(std::size_t e) const {
+  const auto ranks = static_cast<std::size_t>(trace_->num_ranks());
+  const auto& vc = clocks_.at(e);
+  Cut cut;
+  cut.prefix_len.assign(ranks, 0);
+  const auto re = static_cast<std::size_t>(trace_->event(e).rank);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    cut.prefix_len[r] = vc[r];
+  }
+  cut.prefix_len[re] = positions_.at(e);  // stop right before executing e
+  return cut;
+}
+
+Cut CausalOrder::future_frontier_cut(std::size_t e) const {
+  const auto ranks = static_cast<std::size_t>(trace_->num_ranks());
+  const auto frontier = future_frontier(e);
+  Cut cut;
+  cut.prefix_len.assign(ranks, 0);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    // Ranks with no event in e's future run to completion.
+    cut.prefix_len[r] = frontier[r] ? positions_.at(*frontier[r]) : seq.size();
+  }
+  const auto re = static_cast<std::size_t>(trace_->event(e).rank);
+  cut.prefix_len[re] = positions_.at(e) + 1;  // e itself has executed
+  return cut;
+}
+
+bool is_consistent(const trace::Trace& trace, const Cut& cut) {
+  TDBG_CHECK(cut.prefix_len.size() == static_cast<std::size_t>(trace.num_ranks()),
+             "cut rank count mismatch");
+  const auto report = trace.match_report();
+  // Positions per event.
+  std::vector<std::size_t> pos(trace.size(), 0);
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto& seq = trace.rank_events(r);
+    for (std::size_t p = 0; p < seq.size(); ++p) pos[seq[p]] = p;
+  }
+  const auto inside = [&](std::size_t e) {
+    return pos[e] <
+           cut.prefix_len[static_cast<std::size_t>(trace.event(e).rank)];
+  };
+  for (const auto& m : report.matches) {
+    if (inside(m.recv_index) && !inside(m.send_index)) return false;
+  }
+  return true;
+}
+
+Cut cut_at_time(const trace::Trace& trace, support::TimeNs t) {
+  Cut cut;
+  cut.prefix_len.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto& seq = trace.rank_events(r);
+    std::size_t len = 0;
+    for (std::size_t p = 0; p < seq.size(); ++p) {
+      if (trace.event(seq[p]).t_end <= t) len = p + 1;
+    }
+    cut.prefix_len[static_cast<std::size_t>(r)] = len;
+  }
+  return cut;
+}
+
+std::size_t restrict_to_consistent(const trace::Trace& trace, Cut& cut) {
+  const auto report = trace.match_report();
+  std::vector<std::size_t> pos(trace.size(), 0);
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto& seq = trace.rank_events(r);
+    for (std::size_t p = 0; p < seq.size(); ++p) pos[seq[p]] = p;
+  }
+  std::size_t dropped = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& m : report.matches) {
+      const auto rr = static_cast<std::size_t>(trace.event(m.recv_index).rank);
+      const auto sr = static_cast<std::size_t>(trace.event(m.send_index).rank);
+      const bool recv_inside = pos[m.recv_index] < cut.prefix_len[rr];
+      const bool send_inside = pos[m.send_index] < cut.prefix_len[sr];
+      if (recv_inside && !send_inside) {
+        dropped += cut.prefix_len[rr] - pos[m.recv_index];
+        cut.prefix_len[rr] = pos[m.recv_index];
+        changed = true;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::vector<std::optional<std::uint64_t>> cut_thresholds(
+    const trace::Trace& trace, const Cut& cut) {
+  std::vector<std::optional<std::uint64_t>> thresholds(
+      static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto& seq = trace.rank_events(r);
+    const auto len = cut.prefix_len[static_cast<std::size_t>(r)];
+    if (len < seq.size()) {
+      thresholds[static_cast<std::size_t>(r)] = trace.event(seq[len]).marker;
+    }
+  }
+  return thresholds;
+}
+
+}  // namespace tdbg::causality

@@ -1,0 +1,598 @@
+#include "debugger/commands.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/patterns.hpp"
+#include "graph/export.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "viz/html_view.hpp"
+#include "viz/profile.hpp"
+
+namespace tdbg::dbg {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream in{std::string(support::trim(line))};
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+CommandInterpreter::CommandInterpreter(Debugger& debugger)
+    : debugger_(debugger) {}
+
+std::string CommandInterpreter::help() {
+  return R"(commands:
+  record                         run the target with recording installed
+  launch [marker]                run LIVE, stopping every rank at [marker]
+  status                         session summary
+  timeline [columns]             ASCII time-space diagram
+  svg <path>                     write the SVG time-space diagram
+  events <rank> [count]          list a rank's first trace events
+  stopline <pct>%                vertical stopline at a fraction of the run
+  stopline past <rank> <marker>  past-frontier stopline of that event
+  stopline future <rank> <marker>  future-frontier stopline
+  replay                         replay to the current stopline
+  stops                          where the ranks are parked
+  step <rank>                    one instrumented event
+  next <rank>                    step over (stay at this call depth)
+  watch <rank> <variable>        stop when an exposed variable changes
+  mbreak <rank> <send|recv|any> <peer|any> <tag|any>   message breakpoint
+  resume <rank>                  run one rank to its next armed stop
+  print <rank> <variable>        show an exposed variable of a stopped rank
+  undo                           back to before the last resumption
+  continue                       run the replay to its end
+  traffic | deadlock | races | unmatched   history analyses
+  calls [rank]                   dynamic call graph summary
+  actions <rank>                 action-graph view of one rank (§4.4)
+  groups [strict]                ranks grouped by behavioral signature
+  model <pattern...>             check a behavioral model per rank (Ariadne)
+  profile                        time per construct and per rank
+  critpath                       critical path through the history
+  html <path>                    interactive HTML view (zoom/pan/inspect)
+  export {calls|comm|trace} {dot|vcg} <path>   write a graph file
+  frontiers <rank> <marker>      past/future frontier of an event
+  help | quit
+)";
+}
+
+mpi::Rank CommandInterpreter::parse_rank(const std::string& arg) const {
+  const int rank = std::stoi(arg);
+  TDBG_CHECK(rank >= 0 && rank < debugger_.num_ranks(), "rank out of range");
+  return rank;
+}
+
+std::string CommandInterpreter::describe_stop(
+    const replay::StopInfo& stop) const {
+  std::ostringstream os;
+  os << "rank " << stop.rank << " @ marker " << stop.marker;
+  if (stop.construct != trace::kNoConstruct) {
+    // Live sessions have no recorded trace yet; their construct ids
+    // come from the process-wide table.
+    const auto& constructs = recorded_ ? debugger_.trace().constructs()
+                                       : *instr::global_constructs();
+    os << " (" << constructs.info(stop.construct).name << ", "
+       << trace::event_kind_name(stop.kind) << ")";
+  }
+  if (!stop.watch.empty()) os << " [watch: " << stop.watch << "]";
+  return os.str();
+}
+
+CommandResult CommandInterpreter::execute(std::string_view line) {
+  const auto args = tokenize(line);
+  if (args.empty()) return {};
+  const auto& cmd = args[0];
+  try {
+    if (cmd == "help") return {true, false, help()};
+    if (cmd == "quit" || cmd == "exit") return {true, true, "bye\n"};
+    if (cmd == "record") return cmd_record();
+    if (cmd == "launch") return cmd_launch(args);
+
+    // Live-session commands that need no recorded trace yet.
+    if (debugger_.live()) {
+      if (cmd == "step") return cmd_step(args, /*over=*/false);
+      if (cmd == "next") return cmd_step(args, /*over=*/true);
+      if (cmd == "watch") return cmd_watch(args);
+      if (cmd == "mbreak") return cmd_mbreak(args);
+      if (cmd == "resume") return cmd_resume(args);
+      if (cmd == "print") return cmd_print(args);
+      if (cmd == "undo") return cmd_undo();
+      if (cmd == "continue") return cmd_continue();
+    }
+    if (!recorded_) {
+      return {false, false,
+              "no history yet — run `record` (or `launch`) first\n"};
+    }
+    if (cmd == "status") return cmd_status();
+    if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "svg") return cmd_svg(args);
+    if (cmd == "events") return cmd_events(args);
+    if (cmd == "stopline") return cmd_stopline(args);
+    if (cmd == "replay") return cmd_replay();
+    if (cmd == "stops") return cmd_stops();
+    if (cmd == "step") return cmd_step(args, /*over=*/false);
+    if (cmd == "next") return cmd_step(args, /*over=*/true);
+    if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "mbreak") return cmd_mbreak(args);
+    if (cmd == "resume") return cmd_resume(args);
+    if (cmd == "print") return cmd_print(args);
+    if (cmd == "undo") return cmd_undo();
+    if (cmd == "continue") return cmd_continue();
+    if (cmd == "traffic") return cmd_traffic();
+    if (cmd == "deadlock") return cmd_deadlock();
+    if (cmd == "races") return cmd_races();
+    if (cmd == "unmatched") return cmd_unmatched();
+    if (cmd == "calls") return cmd_calls(args);
+    if (cmd == "actions") return cmd_actions(args);
+    if (cmd == "groups") return cmd_groups(args);
+    if (cmd == "model") {
+      if (args.size() < 2) {
+        return {false, false, "usage: model <pattern tokens...>\n"};
+      }
+      std::string pattern;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) pattern += ' ';
+        pattern += args[i];
+      }
+      const auto results =
+          analysis::check_model_all(debugger_.trace(), pattern);
+      std::ostringstream os;
+      for (const auto& r : results) {
+        os << "  rank " << r.rank << ": "
+           << (r.matched ? "matches" : "DEVIATES — " + r.detail) << "\n";
+      }
+      return {true, false, os.str()};
+    }
+    if (cmd == "profile") {
+      return {true, false,
+              viz::profile_trace(debugger_.trace())
+                  .to_string(debugger_.trace().constructs())};
+    }
+    if (cmd == "critpath") {
+      return {true, false,
+              analysis::critical_path(debugger_.trace())
+                  .to_string(debugger_.trace())};
+    }
+    if (cmd == "html") {
+      if (args.size() != 2) return {false, false, "usage: html <path>\n"};
+      std::ofstream out(args[1]);
+      if (!out) return {false, false, "cannot write " + args[1] + "\n"};
+      out << viz::to_html(debugger_.trace());
+      return {true, false, "wrote " + args[1] + "\n"};
+    }
+    if (cmd == "export") return cmd_export(args);
+    if (cmd == "frontiers") return cmd_frontiers(args);
+    return {false, false, "unknown command: " + cmd + " (try `help`)\n"};
+  } catch (const std::exception& e) {
+    return {false, false, std::string("error: ") + e.what() + "\n"};
+  }
+}
+
+CommandResult CommandInterpreter::cmd_record() {
+  if (recorded_) return {false, false, "already recorded\n"};
+  const auto& result = debugger_.record();
+  recorded_ = true;
+  std::ostringstream os;
+  os << "recorded: "
+     << (result.completed
+             ? "completed"
+             : (result.deadlocked ? "DEADLOCKED" : "failed"))
+     << ", " << debugger_.trace().size() << " trace records across "
+     << debugger_.num_ranks() << " ranks\n";
+  if (!result.abort_detail.empty()) os << result.abort_detail << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_launch(
+    const std::vector<std::string>& args) {
+  if (recorded_ || debugger_.live()) {
+    return {false, false, "session already has a history\n"};
+  }
+  replay::Stopline line;
+  line.thresholds.assign(static_cast<std::size_t>(debugger_.num_ranks()),
+                         std::nullopt);
+  if (args.size() > 1) {
+    const auto marker = std::stoull(args[1]);
+    for (auto& t : line.thresholds) t = marker;
+  }
+  const auto stops = debugger_.launch(line);
+  replay_live_ = true;
+  std::ostringstream os;
+  os << "launched live; " << stops.size() << " rank(s) parked:\n";
+  for (const auto& stop : stops) os << "  " << describe_stop(stop) << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_status() {
+  std::ostringstream os;
+  const auto& result = debugger_.run_result();
+  os << "target ranks : " << debugger_.num_ranks() << "\n";
+  os << "recorded run : "
+     << (result.completed ? "completed"
+                          : (result.deadlocked ? "deadlocked" : "failed"))
+     << "\n";
+  os << "trace records: " << debugger_.trace().size() << "\n";
+  os << "replay       : " << (replay_live_ ? "live" : "none") << "\n";
+  os << "stopline     : " << (stopline_set_ ? "set" : "unset") << "\n";
+  os << "undo depth   : " << debugger_.undo_depth() << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_timeline(
+    const std::vector<std::string>& args) {
+  const int columns = args.size() > 1 ? std::stoi(args[1]) : 100;
+  return {true, false, debugger_.diagram().to_ascii(columns)};
+}
+
+CommandResult CommandInterpreter::cmd_svg(
+    const std::vector<std::string>& args) {
+  if (args.size() != 2) return {false, false, "usage: svg <path>\n"};
+  std::ofstream out(args[1]);
+  if (!out) return {false, false, "cannot write " + args[1] + "\n"};
+  out << debugger_.diagram().to_svg();
+  return {true, false, "wrote " + args[1] + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_events(
+    const std::vector<std::string>& args) {
+  if (args.size() < 2) return {false, false, "usage: events <rank> [count]\n"};
+  const auto rank = parse_rank(args[1]);
+  const std::size_t count =
+      args.size() > 2 ? std::stoul(args[2]) : std::size_t{20};
+  const auto& trace = debugger_.trace();
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (std::size_t i : trace.rank_events(rank)) {
+    if (shown++ == count) {
+      os << "  ...\n";
+      break;
+    }
+    const auto& e = trace.event(i);
+    os << "  marker " << e.marker << "  "
+       << trace::event_kind_name(e.kind) << "  "
+       << (e.construct == trace::kNoConstruct
+               ? "?"
+               : trace.constructs().info(e.construct).name);
+    if (e.is_message()) {
+      os << "  " << (e.kind == trace::EventKind::kSend ? "-> " : "<- ")
+         << "rank " << e.peer << " tag " << e.tag;
+    }
+    os << "\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_stopline(
+    const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[1].back() == '%') {
+    const double pct = std::stod(args[1].substr(0, args[1].size() - 1));
+    const auto& trace = debugger_.trace();
+    const auto t = trace.t_min() +
+                   static_cast<support::TimeNs>(
+                       static_cast<double>(trace.t_max() - trace.t_min()) *
+                       pct / 100.0);
+    stopline_ = debugger_.stopline_at(t);
+    stopline_set_ = true;
+    int armed = 0;
+    for (const auto& th : stopline_.thresholds) armed += th.has_value();
+    return {true, false,
+            "vertical stopline at " + args[1] + ": " + std::to_string(armed) +
+                " ranks get thresholds\n"};
+  }
+  if (args.size() == 4 && (args[1] == "past" || args[1] == "future")) {
+    const auto rank = parse_rank(args[2]);
+    const auto marker = std::stoull(args[3]);
+    const auto event = debugger_.trace().find_marker(rank, marker);
+    if (!event) return {false, false, "no such event\n"};
+    stopline_ = args[1] == "past"
+                    ? debugger_.stopline_past_frontier(*event)
+                    : debugger_.stopline_future_frontier(*event);
+    stopline_set_ = true;
+    return {true, false, args[1] + "-frontier stopline set\n"};
+  }
+  return {false, false,
+          "usage: stopline <pct>% | stopline past|future <rank> <marker>\n"};
+}
+
+CommandResult CommandInterpreter::cmd_replay() {
+  if (!stopline_set_) return {false, false, "set a stopline first\n"};
+  const auto stops = debugger_.replay_to(stopline_);
+  replay_live_ = true;
+  std::ostringstream os;
+  os << "replayed; " << stops.size() << " rank(s) parked:\n";
+  for (const auto& stop : stops) os << "  " << describe_stop(stop) << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_stops() {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  std::ostringstream os;
+  for (mpi::Rank r = 0; r < debugger_.num_ranks(); ++r) {
+    // The session's counters show where every rank is, parked or not.
+    auto* session = debugger_.replay_session();
+    os << "  rank " << r << ": marker " << session->counter(r) << "\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_step(
+    const std::vector<std::string>& args, bool over) {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  if (args.size() != 2) return {false, false, "usage: step|next <rank>\n"};
+  const auto rank = parse_rank(args[1]);
+  const auto stop =
+      over ? debugger_.step_over(rank) : debugger_.step(rank);
+  if (!stop) {
+    return {true, false,
+            "rank " + args[1] + " finished or is waiting for a message\n"};
+  }
+  return {true, false, "  " + describe_stop(*stop) + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_watch(
+    const std::vector<std::string>& args) {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  if (args.size() != 3) return {false, false, "usage: watch <rank> <var>\n"};
+  debugger_.watch(parse_rank(args[1]), args[2]);
+  return {true, false, "watching `" + args[2] + "` on rank " + args[1] + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_mbreak(
+    const std::vector<std::string>& args) {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  if (args.size() != 5) {
+    return {false, false,
+            "usage: mbreak <rank> <send|recv|any> <peer|any> <tag|any>\n"};
+  }
+  replay::MessageBreak spec;
+  if (args[2] == "send") {
+    spec.on_recv = false;
+  } else if (args[2] == "recv") {
+    spec.on_send = false;
+  } else if (args[2] != "any") {
+    return {false, false, "direction must be send, recv, or any\n"};
+  }
+  spec.peer = args[3] == "any" ? mpi::kAnySource : parse_rank(args[3]);
+  spec.tag = args[4] == "any" ? mpi::kAnyTag : std::stoi(args[4]);
+  debugger_.break_on_message(parse_rank(args[1]), spec);
+  return {true, false, "message breakpoint armed on rank " + args[1] + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_resume(
+    const std::vector<std::string>& args) {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  if (args.size() != 2) return {false, false, "usage: resume <rank>\n"};
+  const auto stop = debugger_.continue_rank(parse_rank(args[1]));
+  if (!stop) {
+    return {true, false,
+            "rank " + args[1] + " finished or is waiting for a message\n"};
+  }
+  return {true, false, "  " + describe_stop(*stop) + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_print(
+    const std::vector<std::string>& args) {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  if (args.size() != 3) return {false, false, "usage: print <rank> <var>\n"};
+  const auto rank = parse_rank(args[1]);
+  auto* session = debugger_.replay_session();
+  const auto view = session->variable(rank, args[2]);
+  if (view.address == nullptr) {
+    return {false, false,
+            "rank " + args[1] + " exposed no variable `" + args[2] + "`\n"};
+  }
+  if (!debugger_.replay_session()->counter(rank)) {
+    return {false, false, "rank has not started yet\n"};
+  }
+  // Reading is safe while the rank is parked at a control point.
+  std::ostringstream os;
+  os << args[2] << " (" << view.bytes << " bytes) = ";
+  if (view.bytes == sizeof(std::int32_t)) {
+    std::int32_t v;
+    std::memcpy(&v, view.address, sizeof v);
+    os << v;
+  } else if (view.bytes == sizeof(std::int64_t)) {
+    std::int64_t v;
+    std::memcpy(&v, view.address, sizeof v);
+    os << v << " (as i64)";
+  } else {
+    os << "0x";
+    const auto* bytes = static_cast<const unsigned char*>(view.address);
+    for (std::size_t i = 0; i < view.bytes && i < 16; ++i) {
+      char hex[4];
+      std::snprintf(hex, sizeof hex, "%02x", bytes[i]);
+      os << hex;
+    }
+  }
+  os << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_undo() {
+  const auto stops = debugger_.undo();
+  if (!stops) return {false, false, "nothing to undo\n"};
+  replay_live_ = true;
+  std::ostringstream os;
+  os << "undone; " << stops->size() << " rank(s) parked:\n";
+  for (const auto& stop : *stops) os << "  " << describe_stop(stop) << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_continue() {
+  if (!replay_live_) return {false, false, "no live replay\n"};
+  const bool was_live = debugger_.live();
+  const auto result = debugger_.end_replay();
+  replay_live_ = false;
+  if (was_live) recorded_ = true;  // the live run's history is captured
+  std::ostringstream os;
+  os << "replay ended: ";
+  if (result) {
+    os << (result->completed
+               ? "completed"
+               : (result->deadlocked ? "deadlocked (as recorded)" : "failed"));
+  }
+  os << "\n";
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_traffic() {
+  return {true, false, debugger_.traffic().to_string()};
+}
+
+CommandResult CommandInterpreter::cmd_deadlock() {
+  return {true, false, debugger_.deadlock_report().description + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_races() {
+  const auto report = debugger_.races();
+  std::ostringstream os;
+  if (!report.racy()) {
+    os << "no message races\n";
+  } else {
+    os << report.races.size() << " racy wildcard receive(s)\n";
+    for (const auto& race : report.races) {
+      const auto& recv = debugger_.trace().event(race.recv_index);
+      os << "  rank " << recv.rank << " marker " << recv.marker << ": "
+         << race.candidates.size() << " alternative sender(s)\n";
+    }
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_unmatched() {
+  const auto report = debugger_.trace().match_report();
+  std::ostringstream os;
+  os << report.unmatched_sends.size() << " unmatched send(s), "
+     << report.unmatched_recvs.size() << " orphan receive(s)\n";
+  for (std::size_t i : report.unmatched_sends) {
+    const auto& e = debugger_.trace().event(i);
+    os << "  send rank " << e.rank << " -> rank " << e.peer << " tag "
+       << e.tag << " was never received\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_calls(
+    const std::vector<std::string>& args) {
+  std::optional<mpi::Rank> rank;
+  if (args.size() > 1) rank = parse_rank(args[1]);
+  const auto cg = debugger_.call_graph(rank);
+  std::ostringstream os;
+  os << cg.function_count() << " functions, " << cg.edges().size()
+     << " caller->callee edges\n";
+  for (const auto& e : cg.edges()) {
+    const auto name = [&](trace::ConstructId id) {
+      return id == trace::kNoConstruct
+                 ? std::string("<root>")
+                 : debugger_.trace().constructs().info(id).name;
+    };
+    os << "  " << name(e.caller) << " -> " << name(e.callee) << "  x"
+       << e.calls << "\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_actions(
+    const std::vector<std::string>& args) {
+  if (args.size() != 2) return {false, false, "usage: actions <rank>\n"};
+  const auto rank = parse_rank(args[1]);
+  const auto ag = debugger_.action_graph();
+  std::ostringstream os;
+  for (const auto& a : ag.actions(rank)) {
+    os << "  " << trace::event_kind_name(a.kind) << " "
+       << (a.construct == trace::kNoConstruct
+               ? "?"
+               : debugger_.trace().constructs().info(a.construct).name);
+    if (a.count > 1) os << " x" << a.count;
+    os << "  [markers " << a.marker_lo << ".." << a.marker_hi << "]\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_groups(
+    const std::vector<std::string>& args) {
+  const auto level = args.size() > 1 && args[1] == "strict"
+                         ? GroupingLevel::kStrict
+                         : GroupingLevel::kShape;
+  const auto groups = debugger_.process_groups(level);
+  std::ostringstream os;
+  os << groups.size() << " behavioral group(s): "
+     << describe_groups(groups) << "\n";
+  for (const auto& g : groups) {
+    os << "  " << describe_groups({g}) << ": "
+       << (g.signature.size() > 70 ? g.signature.substr(0, 70) + "..."
+                                   : g.signature)
+       << "\n";
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_export(
+    const std::vector<std::string>& args) {
+  if (args.size() != 4) {
+    return {false, false,
+            "usage: export {calls|comm|trace} {dot|vcg} <path>\n"};
+  }
+  graph::ExportGraph exported;
+  if (args[1] == "calls") {
+    exported = debugger_.call_graph(std::nullopt)
+                   .to_export(debugger_.trace().constructs());
+  } else if (args[1] == "comm") {
+    exported = debugger_.comm_graph().to_export();
+  } else if (args[1] == "trace") {
+    exported = debugger_.trace_graph().to_export(
+        debugger_.trace().constructs());
+  } else {
+    return {false, false, "unknown graph: " + args[1] + "\n"};
+  }
+  std::ofstream out(args[3]);
+  if (!out) return {false, false, "cannot write " + args[3] + "\n"};
+  out << (args[2] == "vcg" ? graph::to_vcg(exported)
+                           : graph::to_dot(exported));
+  return {true, false, "wrote " + args[3] + "\n"};
+}
+
+CommandResult CommandInterpreter::cmd_frontiers(
+    const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return {false, false, "usage: frontiers <rank> <marker>\n"};
+  }
+  const auto rank = parse_rank(args[1]);
+  const auto marker = std::stoull(args[2]);
+  const auto event = debugger_.trace().find_marker(rank, marker);
+  if (!event) return {false, false, "no such event\n"};
+  const auto& order = debugger_.order();
+  const auto past = order.past_frontier(*event);
+  const auto future = order.future_frontier(*event);
+  std::ostringstream os;
+  os << "event: rank " << rank << " marker " << marker << "\n";
+  for (mpi::Rank r = 0; r < debugger_.num_ranks(); ++r) {
+    os << "  rank " << r << ": past ";
+    const auto& pf = past[static_cast<std::size_t>(r)];
+    const auto& ff = future[static_cast<std::size_t>(r)];
+    if (pf) {
+      os << "marker " << debugger_.trace().event(*pf).marker;
+    } else {
+      os << "-";
+    }
+    os << ", future ";
+    if (ff) {
+      os << "marker " << debugger_.trace().event(*ff).marker;
+    } else {
+      os << "-";
+    }
+    os << "\n";
+  }
+  os << "concurrency region: " << order.concurrency_region(*event).size()
+     << " events\n";
+  return {true, false, os.str()};
+}
+
+}  // namespace tdbg::dbg

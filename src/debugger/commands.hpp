@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "debugger/debugger.hpp"
+
+/// \file commands.hpp
+/// Textual command front-end over `Debugger` — the interactive surface
+/// of the p2d2 analog.  Each command maps onto one debugger operation;
+/// the interpreter holds the session state a user accumulates (the
+/// current stopline, whether a replay is live).
+///
+/// The command set mirrors the paper's workflow vocabulary: display
+/// the history, set a stopline (vertical or frontier), replay, step,
+/// undo, and run the §4.4 analyses.  See `help()` for the list.
+
+namespace tdbg::dbg {
+
+/// Outcome of one command.
+struct CommandResult {
+  bool ok = true;      ///< false: the command failed (message in output)
+  bool quit = false;   ///< the user asked to leave
+  std::string output;  ///< text to show
+};
+
+/// Stateful interpreter over one debugging session.
+class CommandInterpreter {
+ public:
+  /// The debugger must outlive the interpreter.
+  explicit CommandInterpreter(Debugger& debugger);
+
+  /// Executes one command line.  Never throws: errors come back as
+  /// `ok = false` with a message.
+  CommandResult execute(std::string_view line);
+
+  /// The command reference text.
+  [[nodiscard]] static std::string help();
+
+ private:
+  CommandResult cmd_record();
+  CommandResult cmd_launch(const std::vector<std::string>& args);
+  CommandResult cmd_status();
+  CommandResult cmd_timeline(const std::vector<std::string>& args);
+  CommandResult cmd_svg(const std::vector<std::string>& args);
+  CommandResult cmd_events(const std::vector<std::string>& args);
+  CommandResult cmd_stopline(const std::vector<std::string>& args);
+  CommandResult cmd_replay();
+  CommandResult cmd_stops();
+  CommandResult cmd_step(const std::vector<std::string>& args, bool over);
+  CommandResult cmd_watch(const std::vector<std::string>& args);
+  CommandResult cmd_mbreak(const std::vector<std::string>& args);
+  CommandResult cmd_resume(const std::vector<std::string>& args);
+  CommandResult cmd_print(const std::vector<std::string>& args);
+  CommandResult cmd_undo();
+  CommandResult cmd_continue();
+  CommandResult cmd_traffic();
+  CommandResult cmd_deadlock();
+  CommandResult cmd_races();
+  CommandResult cmd_unmatched();
+  CommandResult cmd_calls(const std::vector<std::string>& args);
+  CommandResult cmd_actions(const std::vector<std::string>& args);
+  CommandResult cmd_groups(const std::vector<std::string>& args);
+  CommandResult cmd_export(const std::vector<std::string>& args);
+  CommandResult cmd_frontiers(const std::vector<std::string>& args);
+
+  /// Formats one stop line ("rank 3 @ marker 17 (MatrSend)").
+  std::string describe_stop(const replay::StopInfo& stop) const;
+
+  /// Parses a rank argument, throwing UsageError on junk.
+  mpi::Rank parse_rank(const std::string& arg) const;
+
+  Debugger& debugger_;
+  bool recorded_ = false;
+  bool replay_live_ = false;
+  replay::Stopline stopline_;
+  bool stopline_set_ = false;
+};
+
+}  // namespace tdbg::dbg

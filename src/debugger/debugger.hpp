@@ -1,0 +1,216 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/races.hpp"
+#include "analysis/traffic.hpp"
+#include "debugger/process_groups.hpp"
+#include "graph/action_graph.hpp"
+#include "causality/causal_order.hpp"
+#include "graph/call_graph.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/trace_graph.hpp"
+#include "replay/record.hpp"
+#include "replay/replay.hpp"
+#include "replay/stopline.hpp"
+#include "viz/timeline.hpp"
+
+/// \file debugger.hpp
+/// The trace-driven debugger core — the p2d2 analog.
+///
+/// One `Debugger` owns a debugging session over one target program:
+///
+///   1. `record()` runs the program with full instrumentation,
+///      capturing the trace and the message-match log (paper §2).
+///   2. The history surfaces — `diagram()`, `call_graph()`,
+///      `comm_graph()`, `traffic()`, `deadlock_report()` — give the
+///      "big picture" (§3, §4.4).
+///   3. `stopline_*()` + `replay_to()` re-execute under replay control
+///      and park every rank at a consistent breakpoint set (§4.1).
+///   4. `step()` / `step_over()` move one rank through its
+///      instrumented events (the Fig. 7 bug hunt).
+///   5. `undo()` rolls back to the state before the most recent
+///      resumption by replaying to the recorded markers (§4.2).
+
+namespace tdbg::dbg {
+
+/// Debugger configuration.
+struct DebuggerOptions {
+  /// Collection configuration for the recorded run.
+  instr::SessionOptions session;
+};
+
+/// A trace-driven debugging session.
+class Debugger {
+ public:
+  /// \param num_ranks world size of the target
+  /// \param body      the target program
+  Debugger(int num_ranks, mpi::RankBody body, DebuggerOptions options = {});
+
+  /// Post-mortem session over an existing history (e.g. loaded with
+  /// `trace::read_trace`): every display and analysis works, but there
+  /// is no target to re-execute — `record`/`replay_to`/`undo` are
+  /// unavailable (`can_replay()` is false).  This is the AIMS-style
+  /// post-mortem workflow the paper starts from (§2.1).
+  static Debugger from_trace(trace::Trace trace);
+
+  /// True when the session has a target program to (re)execute.
+  [[nodiscard]] bool can_replay() const { return static_cast<bool>(body_); }
+
+  ~Debugger();
+
+  Debugger(const Debugger&) = delete;
+  Debugger& operator=(const Debugger&) = delete;
+  Debugger(Debugger&&) = default;
+  Debugger& operator=(Debugger&&) = default;
+
+  // --- Phase 1: history acquisition ------------------------------------
+
+  /// Runs the target to completion (or crash/deadlock) with recording
+  /// installed.  Must be called before anything else.
+  const mpi::RunResult& record();
+
+  /// The recorded execution history.
+  [[nodiscard]] const trace::Trace& trace() const;
+
+  /// The happens-before structure (built lazily, cached).
+  const causality::CausalOrder& order();
+
+  /// The recorded run's outcome.
+  [[nodiscard]] const mpi::RunResult& run_result() const;
+
+  // --- Phase 2: history displays & analysis ----------------------------
+
+  /// Time-space diagram of the recorded history.
+  [[nodiscard]] viz::TimeSpaceDiagram diagram(
+      viz::DiagramOptions options = {}) const;
+
+  /// Dynamic call graph (merged, or per rank).
+  [[nodiscard]] graph::CallGraph call_graph(
+      std::optional<mpi::Rank> rank = std::nullopt) const;
+
+  /// Communication graph (Fig. 4).
+  [[nodiscard]] graph::CommGraph comm_graph() const;
+
+  /// Trace graph with the given dissemination limit (§4.3).
+  [[nodiscard]] graph::TraceGraph trace_graph(
+      std::size_t merge_limit = 16) const;
+
+  /// Action graph — the §4.4 coarse view (runs of same-construct
+  /// operations collapsed into actions).
+  [[nodiscard]] graph::ActionGraph action_graph() const;
+
+  /// Behavioral process groups (the p2d2 scalability view): ranks with
+  /// equivalent histories collapse into one group.
+  [[nodiscard]] std::vector<ProcessGroup> process_groups(
+      GroupingLevel level = GroupingLevel::kShape) const;
+
+  /// Traffic statistics and irregularities (§4.4/§6).
+  [[nodiscard]] analysis::TrafficReport traffic() const;
+
+  /// Deadlock explanation of the recorded run's final wait states.
+  [[nodiscard]] analysis::DeadlockReport deadlock_report() const;
+
+  /// Message races among wildcard receives (§4.4).
+  analysis::RaceReport races();
+
+  // --- Stoplines ---------------------------------------------------------
+
+  /// Vertical stopline at display time `t` (§4.1).
+  replay::Stopline stopline_at(support::TimeNs t) const;
+
+  /// Past-frontier stopline of a selected event.
+  replay::Stopline stopline_past_frontier(std::size_t event);
+
+  /// Future-frontier stopline of a selected event.
+  replay::Stopline stopline_future_frontier(std::size_t event);
+
+  // --- Phase 0 (alternative): live debugging ------------------------------
+
+  /// Launches the target **live** under breakpoint control — p2d2's
+  /// primary mode: the *first* execution stops at `stopline` while it
+  /// is simultaneously being recorded.  Stepping, watching, further
+  /// stoplines and even `undo` (replaying the partial log) all work on
+  /// the live run; `end_replay()` then captures the full history and
+  /// match log, after which the usual record-based features
+  /// (`trace()`, analyses, `replay_to`) are available.
+  ///
+  /// Mutually exclusive with `record()` — a session either records
+  /// first or launches live.
+  std::vector<replay::StopInfo> launch(const replay::Stopline& stopline);
+
+  /// True while a live (first-execution) run is active.
+  [[nodiscard]] bool live() const { return live_; }
+
+  // --- Phase 3: controlled replay -----------------------------------------
+
+  /// Replays the target to `stopline` (starting a fresh controlled
+  /// re-execution if none is active).  Records the pre-resume markers
+  /// for `undo`.  Returns the stop states.
+  std::vector<replay::StopInfo> replay_to(const replay::Stopline& stopline);
+
+  /// Steps `rank` to its next instrumented event.
+  std::optional<replay::StopInfo> step(mpi::Rank rank);
+
+  /// Steps `rank` over the current construct: runs until control
+  /// returns to at most the current call depth.
+  std::optional<replay::StopInfo> step_over(mpi::Rank rank);
+
+  /// Arms a watchpoint on a variable the target exposed with
+  /// `instr::expose_variable`: `rank` stops at the first instrumented
+  /// event after the variable's bytes change (StopInfo::watch carries
+  /// the name).  Requires an active replay; cleared by the stopline's
+  /// disarm or `end_replay`.
+  void watch(mpi::Rank rank, const std::string& variable);
+
+  /// Arms a message breakpoint: `rank` stops when it is about to
+  /// perform a matching send/receive.  Requires an active replay.
+  void break_on_message(mpi::Rank rank, const replay::MessageBreak& spec);
+
+  /// Resumes one stopped rank until its next armed stop (watchpoint /
+  /// message / construct breakpoint); nullopt when it finishes or
+  /// blocks on a parked peer instead.  Records markers for undo.
+  std::optional<replay::StopInfo> continue_rank(mpi::Rank rank);
+
+  /// Rolls back to the marker set recorded before the most recent
+  /// resumption (§4.2): discards the active replay and replays afresh
+  /// to those markers.  Returns the stop states, or nullopt when
+  /// there is nothing to undo.
+  std::optional<std::vector<replay::StopInfo>> undo();
+
+  /// Depth of the undo stack.
+  [[nodiscard]] std::size_t undo_depth() const { return undo_stack_.size(); }
+
+  /// Ends the active replay (resumes everything, waits for exit).
+  /// Returns the replay's outcome, or nullopt when no replay is
+  /// active.
+  std::optional<mpi::RunResult> end_replay();
+
+  /// The active replay's instrumentation session (marker counters,
+  /// UserMonitor records) — for inspecting a stopped world.
+  [[nodiscard]] instr::Session* replay_session();
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+
+ private:
+  /// Markers where every rank currently sits (stopped ranks: their
+  /// stop marker; others: their current counter).
+  replay::Stopline current_markers() const;
+
+  int num_ranks_;
+  mpi::RankBody body_;
+  DebuggerOptions options_;
+
+  bool recorded_ = false;
+  bool live_ = false;
+  replay::RecordedRun recorded_run_;
+  std::optional<causality::CausalOrder> order_;
+
+  std::unique_ptr<replay::ReplaySession> active_;
+  std::vector<replay::Stopline> undo_stack_;
+};
+
+}  // namespace tdbg::dbg

@@ -1,0 +1,73 @@
+#include "debugger/process_groups.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace tdbg::dbg {
+
+namespace {
+
+std::string signature_of(const trace::Trace& trace,
+                         const graph::ActionGraph& actions, mpi::Rank rank,
+                         GroupingLevel level) {
+  std::ostringstream os;
+  for (const auto& a : actions.actions(rank)) {
+    os << trace::event_kind_name(a.kind) << ':';
+    os << (a.construct == trace::kNoConstruct
+               ? std::string("?")
+               : trace.constructs().info(a.construct).name);
+    if (level == GroupingLevel::kStrict) os << 'x' << a.count;
+    os << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ProcessGroup> group_processes(const trace::Trace& trace,
+                                          GroupingLevel level) {
+  // signature -> group, keyed so first-seen rank order decides output
+  // order.
+  std::map<std::string, std::size_t> index;
+  std::vector<ProcessGroup> groups;
+  const auto actions = graph::ActionGraph::from_trace(trace);
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    auto sig = signature_of(trace, actions, r, level);
+    const auto it = index.find(sig);
+    if (it == index.end()) {
+      index.emplace(sig, groups.size());
+      groups.push_back(ProcessGroup{{r}, std::move(sig)});
+    } else {
+      groups[it->second].ranks.push_back(r);
+    }
+  }
+  return groups;
+}
+
+std::string describe_groups(const std::vector<ProcessGroup>& groups) {
+  std::ostringstream os;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (g != 0) os << ' ';
+    os << '{';
+    const auto& ranks = groups[g].ranks;
+    // Collapse consecutive runs: {1-6}.
+    std::size_t i = 0;
+    bool first = true;
+    while (i < ranks.size()) {
+      std::size_t j = i;
+      while (j + 1 < ranks.size() && ranks[j + 1] == ranks[j] + 1) ++j;
+      if (!first) os << ',';
+      first = false;
+      if (j == i) {
+        os << ranks[i];
+      } else {
+        os << ranks[i] << '-' << ranks[j];
+      }
+      i = j + 1;
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::dbg

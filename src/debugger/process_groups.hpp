@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/action_graph.hpp"
+#include "trace/trace.hpp"
+
+/// \file process_groups.hpp
+/// Behavioral process grouping — the p2d2 scalability idea the host
+/// debugger is built around (Hood [5]: debugging programs "distributed
+/// across a large number of processors" by treating equivalently-
+/// behaving processes as one).
+///
+/// Ranks are grouped by a behavioral signature derived from the trace:
+/// the sequence of (kind, construct) actions the rank performed, with
+/// run-lengths dropped so that e.g. workers that processed different
+/// *numbers* of identical tasks still group together at the coarse
+/// level, and kept at the strict level.  In the paper's Strassen
+/// example the strict grouping is {master} {workers 1..7}; in the
+/// buggy variant rank 7's truncated history splits it from its peers —
+/// the grouping *is* the "process 7 is not behaving like processes
+/// 1-6" observation of Fig. 6.
+
+namespace tdbg::dbg {
+
+/// How precise the signature is.
+enum class GroupingLevel : std::uint8_t {
+  kStrict,  ///< exact action sequence including repetition counts
+  kShape,   ///< action sequence with repetition counts dropped
+};
+
+/// One behavioral equivalence class.
+struct ProcessGroup {
+  std::vector<mpi::Rank> ranks;  ///< members, ascending
+  std::string signature;         ///< human-readable behavioral signature
+};
+
+/// Groups the trace's ranks by behavioral signature.  Groups are
+/// ordered by their lowest member rank.
+std::vector<ProcessGroup> group_processes(
+    const trace::Trace& trace, GroupingLevel level = GroupingLevel::kShape);
+
+/// One-line rendering ("{0} {1-6} {7}").
+std::string describe_groups(const std::vector<ProcessGroup>& groups);
+
+}  // namespace tdbg::dbg

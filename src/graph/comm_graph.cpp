@@ -1,0 +1,101 @@
+#include "graph/comm_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace tdbg::graph {
+
+CommGraph CommGraph::from_trace(const trace::Trace& trace) {
+  CommGraph g;
+  const auto report = trace.match_report();
+
+  // Node per matched pair, then per unmatched half.
+  std::unordered_map<std::size_t, std::size_t> node_of_event;
+  for (const auto& m : report.matches) {
+    const auto& send = trace.event(m.send_index);
+    MessageNode node;
+    node.send_event = m.send_index;
+    node.recv_event = m.recv_index;
+    node.src = send.rank;
+    node.dst = send.peer;
+    node.tag = send.tag;
+    node_of_event[m.send_index] = g.nodes_.size();
+    node_of_event[m.recv_index] = g.nodes_.size();
+    g.nodes_.push_back(node);
+  }
+  for (std::size_t i : report.unmatched_sends) {
+    const auto& send = trace.event(i);
+    node_of_event[i] = g.nodes_.size();
+    g.nodes_.push_back(MessageNode{i, kNoEvent, send.rank, send.peer, send.tag});
+  }
+  for (std::size_t i : report.unmatched_recvs) {
+    const auto& recv = trace.event(i);
+    node_of_event[i] = g.nodes_.size();
+    g.nodes_.push_back(MessageNode{kNoEvent, i, recv.peer, recv.rank, recv.tag});
+  }
+
+  // Arcs: per rank, consecutive message endpoints in program order
+  // connect their messages (the covering relation of message
+  // causality along each process line).
+  std::set<std::pair<std::size_t, std::size_t>> arc_set;
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    std::size_t prev_node = kNoEvent;
+    for (std::size_t i : trace.rank_events(r)) {
+      const auto& e = trace.event(i);
+      if (!e.is_message()) continue;
+      const auto it = node_of_event.find(i);
+      if (it == node_of_event.end()) continue;
+      if (prev_node != kNoEvent && prev_node != it->second) {
+        arc_set.emplace(prev_node, it->second);
+      }
+      prev_node = it->second;
+    }
+  }
+  g.arcs_.assign(arc_set.begin(), arc_set.end());
+  return g;
+}
+
+std::vector<std::size_t> CommGraph::unmatched_sends() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].send_event != kNoEvent && nodes_[i].recv_event == kNoEvent) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> CommGraph::unmatched_recvs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].send_event == kNoEvent && nodes_[i].recv_event != kNoEvent) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+ExportGraph CommGraph::to_export() const {
+  ExportGraph out;
+  out.title = "communication graph";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    std::ostringstream label;
+    label << "m" << i << ": " << n.src << "->" << n.dst << " tag " << n.tag;
+    if (!n.matched()) {
+      label << (n.send_event != kNoEvent ? " (never received)"
+                                         : " (no send record)");
+    }
+    out.nodes.push_back(
+        ExportNode{"m" + std::to_string(i), label.str(), {}});
+  }
+  for (const auto& [from, to] : arcs_) {
+    out.edges.push_back(ExportEdge{"m" + std::to_string(from),
+                                   "m" + std::to_string(to), {}});
+  }
+  return out;
+}
+
+}  // namespace tdbg::graph

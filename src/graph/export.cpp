@@ -1,0 +1,67 @@
+#include "graph/export.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace tdbg::graph {
+
+std::string to_dot(const ExportGraph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << support::escape_label(graph.title) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  // Group nodes into DOT clusters when groups are present.
+  std::map<std::string, std::vector<const ExportNode*>> groups;
+  for (const auto& n : graph.nodes) groups[n.group].push_back(&n);
+
+  int cluster = 0;
+  for (const auto& [group, nodes] : groups) {
+    const bool clustered = !group.empty();
+    if (clustered) {
+      os << "  subgraph cluster_" << cluster++ << " {\n";
+      os << "    label=\"" << support::escape_label(group) << "\";\n";
+    }
+    for (const auto* n : nodes) {
+      os << (clustered ? "    " : "  ") << '"'
+         << support::escape_label(n->id) << "\" [label=\""
+         << support::escape_label(n->label) << "\"];\n";
+    }
+    if (clustered) os << "  }\n";
+  }
+  for (const auto& e : graph.edges) {
+    os << "  \"" << support::escape_label(e.from) << "\" -> \""
+       << support::escape_label(e.to) << '"';
+    if (!e.label.empty()) {
+      os << " [label=\"" << support::escape_label(e.label) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_vcg(const ExportGraph& graph) {
+  std::ostringstream os;
+  os << "graph: {\n";
+  os << "  title: \"" << support::escape_label(graph.title) << "\"\n";
+  os << "  layoutalgorithm: minbackward\n";
+  os << "  display_edge_labels: yes\n";
+  for (const auto& n : graph.nodes) {
+    os << "  node: { title: \"" << support::escape_label(n.id)
+       << "\" label: \"" << support::escape_label(n.label) << "\" }\n";
+  }
+  for (const auto& e : graph.edges) {
+    os << "  edge: { sourcename: \"" << support::escape_label(e.from)
+       << "\" targetname: \"" << support::escape_label(e.to) << '"';
+    if (!e.label.empty()) {
+      os << " label: \"" << support::escape_label(e.label) << '"';
+    }
+    os << " }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tdbg::graph

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "instrument/session.hpp"
+#include "support/clock.hpp"
+
+/// \file api.hpp
+/// Application-facing instrumentation entry points.
+///
+/// * `TDBG_FUNCTION()` — the compiler-level strategy of paper §2.2: a
+///   statement placed at the top of a function body (by hand or by the
+///   `uinst` rewriter in tools/uinst) that calls `UserMonitor` on
+///   entry.  The construct id is interned once per call site via a
+///   function-local static, mirroring how the assembly-level `ucount`
+///   thunk paid no per-call symbol cost.
+///
+/// * `ComputeScope` / `mark` — the source-level (AIMS-like) strategy
+///   of §2.1: explicit annotations with arbitrary resolution.
+///
+/// All entry points are no-ops when the calling thread is not inside
+/// an instrumented run (no `Session` bound), so instrumented sources
+/// run unmodified — and at full speed — outside the debugger.
+
+namespace tdbg::instr {
+
+/// RAII guard for an instrumented function activation: counts a marker
+/// and emits an enter record on construction, an exit record on
+/// destruction.
+class FunctionScope {
+ public:
+  /// \param cid  construct id (from `intern_construct`)
+  /// \param arg1 first argument of the instrumented function, if the
+  ///             caller chose to expose it (paper: UserMonitor records
+  ///             "the first two arguments passed to it")
+  explicit FunctionScope(trace::ConstructId cid, std::uint64_t arg1 = 0,
+                         std::uint64_t arg2 = 0) {
+    Session* s = Session::current();
+    if (s == nullptr) return;
+    session_ = s;
+    rank_ = Session::current_rank();
+    cid_ = cid;
+    const auto now = support::run_time_ns();
+    s->enter_function(rank_);
+    s->user_monitor(rank_, cid, trace::EventKind::kEnter, arg1, arg2,
+                    s->options().record_function_events, now, now);
+  }
+
+  ~FunctionScope() {
+    if (session_ == nullptr) return;
+    session_->exit_function(rank_);
+    if (session_->options().record_function_events &&
+        session_->collector() != nullptr) {
+      const auto now = support::run_time_ns();
+      trace::Event e;
+      e.kind = trace::EventKind::kExit;
+      e.rank = rank_;
+      e.marker = session_->counter(rank_);
+      e.construct = cid_;
+      e.t_start = now;
+      e.t_end = now;
+      session_->record_event(e);
+    }
+  }
+
+  FunctionScope(const FunctionScope&) = delete;
+  FunctionScope& operator=(const FunctionScope&) = delete;
+
+ private:
+  Session* session_ = nullptr;
+  mpi::Rank rank_ = -1;
+  trace::ConstructId cid_ = trace::kNoConstruct;
+};
+
+/// RAII guard for an explicit computation block (source-level
+/// instrumentation): one `kCompute` record spanning the scope.
+class ComputeScope {
+ public:
+  explicit ComputeScope(std::string_view name) {
+    Session* s = Session::current();
+    if (s == nullptr) return;
+    session_ = s;
+    rank_ = Session::current_rank();
+    cid_ = intern_construct(name, {}, 0);
+    t_start_ = support::run_time_ns();
+    marker_ = s->user_monitor(rank_, cid_, trace::EventKind::kCompute, 0, 0,
+                              /*record=*/false, t_start_, t_start_);
+  }
+
+  ~ComputeScope() {
+    if (session_ == nullptr) return;
+    if (session_->options().record_compute_events &&
+        session_->collector() != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCompute;
+      e.rank = rank_;
+      e.marker = marker_;
+      e.construct = cid_;
+      e.t_start = t_start_;
+      e.t_end = support::run_time_ns();
+      session_->record_event(e);
+    }
+  }
+
+  ComputeScope(const ComputeScope&) = delete;
+  ComputeScope& operator=(const ComputeScope&) = delete;
+
+ private:
+  Session* session_ = nullptr;
+  mpi::Rank rank_ = -1;
+  trace::ConstructId cid_ = trace::kNoConstruct;
+  std::uint64_t marker_ = 0;
+  support::TimeNs t_start_ = 0;
+};
+
+/// Exposes an application variable to the debugger under `name` (for
+/// watchpoints).  Call from the owning rank; the storage must outlive
+/// the run.  No-op outside an instrumented run.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void expose_variable(std::string name, const T& variable) {
+  Session* s = Session::current();
+  if (s == nullptr) return;
+  s->expose_variable(Session::current_rank(), std::move(name), &variable,
+                     sizeof(T));
+}
+
+/// Source-level point annotation: one `kMark` record.
+inline void mark(std::string_view name) {
+  Session* s = Session::current();
+  if (s == nullptr) return;
+  const auto rank = Session::current_rank();
+  const auto cid = intern_construct(name, {}, 0);
+  const auto now = support::run_time_ns();
+  s->user_monitor(rank, cid, trace::EventKind::kMark, 0, 0,
+                  s->options().record_compute_events, now, now);
+}
+
+}  // namespace tdbg::instr
+
+/// Instruments the enclosing function (paper §2.2).  Place as the
+/// first statement of the body; `tools/uinst` inserts these
+/// automatically.
+#define TDBG_FUNCTION()                                                    \
+  static const ::tdbg::trace::ConstructId tdbg_cid_ =                      \
+      ::tdbg::instr::intern_construct(__func__, __FILE__, __LINE__);       \
+  ::tdbg::instr::FunctionScope tdbg_fn_scope_ { tdbg_cid_ }
+
+/// Like TDBG_FUNCTION but also records the first two (integral)
+/// arguments in the UserMonitor record.
+#define TDBG_FUNCTION_ARGS(a1, a2)                                         \
+  static const ::tdbg::trace::ConstructId tdbg_cid_ =                      \
+      ::tdbg::instr::intern_construct(__func__, __FILE__, __LINE__);       \
+  ::tdbg::instr::FunctionScope tdbg_fn_scope_ {                            \
+    tdbg_cid_, static_cast<std::uint64_t>(a1), static_cast<std::uint64_t>(a2) \
+  }

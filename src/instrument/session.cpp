@@ -1,0 +1,207 @@
+#include "instrument/session.hpp"
+
+#include "support/clock.hpp"
+#include "support/error.hpp"
+
+namespace tdbg::instr {
+
+namespace {
+
+thread_local Session* tl_session = nullptr;
+thread_local mpi::Rank tl_rank = -1;
+
+}  // namespace
+
+const std::shared_ptr<trace::ConstructRegistry>& global_constructs() {
+  static const auto registry = std::make_shared<trace::ConstructRegistry>();
+  return registry;
+}
+
+trace::ConstructId intern_construct(std::string_view name,
+                                    std::string_view file, int line) {
+  return global_constructs()->intern(name, file, line);
+}
+
+Session::Session(int num_ranks, trace::TraceCollector* collector,
+                 SessionOptions options)
+    : collector_(collector), options_(options) {
+  TDBG_CHECK(num_ranks > 0, "session needs at least one rank");
+  states_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    states_.push_back(std::make_unique<RankContext>());
+  }
+  for (std::size_t k = 0; k < mpi_sites_.size(); ++k) {
+    if (k <= static_cast<std::size_t>(mpi::CallKind::kFinalize)) {
+      mpi_sites_[k] = intern_construct(
+          mpi::call_kind_name(static_cast<mpi::CallKind>(k)), {}, 0);
+    } else {
+      mpi_sites_[k] = trace::kNoConstruct;
+    }
+  }
+}
+
+Session::~Session() = default;
+
+Session* Session::current() { return tl_session; }
+
+mpi::Rank Session::current_rank() { return tl_rank; }
+
+void Session::on_rank_start(mpi::Rank rank) {
+  tl_session = this;
+  tl_rank = rank;
+}
+
+void Session::on_rank_finish(mpi::Rank rank) {
+  (void)rank;
+  tl_session = nullptr;
+  tl_rank = -1;
+}
+
+void Session::set_threshold(mpi::Rank rank, std::uint64_t marker) {
+  states_.at(static_cast<std::size_t>(rank))
+      ->monitor.threshold.store(marker, std::memory_order_relaxed);
+}
+
+void Session::clear_threshold(mpi::Rank rank) {
+  set_threshold(rank, kNoThreshold);
+}
+
+std::uint64_t Session::counter(mpi::Rank rank) const {
+  return states_.at(static_cast<std::size_t>(rank))
+      ->monitor.counter.load(std::memory_order_relaxed);
+}
+
+MonitorRecord Session::last_record(mpi::Rank rank) const {
+  return states_.at(static_cast<std::size_t>(rank))->monitor.last_record();
+}
+
+std::uint64_t Session::user_monitor(mpi::Rank rank, trace::ConstructId site,
+                                    trace::EventKind kind, std::uint64_t arg1,
+                                    std::uint64_t arg2, bool record,
+                                    support::TimeNs t_start,
+                                    support::TimeNs t_end,
+                                    const EventDetail& detail) {
+  auto& ctx = *states_[static_cast<std::size_t>(rank)];
+  bool threshold_hit = false;
+  const auto marker = ctx.monitor.tick(site, arg1, arg2, &threshold_hit);
+  if (control_ != nullptr) {
+    control_->at_event(rank, marker, site, kind, ctx.depth, threshold_hit,
+                       detail);
+  }
+  if (record && collector_ != nullptr) {
+    trace::Event e;
+    e.kind = kind;
+    e.rank = rank;
+    e.marker = marker;
+    e.construct = site;
+    e.t_start = t_start;
+    e.t_end = t_end;
+    collector_->append(e);
+  }
+  return marker;
+}
+
+void Session::record_event(const trace::Event& event) {
+  if (collector_ != nullptr) collector_->append(event);
+}
+
+int Session::enter_function(mpi::Rank rank) {
+  return ++states_[static_cast<std::size_t>(rank)]->depth;
+}
+
+int Session::exit_function(mpi::Rank rank) {
+  return --states_[static_cast<std::size_t>(rank)]->depth;
+}
+
+void Session::expose_variable(mpi::Rank rank, std::string name,
+                              const void* address, std::size_t bytes) {
+  std::lock_guard lk(variables_mu_);
+  variables_[std::to_string(rank) + '\x1f' + std::move(name)] =
+      VariableView{address, bytes};
+}
+
+Session::VariableView Session::variable(mpi::Rank rank,
+                                        std::string_view name) const {
+  std::lock_guard lk(variables_mu_);
+  const auto it =
+      variables_.find(std::to_string(rank) + '\x1f' + std::string(name));
+  return it == variables_.end() ? VariableView{} : it->second;
+}
+
+trace::ConstructId Session::intern_site(const void* key, std::string_view name,
+                                        std::string_view file, int line) {
+  std::lock_guard lk(sites_mu_);
+  auto it = site_cache_.find(key);
+  if (it != site_cache_.end()) return it->second;
+  const auto id = intern_construct(name, file, line);
+  site_cache_.emplace(key, id);
+  return id;
+}
+
+void Session::on_call_begin(const mpi::CallInfo& info) {
+  auto& ctx = *states_.at(static_cast<std::size_t>(info.rank));
+  trace::ConstructId site;
+  if (info.call_site != nullptr) {
+    site = intern_site(info.call_site, info.call_site, {}, 0);
+  } else {
+    site = mpi_sites_[static_cast<std::size_t>(info.kind)];
+  }
+  ctx.call_start = support::run_time_ns();
+  ctx.call_construct = site;
+
+  trace::EventKind kind;
+  switch (info.kind) {
+    case mpi::CallKind::kSend:
+    case mpi::CallKind::kSsend: kind = trace::EventKind::kSend; break;
+    case mpi::CallKind::kRecv: kind = trace::EventKind::kRecv; break;
+    default: kind = trace::EventKind::kCollective; break;
+  }
+  // Tick the marker and hit the control point *before* the call runs
+  // (record later, at call end, when the duration and — for receives —
+  // the matched source are known).
+  ctx.call_marker =
+      user_monitor(info.rank, site, kind,
+                   static_cast<std::uint64_t>(info.peer),
+                   static_cast<std::uint64_t>(info.tag),
+                   /*record=*/false, ctx.call_start, ctx.call_start,
+                   EventDetail{info.peer, info.tag, info.bytes});
+}
+
+void Session::on_call_end(const mpi::CallInfo& info,
+                          const mpi::Status* status) {
+  if (collector_ == nullptr || !options_.record_mpi_events) return;
+  if (info.kind == mpi::CallKind::kProbe) return;  // counted, not recorded
+
+  auto& ctx = *states_.at(static_cast<std::size_t>(info.rank));
+  trace::Event e;
+  e.rank = info.rank;
+  e.marker = ctx.call_marker;
+  e.construct = ctx.call_construct;
+  e.t_start = ctx.call_start;
+  e.t_end = support::run_time_ns();
+  e.tag = info.tag;
+  e.bytes = info.bytes;
+  switch (info.kind) {
+    case mpi::CallKind::kSend:
+    case mpi::CallKind::kSsend:
+      e.kind = trace::EventKind::kSend;
+      e.peer = info.peer;
+      break;
+    case mpi::CallKind::kRecv:
+      e.kind = trace::EventKind::kRecv;
+      TDBG_CHECK(status != nullptr, "recv completion without status");
+      e.peer = status->source;
+      e.tag = status->tag;
+      e.bytes = status->bytes;
+      e.channel_seq = status->channel_seq;
+      e.wildcard = info.peer == mpi::kAnySource;
+      break;
+    default:
+      e.kind = trace::EventKind::kCollective;
+      e.peer = info.peer;
+      break;
+  }
+  collector_->append(e);
+}
+
+}  // namespace tdbg::instr

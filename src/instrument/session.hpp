@@ -1,0 +1,210 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/hooks.hpp"
+#include "trace/collector.hpp"
+#include "instrument/user_monitor.hpp"
+
+/// \file session.hpp
+/// The instrumentation session ties the paper's three history-
+/// acquisition strategies (§2) to one run of a target program:
+///
+///  * §2.1 source-level (AIMS-like): `mark`, `ComputeScope` — explicit
+///    annotations in the program source;
+///  * §2.2 compiler-level (uinst/UserMonitor): `TDBG_FUNCTION()` scope
+///    guards at function entries, counting execution markers;
+///  * §2.3 library wrappers (PMPI): the session implements
+///    `mpi::ProfilingHooks`, so installing it on a run instruments
+///    every message-passing call with no source changes.
+///
+/// All three feed the same `UserMonitor` counters (so execution
+/// markers are totally ordered per rank across strategies) and the
+/// same `TraceCollector`.
+
+namespace tdbg::instr {
+
+/// Message-level detail available at a control point (zeroed for
+/// non-message events).  For receives this is the *requested*
+/// source/tag — the control point fires before the receive matches.
+struct EventDetail {
+  mpi::Rank peer = mpi::kAnySource;
+  mpi::Tag tag = mpi::kAnyTag;
+  std::uint64_t bytes = 0;
+};
+
+/// Implemented by the debugger/replay engine: a *control point*.  The
+/// session calls `at_event` on the rank's own thread at every
+/// instrumented event, right after the marker counter is incremented
+/// and *before* the construct executes — so an implementation that
+/// blocks stops the rank exactly at that marker, which is how
+/// threshold breakpoints, stoplines, and single-stepping are built.
+class ControlInterface {
+ public:
+  virtual ~ControlInterface() = default;
+
+  /// \param rank          the executing rank
+  /// \param marker        the just-generated execution marker value
+  /// \param construct     the instrumented construct
+  /// \param kind          event kind (enter / send / recv / ...)
+  /// \param depth         current function-call depth on this rank
+  /// \param threshold_hit true when `marker` equals the rank's armed
+  ///                      UserMonitor threshold
+  /// \param detail        message endpoints for send/recv events
+  virtual void at_event(mpi::Rank rank, std::uint64_t marker,
+                        trace::ConstructId construct, trace::EventKind kind,
+                        int depth, bool threshold_hit,
+                        const EventDetail& detail) = 0;
+};
+
+/// Session configuration: which record kinds are *collected*.  (The
+/// marker counter runs regardless; see user_monitor.hpp.)
+struct SessionOptions {
+  bool record_function_events = true;  ///< enter/exit records
+  bool record_mpi_events = true;       ///< send/recv/collective records
+  bool record_compute_events = true;   ///< compute blocks and marks
+};
+
+/// One instrumented run.  Install with `RunOptions::hooks = &session`
+/// and the PMPI-level wrappers are live; the `TDBG_FUNCTION` /
+/// `mark` / `ComputeScope` entry points find the session through a
+/// thread-local context that `on_rank_start` sets up.
+class Session : public mpi::ProfilingHooks {
+ public:
+  /// \param collector destination for trace records (may be null:
+  ///        markers still count, nothing is recorded — the paper's
+  ///        "instrumented but not tracing" configuration used for the
+  ///        Table 1 overhead measurement)
+  Session(int num_ranks, trace::TraceCollector* collector,
+          SessionOptions options = {});
+
+  ~Session() override;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- mpi::ProfilingHooks ------------------------------------------------
+  void on_call_begin(const mpi::CallInfo& info) override;
+  void on_call_end(const mpi::CallInfo& info,
+                   const mpi::Status* status) override;
+  void on_rank_start(mpi::Rank rank) override;
+  void on_rank_finish(mpi::Rank rank) override;
+
+  // --- Debugger-facing surface ---------------------------------------------
+
+  /// Installs (or clears, with nullptr) the control interface.  Must
+  /// not change while ranks are running events.
+  void set_control(ControlInterface* control) { control_ = control; }
+
+  /// Arms the UserMonitor threshold of `rank` (paper §4.1: the
+  /// debugger "stores the execution markers in the UserMonitor
+  /// threshold variables").
+  void set_threshold(mpi::Rank rank, std::uint64_t marker);
+
+  /// Disarms a rank's threshold.
+  void clear_threshold(mpi::Rank rank);
+
+  /// Current marker counter of `rank`.
+  [[nodiscard]] std::uint64_t counter(mpi::Rank rank) const;
+
+  /// Last UserMonitor call record of `rank`.
+  [[nodiscard]] MonitorRecord last_record(mpi::Rank rank) const;
+
+  /// The trace collector (may be null).
+  [[nodiscard]] trace::TraceCollector* collector() const { return collector_; }
+
+  [[nodiscard]] int num_ranks() const {
+    return static_cast<int>(states_.size());
+  }
+
+  // --- Entry points used by the instrumentation guards --------------------
+  // (public so the free functions in api.hpp can reach them; not meant
+  // to be called by applications directly)
+
+  /// The session bound to the calling thread, or null outside an
+  /// instrumented rank.
+  static Session* current();
+
+  /// Rank bound to the calling thread (valid when current() != null).
+  static mpi::Rank current_rank();
+
+  /// UserMonitor entry: counts a marker at `site`, notifies the
+  /// control interface, optionally records an event of `kind`.
+  /// Returns the marker value.
+  std::uint64_t user_monitor(mpi::Rank rank, trace::ConstructId site,
+                             trace::EventKind kind, std::uint64_t arg1,
+                             std::uint64_t arg2, bool record,
+                             support::TimeNs t_start, support::TimeNs t_end,
+                             const EventDetail& detail = {});
+
+  /// Appends a non-counting record (function exit, compute end).
+  void record_event(const trace::Event& event);
+
+  /// Function-depth bookkeeping for `at_event`'s `depth` argument.
+  int enter_function(mpi::Rank rank);
+  int exit_function(mpi::Rank rank);
+
+  /// Interns a construct in the global table, caching by site pointer.
+  trace::ConstructId intern_site(const void* key, std::string_view name,
+                                 std::string_view file, int line);
+
+  // --- Exposed variables (watchpoint support) ---------------------------
+
+  /// A view of an application variable a rank exposed to the debugger.
+  struct VariableView {
+    const void* address = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  /// Registers an application variable under `name` for `rank` (used
+  /// by `instr::expose_variable`, called on the rank's own thread).
+  /// The storage must outlive the run.
+  void expose_variable(mpi::Rank rank, std::string name, const void* address,
+                       std::size_t bytes);
+
+  /// Looks up an exposed variable; empty view when unknown.  Reading
+  /// the pointed-to bytes is safe from the rank's own thread (watch
+  /// probes at control points) or while the rank is stopped.
+  [[nodiscard]] VariableView variable(mpi::Rank rank,
+                                      std::string_view name) const;
+
+  [[nodiscard]] const SessionOptions& options() const { return options_; }
+
+ private:
+  struct RankContext {
+    MonitorState monitor;
+    int depth = 0;  // touched only by the owning rank thread
+    // Pending profiled MPI call (calls cannot nest within one rank):
+    support::TimeNs call_start = 0;
+    std::uint64_t call_marker = 0;
+    trace::ConstructId call_construct = trace::kNoConstruct;
+  };
+
+  trace::TraceCollector* collector_;
+  SessionOptions options_;
+  std::vector<std::unique_ptr<RankContext>> states_;
+  ControlInterface* control_ = nullptr;
+
+  std::mutex sites_mu_;
+  std::unordered_map<const void*, trace::ConstructId> site_cache_;
+  std::array<trace::ConstructId, 16> mpi_sites_{};  // per CallKind
+
+  mutable std::mutex variables_mu_;
+  std::unordered_map<std::string, VariableView> variables_;  // "rank\x1fname"
+};
+
+/// The process-wide construct table.  Shared by every session so that
+/// `TDBG_FUNCTION`'s per-call-site `static` id cache stays valid
+/// across sessions; traces reference it via shared_ptr.
+const std::shared_ptr<trace::ConstructRegistry>& global_constructs();
+
+/// Interns a construct in the global table (used by TDBG_FUNCTION's
+/// static initializer).
+trace::ConstructId intern_construct(std::string_view name,
+                                    std::string_view file, int line);
+
+}  // namespace tdbg::instr

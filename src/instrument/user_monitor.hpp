@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "mpi/types.hpp"
+#include "trace/event.hpp"
+
+/// \file user_monitor.hpp
+/// The `UserMonitor` mechanism of paper §2.2.
+///
+/// The paper's prototype replaces the `mcount` call gcc emits under
+/// `-p` with a call to `UserMonitor`, which "increments a single
+/// global counter, records the address it was called from together
+/// with the first two arguments passed to it, and tests to see if the
+/// global counter has reached a threshold value which can be set by
+/// the debugger".
+///
+/// Here the counter is per rank (each rank is a thread of one
+/// process), which is the same observable contract: a (rank, counter)
+/// pair is an *execution marker* that labels a point in that rank's
+/// execution, and the threshold test is how a replay recognizes a
+/// marker of interest at the moment it is regenerated.
+///
+/// The counter always counts — collection toggles only affect trace
+/// *records* — so marker values are stable across recording
+/// configurations and across replays of a deterministic run.
+
+namespace tdbg::instr {
+
+/// Sentinel: no threshold armed.
+inline constexpr std::uint64_t kNoThreshold = ~std::uint64_t{0};
+
+/// What `UserMonitor` remembered about its most recent call: the call
+/// site and the first two arguments (paper §2.2).
+struct MonitorRecord {
+  trace::ConstructId site = trace::kNoConstruct;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+};
+
+/// Per-rank monitor state: the marker counter, the armed threshold,
+/// and the last call record.  The owning rank thread writes; the
+/// debugger thread reads (and writes the threshold), hence atomics.
+struct MonitorState {
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::uint64_t> threshold{kNoThreshold};
+  std::atomic<std::uint32_t> last_site{trace::kNoConstruct};
+  std::atomic<std::uint64_t> last_arg1{0};
+  std::atomic<std::uint64_t> last_arg2{0};
+
+  /// The UserMonitor hot path: increments the counter, records the
+  /// call, and returns the new marker value.  `threshold_hit` is set
+  /// when the new value equals the armed threshold.
+  std::uint64_t tick(trace::ConstructId site, std::uint64_t arg1,
+                     std::uint64_t arg2, bool* threshold_hit) {
+    const auto marker = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    last_site.store(site, std::memory_order_relaxed);
+    last_arg1.store(arg1, std::memory_order_relaxed);
+    last_arg2.store(arg2, std::memory_order_relaxed);
+    *threshold_hit =
+        marker == threshold.load(std::memory_order_relaxed);
+    return marker;
+  }
+
+  /// Snapshot of the last call record.
+  [[nodiscard]] MonitorRecord last_record() const {
+    MonitorRecord r;
+    r.site = last_site.load(std::memory_order_relaxed);
+    r.arg1 = last_arg1.load(std::memory_order_relaxed);
+    r.arg2 = last_arg2.load(std::memory_order_relaxed);
+    return r;
+  }
+};
+
+}  // namespace tdbg::instr

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace tdbg::mpi {
+
+/// The profiling interface of the runtime — the analog of MPI's
+/// PMPI shadow-name mechanism (paper §2.3).
+///
+/// Every public `Comm` operation is a thin wrapper: it invokes
+/// `on_call_begin`, runs the PMPI-level primitive (`Comm::pmpi_*`),
+/// then invokes `on_call_end`.  Installing hooks is the moral
+/// equivalent of "linking with the debugging version of the MPI
+/// library": the application source is unchanged and history
+/// collection becomes automatic.
+///
+/// Hooks are invoked on the calling rank's thread, outside any runtime
+/// lock, and must be thread-safe across ranks.
+class ProfilingHooks {
+ public:
+  virtual ~ProfilingHooks() = default;
+
+  /// Observes a call about to enter the PMPI-level primitive.
+  virtual void on_call_begin(const CallInfo& info) { (void)info; }
+
+  /// Observes a completed call.  `status` is non-null for receives
+  /// (and probes) and carries the actual matched source/tag/seq.
+  virtual void on_call_end(const CallInfo& info, const Status* status) {
+    (void)info;
+    (void)status;
+  }
+
+  /// Observes rank lifecycle: body entered (after Init).
+  virtual void on_rank_start(Rank rank) { (void)rank; }
+
+  /// Observes rank lifecycle: body returned or threw.
+  virtual void on_rank_finish(Rank rank) { (void)rank; }
+};
+
+/// Forwards every hook to a list of children, in order.  Lets a run
+/// install both the instrumentation session and e.g. the replay
+/// recorder at once.
+class HookFanout : public ProfilingHooks {
+ public:
+  HookFanout() = default;
+  explicit HookFanout(std::initializer_list<ProfilingHooks*> hooks)
+      : hooks_(hooks) {}
+
+  /// Appends a child (ignored if null).
+  void add(ProfilingHooks* hooks) {
+    if (hooks != nullptr) hooks_.push_back(hooks);
+  }
+
+  void on_call_begin(const CallInfo& info) override {
+    for (auto* h : hooks_) h->on_call_begin(info);
+  }
+  void on_call_end(const CallInfo& info, const Status* status) override {
+    for (auto* h : hooks_) h->on_call_end(info, status);
+  }
+  void on_rank_start(Rank rank) override {
+    for (auto* h : hooks_) h->on_rank_start(rank);
+  }
+  void on_rank_finish(Rank rank) override {
+    for (auto* h : hooks_) h->on_rank_finish(rank);
+  }
+
+ private:
+  std::vector<ProfilingHooks*> hooks_;
+};
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,182 @@
+#include "mpi/mailbox.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace tdbg::mpi {
+
+namespace {
+
+bool tag_matches(Tag posted, Tag actual) {
+  return posted == kAnyTag || posted == actual;
+}
+
+}  // namespace
+
+Mailbox::Mailbox(Rank owner, int world_size, MailboxShared* shared)
+    : owner_(owner), shared_(shared),
+      channels_(static_cast<std::size_t>(world_size)) {
+  TDBG_CHECK(shared != nullptr, "mailbox needs shared world state");
+}
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard lk(mu_);
+    auto& ch = channels_.at(static_cast<std::size_t>(msg.source));
+    msg.seq = ch.next_seq++;
+    msg.arrival = arrivals_++;
+    ch.queue.push_back(std::move(msg));
+    shared_->progress.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+std::optional<std::size_t> Mailbox::first_match(const Channel& channel,
+                                                Tag tag) {
+  for (std::size_t i = 0; i < channel.queue.size(); ++i) {
+    if (tag_matches(tag, channel.queue[i].tag)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<Mailbox::Pick> Mailbox::try_match(
+    Rank source, Tag tag, MatchController* controller,
+    std::uint64_t recv_index) const {
+  if (controller != nullptr) {
+    if (auto forced = controller->force(owner_, recv_index)) {
+      // Replay: wait for exactly (forced->source, forced->seq).
+      TDBG_CHECK(source == kAnySource || source == forced->source,
+                 "replay divergence: posted receive source differs from "
+                 "recorded match");
+      const auto& ch = channels_.at(static_cast<std::size_t>(forced->source));
+      auto idx = first_match(ch, tag);
+      if (!idx) return std::nullopt;  // not arrived yet
+      const Message& m = ch.queue[*idx];
+      if (m.seq < forced->seq) {
+        // A tag-compatible message precedes the recorded one and only
+        // this (single-threaded) rank could consume it — the replayed
+        // program's receives diverge from the log.
+        throw Error(
+            "replay divergence: an earlier tag-compatible message (seq " +
+            std::to_string(m.seq) + ") precedes the recorded match (seq " +
+            std::to_string(forced->seq) + ") and nothing can consume it");
+      }
+      if (m.seq > forced->seq) {
+        throw Error(
+            "replay divergence: recorded message already consumed "
+            "(wanted seq " + std::to_string(forced->seq) + ", first match is " +
+            std::to_string(m.seq) + ")");
+      }
+      return Pick{forced->source, *idx};
+    }
+  }
+
+  if (source != kAnySource) {
+    const auto& ch = channels_.at(static_cast<std::size_t>(source));
+    if (auto idx = first_match(ch, tag)) return Pick{source, *idx};
+    return std::nullopt;
+  }
+
+  // Wildcard: among the first tag-compatible message of every channel,
+  // take the earliest arrival.  This is the default (recorded-run)
+  // nondeterminism policy.
+  std::optional<Pick> best;
+  std::uint64_t best_arrival = std::numeric_limits<std::uint64_t>::max();
+  for (Rank s = 0; s < static_cast<Rank>(channels_.size()); ++s) {
+    const auto& ch = channels_[static_cast<std::size_t>(s)];
+    if (auto idx = first_match(ch, tag)) {
+      const auto arrival = ch.queue[*idx].arrival;
+      if (arrival < best_arrival) {
+        best_arrival = arrival;
+        best = Pick{s, *idx};
+      }
+    }
+  }
+  return best;
+}
+
+Status Mailbox::receive(Rank source, Tag tag, std::vector<std::byte>& out,
+                        MatchController* controller,
+                        std::uint64_t recv_index) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    check_aborted();
+    if (auto pick = try_match(source, tag, controller, recv_index)) {
+      auto& ch = channels_.at(static_cast<std::size_t>(pick->source));
+      Message msg = std::move(ch.queue[pick->index]);
+      ch.queue.erase(ch.queue.begin() +
+                     static_cast<std::ptrdiff_t>(pick->index));
+      shared_->progress.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+
+      out = std::move(msg.payload);
+      if (msg.synchronous && msg.sync) {
+        std::lock_guard slk(msg.sync->mu);
+        msg.sync->done = true;
+        msg.sync->cv.notify_all();
+      }
+      return Status{msg.source, msg.tag, out.size(), msg.seq};
+    }
+
+    shared_->registry.enter_wait(owner_, WaitKind::kRecv, source, tag);
+    cv_.wait(lk);
+    shared_->registry.exit_wait(owner_);
+  }
+}
+
+Status Mailbox::probe(Rank source, Tag tag) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    check_aborted();
+    if (auto pick = try_match(source, tag, nullptr, 0)) {
+      const Message& m =
+          channels_.at(static_cast<std::size_t>(pick->source)).queue[pick->index];
+      return Status{m.source, m.tag, m.payload.size(), m.seq};
+    }
+    shared_->registry.enter_wait(owner_, WaitKind::kRecv, source, tag);
+    cv_.wait(lk);
+    shared_->registry.exit_wait(owner_);
+  }
+}
+
+std::optional<Status> Mailbox::iprobe(Rank source, Tag tag) {
+  std::lock_guard lk(mu_);
+  check_aborted();
+  if (auto pick = try_match(source, tag, nullptr, 0)) {
+    const Message& m =
+        channels_.at(static_cast<std::size_t>(pick->source)).queue[pick->index];
+    return Status{m.source, m.tag, m.payload.size(), m.seq};
+  }
+  return std::nullopt;
+}
+
+void Mailbox::notify_abort() {
+  // Taking the lock orders the notify after any in-flight check of the
+  // abort flag: a waiter either saw the flag before sleeping or is
+  // asleep when this notify fires.
+  std::lock_guard lk(mu_);
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::queued_count(bool user_only) const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& ch : channels_) {
+    if (!user_only) {
+      n += ch.queue.size();
+      continue;
+    }
+    for (const auto& m : ch.queue) {
+      if (m.tag <= kMaxUserTag) ++n;
+    }
+  }
+  return n;
+}
+
+void Mailbox::check_aborted() const {
+  if (shared_->aborted.load(std::memory_order_acquire)) throw Aborted{};
+}
+
+}  // namespace tdbg::mpi

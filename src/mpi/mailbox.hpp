@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mpi/match_controller.hpp"
+#include "mpi/message.hpp"
+#include "mpi/types.hpp"
+#include "mpi/wait_registry.hpp"
+
+namespace tdbg::mpi {
+
+/// Thrown in a blocked rank when the run is aborted (deadlock detected
+/// by the watchdog, or another rank failed).  The runtime catches it
+/// at the top of the rank body; application code should not.
+class Aborted : public std::exception {
+ public:
+  const char* what() const noexcept override { return "tdbg::mpi run aborted"; }
+};
+
+/// Shared world state the mailboxes need: abort flag, progress
+/// counter, and the wait registry.  Owned by the runtime.
+struct MailboxShared {
+  explicit MailboxShared(int world_size) : registry(world_size) {}
+
+  std::atomic<bool> aborted{false};
+  std::atomic<std::uint64_t> progress{0};  ///< delivers + matches, for the watchdog
+  WaitRegistry registry;
+};
+
+/// Per-rank incoming-message store implementing MPI matching rules.
+///
+/// Messages are held in per-source FIFO channels.  A receive posted
+/// with a specific source matches the earliest message from that
+/// source with a compatible tag (the MPI non-overtaking rule the paper
+/// relies on to uniquely match send and receive arcs, §3.2).  A
+/// wildcard-source receive matches, among the first tag-compatible
+/// message of each channel, the one that arrived earliest — unless a
+/// `MatchController` forces a specific (source, seq), which is how
+/// replay pins down wildcard nondeterminism (§4.2).
+class Mailbox {
+ public:
+  Mailbox(Rank owner, int world_size, MailboxShared* shared);
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message (called from the sender's thread).  Assigns
+  /// the per-channel sequence number and the arrival stamp.
+  void deliver(Message msg);
+
+  /// Blocks until a message matching (source, tag) — or the
+  /// controller-forced message — is available, removes it, and copies
+  /// its payload into `out`.  Throws `Aborted` if the run aborts while
+  /// waiting and `tdbg::Error` on replay divergence.
+  Status receive(Rank source, Tag tag, std::vector<std::byte>& out,
+                 MatchController* controller, std::uint64_t recv_index);
+
+  /// Blocks until a matching message is available; returns its status
+  /// without removing it.
+  Status probe(Rank source, Tag tag);
+
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(Rank source, Tag tag);
+
+  /// Wakes any thread blocked in this mailbox (used on abort).
+  void notify_abort();
+
+  /// Number of queued (undelivered-to-app) messages; used by tests and
+  /// the traffic analyzer.  With `user_only`, messages on internal
+  /// (collective) tags are excluded — a rank that raced ahead into a
+  /// collective must not count as traffic for quiescence checks.
+  [[nodiscard]] std::size_t queued_count(bool user_only = false) const;
+
+ private:
+  struct Channel {
+    std::deque<Message> queue;
+    ChannelSeq next_seq = 0;  ///< seq to assign to the next delivery
+  };
+
+  struct Pick {
+    Rank source;
+    std::size_t index;  ///< position within the channel deque
+  };
+
+  /// Finds the message the posted receive should match right now, or
+  /// nullopt if it must keep waiting.  Caller holds `mu_`.
+  std::optional<Pick> try_match(Rank source, Tag tag,
+                                MatchController* controller,
+                                std::uint64_t recv_index) const;
+
+  /// First tag-compatible message in `channel`, or nullopt.
+  static std::optional<std::size_t> first_match(const Channel& channel,
+                                                Tag tag);
+
+  void check_aborted() const;
+
+  Rank owner_;
+  MailboxShared* shared_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Channel> channels_;  ///< indexed by source rank
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+
+#include "mpi/types.hpp"
+
+namespace tdbg::mpi {
+
+/// Decides which queued message a receive matches.
+///
+/// During a *recorded* run no controller is installed and wildcard
+/// receives use the default policy (earliest arrival).  During a
+/// *replay* the replay engine installs a controller that forces each
+/// receive to match the same (source, seq) as in the recorded run —
+/// the paper's §4.2 mechanism for controlling `MPI_ANY_SOURCE`
+/// nondeterminism so that "the replay has identical event causality
+/// with the original program execution".
+///
+/// `force` is called under the receiver's mailbox lock every time the
+/// mailbox attempts to complete a receive, with `recv_index` the
+/// 0-based count of receives completed so far by that rank.  Returning
+/// a SourceSeq makes the receive wait until exactly that message is
+/// available; returning nullopt leaves the choice to the default
+/// policy.  Implementations must be thread-safe across ranks.
+class MatchController {
+ public:
+  virtual ~MatchController() = default;
+
+  /// The message receive number `recv_index` on `receiver` must match,
+  /// or nullopt for free choice.
+  virtual std::optional<SourceSeq> force(Rank receiver,
+                                         std::uint64_t recv_index) = 0;
+};
+
+}  // namespace tdbg::mpi

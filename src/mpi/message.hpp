@@ -1,0 +1,38 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace tdbg::mpi {
+
+/// Completion handle for a synchronous send: the sender blocks on it
+/// until the receiver matches the message.
+struct SyncHandle {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+/// A buffered message in flight between two ranks.
+///
+/// The runtime uses eager (buffered) delivery: `send` copies the
+/// payload into the destination mailbox and returns.  `ssend` blocks
+/// until the matching receive completes (via `sync`), which is what
+/// allows the analysis module to exercise send-side deadlocks as well.
+struct Message {
+  Rank source = 0;
+  Rank dest = 0;
+  Tag tag = 0;
+  ChannelSeq seq = 0;                 ///< per-(source,dest) FIFO position
+  std::uint64_t arrival = 0;          ///< mailbox-wide arrival counter
+  bool synchronous = false;           ///< true for ssend: sender is blocked
+  std::shared_ptr<SyncHandle> sync;   ///< set iff synchronous
+  std::vector<std::byte> payload;
+};
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+/// \file pvm.hpp
+/// PVM-style message passing façade (the paper's p2d2 "supports
+/// debugging of PVM and MPI programs").
+///
+/// PVM's programming model differs from MPI's in two ways this façade
+/// reproduces: messages are *assembled* (`initsend` + a sequence of
+/// `pk*` packing calls) before being sent, and the receive side
+/// unpacks incrementally from the current receive buffer
+/// (`recv` + `upk*`).  Underneath, each assembled buffer travels as
+/// one message through the instrumented runtime, so PVM-style programs
+/// get the full trace/replay/analysis treatment with no extra work —
+/// exactly the paper's situation, where the wrapper level is per
+/// library but the debugger machinery is shared.
+
+namespace tdbg::pvm {
+
+/// PVM wildcard: any task / any tag.
+inline constexpr int kAny = -1;
+
+/// A rank's PVM endpoint.  Wraps the rank's `Comm`; task ids are
+/// ranks.
+class Task {
+ public:
+  explicit Task(mpi::Comm& comm) : comm_(&comm) {}
+
+  /// This task's id (`pvm_mytid`).
+  [[nodiscard]] int mytid() const { return comm_->rank(); }
+
+  /// Number of tasks in the (static) group.
+  [[nodiscard]] int ntasks() const { return comm_->size(); }
+
+  /// Clears the send buffer (`pvm_initsend`).
+  void initsend() { send_buf_.clear(); }
+
+  /// Packs values into the send buffer (`pvm_pk*`).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pk(std::span<const T> values) {
+    const auto old = send_buf_.size();
+    send_buf_.resize(old + values.size_bytes());
+    std::memcpy(send_buf_.data() + old, values.data(), values.size_bytes());
+  }
+
+  /// Packs one value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pk_value(const T& value) {
+    pk(std::span<const T>(&value, 1));
+  }
+
+  /// Sends the assembled buffer (`pvm_send`).  The buffer survives, so
+  /// the same content can be sent to several tasks (PVM idiom).
+  void send(int tid, int tag) {
+    comm_->send(std::span<const std::byte>(send_buf_), tid, tag, "pvm_send");
+  }
+
+  /// Blocking receive (`pvm_recv`); `kAny` wildcards both fields.
+  /// Returns the byte count and resets the unpack cursor.
+  std::size_t recv(int tid, int tag) {
+    const auto st = comm_->recv(
+        recv_buf_, tid == kAny ? mpi::kAnySource : tid,
+        tag == kAny ? mpi::kAnyTag : tag, "pvm_recv");
+    last_ = st;
+    cursor_ = 0;
+    return st.bytes;
+  }
+
+  /// Sender/tag/bytes of the last received message (`pvm_bufinfo`).
+  [[nodiscard]] mpi::Status bufinfo() const { return last_; }
+
+  /// Unpacks values from the receive buffer (`pvm_upk*`).  Throws when
+  /// the buffer runs short.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void upk(std::span<T> out) {
+    TDBG_CHECK(cursor_ + out.size_bytes() <= recv_buf_.size(),
+               "pvm unpack past end of message");
+    std::memcpy(out.data(), recv_buf_.data() + cursor_, out.size_bytes());
+    cursor_ += out.size_bytes();
+  }
+
+  /// Unpacks one value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T upk_value() {
+    T value;
+    upk(std::span<T>(&value, 1));
+    return value;
+  }
+
+ private:
+  mpi::Comm* comm_;
+  std::vector<std::byte> send_buf_;
+  std::vector<std::byte> recv_buf_;
+  mpi::Status last_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace tdbg::pvm

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+/// \file request.hpp
+/// Nonblocking operation handles (`MPI_Isend` / `MPI_Irecv` /
+/// `MPI_Wait` / `MPI_Waitall`).
+///
+/// Semantics follow the restrictions the paper's replay technique
+/// assumes (§6): `MPI_WAITANY` is deliberately *not* provided — wait
+/// order is the program order of the `wait` calls, which keeps
+/// matching deterministic under the replay controller.  With eager
+/// buffered sends, an isend is complete at creation; an irecv is a
+/// *posted* receive whose matching work happens in `wait` (legal
+/// because single-threaded ranks cannot observe the difference without
+/// WAITANY/test, neither of which is offered).
+
+namespace tdbg::mpi {
+
+class Comm;
+
+/// What a request stands for.
+enum class RequestKind : std::uint8_t { kSend, kRecv };
+
+/// State shared between a request handle and the communicator.
+struct RequestState {
+  RequestKind kind = RequestKind::kSend;
+  bool complete = false;
+  // Recv bookkeeping:
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::vector<std::byte>* sink = nullptr;  ///< destination buffer
+  Status status;
+};
+
+/// Handle on a nonblocking operation.  Move-only; must be waited on
+/// (or explicitly cancelled via `Comm::request_free`) before
+/// destruction — a destroyed incomplete receive would silently drop a
+/// posted buffer, so it aborts instead.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True when the operation has completed (sends: immediately).
+  [[nodiscard]] bool complete() const {
+    return state_ == nullptr || state_->complete;
+  }
+
+  /// True for a default-constructed or consumed handle.
+  [[nodiscard]] bool empty() const { return state_ == nullptr; }
+
+  /// Internal: the shared state (used by Comm::wait).
+  [[nodiscard]] const std::shared_ptr<RequestState>& state() const {
+    return state_;
+  }
+
+  /// Internal: consumes the handle.
+  std::shared_ptr<RequestState> take() { return std::move(state_); }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,134 @@
+#include "mpi/subcomm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+
+namespace tdbg::mpi {
+
+namespace {
+
+/// Context tag banding: each context owns a stride of tag values above
+/// the collective band.
+constexpr Tag kContextTagBase = kMaxUserTag + 1024;
+constexpr Tag kContextStride = 1 << 20;
+constexpr int kMaxContexts = 1500;  // keeps wire tags within int range
+
+}  // namespace
+
+Tag SubComm::wire_tag(Tag tag) const {
+  TDBG_CHECK(tag >= 0 && tag < kContextStride,
+             "subcomm tag out of range");
+  return kContextTagBase + static_cast<Tag>(context_) * kContextStride + tag;
+}
+
+void SubComm::send(std::span<const std::byte> data, int dest, Tag tag,
+                   const char* site) {
+  comm_->context_send(data, world_rank(dest), wire_tag(tag), tag, site);
+}
+
+Status SubComm::recv(std::vector<std::byte>& out, int source, Tag tag,
+                     const char* site) {
+  TDBG_CHECK(source >= 0 && source < size(), "subcomm source out of range");
+  auto st = comm_->context_recv(out, world_rank(source), wire_tag(tag), tag,
+                                site);
+  // Translate the source back into subgroup numbering.
+  st.source = source;
+  return st;
+}
+
+void SubComm::barrier(const char* site) {
+  const int p = size();
+  const std::byte token{0};
+  Tag round = 0;
+  for (int dist = 1; dist < p; dist *= 2, ++round) {
+    const int to = (sub_rank_ + dist) % p;
+    const int from = (sub_rank_ - dist % p + p) % p;
+    send(std::span(&token, 1), to, kContextStride - 1 - round, site);
+    std::vector<std::byte> dummy;
+    recv(dummy, from, kContextStride - 1 - round, site);
+  }
+}
+
+void SubComm::bcast(std::vector<std::byte>& data, int root,
+                    const char* site) {
+  TDBG_CHECK(root >= 0 && root < size(), "subcomm root out of range");
+  const int p = size();
+  const int vrank = (sub_rank_ - root + p) % p;
+  const Tag tag = kContextStride - 16;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) != 0) {
+      recv(data, ((vrank - mask) + root) % p, tag, site);
+      break;
+    }
+    mask <<= 1;
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (vrank + mask < p) {
+      send(std::span<const std::byte>(data), (vrank + mask + root) % p, tag,
+           site);
+    }
+  }
+}
+
+SubComm split(Comm& comm, int color, int key) {
+  // Gather every rank's (color, key) at world rank 0.
+  struct Entry {
+    int color;
+    int key;
+  };
+  const Entry mine{color, key};
+  const auto gathered =
+      comm.gather(std::as_bytes(std::span<const Entry>(&mine, 1)), 0,
+                  "MPI_Comm_split");
+
+  // Rank 0 forms the subgroups and allocates one context per color.
+  // The assignment sent to each rank: context, sub_rank, members.
+  std::vector<std::vector<std::byte>> assignments;
+  if (comm.rank() == 0) {
+    std::map<int, std::vector<std::pair<int, Rank>>> by_color;  // key,rank
+    for (Rank r = 0; r < comm.size(); ++r) {
+      Entry e;
+      TDBG_CHECK(gathered[static_cast<std::size_t>(r)].size() == sizeof e,
+                 "split gather corrupted");
+      std::memcpy(&e, gathered[static_cast<std::size_t>(r)].data(), sizeof e);
+      by_color[e.color].emplace_back(e.key, r);
+    }
+    const int base =
+        comm.allocate_contexts(static_cast<int>(by_color.size()));
+    TDBG_CHECK(base + static_cast<int>(by_color.size()) <= kMaxContexts,
+               "communicator contexts exhausted");
+
+    assignments.assign(static_cast<std::size_t>(comm.size()), {});
+    int ctx = base;
+    for (auto& [c, members] : by_color) {
+      std::sort(members.begin(), members.end());
+      for (int sub = 0; sub < static_cast<int>(members.size()); ++sub) {
+        const Rank world = members[static_cast<std::size_t>(sub)].second;
+        support::BinaryWriter w;
+        w.put<std::int32_t>(ctx);
+        w.put<std::int32_t>(sub);
+        w.put<std::int32_t>(static_cast<std::int32_t>(members.size()));
+        for (const auto& [k, r] : members) w.put<std::int32_t>(r);
+        assignments[static_cast<std::size_t>(world)] = w.bytes();
+      }
+      ++ctx;
+    }
+  }
+  const auto packed = comm.scatter(assignments, 0, "MPI_Comm_split");
+
+  support::BinaryReader r(packed);
+  const int context = r.get<std::int32_t>();
+  const int sub_rank = r.get<std::int32_t>();
+  const int count = r.get<std::int32_t>();
+  std::vector<Rank> members;
+  members.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) members.push_back(r.get<std::int32_t>());
+  return SubComm(&comm, color, context, std::move(members), sub_rank);
+}
+
+}  // namespace tdbg::mpi

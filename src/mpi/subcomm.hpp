@@ -1,0 +1,125 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+/// \file subcomm.hpp
+/// Subgroup communicators (`MPI_Comm_split`).
+///
+/// `split(comm, color, key)` is collective over the world: ranks with
+/// the same color form a subgroup, ordered by (key, world rank).  Each
+/// subgroup gets a fresh *context*: its traffic travels on a reserved
+/// tag band, so subgroup messages can never match world-communicator
+/// receives or another subgroup's — MPI's communicator-isolation
+/// guarantee.
+///
+/// Restriction (kept deliberately): subgroup receives must name their
+/// source — no `ANY_SOURCE` inside a subcommunicator.  Context-banded
+/// tags live outside the user tag space the replay controller forces,
+/// so allowing wildcards here would reintroduce uncontrolled
+/// nondeterminism; with named sources, subgroup matching is FIFO-
+/// deterministic and replays exactly.
+
+namespace tdbg::mpi {
+
+/// A communicator over a subset of the world's ranks.
+class SubComm {
+ public:
+  /// This rank's position within the subgroup.
+  [[nodiscard]] int rank() const { return sub_rank_; }
+
+  /// Subgroup size.
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+
+  /// The subgroup's color (as passed to split).
+  [[nodiscard]] int color() const { return color_; }
+
+  /// World rank of subgroup member `sub_rank`.
+  [[nodiscard]] Rank world_rank(int sub_rank) const {
+    return members_.at(static_cast<std::size_t>(sub_rank));
+  }
+
+  /// Sends to subgroup rank `dest` (profiled like MPI_Send; the trace
+  /// shows world ranks and the user tag).
+  void send(std::span<const std::byte> data, int dest, Tag tag,
+            const char* site = nullptr);
+
+  /// Receives from subgroup rank `source` (must be concrete; see file
+  /// comment).  The returned status holds the *subgroup* source rank.
+  Status recv(std::vector<std::byte>& out, int source, Tag tag,
+              const char* site = nullptr);
+
+  /// Typed conveniences.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(const T& value, int dest, Tag tag,
+                  const char* site = nullptr) {
+    send(std::as_bytes(std::span<const T>(&value, 1)), dest, tag, site);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T recv_value(int source, Tag tag, const char* site = nullptr) {
+    std::vector<std::byte> buf;
+    recv(buf, source, tag, site);
+    TDBG_CHECK(buf.size() == sizeof(T), "subcomm recv_value size mismatch");
+    T value;
+    std::memcpy(&value, buf.data(), sizeof(T));
+    return value;
+  }
+
+  /// Dissemination barrier over the subgroup.
+  void barrier(const char* site = nullptr);
+
+  /// Binomial broadcast from subgroup rank `root`.
+  void bcast(std::vector<std::byte>& data, int root,
+             const char* site = nullptr);
+
+  /// Elementwise allreduce over the subgroup.
+  template <typename T, typename Op>
+    requires std::is_arithmetic_v<T>
+  T allreduce_value(T value, Op op, const char* site = nullptr) {
+    // Reduce to subgroup rank 0 up a binomial tree, broadcast back.
+    const int p = size();
+    const Tag tag = 1;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if ((sub_rank_ & mask) != 0) {
+        send_value<T>(value, sub_rank_ & ~mask, tag, site);
+        break;
+      }
+      const int child = sub_rank_ | mask;
+      if (child < p) value = op(value, recv_value<T>(child, tag, site));
+    }
+    std::vector<std::byte> buf(sizeof(T));
+    std::memcpy(buf.data(), &value, sizeof(T));
+    bcast(buf, 0, site);
+    std::memcpy(&value, buf.data(), sizeof(T));
+    return value;
+  }
+
+ private:
+  friend SubComm split(Comm& comm, int color, int key);
+
+  SubComm(Comm* comm, int color, int context, std::vector<Rank> members,
+          int sub_rank)
+      : comm_(comm), color_(color), context_(context),
+        members_(std::move(members)), sub_rank_(sub_rank) {}
+
+  /// Maps a user tag into this context's reserved band.
+  [[nodiscard]] Tag wire_tag(Tag tag) const;
+
+  Comm* comm_;
+  int color_;
+  int context_;
+  std::vector<Rank> members_;
+  int sub_rank_;
+};
+
+/// Collective over the whole world: every rank calls `split` with its
+/// color and key; ranks sharing a color receive a `SubComm` over that
+/// subgroup (ordered by key, ties by world rank).
+SubComm split(Comm& comm, int color, int key = 0);
+
+}  // namespace tdbg::mpi

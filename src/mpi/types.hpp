@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file types.hpp
+/// Basic vocabulary types for the message-passing runtime.
+///
+/// The runtime (`tdbg::mpi`) is an in-process stand-in for the MPI
+/// library the paper's target programs run on.  Ranks are threads; the
+/// semantics reproduced are the ones the debugger features depend on:
+/// FIFO non-overtaking matching per (source, dest) channel, tag
+/// selection, and `ANY_SOURCE` / `ANY_TAG` wildcard nondeterminism
+/// (MPI standard §3.5, cited by the paper for its matching argument).
+
+namespace tdbg::mpi {
+
+/// Process rank within the world communicator.
+using Rank = int;
+
+/// Message tag.  User tags must be non-negative; the collective
+/// implementation reserves an internal tag space above `kMaxUserTag`.
+using Tag = int;
+
+/// Wildcard: receive from any source (`MPI_ANY_SOURCE`).
+inline constexpr Rank kAnySource = -1;
+
+/// Wildcard: receive any tag (`MPI_ANY_TAG`).
+inline constexpr Tag kAnyTag = -1;
+
+/// Largest tag available to user code; tags above this are reserved
+/// for internal collective rounds.
+inline constexpr Tag kMaxUserTag = (1 << 28) - 1;
+
+/// Per-channel sequence number: position of a message in the FIFO
+/// stream from one source to one destination (starting at 0).  The
+/// pair (source, seq) uniquely identifies a message at a receiver and
+/// is the unit the replay log records.
+using ChannelSeq = std::uint64_t;
+
+/// Identifies the message a receive matched: the sending rank plus the
+/// per-channel sequence number.  This is what the record log stores
+/// and what the replay controller forces (paper §4.2, nondeterminism
+/// control).
+struct SourceSeq {
+  Rank source = kAnySource;
+  ChannelSeq seq = 0;
+
+  friend bool operator==(const SourceSeq&, const SourceSeq&) = default;
+};
+
+/// Completion information for a receive (mirrors `MPI_Status`).
+struct Status {
+  Rank source = kAnySource;      ///< actual sending rank
+  Tag tag = kAnyTag;             ///< actual message tag
+  std::size_t bytes = 0;         ///< payload size
+  ChannelSeq channel_seq = 0;    ///< per-(source,dest) sequence number
+};
+
+/// Which library call a profiling hook is observing.  These are the
+/// "constructs" that appear in trace records (paper §3).
+enum class CallKind : std::uint8_t {
+  kSend,
+  kSsend,
+  kRecv,
+  kProbe,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAlltoall,
+  kInit,
+  kFinalize,
+};
+
+/// Human-readable name of a call kind ("MPI_Send", ...).  Used in
+/// trace text dumps and visualizer labels.
+std::string_view call_kind_name(CallKind kind);
+
+/// Description of one profiled library call, passed to hooks before
+/// and after the underlying (PMPI-level) primitive runs.
+struct CallInfo {
+  CallKind kind = CallKind::kSend;
+  Rank rank = 0;          ///< calling rank
+  Rank peer = kAnySource; ///< dest for sends, requested source for recvs,
+                          ///< root for rooted collectives
+  Tag tag = kAnyTag;      ///< message tag (user calls only)
+  std::size_t bytes = 0;  ///< payload bytes (0 for barrier/probe)
+  const char* call_site = nullptr;  ///< optional source location label
+};
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,52 @@
+#include "mpi/wait_registry.hpp"
+
+#include "support/error.hpp"
+
+namespace tdbg::mpi {
+
+WaitRegistry::WaitRegistry(int world_size) : states_(world_size) {
+  for (int r = 0; r < world_size; ++r) {
+    states_[r].rank = r;
+  }
+}
+
+void WaitRegistry::enter_wait(Rank rank, WaitKind kind, Rank peer, Tag tag) {
+  std::lock_guard lk(mu_);
+  auto& s = states_.at(static_cast<std::size_t>(rank));
+  TDBG_CHECK(s.kind == WaitKind::kNone, "rank entered wait twice");
+  s.kind = kind;
+  s.peer = peer;
+  s.tag = tag;
+  ++idle_count_;
+}
+
+void WaitRegistry::exit_wait(Rank rank) {
+  std::lock_guard lk(mu_);
+  auto& s = states_.at(static_cast<std::size_t>(rank));
+  TDBG_CHECK(s.kind != WaitKind::kNone && s.kind != WaitKind::kFinished,
+             "rank exited wait it never entered");
+  s.kind = WaitKind::kNone;
+  s.peer = kAnySource;
+  s.tag = kAnyTag;
+  --idle_count_;
+}
+
+void WaitRegistry::mark_finished(Rank rank) {
+  std::lock_guard lk(mu_);
+  auto& s = states_.at(static_cast<std::size_t>(rank));
+  TDBG_CHECK(s.kind == WaitKind::kNone, "finished rank was still waiting");
+  s.kind = WaitKind::kFinished;
+  ++idle_count_;
+}
+
+bool WaitRegistry::all_idle() const {
+  std::lock_guard lk(mu_);
+  return idle_count_ == static_cast<int>(states_.size());
+}
+
+std::vector<WaitInfo> WaitRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  return states_;
+}
+
+}  // namespace tdbg::mpi

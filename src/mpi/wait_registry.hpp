@@ -1,0 +1,63 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace tdbg::mpi {
+
+/// What a rank is currently blocked on (if anything).
+enum class WaitKind : std::uint8_t {
+  kNone,      ///< running
+  kRecv,      ///< blocked in a receive
+  kSsend,     ///< blocked in a synchronous send awaiting its match
+  kFinished,  ///< rank body returned; will never send again
+};
+
+/// One rank's wait state.  `peer`/`tag` describe what it is waiting
+/// for (requested source and tag for receives, destination for
+/// ssends); wildcards appear as `kAnySource`/`kAnyTag`.
+struct WaitInfo {
+  Rank rank = 0;
+  WaitKind kind = WaitKind::kNone;
+  Rank peer = kAnySource;
+  Tag tag = kAnyTag;
+};
+
+/// Tracks which ranks are blocked and on what.
+///
+/// This is the runtime's introspection surface: the deadlock watchdog
+/// uses it to decide global quiescence, and the analysis module reads
+/// the final snapshot to explain *who* was waiting on *whom* — the
+/// information behind Figure 5 ("processes 0 and 7 are blocked in
+/// receives waiting for data from each other").
+class WaitRegistry {
+ public:
+  explicit WaitRegistry(int world_size);
+
+  /// Marks `rank` as blocked; called immediately before a condition
+  /// wait.
+  void enter_wait(Rank rank, WaitKind kind, Rank peer, Tag tag);
+
+  /// Marks `rank` as running again; called after the wait returns.
+  void exit_wait(Rank rank);
+
+  /// Marks `rank` as finished for the rest of the run.
+  void mark_finished(Rank rank);
+
+  /// True when every rank is blocked or finished — a necessary
+  /// condition for deadlock (with eager sends there are no messages in
+  /// flight outside mailbox queues).
+  [[nodiscard]] bool all_idle() const;
+
+  /// Copy of the current per-rank wait states.
+  [[nodiscard]] std::vector<WaitInfo> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WaitInfo> states_;
+  int idle_count_ = 0;  ///< ranks currently waiting or finished
+};
+
+}  // namespace tdbg::mpi

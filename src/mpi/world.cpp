@@ -1,0 +1,29 @@
+#include "mpi/world.hpp"
+
+#include "support/error.hpp"
+
+namespace tdbg::mpi {
+
+World::World(int size, ProfilingHooks* hooks, MatchController* controller)
+    : size_(size), hooks_(hooks), controller_(controller), shared_(size) {
+  TDBG_CHECK(size > 0, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (Rank r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(r, size, &shared_));
+  }
+}
+
+void World::abort(AbortCause cause, std::string detail) {
+  {
+    std::lock_guard lk(abort_mu_);
+    if (abort_.cause == AbortCause::kNone) {
+      abort_.cause = cause;
+      abort_.detail = std::move(detail);
+      abort_.waits = shared_.registry.snapshot();
+    }
+  }
+  shared_.aborted.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb->notify_abort();
+}
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,90 @@
+#include "replay/checkpoint.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace tdbg::replay {
+
+CheckpointStore::CheckpointStore(int num_ranks, std::uint64_t interval)
+    : interval_(std::max<std::uint64_t>(1, interval)),
+      per_rank_(static_cast<std::size_t>(num_ranks)) {
+  TDBG_CHECK(num_ranks > 0, "checkpoint store needs at least one rank");
+}
+
+bool CheckpointStore::offer(mpi::Rank rank, std::uint64_t marker,
+                            std::vector<std::byte> state) {
+  std::lock_guard lk(mu_);
+  auto& slot = per_rank_.at(static_cast<std::size_t>(rank));
+  const std::uint64_t index = marker / interval_;
+  if (slot.has_last) {
+    TDBG_CHECK(marker >= slot.last_marker,
+               "checkpoint markers must be offered in increasing order");
+    if (index <= slot.last_index) return false;  // closer than the interval
+  }
+  slot.has_last = true;
+  slot.last_index = index;
+  slot.last_marker = marker;
+
+  // Binary-bucket retention: level k keeps the two most recent
+  // snapshots whose index is a multiple of 2^k.  The retained set is
+  // O(log span) snapshots, and the distance from any target marker
+  // back to the nearest retained snapshot grows proportionally to the
+  // target's age — the "logarithmic backlog" of paper §6.
+  const auto shared = std::make_shared<const std::vector<std::byte>>(
+      std::move(state));
+  for (std::size_t k = 0; k < kLevels; ++k) {
+    if (index % (std::uint64_t{1} << k) != 0) break;
+    auto& level = slot.levels[k];
+    level.push_back(Entry{marker, shared});
+    if (level.size() > 2) level.pop_front();
+  }
+  return true;
+}
+
+std::optional<Checkpoint> CheckpointStore::best_before(
+    mpi::Rank rank, std::uint64_t target) const {
+  std::lock_guard lk(mu_);
+  const auto& slot = per_rank_.at(static_cast<std::size_t>(rank));
+  const Entry* best = nullptr;
+  for (const auto& level : slot.levels) {
+    for (const auto& e : level) {
+      if (e.marker <= target && (best == nullptr || e.marker > best->marker)) {
+        best = &e;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return Checkpoint{best->marker, *best->state};
+}
+
+std::size_t CheckpointStore::count(mpi::Rank rank) const {
+  std::lock_guard lk(mu_);
+  const auto& slot = per_rank_.at(static_cast<std::size_t>(rank));
+  std::map<std::uint64_t, bool> distinct;
+  for (const auto& level : slot.levels) {
+    for (const auto& e : level) distinct[e.marker] = true;
+  }
+  return distinct.size();
+}
+
+std::size_t CheckpointStore::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& slot : per_rank_) {
+    std::map<std::uint64_t, std::size_t> distinct;
+    for (const auto& level : slot.levels) {
+      for (const auto& e : level) distinct[e.marker] = e.state->size();
+    }
+    for (const auto& [marker, bytes] : distinct) n += bytes;
+  }
+  return n;
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard lk(mu_);
+  for (auto& slot : per_rank_) slot = RankSlot{};
+}
+
+}  // namespace tdbg::replay

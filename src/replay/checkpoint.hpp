@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+/// \file checkpoint.hpp
+/// Checkpoint store with a logarithmic backlog — the improvement the
+/// paper sketches in §6: "Our current implementation of replay and
+/// undo is done in a straightforward manner by re-executing until an
+/// execution marker threshold is encountered.  We could improve on
+/// this by periodically checkpointing program states and keeping a
+/// logarithmic backlog of process states."
+///
+/// Applications opt in by serializing their state at convenient points
+/// (e.g. once per outer iteration) and offering it to the store keyed
+/// by the current execution marker.  The store keeps snapshots whose
+/// spacing doubles with age, so the backlog is O(log span) snapshots
+/// while the distance from any target marker back to the nearest
+/// retained checkpoint stays proportional to its age.
+
+namespace tdbg::replay {
+
+/// One retained snapshot.
+struct Checkpoint {
+  std::uint64_t marker = 0;
+  std::vector<std::byte> state;
+};
+
+/// Per-rank checkpoint backlog with logarithmic (binary-bucket)
+/// retention: level k keeps the two most recent snapshots whose
+/// marker index (marker / interval) is a multiple of 2^k.
+/// Thread-safe (ranks offer concurrently).
+class CheckpointStore {
+ public:
+  /// \param num_ranks world size
+  /// \param interval  marker granularity: offers are accepted at most
+  ///        once per `interval` markers
+  explicit CheckpointStore(int num_ranks, std::uint64_t interval = 64);
+
+  /// Offers a snapshot of `rank`'s state at `marker`.  Markers must be
+  /// non-decreasing per rank.  Returns true if the snapshot was
+  /// retained (offers closer than `interval` to the previous accepted
+  /// one are ignored).
+  bool offer(mpi::Rank rank, std::uint64_t marker,
+             std::vector<std::byte> state);
+
+  /// The newest retained checkpoint of `rank` with marker <= `target`,
+  /// if any — the restart point for an undo/replay to `target`.
+  [[nodiscard]] std::optional<Checkpoint> best_before(
+      mpi::Rank rank, std::uint64_t target) const;
+
+  /// Number of distinct retained checkpoints for `rank`.
+  [[nodiscard]] std::size_t count(mpi::Rank rank) const;
+
+  /// Bytes held across all ranks (distinct snapshots only).
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  /// Drops everything.
+  void clear();
+
+ private:
+  static constexpr std::size_t kLevels = 48;
+
+  struct Entry {
+    std::uint64_t marker = 0;
+    std::shared_ptr<const std::vector<std::byte>> state;
+  };
+
+  struct RankSlot {
+    std::array<std::deque<Entry>, kLevels> levels;
+    bool has_last = false;
+    std::uint64_t last_index = 0;
+    std::uint64_t last_marker = 0;
+  };
+
+  std::uint64_t interval_;
+  mutable std::mutex mu_;
+  std::vector<RankSlot> per_rank_;
+};
+
+}  // namespace tdbg::replay

@@ -1,0 +1,112 @@
+#include "replay/checkpointed_session.hpp"
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace tdbg::replay {
+
+CheckpointedSession::CheckpointedSession(int num_ranks,
+                                         SteppableFactory factory,
+                                         std::uint64_t interval)
+    : num_ranks_(num_ranks), factory_(std::move(factory)),
+      interval_(std::max<std::uint64_t>(1, interval)),
+      store_(num_ranks, interval_) {
+  TDBG_CHECK(num_ranks > 0, "need at least one rank");
+  TDBG_CHECK(static_cast<bool>(factory_), "need an app factory");
+}
+
+SteppedRun CheckpointedSession::run(std::uint64_t max_steps) {
+  TDBG_CHECK(!ran_, "run() may only be called once");
+  ran_ = true;
+
+  std::atomic<std::uint64_t> total_steps{0};
+  std::atomic<std::uint64_t> last_step{0};
+
+  SteppedRun out;
+  out.result = mpi::run(num_ranks_, [&](mpi::Comm& comm) {
+    auto app = factory_(comm.rank());
+    TDBG_CHECK(app != nullptr, "factory returned no app");
+    app->init(comm);
+
+    std::uint64_t idx = 0;
+    for (; idx < max_steps; ++idx) {
+      const bool more = app->step(comm, idx);
+      total_steps.fetch_add(1, std::memory_order_relaxed);
+
+      if (idx % interval_ == 0) {
+        // Check quiescence and snapshot BEFORE the agreement
+        // collective: at this point no rank can have entered superstep
+        // idx+1 (they all still owe their agreement contribution), so
+        // anything queued here is a message of step idx the app failed
+        // to consume — a BSP-contract violation.
+        TDBG_CHECK(comm.pending_messages() == 0,
+                   "steppable target not quiescent at checkpoint boundary");
+        store_.offer(comm.rank(), idx, app->snapshot());
+      }
+      // Agree globally on continuation so every rank checkpoints at
+      // the same superstep boundaries.
+      const int all_more = comm.allreduce_value<int>(
+          more ? 1 : 0, [](int a, int b) { return a < b ? a : b; });
+      if (all_more == 0) break;
+    }
+    if (comm.rank() == 0) {
+      last_step.store(idx, std::memory_order_relaxed);
+    }
+  });
+  out.steps_executed = total_steps.load();
+  out.last_step = last_step.load();
+  return out;
+}
+
+SteppedRun CheckpointedSession::rollback_to(
+    std::uint64_t target_step, std::vector<std::vector<std::byte>>* states) {
+  TDBG_CHECK(ran_, "rollback needs a completed run");
+  if (states != nullptr) {
+    states->assign(static_cast<std::size_t>(num_ranks_), {});
+  }
+
+  std::atomic<std::uint64_t> total_steps{0};
+  SteppedRun out;
+  out.result = mpi::run(num_ranks_, [&](mpi::Comm& comm) {
+    auto app = factory_(comm.rank());
+    app->init(comm);
+
+    const auto cp = store_.best_before(comm.rank(), target_step);
+    std::uint64_t base = 0;
+    bool restored = false;
+    if (cp) {
+      base = cp->marker;
+      restored = true;
+    }
+    // Every rank must restart from the SAME superstep — coordinated
+    // offers guarantee it, but verify rather than trust.
+    const auto base_min = comm.allreduce_value<std::uint64_t>(
+        base, [](std::uint64_t a, std::uint64_t b) { return a < b ? a : b; });
+    const auto base_max = comm.allreduce_value<std::uint64_t>(
+        base, [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+    TDBG_CHECK(base_min == base_max,
+               "ranks hold checkpoints from different supersteps");
+    if (restored) app->restore(cp->state);
+
+    // Re-step from the boundary to the target.  A restored state is
+    // "after superstep base", so the next step index is base + 1; a
+    // fresh state starts at 0.
+    for (std::uint64_t idx = restored ? base + 1 : 0; idx <= target_step;
+         ++idx) {
+      app->step(comm, idx);
+      total_steps.fetch_add(1, std::memory_order_relaxed);
+      // Keep the superstep barrier so message traffic from re-stepping
+      // stays aligned across ranks.
+      comm.barrier();
+    }
+    if (states != nullptr) {
+      (*states)[static_cast<std::size_t>(comm.rank())] = app->snapshot();
+    }
+  });
+  out.steps_executed = total_steps.load();
+  out.last_step = target_step;
+  return out;
+}
+
+}  // namespace tdbg::replay

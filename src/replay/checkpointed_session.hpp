@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "replay/checkpoint.hpp"
+
+/// \file checkpointed_session.hpp
+/// Checkpoint-accelerated rollback for steppable targets — the full
+/// realization of the paper's §6 proposal ("periodically checkpointing
+/// program states and keeping a logarithmic backlog of process
+/// states") on top of `CheckpointStore`.
+///
+/// Scope: a *steppable* target is one structured as supersteps that
+/// end quiescent — after `step` returns, no message sent during the
+/// step is still undelivered-to-application (BSP-style: exchange, then
+/// consume everything you were sent).  At a superstep boundary the
+/// per-rank states alone are a consistent global state, so restoring
+/// every rank's snapshot from the same boundary and re-stepping is a
+/// correct rollback.  The session *verifies* quiescence at each
+/// checkpoint (mailboxes empty) rather than trusting the caller.
+///
+/// Arbitrary (non-steppable) targets keep the general mechanism:
+/// marker-threshold replay from the start (`ReplaySession` + `undo`),
+/// which needs no cooperation but pays O(history) per rollback — the
+/// trade quantified in `bench/abl_undo_checkpoint`.
+
+namespace tdbg::replay {
+
+/// A steppable, serializable per-rank computation.
+class SteppableApp {
+ public:
+  virtual ~SteppableApp() = default;
+
+  /// Fresh-state initialization (step 0 follows).
+  virtual void init(mpi::Comm& comm) = 0;
+
+  /// Runs superstep `index`; returns false when the computation is
+  /// finished (no further steps).  Must end quiescent (see file
+  /// comment).
+  virtual bool step(mpi::Comm& comm, std::uint64_t index) = 0;
+
+  /// Serializes the full per-rank state.
+  [[nodiscard]] virtual std::vector<std::byte> snapshot() const = 0;
+
+  /// Restores a state produced by `snapshot` on the same rank.
+  virtual void restore(std::span<const std::byte> state) = 0;
+};
+
+/// Creates one app instance per rank (called on the rank's thread).
+using SteppableFactory =
+    std::function<std::unique_ptr<SteppableApp>(mpi::Rank)>;
+
+/// Outcome of a checkpointed run or rollback.
+struct SteppedRun {
+  mpi::RunResult result;
+  std::uint64_t steps_executed = 0;  ///< summed over ranks
+  std::uint64_t last_step = 0;       ///< final superstep index reached
+};
+
+/// Runs steppable targets with coordinated checkpoints and rolls them
+/// back through the logarithmic backlog.
+class CheckpointedSession {
+ public:
+  /// \param num_ranks world size
+  /// \param factory   builds each rank's app
+  /// \param interval  checkpoint every `interval` supersteps
+  CheckpointedSession(int num_ranks, SteppableFactory factory,
+                      std::uint64_t interval = 16);
+
+  /// Runs from a fresh state to completion (or `max_steps`), offering
+  /// coordinated checkpoints.  May be called once.
+  SteppedRun run(std::uint64_t max_steps = ~std::uint64_t{0});
+
+  /// Rolls back: re-creates the world, restores every rank from the
+  /// newest retained checkpoint at-or-before `target_step`, re-steps
+  /// to exactly `target_step`, and returns (snapshotting nothing new).
+  /// `steps_executed` measures the replay work — the quantity the
+  /// backlog shrinks.  The restored state is returned per rank.
+  SteppedRun rollback_to(std::uint64_t target_step,
+                         std::vector<std::vector<std::byte>>* states = nullptr);
+
+  /// The underlying store (for inspecting the backlog).
+  [[nodiscard]] const CheckpointStore& store() const { return store_; }
+
+ private:
+  int num_ranks_;
+  SteppableFactory factory_;
+  std::uint64_t interval_;
+  CheckpointStore store_;
+  bool ran_ = false;
+};
+
+}  // namespace tdbg::replay

@@ -1,0 +1,37 @@
+#include "replay/match_log.hpp"
+
+#include "support/error.hpp"
+
+namespace tdbg::replay {
+
+MatchRecorder::MatchRecorder(int num_ranks) {
+  TDBG_CHECK(num_ranks > 0, "recorder needs at least one rank");
+  log_.per_rank.resize(static_cast<std::size_t>(num_ranks));
+}
+
+void MatchRecorder::on_call_end(const mpi::CallInfo& info,
+                                const mpi::Status* status) {
+  if (info.kind != mpi::CallKind::kRecv || status == nullptr) return;
+  // Receives complete in program order on each rank, and this hook
+  // runs on the receiving rank's own thread, so plain push_back per
+  // rank is race-free and index-aligned with Comm's recv_index.
+  log_.per_rank.at(static_cast<std::size_t>(info.rank))
+      .push_back(mpi::SourceSeq{status->source, status->channel_seq});
+}
+
+ReplayController::ReplayController(MatchLog log) : log_(std::move(log)) {}
+
+std::optional<mpi::SourceSeq> ReplayController::force(
+    mpi::Rank receiver, std::uint64_t recv_index) {
+  // A default-constructed (empty) log means a live run: nothing is
+  // forced.  Ranks beyond the log (partial recordings) fall back to
+  // free choice too.
+  if (static_cast<std::size_t>(receiver) >= log_.per_rank.size()) {
+    return std::nullopt;
+  }
+  const auto& v = log_.per_rank[static_cast<std::size_t>(receiver)];
+  if (recv_index >= v.size()) return std::nullopt;
+  return v[recv_index];
+}
+
+}  // namespace tdbg::replay

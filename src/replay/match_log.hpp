@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mpi/hooks.hpp"
+#include "mpi/match_controller.hpp"
+
+/// \file match_log.hpp
+/// Record/replay of message matching (paper §4.2 / §6).
+///
+/// During a recorded run, `MatchRecorder` logs, for every receive each
+/// rank completes, the (source, channel-sequence) pair it matched.
+/// During a replay, `ReplayController` forces receive number k on each
+/// rank to match exactly the logged message, which pins down
+/// `MPI_ANY_SOURCE` nondeterminism and guarantees "identical event
+/// causality with the original program execution".
+///
+/// Deterministic receives (specific source) are forced too — it is
+/// free, and it turns any divergence between the replayed program and
+/// the log into an immediate, diagnosable error instead of a silent
+/// drift.
+
+namespace tdbg::replay {
+
+/// Per-rank receive-match history: `per_rank[r][k]` is what receive
+/// number k on rank r matched.
+struct MatchLog {
+  std::vector<std::vector<mpi::SourceSeq>> per_rank;
+
+  [[nodiscard]] std::size_t total_receives() const {
+    std::size_t n = 0;
+    for (const auto& v : per_rank) n += v.size();
+    return n;
+  }
+
+  friend bool operator==(const MatchLog&, const MatchLog&) = default;
+};
+
+/// Profiling hook that records the match log of a run.  Install it
+/// (alongside the instrumentation session, via `mpi::HookFanout`) on
+/// the recorded run.
+class MatchRecorder : public mpi::ProfilingHooks {
+ public:
+  explicit MatchRecorder(int num_ranks);
+
+  void on_call_end(const mpi::CallInfo& info,
+                   const mpi::Status* status) override;
+
+  /// The log recorded so far.  Call after the run has finished.
+  [[nodiscard]] const MatchLog& log() const { return log_; }
+
+  /// Moves the log out (the recorder is then empty).
+  MatchLog take_log() { return std::move(log_); }
+
+ private:
+  MatchLog log_;
+};
+
+/// Match controller that forces a replayed run to follow a recorded
+/// log.  Receives beyond the end of the log (possible when the
+/// recorded run was cut short by a crash) fall back to free choice.
+class ReplayController : public mpi::MatchController {
+ public:
+  explicit ReplayController(MatchLog log);
+
+  std::optional<mpi::SourceSeq> force(mpi::Rank receiver,
+                                      std::uint64_t recv_index) override;
+
+  [[nodiscard]] const MatchLog& log() const { return log_; }
+
+ private:
+  MatchLog log_;
+};
+
+}  // namespace tdbg::replay

@@ -1,0 +1,29 @@
+#include "replay/record.hpp"
+
+#include "trace/collector.hpp"
+
+namespace tdbg::replay {
+
+RecordedRun record(int num_ranks, const mpi::RankBody& body,
+                   const RecordOptions& options) {
+  std::unique_ptr<trace::TraceCollector> collector;
+  if (options.collect_trace) {
+    collector = std::make_unique<trace::TraceCollector>(
+        num_ranks, instr::global_constructs());
+  }
+  instr::Session session(num_ranks, collector.get(), options.session);
+  MatchRecorder recorder(num_ranks);
+  mpi::HookFanout hooks{&session, &recorder};
+
+  mpi::RunOptions run_options = options.run;
+  run_options.hooks = &hooks;
+  run_options.controller = nullptr;
+
+  RecordedRun out;
+  out.result = mpi::run(num_ranks, body, run_options);
+  if (collector != nullptr) out.trace = collector->build_trace();
+  out.log = recorder.take_log();
+  return out;
+}
+
+}  // namespace tdbg::replay

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+
+#include "instrument/session.hpp"
+#include "mpi/runtime.hpp"
+#include "replay/match_log.hpp"
+#include "trace/trace.hpp"
+
+/// \file record.hpp
+/// The recorded-run driver: runs a target program with the full
+/// instrumentation stack installed (session + match recorder) and
+/// returns everything the trace-driven debugging features need — the
+/// trace, the match log, and the run outcome.
+
+namespace tdbg::replay {
+
+/// Configuration of a recorded run.
+struct RecordOptions {
+  /// Which record kinds the session collects.
+  instr::SessionOptions session;
+
+  /// Collect an in-memory trace (disable for overhead measurements
+  /// where only markers should run).
+  bool collect_trace = true;
+
+  /// Forwarded to the runtime (hooks/controller fields are owned by
+  /// the recorder and overwritten).
+  mpi::RunOptions run;
+};
+
+/// Everything a recorded run produces.
+struct RecordedRun {
+  mpi::RunResult result;  ///< outcome (completed / deadlocked / failed)
+  trace::Trace trace;     ///< execution history (empty if not collected)
+  MatchLog log;           ///< receive-match log for replay
+};
+
+/// Runs `body` on `num_ranks` ranks with recording installed.
+RecordedRun record(int num_ranks, const mpi::RankBody& body,
+                   const RecordOptions& options = {});
+
+}  // namespace tdbg::replay

@@ -1,0 +1,27 @@
+#include "support/clock.hpp"
+
+#include <atomic>
+
+namespace tdbg::support {
+
+namespace {
+
+TimeNs steady_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<TimeNs> g_epoch{steady_now()};
+
+}  // namespace
+
+TimeNs now_ns() { return steady_now(); }
+
+void reset_run_epoch() { g_epoch.store(steady_now(), std::memory_order_relaxed); }
+
+TimeNs run_time_ns() {
+  return steady_now() - g_epoch.load(std::memory_order_relaxed);
+}
+
+}  // namespace tdbg::support

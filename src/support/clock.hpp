@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file clock.hpp
+/// Monotonic time sources for trace timestamps and benchmarking.
+///
+/// Trace timestamps are nanoseconds since a per-run epoch.  They are
+/// used only for *display* (time-space diagrams, vertical stopline
+/// placement); every correctness-critical feature of the debugger uses
+/// execution markers and causality instead (DESIGN.md, "Key design
+/// decisions").
+
+namespace tdbg::support {
+
+/// Nanoseconds since an arbitrary (per-process) monotonic epoch.
+using TimeNs = std::int64_t;
+
+/// Returns the current monotonic time in nanoseconds.
+TimeNs now_ns();
+
+/// Resets the per-run epoch so subsequent `run_time_ns` values start
+/// near zero.  Called by the runtime at the start of each spawned run;
+/// makes traces from successive runs comparable.
+void reset_run_epoch();
+
+/// Nanoseconds since the last `reset_run_epoch` call (or process
+/// start).
+TimeNs run_time_ns();
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = now_ns(); }
+
+  /// Elapsed time since construction / last reset.
+  [[nodiscard]] TimeNs elapsed_ns() const { return now_ns() - start_; }
+
+  /// Elapsed time in seconds as a double (for report tables).
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  TimeNs start_;
+};
+
+}  // namespace tdbg::support

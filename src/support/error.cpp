@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace tdbg::support {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw UsageError(os.str());
+}
+
+}  // namespace tdbg::support

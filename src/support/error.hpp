@@ -1,0 +1,57 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error reporting for the tdbg libraries.
+///
+/// The libraries throw `tdbg::Error` (or a subclass) on contract
+/// violations and unrecoverable conditions.  Hot paths use the
+/// `TDBG_CHECK` macro, which compiles to a branch + cold throw.
+
+namespace tdbg {
+
+/// Base exception for all tdbg errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (trace file read/write) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A trace file or record stream is malformed.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace support {
+
+/// Throws `UsageError` with file/line context.  Out-of-line so the
+/// check macro stays small at call sites.
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+}  // namespace support
+}  // namespace tdbg
+
+/// Checks a runtime condition; throws `tdbg::UsageError` on failure.
+/// Enabled in all build types: the debugger is itself a correctness
+/// tool, so its internal invariants stay armed.
+#define TDBG_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::tdbg::support::fail_check(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (0)

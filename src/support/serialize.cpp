@@ -1,0 +1,40 @@
+#include "support/serialize.hpp"
+
+namespace tdbg::support {
+
+void BinaryWriter::put_string(std::string_view s) {
+  TDBG_CHECK(s.size() <= UINT32_MAX, "string too long to serialize");
+  put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+  const auto old = buf_.size();
+  buf_.resize(old + s.size());
+  std::memcpy(buf_.data() + old, s.data(), s.size());
+}
+
+void BinaryWriter::put_raw(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::string BinaryReader::get_string() {
+  const auto len = get<std::uint32_t>();
+  require(len);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void BinaryReader::seek(std::size_t pos) {
+  if (pos > bytes_.size()) {
+    throw FormatError("BinaryReader::seek past end of buffer");
+  }
+  pos_ = pos;
+}
+
+void BinaryReader::require(std::size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw FormatError("truncated binary record: need " + std::to_string(n) +
+                      " bytes at offset " + std::to_string(pos_) +
+                      ", have " + std::to_string(bytes_.size() - pos_));
+  }
+}
+
+}  // namespace tdbg::support

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+/// \file serialize.hpp
+/// Little binary (de)serialization layer used by the trace file format.
+///
+/// Values are encoded little-endian with fixed widths; strings and
+/// blobs are length-prefixed with a u32.  The format is deliberately
+/// boring: trace files must be readable by offset (the trace graph
+/// rescans file regions on zoom, §4.3 of the paper), so there is no
+/// compression at this layer.
+
+namespace tdbg::support {
+
+/// Appends binary-encoded values to a growable byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  /// Writes a trivially-copyable scalar little-endian.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+  void put(T value) {
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  /// Writes a length-prefixed string (u32 length + bytes).
+  void put_string(std::string_view s);
+
+  /// Writes raw bytes with no prefix.
+  void put_raw(std::span<const std::byte> bytes);
+
+  /// The accumulated encoding.
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+
+  /// Current encoded size in bytes.
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Discards the accumulated encoding.
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads binary-encoded values from a byte span.  Throws `FormatError`
+/// on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  /// Reads a trivially-copyable scalar.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+  T get() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Reads a length-prefixed string.
+  std::string get_string();
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// True when every byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+  /// Absolute read offset from the start of the span.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  /// Moves the read offset; must stay within the span.
+  void seek(std::size_t pos);
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tdbg::support

@@ -1,0 +1,95 @@
+#include "trace/collector.hpp"
+
+#include "support/error.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tdbg::trace {
+
+TraceCollector::TraceCollector(int num_ranks,
+                               std::shared_ptr<ConstructRegistry> constructs)
+    : num_ranks_(num_ranks), constructs_(std::move(constructs)) {
+  TDBG_CHECK(num_ranks > 0, "collector needs at least one rank");
+  if (constructs_ == nullptr) {
+    constructs_ = std::make_shared<ConstructRegistry>();
+  }
+  buffers_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    buffers_.push_back(std::make_unique<RankBuffer>());
+  }
+  for (auto& flag : kind_enabled_) flag.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::set_kind_enabled(EventKind kind, bool enabled) {
+  kind_enabled_.at(static_cast<std::size_t>(kind))
+      .store(enabled, std::memory_order_relaxed);
+}
+
+void TraceCollector::append(const Event& event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (!kind_enabled_[static_cast<std::size_t>(event.kind)].load(
+          std::memory_order_relaxed)) {
+    return;
+  }
+  auto& buf = *buffers_.at(static_cast<std::size_t>(event.rank));
+  bool should_flush = false;
+  {
+    std::lock_guard lk(buf.mu);
+    buf.events.push_back(event);
+    should_flush = writer_ != nullptr && buf.events.size() >= flush_threshold_;
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (should_flush) flush_rank(buf);
+}
+
+void TraceCollector::attach_writer(TraceWriter* writer,
+                                   std::size_t threshold) {
+  std::lock_guard lk(writer_mu_);
+  writer_ = writer;
+  flush_threshold_ = threshold == 0 ? 1 : threshold;
+}
+
+void TraceCollector::flush_rank(RankBuffer& buffer) {
+  std::vector<Event> drained;
+  {
+    std::lock_guard lk(buffer.mu);
+    drained.swap(buffer.events);
+  }
+  std::lock_guard wlk(writer_mu_);
+  if (writer_ == nullptr) {
+    // Writer detached between the check and now: put the records back.
+    std::lock_guard lk(buffer.mu);
+    buffer.events.insert(buffer.events.begin(), drained.begin(),
+                         drained.end());
+    return;
+  }
+  for (const Event& e : drained) writer_->write_event(e);
+}
+
+void TraceCollector::flush() {
+  {
+    std::lock_guard lk(writer_mu_);
+    if (writer_ == nullptr) return;
+  }
+  for (auto& buf : buffers_) flush_rank(*buf);
+}
+
+std::size_t TraceCollector::buffered_count() const {
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard lk(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+Trace TraceCollector::build_trace() const {
+  std::vector<Event> all;
+  all.reserve(buffered_count());
+  for (const auto& buf : buffers_) {
+    std::lock_guard lk(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  return Trace(num_ranks_, std::move(all), constructs_);
+}
+
+}  // namespace tdbg::trace

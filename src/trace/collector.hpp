@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/construct_registry.hpp"
+#include "trace/trace.hpp"
+
+namespace tdbg::trace {
+
+class TraceWriter;
+
+/// Collects trace records from all ranks during a run.
+///
+/// This is the debugger-side monitor of paper §2.1: per-rank buffers
+/// filled by the instrumentation, with two additions the paper had to
+/// make to AIMS: the records can be *flushed on demand* while the
+/// program is still executing (p2d2 needs history during execution,
+/// not post-mortem), and collection can be toggled — globally or per
+/// record kind — to control trace size (§3: "the size of trace file
+/// can be controlled by selectively instrumenting constructs and by
+/// toggling the collection on and off in the monitor").
+class TraceCollector {
+ public:
+  /// \param num_ranks  world size of the run being traced
+  /// \param constructs shared construct table (created if null)
+  explicit TraceCollector(
+      int num_ranks,
+      std::shared_ptr<ConstructRegistry> constructs = nullptr);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Appends a record (called from the owning rank's thread).  Drops
+  /// the record if collection is disabled globally or for its kind.
+  void append(const Event& event);
+
+  /// Globally enables/disables collection.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Enables/disables one record kind (e.g. drop enter/exit records
+  /// but keep message records).
+  void set_kind_enabled(EventKind kind, bool enabled);
+
+  /// Attaches a writer; once attached, `flush` drains buffered records
+  /// to it, and buffers auto-flush when they exceed `threshold`
+  /// records.
+  void attach_writer(TraceWriter* writer, std::size_t threshold = 4096);
+
+  /// Flush-on-demand: drains every rank's buffer to the attached
+  /// writer.  No-op without a writer.
+  void flush();
+
+  /// Number of records currently buffered (all ranks).
+  [[nodiscard]] std::size_t buffered_count() const;
+
+  /// Total records accepted since construction (including flushed).
+  [[nodiscard]] std::uint64_t total_count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// Builds an in-memory `Trace` from the buffered records (leaves the
+  /// buffers intact).  Requires that no writer flushing has happened,
+  /// otherwise the early records are on disk, not here.
+  [[nodiscard]] Trace build_trace() const;
+
+  /// The shared construct table.
+  [[nodiscard]] const std::shared_ptr<ConstructRegistry>& constructs() const {
+    return constructs_;
+  }
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+
+ private:
+  struct RankBuffer {
+    mutable std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  void flush_rank(RankBuffer& buffer);
+
+  int num_ranks_;
+  std::shared_ptr<ConstructRegistry> constructs_;
+  std::vector<std::unique_ptr<RankBuffer>> buffers_;
+  std::atomic<bool> enabled_{true};
+  std::array<std::atomic<bool>, 8> kind_enabled_;
+  std::atomic<std::uint64_t> total_{0};
+
+  std::mutex writer_mu_;
+  TraceWriter* writer_ = nullptr;
+  std::size_t flush_threshold_ = 4096;
+};
+
+}  // namespace tdbg::trace

@@ -1,0 +1,56 @@
+#include "trace/construct_registry.hpp"
+
+#include "support/error.hpp"
+
+namespace tdbg::trace {
+
+std::string ConstructRegistry::key(std::string_view name,
+                                   std::string_view file, int line) {
+  std::string k;
+  k.reserve(name.size() + file.size() + 12);
+  k.append(name);
+  k.push_back('\x1f');
+  k.append(file);
+  k.push_back('\x1f');
+  k.append(std::to_string(line));
+  return k;
+}
+
+ConstructId ConstructRegistry::intern(std::string_view name,
+                                      std::string_view file, int line) {
+  std::lock_guard lk(mu_);
+  auto [it, inserted] = index_.try_emplace(key(name, file, line),
+                                           static_cast<ConstructId>(table_.size()));
+  if (inserted) {
+    table_.push_back(ConstructInfo{std::string(name), std::string(file), line});
+  }
+  return it->second;
+}
+
+ConstructInfo ConstructRegistry::info(ConstructId id) const {
+  std::lock_guard lk(mu_);
+  TDBG_CHECK(id < table_.size(), "unknown construct id");
+  return table_[id];
+}
+
+std::size_t ConstructRegistry::size() const {
+  std::lock_guard lk(mu_);
+  return table_.size();
+}
+
+std::vector<ConstructInfo> ConstructRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  return table_;
+}
+
+void ConstructRegistry::restore(std::vector<ConstructInfo> table) {
+  std::lock_guard lk(mu_);
+  table_ = std::move(table);
+  index_.clear();
+  for (ConstructId id = 0; id < static_cast<ConstructId>(table_.size()); ++id) {
+    const auto& c = table_[id];
+    index_[key(c.name, c.file, c.line)] = id;
+  }
+}
+
+}  // namespace tdbg::trace

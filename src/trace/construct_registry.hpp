@@ -1,0 +1,58 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace tdbg::trace {
+
+/// Source-location description of an instrumented construct.
+struct ConstructInfo {
+  std::string name;  ///< function or call-site label ("MatrSend", "MPI_Send")
+  std::string file;  ///< source file, may be empty
+  int line = 0;      ///< 1-based line, 0 if unknown
+};
+
+/// Interns construct descriptions and hands out stable ids.
+///
+/// Both trace visualizers in the paper relate constructs back to the
+/// source program ("clicking on a bar ... can identify the location of
+/// the send or receive in the source code"); this table is what makes
+/// that mapping possible in a trace file.
+///
+/// Thread-safe: instrumentation on every rank interns concurrently.
+class ConstructRegistry {
+ public:
+  ConstructRegistry() = default;
+
+  /// Returns the id for (name, file, line), creating it if new.
+  ConstructId intern(std::string_view name, std::string_view file = {},
+                     int line = 0);
+
+  /// Looks up a construct (by value: the table may grow concurrently);
+  /// throws `UsageError` for unknown ids.
+  [[nodiscard]] ConstructInfo info(ConstructId id) const;
+
+  /// Number of interned constructs.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of all constructs, indexed by id.  Used by the trace
+  /// writer to emit the construct table.
+  [[nodiscard]] std::vector<ConstructInfo> snapshot() const;
+
+  /// Rebuilds the registry from a snapshot (trace reader).
+  void restore(std::vector<ConstructInfo> table);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ConstructInfo> table_;
+  std::unordered_map<std::string, ConstructId> index_;
+
+  static std::string key(std::string_view name, std::string_view file,
+                         int line);
+};
+
+}  // namespace tdbg::trace

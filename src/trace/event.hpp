@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "mpi/types.hpp"
+#include "support/clock.hpp"
+
+/// \file event.hpp
+/// The trace record model (paper §3): one record per execution of an
+/// instrumented construct, identifying the construct (program
+/// location), the executing process, start/end times, and — for
+/// message-passing constructs — the message tag and endpoints.
+
+namespace tdbg::trace {
+
+/// Identifies an instrumented program construct (a function or a call
+/// site); resolved to name/file/line through the `ConstructRegistry`.
+using ConstructId = std::uint32_t;
+
+/// Sentinel for "no construct" (events synthesized by the runtime).
+inline constexpr ConstructId kNoConstruct = 0xffffffffu;
+
+/// Record types.  Function entry/exit come from `UserMonitor`-level
+/// instrumentation (§2.2); send/recv/collective from the PMPI wrappers
+/// (§2.3); compute blocks and marks from the source-level (AIMS-like)
+/// API (§2.1).
+enum class EventKind : std::uint8_t {
+  kEnter,       ///< function entry
+  kExit,        ///< function exit
+  kSend,        ///< completed (buffered or synchronous) send
+  kRecv,        ///< completed receive
+  kCollective,  ///< completed collective operation
+  kCompute,     ///< explicit computation block
+  kMark,        ///< user annotation
+};
+
+/// Human-readable kind name ("enter", "send", ...).
+std::string_view event_kind_name(EventKind kind);
+
+/// An execution marker: a tag identifying a point in one process's
+/// execution (paper §2).  The counter is incremented by `UserMonitor`
+/// at every instrumented event, so (rank, count) maps a trace record
+/// back to the point of its generation — and, during replay, lets the
+/// monitor recognize that point when it is generated again.
+struct ExecutionMarker {
+  mpi::Rank rank = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ExecutionMarker&,
+                         const ExecutionMarker&) = default;
+  friend auto operator<=>(const ExecutionMarker&,
+                          const ExecutionMarker&) = default;
+};
+
+/// One trace record.
+///
+/// Message matching: a receive record stores the *actual* source in
+/// `peer` and the per-(source,dest) FIFO position in `channel_seq`.
+/// Send records do not carry a sequence number on the wire; because
+/// channels are FIFO (the MPI non-overtaking rule), the k-th send
+/// record from rank s to dest d corresponds to channel_seq k, which is
+/// how `Trace::match_messages` pairs sends with receives uniquely —
+/// the same argument the paper makes in §3.2.
+struct Event {
+  EventKind kind = EventKind::kMark;
+  mpi::Rank rank = 0;
+  std::uint64_t marker = 0;         ///< execution-marker counter at the event
+  ConstructId construct = kNoConstruct;
+  support::TimeNs t_start = 0;
+  support::TimeNs t_end = 0;
+
+  // Message fields (send/recv/collective only):
+  mpi::Rank peer = mpi::kAnySource;  ///< dest (send) / actual source (recv) /
+                                     ///< root (collective)
+  mpi::Tag tag = mpi::kAnyTag;
+  mpi::ChannelSeq channel_seq = 0;   ///< recv: matched FIFO position
+  std::uint64_t bytes = 0;
+  bool wildcard = false;  ///< recv: was posted with ANY_SOURCE (the
+                          ///< nondeterministic receives §4.2 controls and
+                          ///< the race detector §4.4 inspects)
+
+  /// True for kinds that describe point-to-point messages.
+  [[nodiscard]] bool is_message() const {
+    return kind == EventKind::kSend || kind == EventKind::kRecv;
+  }
+
+  /// The execution marker of this record.
+  [[nodiscard]] ExecutionMarker execution_marker() const {
+    return ExecutionMarker{rank, marker};
+  }
+};
+
+}  // namespace tdbg::trace

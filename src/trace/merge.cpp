@@ -1,0 +1,58 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tdbg::trace {
+
+Trace merge_traces(const std::vector<Trace>& parts) {
+  TDBG_CHECK(!parts.empty(), "nothing to merge");
+  auto registry = std::make_shared<ConstructRegistry>();
+  std::vector<Event> events;
+  int num_ranks = 0;
+  for (const auto& part : parts) {
+    num_ranks = std::max(num_ranks, part.num_ranks());
+    // Remap this part's construct ids into the shared table.
+    const auto table = part.constructs().snapshot();
+    std::vector<ConstructId> remap(table.size());
+    for (std::size_t id = 0; id < table.size(); ++id) {
+      remap[id] =
+          registry->intern(table[id].name, table[id].file, table[id].line);
+    }
+    for (Event e : part.events()) {
+      if (e.construct != kNoConstruct) {
+        TDBG_CHECK(e.construct < remap.size(),
+                   "event references a construct missing from its table");
+        e.construct = remap[e.construct];
+      }
+      events.push_back(e);
+    }
+  }
+  return Trace(num_ranks, std::move(events), std::move(registry));
+}
+
+Trace read_merged(const std::vector<std::filesystem::path>& paths) {
+  std::vector<Trace> parts;
+  parts.reserve(paths.size());
+  for (const auto& path : paths) parts.push_back(read_trace(path));
+  return merge_traces(parts);
+}
+
+std::vector<Trace> split_by_rank(const Trace& trace) {
+  std::vector<Trace> parts;
+  parts.reserve(static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    std::vector<Event> events;
+    events.reserve(trace.rank_events(r).size());
+    for (std::size_t i : trace.rank_events(r)) {
+      events.push_back(trace.event(i));
+    }
+    parts.emplace_back(trace.num_ranks(), std::move(events),
+                       trace.constructs_ptr());
+  }
+  return parts;
+}
+
+}  // namespace tdbg::trace

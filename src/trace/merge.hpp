@@ -1,0 +1,31 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+/// \file merge.hpp
+/// Merging per-process trace files.
+///
+/// AIMS writes one trace per process and merges them for analysis; the
+/// same workflow is supported here: each rank's records can be written
+/// to its own file (same or different construct tables) and merged
+/// into one `Trace`, with construct ids remapped into a shared table.
+
+namespace tdbg::trace {
+
+/// Merges traces into one.  Construct ids are re-interned, so inputs
+/// with different (or partially overlapping) construct tables combine
+/// correctly.  The result spans `max(num_ranks)` ranks; events keep
+/// their rank/marker/timestamps.
+Trace merge_traces(const std::vector<Trace>& parts);
+
+/// Reads and merges several trace files.
+Trace read_merged(const std::vector<std::filesystem::path>& paths);
+
+/// Splits a trace into per-rank traces (each keeps the full construct
+/// table) — the inverse, for writing per-process files.
+std::vector<Trace> split_by_rank(const Trace& trace);
+
+}  // namespace tdbg::trace

@@ -1,0 +1,138 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace tdbg::trace {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnter: return "enter";
+    case EventKind::kExit: return "exit";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kCollective: return "coll";
+    case EventKind::kCompute: return "compute";
+    case EventKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+Trace::Trace(int num_ranks, std::vector<Event> events,
+             std::shared_ptr<const ConstructRegistry> constructs)
+    : num_ranks_(num_ranks), events_(std::move(events)),
+      constructs_(std::move(constructs)) {
+  TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
+  if (constructs_ == nullptr) {
+    constructs_ = std::make_shared<ConstructRegistry>();
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.marker < b.marker;
+                   });
+  by_rank_.assign(static_cast<std::size_t>(num_ranks_), {});
+  t_min_ = events_.empty() ? 0 : events_.front().t_start;
+  t_max_ = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
+    by_rank_[static_cast<std::size_t>(e.rank)].push_back(i);
+    t_max_ = std::max(t_max_, e.t_end);
+  }
+  // Global sorting by start time can reorder same-rank events that
+  // share a timestamp; restore per-rank program order by marker (the
+  // marker counter is nondecreasing within a rank).
+  for (auto& idx : by_rank_) {
+    std::stable_sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+      if (events_[a].marker != events_[b].marker) {
+        return events_[a].marker < events_[b].marker;
+      }
+      return events_[a].t_start < events_[b].t_start;
+    });
+  }
+}
+
+const ConstructRegistry& Trace::constructs() const {
+  TDBG_CHECK(constructs_ != nullptr, "trace has no construct table");
+  return *constructs_;
+}
+
+const std::vector<std::size_t>& Trace::rank_events(mpi::Rank r) const {
+  TDBG_CHECK(r >= 0 && r < num_ranks_, "rank out of range");
+  return by_rank_[static_cast<std::size_t>(r)];
+}
+
+std::optional<std::size_t> Trace::find_marker(mpi::Rank rank,
+                                              std::uint64_t marker) const {
+  for (std::size_t i : rank_events(rank)) {
+    if (events_[i].marker == marker) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Trace::last_event_at_or_before(
+    mpi::Rank rank, support::TimeNs t) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i : rank_events(rank)) {
+    if (events_[i].t_start <= t) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Trace::events_in_window(support::TimeNs t0,
+                                                 support::TimeNs t1) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.t_start > t1) break;  // sorted by start time
+    if (e.t_end >= t0) out.push_back(i);
+  }
+  return out;
+}
+
+MatchReport Trace::match_report() const {
+  MatchReport report;
+
+  // Per (source, dest) channel: assign sends FIFO sequence numbers in
+  // the sender's program order; receives carry theirs explicitly.
+  using ChannelKey = std::pair<mpi::Rank, mpi::Rank>;  // (src, dst)
+  std::map<ChannelKey, std::uint64_t> next_send_seq;
+  std::map<std::tuple<mpi::Rank, mpi::Rank, mpi::ChannelSeq>, std::size_t>
+      send_by_seq;
+
+  for (mpi::Rank r = 0; r < num_ranks_; ++r) {
+    for (std::size_t i : rank_events(r)) {
+      const Event& e = events_[i];
+      if (e.kind != EventKind::kSend) continue;
+      const auto seq = next_send_seq[ChannelKey(e.rank, e.peer)]++;
+      send_by_seq[{e.rank, e.peer, seq}] = i;
+    }
+  }
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind != EventKind::kRecv) continue;
+    const auto it = send_by_seq.find({e.peer, e.rank, e.channel_seq});
+    if (it == send_by_seq.end()) {
+      report.unmatched_recvs.push_back(i);
+      continue;
+    }
+    report.matches.push_back(MessageMatch{it->second, i});
+    send_by_seq.erase(it);
+  }
+
+  report.unmatched_sends.reserve(send_by_seq.size());
+  for (const auto& [key, idx] : send_by_seq) {
+    report.unmatched_sends.push_back(idx);
+  }
+  std::sort(report.unmatched_sends.begin(), report.unmatched_sends.end());
+  return report;
+}
+
+}  // namespace tdbg::trace

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "trace/construct_registry.hpp"
+#include "trace/event.hpp"
+
+namespace tdbg::trace {
+
+/// A send record paired with the receive that consumed it.
+struct MessageMatch {
+  std::size_t send_index = 0;  ///< index into `Trace::events()`
+  std::size_t recv_index = 0;
+};
+
+/// Output of `Trace::match_report`: the unique send/receive matching
+/// plus the leftovers the debugger's communication supervision shows
+/// the user (paper §4.4: "the debugger maintains a list of unmatched
+/// sends and receives").
+struct MatchReport {
+  std::vector<MessageMatch> matches;
+  std::vector<std::size_t> unmatched_sends;  ///< sent but never received
+  std::vector<std::size_t> unmatched_recvs;  ///< received with no send record
+};
+
+/// An immutable execution history: the merged event stream of one run.
+///
+/// Events are stored in global display order (by start time, ties by
+/// rank then marker) with a per-rank index preserving each process's
+/// program order.  All correctness-critical queries (markers,
+/// matching) use per-rank order and sequence numbers, never wall time.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Builds a trace from raw events.  `constructs` may be shared with
+  /// a live registry; it is only read.
+  Trace(int num_ranks, std::vector<Event> events,
+        std::shared_ptr<const ConstructRegistry> constructs);
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const Event& event(std::size_t i) const { return events_.at(i); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// The construct table (never null after construction).
+  [[nodiscard]] const ConstructRegistry& constructs() const;
+
+  /// Shared handle to the construct table.
+  [[nodiscard]] std::shared_ptr<const ConstructRegistry> constructs_ptr() const {
+    return constructs_;
+  }
+
+  /// Event indices of one rank, in that rank's program order.
+  [[nodiscard]] const std::vector<std::size_t>& rank_events(mpi::Rank r) const;
+
+  /// First event of `rank` whose marker equals `marker`, if any.
+  [[nodiscard]] std::optional<std::size_t> find_marker(
+      mpi::Rank rank, std::uint64_t marker) const;
+
+  /// Last event of `rank` whose start time is <= `t`, if any.  This is
+  /// the hit-test a vertical stopline uses to turn a mouse position
+  /// into per-rank execution markers (paper §3.1).
+  [[nodiscard]] std::optional<std::size_t> last_event_at_or_before(
+      mpi::Rank rank, support::TimeNs t) const;
+
+  /// Earliest start time in the trace (0 when empty).
+  [[nodiscard]] support::TimeNs t_min() const { return t_min_; }
+
+  /// Latest end time in the trace (0 when empty).
+  [[nodiscard]] support::TimeNs t_max() const { return t_max_; }
+
+  /// Indices of events whose [t_start, t_end] intersects [t0, t1], in
+  /// display order.  Used by the visualizer's zoom window and by the
+  /// trace graph's rescan-on-zoom.
+  [[nodiscard]] std::vector<std::size_t> events_in_window(
+      support::TimeNs t0, support::TimeNs t1) const;
+
+  /// Pairs send records with receive records using per-channel FIFO
+  /// counting (the non-overtaking rule; see `Event` docs) and reports
+  /// the unmatched remainder.
+  [[nodiscard]] MatchReport match_report() const;
+
+ private:
+  int num_ranks_ = 0;
+  std::vector<Event> events_;
+  std::vector<std::vector<std::size_t>> by_rank_;
+  std::shared_ptr<const ConstructRegistry> constructs_;
+  support::TimeNs t_min_ = 0;
+  support::TimeNs t_max_ = 0;
+};
+
+}  // namespace tdbg::trace

@@ -1,0 +1,242 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+#include "support/strings.hpp"
+
+namespace tdbg::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'D', 'B', 'G', 'T', 'R', 'C', '1'};
+constexpr std::uint8_t kRecordEvent = 0;
+constexpr std::uint8_t kRecordEnd = 1;
+
+void encode_event(support::BinaryWriter& w, const Event& e) {
+  w.put<std::uint8_t>(kRecordEvent);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
+  w.put<std::int32_t>(e.rank);
+  w.put<std::uint64_t>(e.marker);
+  w.put<std::uint32_t>(e.construct);
+  w.put<std::int64_t>(e.t_start);
+  w.put<std::int64_t>(e.t_end);
+  w.put<std::int32_t>(e.peer);
+  w.put<std::int32_t>(e.tag);
+  w.put<std::uint64_t>(e.channel_seq);
+  w.put<std::uint64_t>(e.bytes);
+  w.put<std::uint8_t>(e.wildcard ? 1 : 0);
+}
+
+Event decode_event(support::BinaryReader& r) {
+  Event e;
+  e.kind = static_cast<EventKind>(r.get<std::uint8_t>());
+  e.rank = r.get<std::int32_t>();
+  e.marker = r.get<std::uint64_t>();
+  e.construct = r.get<std::uint32_t>();
+  e.t_start = r.get<std::int64_t>();
+  e.t_end = r.get<std::int64_t>();
+  e.peer = r.get<std::int32_t>();
+  e.tag = r.get<std::int32_t>();
+  e.channel_seq = r.get<std::uint64_t>();
+  e.bytes = r.get<std::uint64_t>();
+  e.wildcard = r.get<std::uint8_t>() != 0;
+  return e;
+}
+
+std::string text_event_line(const Event& e) {
+  std::ostringstream os;
+  os << "E\t" << static_cast<int>(e.kind) << '\t' << e.rank << '\t'
+     << e.marker << '\t' << e.construct << '\t' << e.t_start << '\t'
+     << e.t_end << '\t' << e.peer << '\t' << e.tag << '\t' << e.channel_seq
+     << '\t' << e.bytes << '\t' << (e.wildcard ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::filesystem::path& path, int num_ranks,
+                         std::shared_ptr<const ConstructRegistry> constructs,
+                         TraceFormat format)
+    : constructs_(std::move(constructs)), format_(format),
+      out_(path, format == TraceFormat::kBinary
+                     ? std::ios::binary | std::ios::trunc
+                     : std::ios::trunc) {
+  TDBG_CHECK(constructs_ != nullptr, "trace writer needs a construct table");
+  if (!out_) {
+    throw IoError("cannot open trace file for writing: " + path.string());
+  }
+  if (format_ == TraceFormat::kBinary) {
+    out_.write(kMagic, sizeof kMagic);
+    support::BinaryWriter w;
+    w.put<std::int32_t>(num_ranks);
+    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+               static_cast<std::streamsize>(w.size()));
+  } else {
+    out_ << "#tdbg-trace v1\n";
+    out_ << "R\t" << num_ranks << "\n";
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; a failed footer leaves a truncated
+    // but detectable file.
+  }
+}
+
+void TraceWriter::write_event(const Event& event) {
+  std::lock_guard lk(mu_);
+  TDBG_CHECK(!finished_, "write_event after finish");
+  if (format_ == TraceFormat::kBinary) {
+    support::BinaryWriter w;
+    encode_event(w, event);
+    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+               static_cast<std::streamsize>(w.size()));
+  } else {
+    out_ << text_event_line(event) << '\n';
+  }
+  ++count_;
+  if (!out_) throw IoError("trace write failed");
+}
+
+void TraceWriter::finish() {
+  std::lock_guard lk(mu_);
+  if (finished_) return;
+  finished_ = true;
+  const auto table = constructs_->snapshot();
+  if (format_ == TraceFormat::kBinary) {
+    support::BinaryWriter w;
+    w.put<std::uint8_t>(kRecordEnd);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(table.size()));
+    for (const auto& c : table) {
+      w.put_string(c.name);
+      w.put_string(c.file);
+      w.put<std::int32_t>(c.line);
+    }
+    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+               static_cast<std::streamsize>(w.size()));
+  } else {
+    for (std::size_t id = 0; id < table.size(); ++id) {
+      out_ << "C\t" << id << '\t' << table[id].line << '\t' << table[id].name
+           << '\t' << table[id].file << '\n';
+    }
+  }
+  out_.flush();
+  if (!out_) throw IoError("trace finish failed");
+  out_.close();
+}
+
+namespace {
+
+Trace read_binary(const std::vector<std::byte>& bytes) {
+  support::BinaryReader r(bytes);
+  r.seek(sizeof kMagic);
+  const auto num_ranks = r.get<std::int32_t>();
+  std::vector<Event> events;
+  bool saw_end = false;
+  while (!r.exhausted()) {
+    const auto tag = r.get<std::uint8_t>();
+    if (tag == kRecordEnd) {
+      saw_end = true;
+      break;
+    }
+    if (tag != kRecordEvent) {
+      throw FormatError("unknown record tag in trace file");
+    }
+    events.push_back(decode_event(r));
+  }
+  auto registry = std::make_shared<ConstructRegistry>();
+  if (saw_end) {
+    const auto n = r.get<std::uint32_t>();
+    std::vector<ConstructInfo> table;
+    table.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ConstructInfo c;
+      c.name = r.get_string();
+      c.file = r.get_string();
+      c.line = r.get<std::int32_t>();
+      table.push_back(std::move(c));
+    }
+    registry->restore(std::move(table));
+  }
+  return Trace(num_ranks, std::move(events), std::move(registry));
+}
+
+Trace read_text(const std::string& content) {
+  int num_ranks = 0;
+  std::vector<Event> events;
+  std::vector<std::pair<std::size_t, ConstructInfo>> constructs;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = support::split(line, '\t');
+    if (fields[0] == "R") {
+      if (fields.size() != 2) throw FormatError("bad R line");
+      num_ranks = std::stoi(fields[1]);
+    } else if (fields[0] == "E") {
+      if (fields.size() != 12) throw FormatError("bad E line: " + line);
+      Event e;
+      e.kind = static_cast<EventKind>(std::stoi(fields[1]));
+      e.rank = std::stoi(fields[2]);
+      e.marker = std::stoull(fields[3]);
+      e.construct = static_cast<ConstructId>(std::stoul(fields[4]));
+      e.t_start = std::stoll(fields[5]);
+      e.t_end = std::stoll(fields[6]);
+      e.peer = std::stoi(fields[7]);
+      e.tag = std::stoi(fields[8]);
+      e.channel_seq = std::stoull(fields[9]);
+      e.bytes = std::stoull(fields[10]);
+      e.wildcard = std::stoi(fields[11]) != 0;
+      events.push_back(e);
+    } else if (fields[0] == "C") {
+      if (fields.size() != 5) throw FormatError("bad C line: " + line);
+      ConstructInfo c;
+      c.line = std::stoi(fields[2]);
+      c.name = fields[3];
+      c.file = fields[4];
+      constructs.emplace_back(std::stoul(fields[1]), std::move(c));
+    } else {
+      throw FormatError("unknown trace line type: " + fields[0]);
+    }
+  }
+  if (num_ranks == 0) throw FormatError("text trace missing R line");
+  std::vector<ConstructInfo> table;
+  for (auto& [id, info] : constructs) {
+    if (table.size() <= id) table.resize(id + 1);
+    table[id] = std::move(info);
+  }
+  auto registry = std::make_shared<ConstructRegistry>();
+  registry->restore(std::move(table));
+  return Trace(num_ranks, std::move(events), std::move(registry));
+}
+
+}  // namespace
+
+Trace read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() >= sizeof kMagic &&
+      std::memcmp(content.data(), kMagic, sizeof kMagic) == 0) {
+    std::vector<std::byte> bytes(content.size());
+    std::memcpy(bytes.data(), content.data(), content.size());
+    return read_binary(bytes);
+  }
+  return read_text(content);
+}
+
+void write_trace(const std::filesystem::path& path, const Trace& trace,
+                 TraceFormat format) {
+  TraceWriter writer(path, trace.num_ranks(), trace.constructs_ptr(), format);
+  for (const Event& e : trace.events()) writer.write_event(e);
+  writer.finish();
+}
+
+}  // namespace tdbg::trace

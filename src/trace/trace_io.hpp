@@ -1,0 +1,66 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "trace/trace.hpp"
+
+namespace tdbg::trace {
+
+/// On-disk encodings of a trace.
+enum class TraceFormat : std::uint8_t {
+  kBinary,  ///< compact fixed-width records (default)
+  kText,    ///< tab-separated, human-greppable
+};
+
+/// Streams trace records to a file.
+///
+/// The event stream is written incrementally — this is what makes the
+/// collector's flush-on-demand useful: the debugger can read a
+/// consistent prefix of the history while the program is still
+/// running.  The construct table is appended by `finish()` (or the
+/// destructor).
+class TraceWriter {
+ public:
+  TraceWriter(const std::filesystem::path& path, int num_ranks,
+              std::shared_ptr<const ConstructRegistry> constructs,
+              TraceFormat format = TraceFormat::kBinary);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Flushes and closes, writing the footer if needed.
+  ~TraceWriter();
+
+  /// Appends one record.  Thread-safe.
+  void write_event(const Event& event);
+
+  /// Writes the construct table and end-of-stream marker, then closes.
+  /// Idempotent.
+  void finish();
+
+  /// Records written so far.
+  [[nodiscard]] std::uint64_t events_written() const { return count_; }
+
+ private:
+  void write_text_construct_table();
+
+  std::shared_ptr<const ConstructRegistry> constructs_;
+  TraceFormat format_;
+  std::ofstream out_;
+  std::mutex mu_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Reads a trace file (either format, detected by magic).  Throws
+/// `IoError` / `FormatError` on problems.
+Trace read_trace(const std::filesystem::path& path);
+
+/// Writes a complete in-memory trace to `path`.
+void write_trace(const std::filesystem::path& path, const Trace& trace,
+                 TraceFormat format = TraceFormat::kBinary);
+
+}  // namespace tdbg::trace

@@ -1,0 +1,132 @@
+#include "viz/html_view.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace tdbg::viz {
+
+namespace {
+
+const char* color_of_kind(trace::EventKind kind) {
+  switch (kind) {
+    case trace::EventKind::kCompute: return "#4caf50";
+    case trace::EventKind::kSend: return "#1e88e5";
+    case trace::EventKind::kRecv: return "#fb8c00";
+    case trace::EventKind::kCollective: return "#8e24aa";
+    default: return "#9e9e9e";
+  }
+}
+
+}  // namespace
+
+std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
+                    const Overlay& overlay) {
+  const auto t0 = trace.t_min();
+  const auto t1 = std::max(trace.t_max(), t0 + 1);
+  const int rows = trace.num_ranks();
+  const double width = 1000.0;
+  const int row_h = 26;
+  const int height = rows * row_h + 20;
+  const auto x_of = [&](support::TimeNs t) {
+    return static_cast<double>(t - t0) / static_cast<double>(t1 - t0) * width;
+  };
+  const auto row_y = [&](mpi::Rank r) { return 10 + (rows - 1 - r) * row_h; };
+
+  std::ostringstream svg;
+  const auto matches = trace.match_report();
+  for (const auto& m : matches.matches) {
+    const auto& s = trace.event(m.send_index);
+    const auto& r = trace.event(m.recv_index);
+    svg << "<line class='msg' x1='" << x_of(s.t_start) << "' y1='"
+        << row_y(s.rank) + row_h / 2 << "' x2='" << x_of(r.t_end) << "' y2='"
+        << row_y(r.rank) + row_h / 2 << "'/>\n";
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& e = trace.event(i);
+    if (e.kind == trace::EventKind::kEnter ||
+        e.kind == trace::EventKind::kExit) {
+      continue;
+    }
+    const double x = x_of(e.t_start);
+    const double w = std::max(1.0, x_of(e.t_end) - x);
+    const auto& name = e.construct == trace::kNoConstruct
+                           ? std::string("?")
+                           : trace.constructs().info(e.construct).name;
+    svg << "<rect class='ev' x='" << x << "' y='" << row_y(e.rank) + 4
+        << "' width='" << w << "' height='" << row_h - 8 << "' fill='"
+        << color_of_kind(e.kind) << "' data-rank='" << e.rank
+        << "' data-marker='" << e.marker << "' data-kind='"
+        << trace::event_kind_name(e.kind) << "' data-construct='"
+        << support::escape_label(name) << "' data-t0='" << e.t_start
+        << "' data-t1='" << e.t_end << "'/>\n";
+  }
+  if (overlay.stopline) {
+    svg << "<line x1='" << x_of(*overlay.stopline) << "' y1='0' x2='"
+        << x_of(*overlay.stopline) << "' y2='" << height
+        << "' stroke='red' stroke-width='2'/>\n";
+  }
+
+  std::ostringstream os;
+  os << "<!doctype html>\n<html><head><meta charset='utf-8'>\n<title>"
+     << support::escape_label(options.title) << "</title>\n<style>\n"
+     << "body{font-family:monospace;margin:12px;background:#fafafa}\n"
+     << "#viewport{border:1px solid #ccc;background:white;cursor:grab}\n"
+     << ".msg{stroke:#555;stroke-width:0.8}\n"
+     << ".ev:hover{stroke:black;stroke-width:1.5}\n"
+     << "#detail{margin-top:8px;padding:6px;background:#eee;"
+        "min-height:2.5em;white-space:pre}\n"
+     << "#labels span{margin-right:1em}\n"
+     << "</style></head><body>\n"
+     << "<h3>" << support::escape_label(options.title) << " &mdash; "
+     << rows << " ranks, " << trace.size()
+     << " records (wheel: zoom, drag: pan, click: inspect)</h3>\n"
+     << "<div id='labels'>";
+  for (mpi::Rank r = rows - 1; r >= 0; --r) os << "<span>P" << r << "</span>";
+  os << "</div>\n"
+     << "<svg id='viewport' width='100%' height='" << height
+     << "' viewBox='0 0 " << width << " " << height << "'>\n"
+     << svg.str() << "</svg>\n"
+     << "<div id='detail'>click a bar for details</div>\n"
+     << R"(<script>
+const svg = document.getElementById('viewport');
+const detail = document.getElementById('detail');
+let vb = {x: 0, y: 0, w: )" << width << R"(, h: )" << height << R"(};
+function apply() {
+  svg.setAttribute('viewBox', vb.x + ' ' + vb.y + ' ' + vb.w + ' ' + vb.h);
+}
+svg.addEventListener('wheel', (ev) => {
+  ev.preventDefault();
+  const scale = ev.deltaY > 0 ? 1.2 : 1 / 1.2;
+  const frac = ev.offsetX / svg.clientWidth;
+  const cx = vb.x + frac * vb.w;
+  vb.w = Math.min()" << width << R"(, vb.w * scale);
+  vb.x = Math.max(0, cx - frac * vb.w);
+  apply();
+});
+let drag = null;
+svg.addEventListener('mousedown', (ev) => { drag = {x: ev.clientX, vx: vb.x}; });
+window.addEventListener('mouseup', () => { drag = null; });
+window.addEventListener('mousemove', (ev) => {
+  if (!drag) return;
+  const dx = (ev.clientX - drag.x) / svg.clientWidth * vb.w;
+  vb.x = Math.max(0, drag.vx - dx);
+  apply();
+});
+svg.addEventListener('click', (ev) => {
+  const t = ev.target;
+  if (!t.classList.contains('ev')) return;
+  detail.textContent =
+      'rank ' + t.dataset.rank + '  marker ' + t.dataset.marker +
+      '  ' + t.dataset.kind + '  ' + t.dataset.construct +
+      '\nt = [' + t.dataset.t0 + ' .. ' + t.dataset.t1 + '] ns' +
+      '\n(a stopline here would arm marker ' + t.dataset.marker +
+      ' on rank ' + t.dataset.rank + ')';
+});
+</script>
+</body></html>
+)";
+  return os.str();
+}
+
+}  // namespace tdbg::viz

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "viz/timeline.hpp"
+
+/// \file html_view.hpp
+/// Self-contained interactive HTML rendering of a trace — the modern
+/// stand-in for NTV's "selective zooming and panning" (§3.1): one
+/// file, no dependencies, wheel-zooms the time axis, drag-pans, and
+/// clicking a construct bar shows its details (rank, marker, kind,
+/// construct, interval) — the click → execution-marker mapping the
+/// Ben library provided to p2d2.
+
+namespace tdbg::viz {
+
+/// Options for the HTML view.
+struct HtmlOptions {
+  std::string title = "tdbg trace";
+  DiagramOptions diagram;
+};
+
+/// Renders the trace as one self-contained HTML page.
+std::string to_html(const trace::Trace& trace, const HtmlOptions& options = {},
+                    const Overlay& overlay = {});
+
+}  // namespace tdbg::viz

@@ -1,0 +1,81 @@
+#include "viz/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace tdbg::viz {
+
+Profile profile_trace(const trace::Trace& trace) {
+  Profile out;
+  out.ranks.resize(static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    out.ranks[static_cast<std::size_t>(r)].rank = r;
+  }
+
+  std::map<std::tuple<mpi::Rank, trace::ConstructId, trace::EventKind>,
+           ProfileRow>
+      rows;
+  for (const auto& e : trace.events()) {
+    auto& rank = out.ranks[static_cast<std::size_t>(e.rank)];
+    const auto span = e.t_end - e.t_start;
+    switch (e.kind) {
+      case trace::EventKind::kCompute: rank.compute += span; break;
+      case trace::EventKind::kSend:
+      case trace::EventKind::kRecv: rank.messaging += span; break;
+      case trace::EventKind::kCollective: rank.collective += span; break;
+      case trace::EventKind::kEnter: ++rank.calls; break;
+      default: break;
+    }
+    if (e.kind == trace::EventKind::kExit ||
+        e.kind == trace::EventKind::kMark) {
+      continue;
+    }
+    auto& row = rows[{e.rank, e.construct, e.kind}];
+    row.rank = e.rank;
+    row.construct = e.construct;
+    row.kind = e.kind;
+    ++row.count;
+    row.total += span;
+    row.max = std::max(row.max, span);
+  }
+  out.rows.reserve(rows.size());
+  for (auto& [key, row] : rows) out.rows.push_back(row);
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.total != b.total) return a.total > b.total;
+              return a.count > b.count;
+            });
+  return out;
+}
+
+std::string Profile::to_string(const trace::ConstructRegistry& constructs,
+                               std::size_t max_rows) const {
+  std::ostringstream os;
+  os << "per-rank rollup:\n";
+  for (const auto& r : ranks) {
+    os << "  rank " << r.rank << ": compute "
+       << support::human_duration(r.compute) << ", messaging "
+       << support::human_duration(r.messaging) << ", collectives "
+       << support::human_duration(r.collective) << ", " << r.calls
+       << " calls\n";
+  }
+  os << "hottest constructs:\n";
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ == max_rows) break;
+    os << "  rank " << row.rank << "  "
+       << trace::event_kind_name(row.kind) << "  "
+       << (row.construct == trace::kNoConstruct
+               ? std::string("?")
+               : constructs.info(row.construct).name)
+       << "  x" << row.count << "  total "
+       << support::human_duration(row.total) << "  max "
+       << support::human_duration(row.max) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::viz

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+/// \file profile.hpp
+/// Per-construct time profile of a trace — the AIMS heritage (the
+/// paper's trace source was a *performance* toolkit; the same records
+/// that drive debugging also answer "where did the time go?").
+///
+/// Durations come from record intervals: sends/receives/collectives
+/// and compute scopes carry [t_start, t_end]; enter/exit records are
+/// points and contribute call counts only.
+
+namespace tdbg::viz {
+
+/// Aggregate for one (construct, kind) pair on one rank.
+struct ProfileRow {
+  mpi::Rank rank = 0;
+  trace::ConstructId construct = trace::kNoConstruct;
+  trace::EventKind kind = trace::EventKind::kCompute;
+  std::uint64_t count = 0;
+  support::TimeNs total = 0;
+  support::TimeNs max = 0;
+};
+
+/// Per-rank rollup.
+struct RankProfile {
+  mpi::Rank rank = 0;
+  support::TimeNs compute = 0;   ///< time in compute scopes
+  support::TimeNs messaging = 0; ///< time in sends+receives
+  support::TimeNs collective = 0;
+  std::uint64_t calls = 0;       ///< function entries
+};
+
+/// The full profile.
+struct Profile {
+  std::vector<ProfileRow> rows;     ///< sorted by total time, descending
+  std::vector<RankProfile> ranks;   ///< indexed by rank
+
+  /// Text rendering (top `max_rows` construct rows).
+  [[nodiscard]] std::string to_string(const trace::ConstructRegistry& constructs,
+                                      std::size_t max_rows = 20) const;
+};
+
+/// Builds the profile of a trace.
+Profile profile_trace(const trace::Trace& trace);
+
+}  // namespace tdbg::viz

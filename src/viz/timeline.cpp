@@ -1,0 +1,217 @@
+#include "viz/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tdbg::viz {
+
+namespace {
+
+const char* color_of(trace::EventKind kind) {
+  switch (kind) {
+    case trace::EventKind::kCompute: return "#4caf50";     // green
+    case trace::EventKind::kSend: return "#1e88e5";        // blue
+    case trace::EventKind::kRecv: return "#fb8c00";        // orange
+    case trace::EventKind::kCollective: return "#8e24aa";  // purple
+    case trace::EventKind::kEnter:
+    case trace::EventKind::kExit: return "#9e9e9e";        // grey ticks
+    case trace::EventKind::kMark: return "#e53935";        // red
+  }
+  return "#000000";
+}
+
+char ascii_of(trace::EventKind kind) {
+  switch (kind) {
+    case trace::EventKind::kCompute: return '=';
+    case trace::EventKind::kSend: return 's';
+    case trace::EventKind::kRecv: return 'r';
+    case trace::EventKind::kCollective: return 'c';
+    case trace::EventKind::kMark: return '!';
+    case trace::EventKind::kEnter:
+    case trace::EventKind::kExit: return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+TimeSpaceDiagram::TimeSpaceDiagram(const trace::Trace& trace,
+                                   DiagramOptions options)
+    : trace_(&trace), options_(options) {
+  t0_ = options.window_t0 >= 0 ? options.window_t0 : trace.t_min();
+  t1_ = options.window_t1 >= 0 ? options.window_t1 : trace.t_max();
+  if (t1_ <= t0_) t1_ = t0_ + 1;
+}
+
+double TimeSpaceDiagram::x_of(support::TimeNs t) const {
+  const double span = static_cast<double>(t1_ - t0_);
+  const double clamped =
+      std::clamp(static_cast<double>(t - t0_), 0.0, span);
+  return clamped / span * static_cast<double>(options_.width);
+}
+
+std::optional<std::size_t> TimeSpaceDiagram::hit_test(support::TimeNs t,
+                                                      mpi::Rank rank) const {
+  return trace_->last_event_at_or_before(rank, t);
+}
+
+std::string TimeSpaceDiagram::to_svg(const Overlay& overlay) const {
+  const int rows = trace_->num_ranks();
+  const int rh = options_.row_height;
+  const int label_w = 60;
+  const int width = options_.width + label_w + 10;
+  const int height = rows * rh + 30;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"monospace\" "
+     << "font-size=\"11\">\n";
+  os << "<rect width=\"" << width << "\" height=\"" << height
+     << "\" fill=\"white\"/>\n";
+
+  const auto row_y = [&](mpi::Rank r) {
+    // NTV draws process 0 at the bottom (Fig. 3 caption); match it.
+    return 15 + (rows - 1 - r) * rh;
+  };
+
+  for (mpi::Rank r = 0; r < rows; ++r) {
+    const int y = row_y(r);
+    os << "<text x=\"2\" y=\"" << y + rh / 2 + 4 << "\">P" << r
+       << "</text>\n";
+    os << "<line x1=\"" << label_w << "\" y1=\"" << y + rh / 2 << "\" x2=\""
+       << label_w + options_.width << "\" y2=\"" << y + rh / 2
+       << "\" stroke=\"#e0e0e0\"/>\n";
+  }
+
+  const auto matches = trace_->match_report();
+
+  // Construct bars.
+  for (std::size_t i : trace_->events_in_window(t0_, t1_)) {
+    const auto& e = trace_->event(i);
+    const bool tick = e.kind == trace::EventKind::kEnter ||
+                      e.kind == trace::EventKind::kExit ||
+                      e.kind == trace::EventKind::kMark;
+    if (tick && !options_.show_enter_exit) continue;
+    const double x0 = label_w + x_of(e.t_start);
+    const double x1 = label_w + x_of(e.t_end);
+    const double w = std::max(1.0, x1 - x0);
+    const int y = row_y(e.rank) + 4;
+    os << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << w
+       << "\" height=\"" << rh - 8 << "\" fill=\"" << color_of(e.kind)
+       << "\"><title>"
+       << support::escape_label(
+              trace::event_kind_name(e.kind))
+       << " marker=" << e.marker << "</title></rect>\n";
+  }
+
+  // Message lines: (time_sent, source) -> (time_received, destination).
+  if (options_.show_messages) {
+    for (const auto& m : matches.matches) {
+      const auto& s = trace_->event(m.send_index);
+      const auto& r = trace_->event(m.recv_index);
+      if (s.t_start > t1_ || r.t_end < t0_) continue;
+      os << "<line x1=\"" << label_w + x_of(s.t_start) << "\" y1=\""
+         << row_y(s.rank) + options_.row_height / 2 << "\" x2=\""
+         << label_w + x_of(r.t_end) << "\" y2=\""
+         << row_y(r.rank) + options_.row_height / 2
+         << "\" stroke=\"#555\" stroke-width=\"0.8\"/>\n";
+    }
+    // Unmatched (missed) messages render dashed red to the margin —
+    // the Fig. 6 "missed message".
+    for (std::size_t i : matches.unmatched_sends) {
+      const auto& s = trace_->event(i);
+      if (s.t_start > t1_) continue;
+      os << "<line x1=\"" << label_w + x_of(s.t_start) << "\" y1=\""
+         << row_y(s.rank) + rh / 2 << "\" x2=\""
+         << label_w + x_of(s.t_start) + 40 << "\" y2=\""
+         << row_y(s.peer) + rh / 2
+         << "\" stroke=\"red\" stroke-dasharray=\"4 2\"/>\n";
+    }
+  }
+
+  // Overlays.
+  if (overlay.stopline) {
+    const double x = label_w + x_of(*overlay.stopline);
+    os << "<line x1=\"" << x << "\" y1=\"10\" x2=\"" << x << "\" y2=\""
+       << rows * rh + 15
+       << "\" stroke=\"red\" stroke-width=\"2\"/>\n";
+  }
+  if (overlay.selected_event) {
+    const auto& e = trace_->event(*overlay.selected_event);
+    os << "<circle cx=\"" << label_w + x_of(e.t_start) << "\" cy=\""
+       << row_y(e.rank) + rh / 2
+       << "\" r=\"8\" fill=\"none\" stroke=\"black\" stroke-width=\"2\"/>\n";
+  }
+  const auto draw_frontier = [&](const causality::Frontier& frontier,
+                                 const char* color, bool use_end) {
+    if (frontier.empty()) return;
+    std::ostringstream points;
+    for (mpi::Rank r = 0; r < rows; ++r) {
+      const auto& f = frontier[static_cast<std::size_t>(r)];
+      if (!f) continue;
+      const auto& e = trace_->event(*f);
+      points << label_w + x_of(use_end ? e.t_end : e.t_start) << ","
+             << row_y(r) + rh / 2 << " ";
+    }
+    os << "<polyline points=\"" << points.str()
+       << "\" fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.5\"/>\n";
+  };
+  draw_frontier(overlay.past_frontier, "black", /*use_end=*/true);
+  draw_frontier(overlay.future_frontier, "black", /*use_end=*/false);
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string TimeSpaceDiagram::to_ascii(int columns,
+                                       const Overlay& overlay) const {
+  TDBG_CHECK(columns > 10, "ascii diagram needs at least 11 columns");
+  const int rows = trace_->num_ranks();
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(columns),
+                                            ' '));
+  const auto col_of = [&](support::TimeNs t) {
+    const double span = static_cast<double>(t1_ - t0_);
+    const double c =
+        std::clamp(static_cast<double>(t - t0_), 0.0, span) / span *
+        (columns - 1);
+    return static_cast<int>(c);
+  };
+
+  for (std::size_t i : trace_->events_in_window(t0_, t1_)) {
+    const auto& e = trace_->event(i);
+    if ((e.kind == trace::EventKind::kEnter ||
+         e.kind == trace::EventKind::kExit) &&
+        !options_.show_enter_exit) {
+      continue;
+    }
+    const int c0 = col_of(e.t_start);
+    const int c1 = std::max(c0, col_of(e.t_end));
+    auto& row = grid[static_cast<std::size_t>(e.rank)];
+    for (int c = c0; c <= c1; ++c) {
+      row[static_cast<std::size_t>(c)] = ascii_of(e.kind);
+    }
+  }
+
+  if (overlay.stopline) {
+    const int c = col_of(*overlay.stopline);
+    for (auto& row : grid) row[static_cast<std::size_t>(c)] = '|';
+  }
+
+  std::ostringstream os;
+  for (mpi::Rank r = rows - 1; r >= 0; --r) {  // process 0 at the bottom
+    os << "P" << r << (r < 10 ? " " : "") << " |"
+       << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  os << "     " << std::string(static_cast<std::size_t>(columns), '-')
+     << "\n     t=" << support::human_duration(t0_) << " ... "
+     << support::human_duration(t1_) << "\n";
+  return os.str();
+}
+
+}  // namespace tdbg::viz

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/causal_order.hpp"
+#include "trace/trace.hpp"
+
+/// \file timeline.hpp
+/// Time-space diagrams (paper §3.1, Figures 2, 3, 5, 6, 8).
+///
+/// "Each construct is represented by a bar positioned according to its
+/// process number and start/end times.  The bar is colored depending
+/// on the type of the construct.  Each message is represented by a
+/// straight line segment connecting (time_sent, source) and
+/// (time_received, destination)."
+///
+/// Two renderings are provided: SVG (the NTV/VK display analog) and
+/// ASCII (for terminals and the bench harness output).  Overlays carry
+/// the debugger decorations: the vertical stopline indicator, the
+/// selected event, and the past/future frontier polylines of Fig. 8.
+
+namespace tdbg::viz {
+
+/// Display decorations layered over the diagram.
+struct Overlay {
+  /// Vertical stopline position (display time), as in Figs. 2 and 6.
+  std::optional<support::TimeNs> stopline;
+
+  /// Event circled as "selected" (Fig. 8's user click).
+  std::optional<std::size_t> selected_event;
+
+  /// Past frontier: per rank, the last event causally before the
+  /// selected one (drawn as the left slanted line of Fig. 8).
+  causality::Frontier past_frontier;
+
+  /// Future frontier (the right slanted line).
+  causality::Frontier future_frontier;
+};
+
+/// Rendering options.
+struct DiagramOptions {
+  int width = 1200;              ///< SVG pixel width of the time axis
+  int row_height = 26;           ///< SVG pixels per process row
+  support::TimeNs window_t0 = -1;  ///< zoom window start (-1 = trace start)
+  support::TimeNs window_t1 = -1;  ///< zoom window end (-1 = trace end)
+  bool show_messages = true;
+  bool show_enter_exit = false;  ///< draw zero-width ticks for enter/exit
+};
+
+/// A time-space diagram over one trace.
+class TimeSpaceDiagram {
+ public:
+  explicit TimeSpaceDiagram(const trace::Trace& trace,
+                            DiagramOptions options = {});
+
+  /// SVG rendering with optional overlays.
+  [[nodiscard]] std::string to_svg(const Overlay& overlay = {}) const;
+
+  /// ASCII rendering (one row per rank, `columns` characters of time
+  /// axis).  Bars render as '=' (compute), 's' (send), 'r' (recv),
+  /// 'c' (collective); the stopline as '|'.
+  [[nodiscard]] std::string to_ascii(int columns = 100,
+                                     const Overlay& overlay = {}) const;
+
+  /// Maps a display click (time, rank) to the nearest event of that
+  /// rank starting at or before `t` — the Ben-library service p2d2
+  /// uses to learn "what the execution markers are at the point of a
+  /// mouse click in the time line" (§3.1).
+  [[nodiscard]] std::optional<std::size_t> hit_test(support::TimeNs t,
+                                                    mpi::Rank rank) const;
+
+  /// The effective window (after defaulting to the trace extent).
+  [[nodiscard]] support::TimeNs window_t0() const { return t0_; }
+  [[nodiscard]] support::TimeNs window_t1() const { return t1_; }
+
+ private:
+  [[nodiscard]] double x_of(support::TimeNs t) const;
+
+  const trace::Trace* trace_;
+  DiagramOptions options_;
+  support::TimeNs t0_ = 0;
+  support::TimeNs t1_ = 1;
+};
+
+}  // namespace tdbg::viz

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fib.hpp"
+#include "apps/lu.hpp"
+#include "apps/matrix.hpp"
+#include "apps/ring.hpp"
+#include "apps/strassen.hpp"
+#include "apps/taskfarm.hpp"
+#include "mpi/runtime.hpp"
+
+namespace tdbg::apps {
+namespace {
+
+TEST(Matrix, StandardMultiplyIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  Matrix b(3, 3);
+  b.fill_pattern(42);
+  EXPECT_EQ(multiply_standard(a, b), b);
+}
+
+TEST(Matrix, AddSubRoundTrip) {
+  Matrix a(4, 6), b(4, 6);
+  a.fill_pattern(1);
+  b.fill_pattern(2);
+  EXPECT_LT(max_abs_diff(sub(add(a, b), b), a), 1e-12);
+}
+
+TEST(Matrix, SplitCombineRoundTrip) {
+  Matrix m(8, 10);
+  m.fill_pattern(9);
+  EXPECT_EQ(combine(split(m)), m);
+}
+
+TEST(Matrix, StrassenMatchesStandard) {
+  for (std::size_t n : {4u, 8u, 16u, 64u}) {
+    Matrix a(n, n), b(n, n);
+    a.fill_pattern(n);
+    b.fill_pattern(n + 1);
+    const Matrix expect = multiply_standard(a, b);
+    const Matrix got = strassen_local(a, b, /*cutoff=*/4);
+    EXPECT_LT(max_abs_diff(got, expect), 1e-6) << "n=" << n;
+  }
+}
+
+TEST(Matrix, StrassenRectangular) {
+  Matrix a(12, 16), b(16, 8);
+  a.fill_pattern(3);
+  b.fill_pattern(4);
+  EXPECT_LT(max_abs_diff(strassen_local(a, b, 2), multiply_standard(a, b)),
+            1e-6);
+}
+
+TEST(Matrix, StrassenOddFallsBackToStandard) {
+  Matrix a(7, 7), b(7, 7);
+  a.fill_pattern(5);
+  b.fill_pattern(6);
+  EXPECT_LT(max_abs_diff(strassen_local(a, b, 2), multiply_standard(a, b)),
+            1e-9);
+}
+
+TEST(Fib, InstrumentedEqualsPlain) {
+  for (unsigned n : {0u, 1u, 2u, 10u, 20u}) {
+    EXPECT_EQ(fib_instrumented(n), fib_plain(n)) << "n=" << n;
+  }
+  EXPECT_EQ(fib_plain(20), 6765u);
+}
+
+TEST(Fib, CallCountFormula) {
+  // calls(n) = 1 + calls(n-1) + calls(n-2), calls(0) = calls(1) = 1.
+  std::vector<std::uint64_t> calls = {1, 1};
+  for (unsigned n = 2; n <= 25; ++n) {
+    calls.push_back(1 + calls[n - 1] + calls[n - 2]);
+  }
+  for (unsigned n = 0; n <= 25; ++n) {
+    EXPECT_EQ(fib_call_count(n), calls[n]) << "n=" << n;
+  }
+}
+
+TEST(Strassen, DistributedMatchesReferenceOn8Ranks) {
+  strassen::Options opts;
+  opts.n = 64;
+  opts.cutoff = 8;
+  const auto result = mpi::run(
+      8, [&](mpi::Comm& comm) { strassen::rank_body(comm, opts); });
+  EXPECT_TRUE(result.completed) << result.abort_detail;
+}
+
+TEST(Strassen, DistributedWorksWithFewerWorkers) {
+  for (int ranks : {2, 3, 4, 5}) {
+    strassen::Options opts;
+    opts.n = 32;
+    opts.cutoff = 8;
+    const auto result = mpi::run(
+        ranks, [&](mpi::Comm& comm) { strassen::rank_body(comm, opts); });
+    EXPECT_TRUE(result.completed) << "ranks=" << ranks << ": "
+                                  << result.abort_detail;
+  }
+}
+
+TEST(Strassen, BuggyVariantDeadlocksZeroAndSeven) {
+  strassen::Options opts;
+  opts.n = 32;
+  opts.cutoff = 8;
+  opts.buggy = true;
+  const auto result = mpi::run(
+      8, [&](mpi::Comm& comm) { strassen::rank_body(comm, opts); });
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.deadlocked) << result.abort_detail;
+
+  // The paper's Figure 5: processes 0 and 7 are blocked in receives
+  // waiting for data from each other.
+  ASSERT_EQ(result.final_waits.size(), 8u);
+  EXPECT_EQ(result.final_waits[0].kind, mpi::WaitKind::kRecv);
+  EXPECT_EQ(result.final_waits[0].peer, 7);
+  EXPECT_EQ(result.final_waits[7].kind, mpi::WaitKind::kRecv);
+  EXPECT_EQ(result.final_waits[7].peer, 0);
+  for (int r = 1; r <= 6; ++r) {
+    EXPECT_EQ(result.final_waits[static_cast<std::size_t>(r)].kind,
+              mpi::WaitKind::kFinished)
+        << "rank " << r;
+  }
+}
+
+TEST(Strassen, WorkerAssignmentRoundRobin) {
+  EXPECT_EQ(strassen::worker_for_product(0, 8), 1);
+  EXPECT_EQ(strassen::worker_for_product(6, 8), 7);
+  EXPECT_EQ(strassen::worker_for_product(0, 4), 1);
+  EXPECT_EQ(strassen::worker_for_product(3, 4), 1);
+  EXPECT_EQ(strassen::worker_for_product(6, 4), 1);
+}
+
+TEST(Strassen, ProductCombinationIsStrassen) {
+  Matrix a(16, 16), b(16, 16);
+  a.fill_pattern(11);
+  b.fill_pattern(12);
+  auto ops = strassen::product_operands(a, b);
+  ASSERT_EQ(ops.size(), 7u);
+  std::vector<Matrix> products;
+  for (const auto& [l, r] : ops) products.push_back(multiply_standard(l, r));
+  EXPECT_LT(max_abs_diff(strassen::combine_products(products),
+                         multiply_standard(a, b)),
+            1e-6);
+}
+
+TEST(Lu, RunsOnGridAndIsDeterministic) {
+  lu::Options opts;
+  opts.px = 4;
+  opts.py = 2;
+  opts.nx = 8;
+  opts.ny = 8;
+  opts.iterations = 2;
+  double first = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    double checksum = 0.0;
+    const auto result = mpi::run(8, [&](mpi::Comm& comm) {
+      const double v = lu::rank_body(comm, opts);
+      if (comm.rank() == 0) checksum = v;
+    });
+    ASSERT_TRUE(result.completed) << result.abort_detail;
+    if (trial == 0) {
+      first = checksum;
+      EXPECT_TRUE(std::isfinite(checksum));
+    } else {
+      EXPECT_EQ(checksum, first) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Lu, SingleColumnGrid) {
+  lu::Options opts;
+  opts.px = 1;
+  opts.py = 4;
+  opts.nx = 6;
+  opts.ny = 6;
+  opts.iterations = 1;
+  const auto result =
+      mpi::run(4, [&](mpi::Comm& comm) { lu::rank_body(comm, opts); });
+  EXPECT_TRUE(result.completed) << result.abort_detail;
+}
+
+TEST(Ring, TokenAccumulatesAcrossLaps) {
+  for (int ranks : {1, 2, 4, 8}) {
+    ring::Options opts;
+    opts.laps = 3;
+    std::uint64_t final_token = 0;
+    const auto result = mpi::run(ranks, [&](mpi::Comm& comm) {
+      const auto v = ring::rank_body(comm, opts);
+      if (comm.rank() == 0) final_token = v;
+    });
+    EXPECT_TRUE(result.completed) << "ranks=" << ranks;
+    EXPECT_EQ(final_token, static_cast<std::uint64_t>(3 * ranks));
+  }
+}
+
+TEST(TaskFarm, TotalsVerifyAcrossWorkerCounts) {
+  for (int ranks : {2, 3, 5, 8}) {
+    taskfarm::Options opts;
+    opts.num_tasks = 23;
+    const auto result = mpi::run(
+        ranks, [&](mpi::Comm& comm) { taskfarm::rank_body(comm, opts); });
+    EXPECT_TRUE(result.completed) << "ranks=" << ranks << ": "
+                                  << result.abort_detail;
+  }
+}
+
+TEST(TaskFarm, FewerTasksThanWorkers) {
+  taskfarm::Options opts;
+  opts.num_tasks = 2;
+  const auto result = mpi::run(
+      6, [&](mpi::Comm& comm) { taskfarm::rank_body(comm, opts); });
+  EXPECT_TRUE(result.completed) << result.abort_detail;
+}
+
+}  // namespace
+}  // namespace tdbg::apps

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "apps/halo.hpp"
+#include "replay/checkpointed_session.hpp"
+
+namespace tdbg::replay {
+namespace {
+
+SteppableFactory halo_factory(std::size_t cells) {
+  apps::halo::Options options;
+  options.cells = cells;
+  options.max_steps = 200;
+  return apps::halo::factory(options);
+}
+
+TEST(CheckpointedSessionTest, RunsToCompletionAndCheckpoints) {
+  CheckpointedSession session(4, halo_factory(32), /*interval=*/16);
+  const auto run = session.run();
+  ASSERT_TRUE(run.result.completed) << run.result.abort_detail;
+  EXPECT_EQ(run.last_step, 199u);
+  EXPECT_EQ(run.steps_executed, 4u * 200u);
+  // Backlog is logarithmic: 200/16 = 12 boundary offers, retained ~2/level.
+  EXPECT_GE(session.store().count(0), 3u);
+  EXPECT_LE(session.store().count(0), 14u);
+}
+
+TEST(CheckpointedSessionTest, RollbackMatchesFullReplayState) {
+  // State reached by rollback-through-checkpoint must equal the state
+  // of an independent run stepped directly to the target.
+  constexpr std::uint64_t kTarget = 150;
+
+  CheckpointedSession session(4, halo_factory(16), 16);
+  ASSERT_TRUE(session.run().result.completed);
+
+  std::vector<std::vector<std::byte>> rolled;
+  const auto rb = session.rollback_to(kTarget, &rolled);
+  ASSERT_TRUE(rb.result.completed) << rb.result.abort_detail;
+
+  // Reference: a fresh session that never checkpoints past 0, stepping
+  // straight to the target.
+  CheckpointedSession reference(4, halo_factory(16), 1 << 20);
+  ASSERT_TRUE(reference.run(kTarget + 1).result.completed);
+  std::vector<std::vector<std::byte>> direct;
+  const auto ref = reference.rollback_to(kTarget, &direct);
+  ASSERT_TRUE(ref.result.completed);
+
+  ASSERT_EQ(rolled.size(), direct.size());
+  for (std::size_t r = 0; r < rolled.size(); ++r) {
+    EXPECT_EQ(rolled[r], direct[r]) << "rank " << r;
+  }
+
+  // And the checkpointed rollback did dramatically less re-stepping.
+  EXPECT_LT(rb.steps_executed, ref.steps_executed);
+}
+
+TEST(CheckpointedSessionTest, RecentRollbackIsCheap) {
+  CheckpointedSession session(2, halo_factory(8), 8);
+  ASSERT_TRUE(session.run().result.completed);
+  const auto rb = session.rollback_to(195);
+  ASSERT_TRUE(rb.result.completed);
+  // Nearest retained boundary is within ~2 intervals of the target.
+  EXPECT_LE(rb.steps_executed, 2u * 24u);
+}
+
+TEST(CheckpointedSessionTest, RollbackBeforeFirstCheckpointReplaysFromStart) {
+  CheckpointedSession session(2, halo_factory(8), 64);
+  ASSERT_TRUE(session.run().result.completed);
+  std::vector<std::vector<std::byte>> states;
+  const auto rb = session.rollback_to(3, &states);
+  ASSERT_TRUE(rb.result.completed);
+  EXPECT_FALSE(states[0].empty());
+}
+
+TEST(CheckpointedSessionTest, RunTwiceRejected) {
+  CheckpointedSession session(2, halo_factory(4), 8);
+  ASSERT_TRUE(session.run(10).result.completed);
+  EXPECT_THROW(session.run(), Error);
+}
+
+TEST(CheckpointedSessionTest, RollbackBeforeRunRejected) {
+  CheckpointedSession session(2, halo_factory(4), 8);
+  EXPECT_THROW(session.rollback_to(1), Error);
+}
+
+}  // namespace
+}  // namespace tdbg::replay

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/ring.hpp"
+#include "apps/strassen.hpp"
+#include "debugger/commands.hpp"
+
+namespace tdbg::dbg {
+namespace {
+
+mpi::RankBody ring_target() {
+  return [](mpi::Comm& comm) {
+    apps::ring::Options opts;
+    opts.laps = 4;
+    apps::ring::rank_body(comm, opts);
+  };
+}
+
+class CommandsTest : public ::testing::Test {
+ protected:
+  CommandsTest() : debugger_(4, ring_target()), interp_(debugger_) {}
+
+  CommandResult run(const std::string& cmd) { return interp_.execute(cmd); }
+
+  Debugger debugger_;
+  CommandInterpreter interp_;
+};
+
+TEST_F(CommandsTest, RequiresRecordFirst) {
+  const auto r = run("status");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.output.find("record"), std::string::npos);
+}
+
+TEST_F(CommandsTest, RecordThenStatus) {
+  EXPECT_TRUE(run("record").ok);
+  const auto r = run("status");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("completed"), std::string::npos);
+  EXPECT_NE(r.output.find("target ranks : 4"), std::string::npos);
+}
+
+TEST_F(CommandsTest, DoubleRecordRejected) {
+  EXPECT_TRUE(run("record").ok);
+  EXPECT_FALSE(run("record").ok);
+}
+
+TEST_F(CommandsTest, UnknownCommand) {
+  run("record");
+  const auto r = run("frobnicate");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CommandsTest, EmptyLineIsNoop) {
+  const auto r = run("   ");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST_F(CommandsTest, QuitSetsFlag) {
+  EXPECT_TRUE(run("quit").quit);
+}
+
+TEST_F(CommandsTest, TimelineRendersRows) {
+  run("record");
+  const auto r = run("timeline 60");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("P0 "), std::string::npos);
+  EXPECT_NE(r.output.find("P3 "), std::string::npos);
+}
+
+TEST_F(CommandsTest, EventsListsMarkers) {
+  run("record");
+  const auto r = run("events 1 5");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("marker 1"), std::string::npos);
+}
+
+TEST_F(CommandsTest, EventsRejectsBadRank) {
+  run("record");
+  EXPECT_FALSE(run("events 9").ok);
+}
+
+TEST_F(CommandsTest, StoplineReplayStepUndoContinue) {
+  run("record");
+  ASSERT_TRUE(run("stopline 50%").ok);
+  const auto rep = run("replay");
+  ASSERT_TRUE(rep.ok) << rep.output;
+  EXPECT_NE(rep.output.find("parked"), std::string::npos);
+
+  const auto step = run("step 0");
+  EXPECT_TRUE(step.ok);
+
+  const auto undo = run("undo");
+  EXPECT_TRUE(undo.ok);
+  EXPECT_NE(undo.output.find("undone"), std::string::npos);
+
+  const auto cont = run("continue");
+  EXPECT_TRUE(cont.ok);
+  EXPECT_NE(cont.output.find("completed"), std::string::npos);
+}
+
+TEST_F(CommandsTest, ReplayWithoutStoplineRejected) {
+  run("record");
+  EXPECT_FALSE(run("replay").ok);
+}
+
+TEST_F(CommandsTest, StepWithoutReplayRejected) {
+  run("record");
+  EXPECT_FALSE(run("step 0").ok);
+}
+
+TEST_F(CommandsTest, AnalysesRun) {
+  run("record");
+  EXPECT_TRUE(run("traffic").ok);
+  EXPECT_TRUE(run("races").ok);
+  EXPECT_TRUE(run("unmatched").ok);
+  const auto dl = run("deadlock");
+  EXPECT_TRUE(dl.ok);
+  EXPECT_NE(dl.output.find("no circular"), std::string::npos);
+}
+
+TEST_F(CommandsTest, ActionsView) {
+  run("record");
+  const auto r = run("actions 0");
+  EXPECT_TRUE(r.ok) << r.output;
+  EXPECT_NE(r.output.find("markers"), std::string::npos);
+}
+
+TEST_F(CommandsTest, CallsSummary) {
+  run("record");
+  const auto r = run("calls");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("rank_body"), std::string::npos);
+}
+
+TEST_F(CommandsTest, ExportWritesFiles) {
+  run("record");
+  const auto path = std::filesystem::temp_directory_path() / "cmd_comm.dot";
+  const auto r = run("export comm dot " + path.string());
+  EXPECT_TRUE(r.ok) << r.output;
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 10u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(CommandsTest, FrontiersPrintPerRank) {
+  run("record");
+  const auto r = run("frontiers 1 3");
+  EXPECT_TRUE(r.ok) << r.output;
+  EXPECT_NE(r.output.find("concurrency region"), std::string::npos);
+}
+
+TEST_F(CommandsTest, FrontierStopline) {
+  run("record");
+  const auto set = run("stopline past 1 3");
+  ASSERT_TRUE(set.ok) << set.output;
+  const auto rep = run("replay");
+  EXPECT_TRUE(rep.ok) << rep.output;
+  run("continue");
+}
+
+TEST_F(CommandsTest, LiveLaunchWorkflow) {
+  const auto launched = run("launch 3");
+  ASSERT_TRUE(launched.ok) << launched.output;
+  EXPECT_NE(launched.output.find("launched live"), std::string::npos);
+
+  const auto step = run("step 0");
+  EXPECT_TRUE(step.ok) << step.output;
+
+  const auto cont = run("continue");
+  EXPECT_TRUE(cont.ok) << cont.output;
+
+  // The live history is now the recorded one: analyses work.
+  EXPECT_TRUE(run("status").ok);
+  EXPECT_TRUE(run("traffic").ok);
+  EXPECT_TRUE(run("timeline 40").ok);
+  // And a second launch/record is rejected.
+  EXPECT_FALSE(run("launch").ok);
+  EXPECT_FALSE(run("record").ok);
+}
+
+TEST(CommandsBuggyTest, DeadlockReported) {
+  apps::strassen::Options opts;
+  opts.n = 16;
+  opts.cutoff = 8;
+  opts.buggy = true;
+  Debugger debugger(8, [opts](mpi::Comm& comm) {
+    apps::strassen::rank_body(comm, opts);
+  });
+  CommandInterpreter interp(debugger);
+  const auto rec = interp.execute("record");
+  EXPECT_NE(rec.output.find("DEADLOCKED"), std::string::npos);
+  const auto dl = interp.execute("deadlock");
+  EXPECT_NE(dl.output.find("circular wait"), std::string::npos);
+  const auto un = interp.execute("unmatched");
+  EXPECT_NE(un.output.find("never received"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdbg::dbg

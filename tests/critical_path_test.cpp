@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "analysis/critical_path.hpp"
+#include "apps/strassen.hpp"
+#include "causality/causal_order.hpp"
+#include "replay/record.hpp"
+
+namespace tdbg::analysis {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+Event ev(EventKind kind, mpi::Rank rank, std::uint64_t marker,
+         support::TimeNs t0, support::TimeNs t1,
+         mpi::Rank peer = mpi::kAnySource, mpi::ChannelSeq seq = 0) {
+  Event e;
+  e.kind = kind;
+  e.rank = rank;
+  e.marker = marker;
+  e.t_start = t0;
+  e.t_end = t1;
+  e.peer = peer;
+  e.tag = 0;
+  e.channel_seq = seq;
+  return e;
+}
+
+TEST(CriticalPathTest, FollowsMessageChain) {
+  // Rank 0: long compute (10) then send; rank 1: recv then compute (20).
+  // The path must cross the message: 10 + send + recv + 20.
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::kCompute, 0, 1, 0, 10));
+  events.push_back(ev(EventKind::kSend, 0, 2, 10, 11, 1));
+  events.push_back(ev(EventKind::kRecv, 1, 1, 11, 12, 0, 0));
+  events.push_back(ev(EventKind::kCompute, 1, 2, 12, 32));
+  trace::Trace trace(2, std::move(events), nullptr);
+
+  const auto path = critical_path(trace);
+  EXPECT_EQ(path.total, 10 + 1 + 1 + 20);
+  ASSERT_EQ(path.events.size(), 4u);
+  EXPECT_EQ(path.rank_switches, 1u);
+  EXPECT_EQ(path.per_rank[0], 11);
+  EXPECT_EQ(path.per_rank[1], 21);
+}
+
+TEST(CriticalPathTest, PrefersHeavierBranch) {
+  // Two independent ranks; rank 1 does more work: the path stays on
+  // rank 1.
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::kCompute, 0, 1, 0, 5));
+  events.push_back(ev(EventKind::kCompute, 1, 1, 0, 50));
+  trace::Trace trace(2, std::move(events), nullptr);
+  const auto path = critical_path(trace);
+  EXPECT_EQ(path.total, 50);
+  ASSERT_EQ(path.events.size(), 1u);
+  EXPECT_EQ(trace.event(path.events[0]).rank, 1);
+}
+
+TEST(CriticalPathTest, PathIsCausallyOrdered) {
+  apps::strassen::Options opts;
+  opts.n = 32;
+  opts.cutoff = 8;
+  const auto rec = replay::record(
+      4, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
+  ASSERT_TRUE(rec.result.completed);
+
+  const auto path = critical_path(rec.trace);
+  EXPECT_FALSE(path.events.empty());
+  EXPECT_GT(path.total, 0);
+
+  causality::CausalOrder order(rec.trace);
+  for (std::size_t i = 1; i < path.events.size(); ++i) {
+    EXPECT_TRUE(order.happens_before(path.events[i - 1], path.events[i]))
+        << "path step " << i << " not causally ordered";
+  }
+  // The critical path of a master/worker run crosses ranks.
+  EXPECT_GT(path.rank_switches, 0u);
+  // It cannot be longer than the run itself by more than the per-event
+  // bookkeeping (durations nest within the run span).
+  const auto span = rec.trace.t_max() - rec.trace.t_min();
+  EXPECT_LE(path.per_rank[0], span);
+
+  const auto text = path.to_string(rec.trace);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("per-rank share"), std::string::npos);
+}
+
+TEST(CriticalPathTest, EmptyTrace) {
+  trace::Trace trace(2, {}, nullptr);
+  const auto path = critical_path(trace);
+  EXPECT_TRUE(path.events.empty());
+  EXPECT_EQ(path.total, 0);
+}
+
+}  // namespace
+}  // namespace tdbg::analysis

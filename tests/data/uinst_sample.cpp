@@ -1,0 +1,6 @@
+// Sample translation unit for the uinst --check integration test.
+int add(int a, int b) { return a + b; }
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "apps/strassen.hpp"
+#include "apps/taskfarm.hpp"
+#include "debugger/process_groups.hpp"
+#include "replay/record.hpp"
+
+namespace tdbg::dbg {
+namespace {
+
+TEST(ProcessGroupsTest, StrassenMasterVsWorkers) {
+  apps::strassen::Options opts;
+  opts.n = 16;
+  opts.cutoff = 8;
+  const auto rec = replay::record(
+      8, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
+  ASSERT_TRUE(rec.result.completed);
+
+  const auto groups = group_processes(rec.trace, GroupingLevel::kShape);
+  // The classic picture: one master, seven interchangeable workers.
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].ranks, (std::vector<mpi::Rank>{0}));
+  EXPECT_EQ(groups[1].ranks,
+            (std::vector<mpi::Rank>{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(describe_groups(groups), "{0} {1-7}");
+}
+
+TEST(ProcessGroupsTest, BuggyStrassenIsolatesRankSeven) {
+  apps::strassen::Options opts;
+  opts.n = 16;
+  opts.cutoff = 8;
+  opts.buggy = true;
+  const auto rec = replay::record(
+      8, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
+  ASSERT_TRUE(rec.result.deadlocked);
+
+  // The Fig. 6 observation as a grouping: rank 7's truncated history
+  // breaks it out of the worker group.
+  const auto groups = group_processes(rec.trace, GroupingLevel::kShape);
+  bool seven_alone = false;
+  for (const auto& g : groups) {
+    if (g.ranks == std::vector<mpi::Rank>{7}) seven_alone = true;
+  }
+  EXPECT_TRUE(seven_alone) << describe_groups(groups);
+}
+
+TEST(ProcessGroupsTest, StrictSplitsByRepetitionCount) {
+  // A farm where workers process different numbers of tasks: shape
+  // grouping merges them, strict grouping may split them.
+  apps::taskfarm::Options opts;
+  opts.num_tasks = 7;  // 3 workers, uneven split
+  const auto rec = replay::record(
+      4, [opts](mpi::Comm& comm) { apps::taskfarm::rank_body(comm, opts); });
+  ASSERT_TRUE(rec.result.completed);
+
+  const auto shape = group_processes(rec.trace, GroupingLevel::kShape);
+  const auto strict = group_processes(rec.trace, GroupingLevel::kStrict);
+  EXPECT_LE(shape.size(), strict.size());
+  // Master always alone.
+  EXPECT_EQ(shape[0].ranks, (std::vector<mpi::Rank>{0}));
+}
+
+TEST(ProcessGroupsTest, DescribeCollapsesRuns) {
+  std::vector<ProcessGroup> groups;
+  groups.push_back(ProcessGroup{{0, 2, 3, 4, 7}, "x"});
+  EXPECT_EQ(describe_groups(groups), "{0,2-4,7}");
+}
+
+}  // namespace
+}  // namespace tdbg::dbg

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "apps/fib.hpp"
+#include "instrument/api.hpp"
+#include "instrument/session.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/collector.hpp"
+
+namespace tdbg::instr {
+namespace {
+
+void small_instrumented_fn(int depth) {
+  TDBG_FUNCTION();
+  if (depth > 0) small_instrumented_fn(depth - 1);
+}
+
+TEST(SessionTest, GuardsAreNoopsOutsideRuns) {
+  // No session bound to this thread: must not crash, must not count.
+  small_instrumented_fn(3);
+  mark("outside");
+  ComputeScope scope("outside");
+  SUCCEED();
+}
+
+TEST(SessionTest, CountsMarkersPerRank) {
+  trace::TraceCollector collector(2, global_constructs());
+  Session session(2, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  const auto result = mpi::run(2, [](mpi::Comm& comm) {
+    small_instrumented_fn(comm.rank() == 0 ? 4 : 1);  // 5 vs 2 calls
+  }, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(session.counter(0), 5u);
+  EXPECT_EQ(session.counter(1), 2u);
+}
+
+TEST(SessionTest, MarkersCountMpiCallsToo) {
+  trace::TraceCollector collector(2, global_constructs());
+  Session session(2, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  const auto result = mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 3);
+      comm.send_value<int>(2, 1, 3);
+    } else {
+      comm.recv_value<int>(0, 3);
+      comm.recv_value<int>(0, 3);
+    }
+  }, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(session.counter(0), 2u);  // two sends
+  EXPECT_EQ(session.counter(1), 2u);  // two recvs
+}
+
+TEST(SessionTest, MarkersAreStableAcrossRecordingToggles) {
+  // The counter must not depend on what is being *collected* — that is
+  // what makes markers replayable across configurations.
+  const auto run_counter = [](bool collect) {
+    trace::TraceCollector collector(1, global_constructs());
+    SessionOptions so;
+    so.record_function_events = collect;
+    Session session(1, collect ? &collector : nullptr, so);
+    mpi::RunOptions options;
+    options.hooks = &session;
+    mpi::run(1, [](mpi::Comm&) { small_instrumented_fn(7); }, options);
+    return session.counter(0);
+  };
+  EXPECT_EQ(run_counter(true), run_counter(false));
+}
+
+TEST(SessionTest, RecordsEnterAndExitEvents) {
+  trace::TraceCollector collector(1, global_constructs());
+  Session session(1, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [](mpi::Comm&) { small_instrumented_fn(2); }, options);
+  const auto trace = collector.build_trace();
+  std::size_t enters = 0, exits = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == trace::EventKind::kEnter) ++enters;
+    if (e.kind == trace::EventKind::kExit) ++exits;
+  }
+  EXPECT_EQ(enters, 3u);
+  EXPECT_EQ(exits, 3u);
+}
+
+TEST(SessionTest, UserMonitorRecordsSiteAndArgs) {
+  trace::TraceCollector collector(1, global_constructs());
+  Session session(1, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [](mpi::Comm&) {
+    TDBG_FUNCTION_ARGS(42, 99);
+  }, options);
+  const auto record = session.last_record(0);
+  EXPECT_EQ(record.arg1, 42u);
+  EXPECT_EQ(record.arg2, 99u);
+  EXPECT_NE(record.site, trace::kNoConstruct);
+}
+
+TEST(SessionTest, ThresholdTriggersControl) {
+  struct CountingControl : ControlInterface {
+    int hits = 0;
+    std::uint64_t hit_marker = 0;
+    void at_event(mpi::Rank, std::uint64_t marker, trace::ConstructId,
+                  trace::EventKind, int, bool threshold_hit,
+                  const EventDetail&) override {
+      if (threshold_hit) {
+        ++hits;
+        hit_marker = marker;
+      }
+    }
+  };
+  trace::TraceCollector collector(1, global_constructs());
+  Session session(1, &collector);
+  CountingControl control;
+  session.set_control(&control);
+  session.set_threshold(0, 3);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [](mpi::Comm&) { small_instrumented_fn(9); }, options);
+  EXPECT_EQ(control.hits, 1);
+  EXPECT_EQ(control.hit_marker, 3u);
+}
+
+TEST(SessionTest, ComputeScopeRecordsSpan) {
+  trace::TraceCollector collector(1, global_constructs());
+  Session session(1, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [](mpi::Comm&) {
+    ComputeScope scope("work_block");
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }, options);
+  const auto trace = collector.build_trace();
+  bool found = false;
+  for (const auto& e : trace.events()) {
+    if (e.kind == trace::EventKind::kCompute) {
+      found = true;
+      EXPECT_GE(e.t_end, e.t_start);
+      EXPECT_EQ(trace.constructs().info(e.construct).name, "work_block");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SessionTest, RecvEventCarriesActualSourceAndWildcardFlag) {
+  trace::TraceCollector collector(2, global_constructs());
+  Session session(2, &collector);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(5, 1, 2);
+    } else {
+      comm.recv_value<int>(mpi::kAnySource, 2);
+    }
+  }, options);
+  const auto trace = collector.build_trace();
+  bool found = false;
+  for (const auto& e : trace.events()) {
+    if (e.kind == trace::EventKind::kRecv) {
+      found = true;
+      EXPECT_EQ(e.peer, 0);  // actual source, not ANY
+      EXPECT_TRUE(e.wildcard);
+      EXPECT_EQ(e.tag, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SessionTest, FibCallCountMatchesFormula) {
+  trace::TraceCollector collector(1, global_constructs());
+  SessionOptions so;
+  so.record_function_events = false;  // count markers, skip records
+  Session session(1, nullptr, so);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(1, [](mpi::Comm&) { apps::fib_instrumented(15); }, options);
+  EXPECT_EQ(session.counter(0), apps::fib_call_count(15));
+}
+
+TEST(SessionTest, MpiEventToggleSuppressesMessageRecords) {
+  trace::TraceCollector collector(2, global_constructs());
+  SessionOptions so;
+  so.record_mpi_events = false;
+  Session session(2, &collector, so);
+  mpi::RunOptions options;
+  options.hooks = &session;
+  mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 1);
+    } else {
+      comm.recv_value<int>(0, 1);
+    }
+  }, options);
+  const auto trace = collector.build_trace();
+  for (const auto& e : trace.events()) {
+    EXPECT_FALSE(e.is_message());
+  }
+  // But markers counted anyway.
+  EXPECT_EQ(session.counter(0), 1u);
+}
+
+}  // namespace
+}  // namespace tdbg::instr

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/clock.hpp"
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+#include "support/strings.hpp"
+
+namespace tdbg::support {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(StringsTest, HumanDurationScales) {
+  EXPECT_EQ(human_duration(500), "500 ns");
+  EXPECT_EQ(human_duration(1500), "1.500 us");
+  EXPECT_EQ(human_duration(2'500'000), "2.500 ms");
+  EXPECT_EQ(human_duration(3'000'000'000LL), "3.000 s");
+}
+
+TEST(StringsTest, HumanBytesScales) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(StringsTest, EscapeLabelHandlesSpecials) {
+  EXPECT_EQ(escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label("a\nb"), "a\\nb");
+}
+
+TEST(SerializeTest, ScalarsRoundTripAllWidths) {
+  BinaryWriter w;
+  w.put<std::uint8_t>(0xAB);
+  w.put<std::int32_t>(-12345);
+  w.put<std::uint64_t>(0xDEADBEEFCAFEF00Dull);
+  w.put<double>(3.25);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.get<std::int32_t>(), -12345);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, PositionAndSeek) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.position(), 0u);
+  r.get<std::uint32_t>();
+  EXPECT_EQ(r.position(), 4u);
+  r.seek(0);
+  EXPECT_EQ(r.get<std::uint32_t>(), 1u);
+}
+
+TEST(SerializeTest, ClearResets) {
+  BinaryWriter w;
+  w.put<std::uint64_t>(1);
+  EXPECT_EQ(w.size(), 8u);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ClockTest, MonotonicAndEpoch) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+  reset_run_epoch();
+  const auto t = run_time_ns();
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, 1'000'000'000LL);  // well under a second after reset
+}
+
+TEST(ClockTest, StopwatchMeasures) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.elapsed_ns(), 4'000'000LL);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ns(), 4'000'000LL);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    TDBG_CHECK(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, Hierarchy) {
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw FormatError("x"), Error);
+  EXPECT_THROW(throw UsageError("x"), Error);
+}
+
+}  // namespace
+}  // namespace tdbg::support

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tdbg::trace {
+namespace {
+
+Event make_event(EventKind kind, mpi::Rank rank, std::uint64_t marker,
+                 support::TimeNs t0, support::TimeNs t1,
+                 mpi::Rank peer = mpi::kAnySource, mpi::Tag tag = mpi::kAnyTag,
+                 mpi::ChannelSeq seq = 0) {
+  Event e;
+  e.kind = kind;
+  e.rank = rank;
+  e.marker = marker;
+  e.construct = 0;
+  e.t_start = t0;
+  e.t_end = t1;
+  e.peer = peer;
+  e.tag = tag;
+  e.channel_seq = seq;
+  return e;
+}
+
+class TempFile {
+ public:
+  TempFile() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tdbg_trace_test_" + std::to_string(counter_++) + ".trc");
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(ConstructRegistryTest, InternsAndDeduplicates) {
+  ConstructRegistry reg;
+  const auto a = reg.intern("foo", "f.cpp", 10);
+  const auto b = reg.intern("bar", "f.cpp", 20);
+  const auto c = reg.intern("foo", "f.cpp", 10);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.info(a).name, "foo");
+  EXPECT_EQ(reg.info(b).line, 20);
+}
+
+TEST(ConstructRegistryTest, SameNameDifferentLocationDistinct) {
+  ConstructRegistry reg;
+  EXPECT_NE(reg.intern("f", "a.cpp", 1), reg.intern("f", "b.cpp", 1));
+  EXPECT_NE(reg.intern("f", "a.cpp", 1), reg.intern("f", "a.cpp", 2));
+}
+
+TEST(ConstructRegistryTest, SnapshotRestoreRoundTrip) {
+  ConstructRegistry reg;
+  reg.intern("one", "x.cpp", 1);
+  reg.intern("two", "y.cpp", 2);
+  ConstructRegistry copy;
+  copy.restore(reg.snapshot());
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.info(0).name, "one");
+  // Restored index must dedupe against re-interning.
+  EXPECT_EQ(copy.intern("two", "y.cpp", 2), 1u);
+}
+
+TEST(TraceTest, RankEventsPreserveProgramOrder) {
+  std::vector<Event> events;
+  // Same timestamps on purpose: per-rank order must come from markers.
+  events.push_back(make_event(EventKind::kMark, 0, 3, 100, 100));
+  events.push_back(make_event(EventKind::kMark, 0, 1, 100, 100));
+  events.push_back(make_event(EventKind::kMark, 0, 2, 100, 100));
+  Trace trace(1, std::move(events), nullptr);
+  const auto& seq = trace.rank_events(0);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(trace.event(seq[0]).marker, 1u);
+  EXPECT_EQ(trace.event(seq[1]).marker, 2u);
+  EXPECT_EQ(trace.event(seq[2]).marker, 3u);
+}
+
+TEST(TraceTest, WindowQueryFindsIntersecting) {
+  std::vector<Event> events;
+  events.push_back(make_event(EventKind::kCompute, 0, 1, 0, 10));
+  events.push_back(make_event(EventKind::kCompute, 0, 2, 20, 30));
+  events.push_back(make_event(EventKind::kCompute, 0, 3, 40, 50));
+  Trace trace(1, std::move(events), nullptr);
+  EXPECT_EQ(trace.events_in_window(5, 25).size(), 2u);
+  EXPECT_EQ(trace.events_in_window(11, 19).size(), 0u);
+  EXPECT_EQ(trace.events_in_window(0, 100).size(), 3u);
+  EXPECT_EQ(trace.t_min(), 0);
+  EXPECT_EQ(trace.t_max(), 50);
+}
+
+TEST(TraceTest, FindMarkerAndHitTest) {
+  std::vector<Event> events;
+  events.push_back(make_event(EventKind::kMark, 0, 1, 10, 10));
+  events.push_back(make_event(EventKind::kMark, 0, 2, 20, 20));
+  Trace trace(1, std::move(events), nullptr);
+  ASSERT_TRUE(trace.find_marker(0, 2).has_value());
+  EXPECT_FALSE(trace.find_marker(0, 9).has_value());
+  const auto hit = trace.last_event_at_or_before(0, 15);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(trace.event(*hit).marker, 1u);
+  EXPECT_FALSE(trace.last_event_at_or_before(0, 5).has_value());
+}
+
+TEST(TraceTest, MatchReportPairsByChannelSeq) {
+  std::vector<Event> events;
+  // Rank 0 sends twice to rank 1 (tag 5), rank 1 receives both.
+  events.push_back(make_event(EventKind::kSend, 0, 1, 0, 1, 1, 5));
+  events.push_back(make_event(EventKind::kSend, 0, 2, 2, 3, 1, 5));
+  events.push_back(make_event(EventKind::kRecv, 1, 1, 4, 5, 0, 5, 0));
+  events.push_back(make_event(EventKind::kRecv, 1, 2, 6, 7, 0, 5, 1));
+  Trace trace(2, std::move(events), nullptr);
+  const auto report = trace.match_report();
+  ASSERT_EQ(report.matches.size(), 2u);
+  EXPECT_TRUE(report.unmatched_sends.empty());
+  EXPECT_TRUE(report.unmatched_recvs.empty());
+  // First send pairs with seq-0 recv.
+  EXPECT_EQ(trace.event(report.matches[0].send_index).marker, 1u);
+  EXPECT_EQ(trace.event(report.matches[0].recv_index).rank, 1);
+}
+
+TEST(TraceTest, MatchReportFlagsUnmatched) {
+  std::vector<Event> events;
+  events.push_back(make_event(EventKind::kSend, 0, 1, 0, 1, 1, 5));
+  events.push_back(make_event(EventKind::kRecv, 1, 1, 2, 3, 0, 9, 4));
+  Trace trace(2, std::move(events), nullptr);
+  const auto report = trace.match_report();
+  EXPECT_TRUE(report.matches.empty());
+  EXPECT_EQ(report.unmatched_sends.size(), 1u);
+  EXPECT_EQ(report.unmatched_recvs.size(), 1u);
+}
+
+class TraceIoFormatTest : public ::testing::TestWithParam<TraceFormat> {};
+
+TEST_P(TraceIoFormatTest, RoundTripPreservesEverything) {
+  auto registry = std::make_shared<ConstructRegistry>();
+  registry->intern("alpha", "a.cpp", 11);
+  registry->intern("beta", "b.cpp", 22);
+
+  std::vector<Event> events;
+  auto e1 = make_event(EventKind::kSend, 0, 5, 100, 200, 1, 7, 0);
+  e1.construct = 0;
+  e1.bytes = 64;
+  auto e2 = make_event(EventKind::kRecv, 1, 9, 150, 250, 0, 7, 0);
+  e2.construct = 1;
+  e2.bytes = 64;
+  e2.wildcard = true;
+  events.push_back(e1);
+  events.push_back(e2);
+  Trace original(2, std::move(events), registry);
+
+  TempFile file;
+  write_trace(file.path(), original, GetParam());
+  const Trace loaded = read_trace(file.path());
+
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.num_ranks(), 2);
+  const auto& l1 = loaded.event(0);
+  EXPECT_EQ(l1.kind, EventKind::kSend);
+  EXPECT_EQ(l1.marker, 5u);
+  EXPECT_EQ(l1.t_start, 100);
+  EXPECT_EQ(l1.t_end, 200);
+  EXPECT_EQ(l1.peer, 1);
+  EXPECT_EQ(l1.tag, 7);
+  EXPECT_EQ(l1.bytes, 64u);
+  EXPECT_FALSE(l1.wildcard);
+  const auto& l2 = loaded.event(1);
+  EXPECT_TRUE(l2.wildcard);
+  EXPECT_EQ(loaded.constructs().info(0).name, "alpha");
+  EXPECT_EQ(loaded.constructs().info(1).line, 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, TraceIoFormatTest,
+                         ::testing::Values(TraceFormat::kBinary,
+                                           TraceFormat::kText));
+
+TEST(TraceIoTest, RejectsMissingFile) {
+  EXPECT_THROW(read_trace("/nonexistent/path/x.trc"), IoError);
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  TempFile file;
+  {
+    std::ofstream out(file.path());
+    out << "not a trace at all\n";
+  }
+  EXPECT_THROW(read_trace(file.path()), FormatError);
+}
+
+TEST(TraceIoTest, BinaryTruncationStillYieldsPrefix) {
+  // Flush-on-demand means a reader may see a file without the footer;
+  // events before the cut must parse.
+  auto registry = std::make_shared<ConstructRegistry>();
+  TempFile file;
+  {
+    TraceWriter writer(file.path(), 1, registry);
+    for (int i = 0; i < 10; ++i) {
+      writer.write_event(make_event(EventKind::kMark, 0,
+                                    static_cast<std::uint64_t>(i + 1), i, i));
+    }
+    // No finish(): simulate reading mid-run by copying before close...
+    writer.finish();
+  }
+  // Truncate after the 10 events but before the footer: 8 magic +
+  // 4 ranks + 10 * (1 tag + 54 payload) ... compute from file size by
+  // chopping the footer (5 bytes: end tag + u32 count).
+  const auto full = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), full - 5);
+  const Trace loaded = read_trace(file.path());
+  EXPECT_EQ(loaded.size(), 10u);
+}
+
+TEST(CollectorTest, CollectsPerRankAndBuilds) {
+  TraceCollector collector(2);
+  collector.append(make_event(EventKind::kMark, 0, 1, 0, 0));
+  collector.append(make_event(EventKind::kMark, 1, 1, 1, 1));
+  collector.append(make_event(EventKind::kMark, 0, 2, 2, 2));
+  EXPECT_EQ(collector.buffered_count(), 3u);
+  EXPECT_EQ(collector.total_count(), 3u);
+  const Trace trace = collector.build_trace();
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.rank_events(0).size(), 2u);
+}
+
+TEST(CollectorTest, GlobalToggleDropsRecords) {
+  TraceCollector collector(1);
+  collector.set_enabled(false);
+  collector.append(make_event(EventKind::kMark, 0, 1, 0, 0));
+  collector.set_enabled(true);
+  collector.append(make_event(EventKind::kMark, 0, 2, 1, 1));
+  EXPECT_EQ(collector.buffered_count(), 1u);
+}
+
+TEST(CollectorTest, KindToggleDropsSelectively) {
+  TraceCollector collector(1);
+  collector.set_kind_enabled(EventKind::kEnter, false);
+  collector.append(make_event(EventKind::kEnter, 0, 1, 0, 0));
+  collector.append(make_event(EventKind::kSend, 0, 2, 1, 1, 0, 0));
+  EXPECT_EQ(collector.buffered_count(), 1u);
+  EXPECT_EQ(collector.build_trace().event(0).kind, EventKind::kSend);
+}
+
+TEST(CollectorTest, FlushOnDemandDrainsToWriter) {
+  TempFile file;
+  auto registry = std::make_shared<ConstructRegistry>();
+  TraceCollector collector(2, registry);
+  TraceWriter writer(file.path(), 2, registry);
+  collector.attach_writer(&writer);
+  collector.append(make_event(EventKind::kMark, 0, 1, 0, 0));
+  collector.append(make_event(EventKind::kMark, 1, 1, 1, 1));
+  EXPECT_EQ(writer.events_written(), 0u);
+  collector.flush();
+  EXPECT_EQ(writer.events_written(), 2u);
+  EXPECT_EQ(collector.buffered_count(), 0u);
+  writer.finish();
+  EXPECT_EQ(read_trace(file.path()).size(), 2u);
+}
+
+TEST(CollectorTest, AutoFlushAtThreshold) {
+  TempFile file;
+  auto registry = std::make_shared<ConstructRegistry>();
+  TraceCollector collector(1, registry);
+  TraceWriter writer(file.path(), 1, registry);
+  collector.attach_writer(&writer, /*threshold=*/4);
+  for (int i = 0; i < 10; ++i) {
+    collector.append(make_event(EventKind::kMark, 0,
+                                static_cast<std::uint64_t>(i + 1), i, i));
+  }
+  EXPECT_GE(writer.events_written(), 4u);
+  collector.flush();
+  EXPECT_EQ(writer.events_written(), 10u);
+}
+
+}  // namespace
+}  // namespace tdbg::trace

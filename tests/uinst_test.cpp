@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "rewriter.hpp"
+
+namespace tdbg::uinst {
+namespace {
+
+int count_insertions(const std::string& src) {
+  RewriteOptions options;
+  options.add_include = false;
+  return rewrite(src, options).insertions;
+}
+
+TEST(UinstTest, InstrumentsFreeFunction) {
+  const std::string src = "int add(int a, int b) {\n  return a + b;\n}\n";
+  const auto result = rewrite(src);
+  EXPECT_EQ(result.insertions, 1);
+  EXPECT_NE(result.text.find("add(int a, int b) { TDBG_FUNCTION();"),
+            std::string::npos);
+  EXPECT_TRUE(result.added_include);
+  EXPECT_EQ(result.text.find("#include \"instrument/api.hpp\""), 0u);
+}
+
+TEST(UinstTest, InstrumentsMultipleFunctions) {
+  const std::string src =
+      "void f() { g(); }\n"
+      "void g() { }\n"
+      "int h(int x) { return x; }\n";
+  EXPECT_EQ(count_insertions(src), 3);
+}
+
+TEST(UinstTest, SkipsControlFlow) {
+  const std::string src =
+      "void f() {\n"
+      "  if (x) { a(); }\n"
+      "  for (int i = 0; i < n; ++i) { b(); }\n"
+      "  while (y) { c(); }\n"
+      "  switch (z) { default: break; }\n"
+      "}\n";
+  EXPECT_EQ(count_insertions(src), 1);  // only f itself
+}
+
+TEST(UinstTest, SkipsDeclarationsAndDefaulted) {
+  const std::string src =
+      "int declared(int);\n"
+      "struct S {\n"
+      "  S() = default;\n"
+      "  ~S() = default;\n"
+      "};\n";
+  EXPECT_EQ(count_insertions(src), 0);
+}
+
+TEST(UinstTest, HandlesMemberFunctionsAndQualifiers) {
+  const std::string src =
+      "struct S {\n"
+      "  int get() const { return v_; }\n"
+      "  int calc() const noexcept { return v_ * 2; }\n"
+      "  int v_;\n"
+      "};\n"
+      "int S_helper() { return 0; }\n";
+  EXPECT_EQ(count_insertions(src), 3);
+}
+
+TEST(UinstTest, HandlesCtorInitializerList) {
+  const std::string src =
+      "struct P {\n"
+      "  P(int a, int b) : a_(a), b_(b) { validate(); }\n"
+      "  int a_, b_;\n"
+      "};\n";
+  EXPECT_EQ(count_insertions(src), 1);
+}
+
+TEST(UinstTest, SkipsBracesInStringsAndComments) {
+  const std::string src =
+      "const char* s = \"f() {\";\n"
+      "// void commented() { }\n"
+      "/* void blocked() { } */\n"
+      "void real() { }\n";
+  EXPECT_EQ(count_insertions(src), 1);
+}
+
+TEST(UinstTest, SkipsRawStrings) {
+  const std::string src =
+      "const char* r = R\"(void fake() { })\";\n"
+      "void real() { }\n";
+  EXPECT_EQ(count_insertions(src), 1);
+}
+
+TEST(UinstTest, SkipsLambdas) {
+  const std::string src =
+      "void f() {\n"
+      "  auto l = [](int x) { return x; };\n"
+      "  l(1);\n"
+      "}\n";
+  // Only f; the lambda's '(' is preceded by ']'.
+  EXPECT_EQ(count_insertions(src), 1);
+}
+
+TEST(UinstTest, IdempotentOnInstrumentedCode) {
+  const std::string src = "void f() { TDBG_FUNCTION(); work(); }\n";
+  RewriteOptions options;
+  options.add_include = false;
+  const auto result = rewrite(src, options);
+  EXPECT_EQ(result.insertions, 0);
+  EXPECT_EQ(result.text, src);
+}
+
+TEST(UinstTest, RewriteOutputCompilesConceptually) {
+  // Round-trip: rewriting the rewritten text adds nothing new.
+  const std::string src =
+      "int fib(int n) {\n"
+      "  if (n < 2) { return n; }\n"
+      "  return fib(n - 1) + fib(n - 2);\n"
+      "}\n";
+  const auto once = rewrite(src);
+  EXPECT_EQ(once.insertions, 1);
+  const auto twice = rewrite(once.text);
+  EXPECT_EQ(twice.insertions, 0);
+  EXPECT_EQ(twice.text, once.text);
+}
+
+TEST(UinstTest, TrailingReturnType) {
+  const std::string src = "auto f(int x) -> int { return x; }\n";
+  EXPECT_EQ(count_insertions(src), 1);
+}
+
+TEST(UinstTest, InsertionPointsAreAfterOpeningBrace) {
+  const std::string src = "void f() { body(); }";
+  const auto points = insertion_points(src);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(src[points[0] - 1], '{');
+}
+
+}  // namespace
+}  // namespace tdbg::uinst

@@ -1,0 +1,144 @@
+// tdbg-cli — interactive trace-driven debugging of the bundled target
+// programs (the p2d2 console analog).
+//
+// Usage:
+//   tdbg_cli <target> [--script <file>] [--auto-record]
+//
+// Targets:
+//   ring4            4-rank token ring
+//   strassen8        distributed Strassen, 8 ranks, correct
+//   strassen8-buggy  the paper's Fig. 5-7 bug (deadlocks)
+//   taskfarm5        self-scheduling farm (wildcard races)
+//   lu8              NPB-LU-style wavefront on a 4x2 grid
+//   halo4            BSP halo-exchange relaxation
+//
+// With --script, commands come from the file (one per line, '#'
+// comments) instead of stdin — which is also how the test-suite
+// exercises this binary's command set.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "apps/halo.hpp"
+#include "apps/lu.hpp"
+#include "apps/ring.hpp"
+#include "apps/strassen.hpp"
+#include "apps/taskfarm.hpp"
+#include "debugger/commands.hpp"
+
+namespace {
+
+struct Target {
+  int ranks = 0;
+  tdbg::mpi::RankBody body;
+};
+
+Target make_target(const std::string& name) {
+  using namespace tdbg::apps;
+  if (name == "ring4") {
+    return {4, [](tdbg::mpi::Comm& comm) {
+              ring::Options opts;
+              opts.laps = 3;
+              ring::rank_body(comm, opts);
+            }};
+  }
+  if (name == "strassen8" || name == "strassen8-buggy") {
+    strassen::Options opts;
+    opts.n = 64;
+    opts.cutoff = 16;
+    opts.buggy = name == "strassen8-buggy";
+    return {8, [opts](tdbg::mpi::Comm& comm) { strassen::rank_body(comm, opts); }};
+  }
+  if (name == "taskfarm5") {
+    taskfarm::Options opts;
+    opts.num_tasks = 30;
+    return {5, [opts](tdbg::mpi::Comm& comm) { taskfarm::rank_body(comm, opts); }};
+  }
+  if (name == "lu8") {
+    lu::Options opts;
+    opts.px = 4;
+    opts.py = 2;
+    opts.nx = 12;
+    opts.ny = 12;
+    opts.iterations = 2;
+    return {8, [opts](tdbg::mpi::Comm& comm) { lu::rank_body(comm, opts); }};
+  }
+  if (name == "halo4") {
+    halo::Options opts;
+    opts.cells = 64;
+    opts.max_steps = 40;
+    return {4, [opts](tdbg::mpi::Comm& comm) {
+              halo::HaloApp app(opts);
+              app.init(comm);
+              for (std::uint64_t s = 0; app.step(comm, s); ++s) {
+              }
+            }};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_name;
+  std::string script_path;
+  bool auto_record = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--script" && i + 1 < argc) {
+      script_path = argv[++i];
+    } else if (arg == "--auto-record") {
+      auto_record = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
+                   "taskfarm5|lu8> [--script file] [--auto-record]\n";
+      return 0;
+    } else {
+      target_name = arg;
+    }
+  }
+  auto target = make_target(target_name);
+  if (target.ranks == 0) {
+    std::cerr << "unknown target '" << target_name << "' (try --help)\n";
+    return 2;
+  }
+
+  tdbg::dbg::Debugger debugger(target.ranks, target.body);
+  tdbg::dbg::CommandInterpreter interpreter(debugger);
+
+  std::ifstream script;
+  std::istream* in = &std::cin;
+  const bool interactive = script_path.empty();
+  if (!interactive) {
+    script.open(script_path);
+    if (!script) {
+      std::cerr << "cannot open script " << script_path << "\n";
+      return 2;
+    }
+    in = &script;
+  }
+
+  if (auto_record) {
+    std::cout << interpreter.execute("record").output;
+  }
+  if (interactive) {
+    std::cout << "tdbg: trace-driven debugger — target " << target_name
+              << " (" << target.ranks << " ranks). `help` for commands.\n";
+  }
+
+  std::string line;
+  int failures = 0;
+  while (true) {
+    if (interactive) std::cout << "(tdbg) " << std::flush;
+    if (!std::getline(*in, line)) break;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (!interactive && !line.empty()) std::cout << "(tdbg) " << line << "\n";
+    const auto result = interpreter.execute(line);
+    std::cout << result.output;
+    if (!result.ok) ++failures;
+    if (result.quit) break;
+  }
+  return failures == 0 ? 0 : 1;
+}

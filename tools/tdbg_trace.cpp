@@ -1,0 +1,151 @@
+// tdbg-trace — inspect and convert trace files.
+//
+// Usage:
+//   tdbg_trace dump <file>                 print events as text
+//   tdbg_trace stats <file>                summary + traffic report
+//   tdbg_trace profile <file>              time per construct / per rank
+//   tdbg_trace critpath <file>             critical path through the run
+//   tdbg_trace convert <in> <out> [text|binary]
+//   tdbg_trace svg <file> <out.svg>        render the time-space diagram
+//   tdbg_trace html <file> <out.html>      interactive view (zoom/pan)
+//   tdbg_trace graph <file> <out.dot>      dynamic call graph (DOT)
+//   tdbg_trace merge <out> <in1> <in2...>  merge per-rank trace files
+//
+// Traces are produced by attaching a TraceWriter to a run's collector
+// (see README "Writing traces to disk") or via trace::write_trace.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/traffic.hpp"
+#include "graph/call_graph.hpp"
+#include "graph/export.hpp"
+#include "trace/merge.hpp"
+#include "trace/trace_io.hpp"
+#include "viz/html_view.hpp"
+#include "viz/profile.hpp"
+#include "viz/timeline.hpp"
+
+namespace {
+
+int dump(const tdbg::trace::Trace& trace) {
+  using namespace tdbg;
+  std::printf("# %d ranks, %zu events\n", trace.num_ranks(), trace.size());
+  for (const auto& e : trace.events()) {
+    std::printf("%-8s rank=%d marker=%llu t=[%lld..%lld]",
+                std::string(trace::event_kind_name(e.kind)).c_str(), e.rank,
+                static_cast<unsigned long long>(e.marker),
+                static_cast<long long>(e.t_start),
+                static_cast<long long>(e.t_end));
+    if (e.construct != trace::kNoConstruct) {
+      std::printf(" %s", trace.constructs().info(e.construct).name.c_str());
+    }
+    if (e.is_message()) {
+      std::printf(" peer=%d tag=%d bytes=%llu%s", e.peer, e.tag,
+                  static_cast<unsigned long long>(e.bytes),
+                  e.wildcard ? " (ANY_SOURCE)" : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int stats(const tdbg::trace::Trace& trace) {
+  using namespace tdbg;
+  std::printf("ranks   : %d\n", trace.num_ranks());
+  std::printf("events  : %zu\n", trace.size());
+  std::printf("span    : %lld ns\n",
+              static_cast<long long>(trace.t_max() - trace.t_min()));
+  const auto report = trace.match_report();
+  std::printf("messages: %zu matched, %zu unmatched sends, %zu orphan "
+              "recvs\n",
+              report.matches.size(), report.unmatched_sends.size(),
+              report.unmatched_recvs.size());
+  std::printf("%s", analysis::analyze_traffic(trace).to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tdbg;
+  if (argc < 3) {
+    std::cerr << "usage: tdbg_trace {dump|stats|convert|svg|graph} <file> "
+                 "[args]\n";
+    return 2;
+  }
+  const std::string mode = argv[1];
+  try {
+    if (mode == "merge") {
+      if (argc < 4) {
+        std::cerr << "merge needs an output and at least one input\n";
+        return 2;
+      }
+      std::vector<std::filesystem::path> inputs;
+      for (int i = 3; i < argc; ++i) inputs.emplace_back(argv[i]);
+      trace::write_trace(argv[2], trace::read_merged(inputs));
+      std::cout << "wrote " << argv[2] << "\n";
+      return 0;
+    }
+    const auto trace = trace::read_trace(argv[2]);
+    if (mode == "dump") return dump(trace);
+    if (mode == "stats") return stats(trace);
+    if (mode == "profile") {
+      std::cout << viz::profile_trace(trace).to_string(trace.constructs());
+      return 0;
+    }
+    if (mode == "critpath") {
+      std::cout << analysis::critical_path(trace).to_string(trace);
+      return 0;
+    }
+    if (mode == "html") {
+      if (argc < 4) {
+        std::cerr << "html needs an output path\n";
+        return 2;
+      }
+      std::ofstream(argv[3]) << viz::to_html(trace);
+      std::cout << "wrote " << argv[3] << "\n";
+      return 0;
+    }
+    if (mode == "convert") {
+      if (argc < 4) {
+        std::cerr << "convert needs an output path\n";
+        return 2;
+      }
+      const auto format =
+          argc > 4 && std::string(argv[4]) == "text"
+              ? trace::TraceFormat::kText
+              : trace::TraceFormat::kBinary;
+      trace::write_trace(argv[3], trace, format);
+      std::cout << "wrote " << argv[3] << "\n";
+      return 0;
+    }
+    if (mode == "svg") {
+      if (argc < 4) {
+        std::cerr << "svg needs an output path\n";
+        return 2;
+      }
+      std::ofstream(argv[3]) << viz::TimeSpaceDiagram(trace).to_svg();
+      std::cout << "wrote " << argv[3] << "\n";
+      return 0;
+    }
+    if (mode == "graph") {
+      if (argc < 4) {
+        std::cerr << "graph needs an output path\n";
+        return 2;
+      }
+      const auto cg = graph::CallGraph::from_trace(trace, std::nullopt);
+      std::ofstream(argv[3])
+          << graph::to_dot(cg.to_export(trace.constructs()));
+      std::cout << "wrote " << argv[3] << "\n";
+      return 0;
+    }
+    std::cerr << "unknown mode " << mode << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "tdbg_trace: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,90 @@
+// uinst — insert UserMonitor instrumentation into C++ sources.
+//
+// Usage:
+//   uinst [--check] [--no-include] [--stdout] <file.cpp> [more files...]
+//
+// Default mode rewrites each file in place (the paper's pipeline
+// rewrote the .s file in place between two compiler steps).
+// --check   print per-file insertion counts, change nothing
+// --stdout  write the rewritten first file to stdout
+// --no-include  do not prepend the instrument/api.hpp include
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rewriter.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool to_stdout = false;
+  tdbg::uinst::RewriteOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--stdout") {
+      to_stdout = true;
+    } else if (arg == "--no-include") {
+      options.add_include = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: uinst [--check] [--stdout] [--no-include] "
+                   "<file.cpp>...\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "uinst: no input files (try --help)\n";
+    return 2;
+  }
+
+  int status = 0;
+  for (const auto& file : files) {
+    try {
+      const auto source = read_file(file);
+      const auto result = tdbg::uinst::rewrite(source, options);
+      if (check) {
+        std::cout << file << ": " << result.insertions
+                  << " insertion(s)\n";
+      } else if (to_stdout) {
+        std::cout << result.text;
+      } else {
+        write_file(file, result.text);
+        std::cout << file << ": instrumented " << result.insertions
+                  << " function(s)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "uinst: " << e.what() << "\n";
+      status = 1;
+    }
+  }
+  return status;
+}

@@ -1,0 +1,210 @@
+#include "rewriter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace tdbg::uinst {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Keywords that are followed by a parenthesized expression and a
+/// brace but are not function definitions.
+bool is_control_keyword(const std::string& ident) {
+  static const std::array<const char*, 8> kKeywords = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof"};
+  return std::any_of(kKeywords.begin(), kKeywords.end(),
+                     [&](const char* k) { return ident == k; });
+}
+
+/// The identifier ending at `pos` (exclusive), skipping trailing
+/// whitespace first.  Empty when the preceding token is not an
+/// identifier.
+std::string ident_before(const std::string& s, std::size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
+    --pos;
+  }
+  std::size_t end = pos;
+  while (pos > 0 && is_ident_char(s[pos - 1])) --pos;
+  return s.substr(pos, end - pos);
+}
+
+}  // namespace
+
+std::vector<std::size_t> insertion_points(const std::string& source) {
+  std::vector<std::size_t> points;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;
+
+  int paren_depth = 0;
+  // Candidate tracking: we saw a top-level `(...)` whose opening paren
+  // was preceded by a plausible function name; qualifiers or a ctor
+  // initializer list may follow before the body '{'.
+  bool candidate = false;
+  bool in_init_list = false;
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+
+    switch (state) {
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        continue;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        continue;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        continue;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        continue;
+      case State::kRawString:
+        if (c == ')' && i + 1 + raw_delim.size() < source.size() &&
+            source.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            source[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        }
+        continue;
+      case State::kCode:
+        break;
+    }
+
+    if (c == '/' && next == '/') {
+      state = State::kLineComment;
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      state = State::kBlockComment;
+      ++i;
+      continue;
+    }
+    if (c == 'R' && next == '"' &&
+        (i == 0 || !is_ident_char(source[i - 1]))) {
+      const auto open = source.find('(', i + 2);
+      if (open != std::string::npos) {
+        raw_delim = source.substr(i + 2, open - i - 2);
+        state = State::kRawString;
+        i = open;
+        continue;
+      }
+    }
+    if (c == '"') {
+      state = State::kString;
+      continue;
+    }
+    if (c == '\'') {
+      // Heuristic: treat as char literal only when not a digit
+      // separator (1'000).
+      if (i == 0 || !std::isdigit(static_cast<unsigned char>(source[i - 1]))) {
+        state = State::kChar;
+      }
+      continue;
+    }
+
+    if (c == '(') {
+      if (paren_depth == 0 && !in_init_list) {
+        const auto ident = ident_before(source, i);
+        // A function definition's '(' follows its name; an operator
+        // or conversion also ends in an identifier-ish token.  Reject
+        // control keywords and non-identifiers (lambdas: ']').
+        candidate = !ident.empty() && !is_control_keyword(ident);
+      }
+      ++paren_depth;
+      continue;
+    }
+    if (c == ')') {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (paren_depth > 0) continue;
+
+    if (candidate) {
+      if (c == '{') {
+        points.push_back(i + 1);
+        candidate = false;
+        in_init_list = false;
+      } else if (c == ';' || c == '=' || c == ',') {
+        // Declaration, `= default/delete`, or parameter pack in a
+        // wider list (unless we are in a ctor initializer list, where
+        // commas are expected).
+        if (!(in_init_list && c == ',')) {
+          candidate = false;
+          in_init_list = false;
+        }
+      } else if (c == ':') {
+        if (next == ':') {
+          ++i;  // scope operator inside a trailing return type
+        } else {
+          in_init_list = true;  // ctor initializer list
+        }
+      }
+      continue;
+    }
+
+    if (c == '{' || c == '}' || c == ';') {
+      in_init_list = false;
+    }
+  }
+  return points;
+}
+
+RewriteResult rewrite(const std::string& source,
+                      const RewriteOptions& options) {
+  RewriteResult result;
+  const auto points = insertion_points(source);
+
+  std::string out;
+  out.reserve(source.size() + points.size() * 24);
+  std::size_t prev = 0;
+  for (const auto point : points) {
+    out.append(source, prev, point - prev);
+    // Skip bodies that already start with the statement (idempotence).
+    auto rest = source.substr(point, 160);
+    if (rest.find("TDBG_FUNCTION") == std::string::npos ||
+        rest.find('{') < rest.find("TDBG_FUNCTION")) {
+      out += " " + options.statement;
+      ++result.insertions;
+    }
+    prev = point;
+  }
+  out.append(source, prev, source.size() - prev);
+
+  if (options.add_include && result.insertions > 0 &&
+      out.find("instrument/api.hpp") == std::string::npos) {
+    out.insert(0, "#include \"instrument/api.hpp\"\n");
+    result.added_include = true;
+  }
+  result.text = std::move(out);
+  return result;
+}
+
+}  // namespace tdbg::uinst

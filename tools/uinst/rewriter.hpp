@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file rewriter.hpp
+/// The `uinst` rewriter (paper §2.2).
+///
+/// The paper's `uinst` scans compiler-generated assembler and replaces
+/// the `mcount` profiling call (inserted by `gcc -p`) in every
+/// function prologue with a call to `UserMonitor`.  This port works at
+/// the C++ source level: it scans a translation unit and inserts a
+/// `TDBG_FUNCTION();` statement at the top of every function body, so
+/// the build pipeline
+///
+///     gcc -p -g -S file.c && uinst file.s && gcc -c file.s
+///
+/// becomes
+///
+///     uinst file.cpp && c++ -c file.cpp
+///
+/// The scanner is a lexer-level heuristic (it tracks strings,
+/// comments, parens, and braces — it does not parse C++), which is
+/// the same engineering trade the original made by pattern-matching
+/// assembler.  Lambdas and functions already instrumented are left
+/// alone; control-flow statements (`if`, `for`, ...) never match.
+
+namespace tdbg::uinst {
+
+/// Result of rewriting one source text.
+struct RewriteResult {
+  std::string text;          ///< rewritten source
+  int insertions = 0;        ///< TDBG_FUNCTION() statements added
+  bool added_include = false;  ///< instrument/api.hpp include prepended
+};
+
+/// Options for the rewriter.
+struct RewriteOptions {
+  /// Insert `#include "instrument/api.hpp"` after the last existing
+  /// include if the file does not already include it.
+  bool add_include = true;
+
+  /// The statement inserted at each function entry.
+  std::string statement = "TDBG_FUNCTION();";
+};
+
+/// Rewrites one source text, inserting the instrumentation statement
+/// at the top of every detected function body.
+RewriteResult rewrite(const std::string& source,
+                      const RewriteOptions& options = {});
+
+/// Byte offsets (just after each function body's '{') where the
+/// rewriter would insert.  Exposed for tests and --check mode.
+std::vector<std::size_t> insertion_points(const std::string& source);
+
+}  // namespace tdbg::uinst
