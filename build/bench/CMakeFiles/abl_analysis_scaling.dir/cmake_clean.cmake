@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_analysis_scaling.dir/abl_analysis_scaling.cpp.o"
+  "CMakeFiles/abl_analysis_scaling.dir/abl_analysis_scaling.cpp.o.d"
+  "abl_analysis_scaling"
+  "abl_analysis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_analysis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dissemination.dir/abl_dissemination.cpp.o"
+  "CMakeFiles/abl_dissemination.dir/abl_dissemination.cpp.o.d"
+  "abl_dissemination"
+  "abl_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

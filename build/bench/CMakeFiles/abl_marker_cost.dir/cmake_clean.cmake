@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_marker_cost.dir/abl_marker_cost.cpp.o"
+  "CMakeFiles/abl_marker_cost.dir/abl_marker_cost.cpp.o.d"
+  "abl_marker_cost"
+  "abl_marker_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_marker_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replay_overhead.dir/abl_replay_overhead.cpp.o"
+  "CMakeFiles/abl_replay_overhead.dir/abl_replay_overhead.cpp.o.d"
+  "abl_replay_overhead"
+  "abl_replay_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replay_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

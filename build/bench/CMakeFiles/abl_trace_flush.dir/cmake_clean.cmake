@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trace_flush.dir/abl_trace_flush.cpp.o"
+  "CMakeFiles/abl_trace_flush.dir/abl_trace_flush.cpp.o.d"
+  "abl_trace_flush"
+  "abl_trace_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trace_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_undo_checkpoint.dir/abl_undo_checkpoint.cpp.o"
+  "CMakeFiles/abl_undo_checkpoint.dir/abl_undo_checkpoint.cpp.o.d"
+  "abl_undo_checkpoint"
+  "abl_undo_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_undo_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vk_strassen.dir/fig3_vk_strassen.cpp.o"
+  "CMakeFiles/fig3_vk_strassen.dir/fig3_vk_strassen.cpp.o.d"
+  "fig3_vk_strassen"
+  "fig3_vk_strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vk_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

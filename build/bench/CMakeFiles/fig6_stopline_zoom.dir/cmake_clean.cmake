@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stopline_zoom.dir/fig6_stopline_zoom.cpp.o"
+  "CMakeFiles/fig6_stopline_zoom.dir/fig6_stopline_zoom.cpp.o.d"
+  "fig6_stopline_zoom"
+  "fig6_stopline_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stopline_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_replay_localize.dir/fig7_replay_localize.cpp.o"
+  "CMakeFiles/fig7_replay_localize.dir/fig7_replay_localize.cpp.o.d"
+  "fig7_replay_localize"
+  "fig7_replay_localize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_replay_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

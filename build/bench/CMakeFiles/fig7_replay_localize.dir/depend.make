@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_replay_localize.
+# This may be replaced when dependencies are built.

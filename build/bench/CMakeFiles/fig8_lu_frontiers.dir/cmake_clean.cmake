@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lu_frontiers.dir/fig8_lu_frontiers.cpp.o"
+  "CMakeFiles/fig8_lu_frontiers.dir/fig8_lu_frontiers.cpp.o.d"
+  "fig8_lu_frontiers"
+  "fig8_lu_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lu_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_call_graph.dir/fig9_call_graph.cpp.o"
+  "CMakeFiles/fig9_call_graph.dir/fig9_call_graph.cpp.o.d"
+  "fig9_call_graph"
+  "fig9_call_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_call_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

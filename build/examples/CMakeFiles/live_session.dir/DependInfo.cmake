@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_session.cpp" "examples/CMakeFiles/live_session.dir/live_session.cpp.o" "gcc" "examples/CMakeFiles/live_session.dir/live_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debugger/CMakeFiles/tdbg_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tdbg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tdbg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/tdbg_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/tdbg_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/tdbg_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/tdbg_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdbg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

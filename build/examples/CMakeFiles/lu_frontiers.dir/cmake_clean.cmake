@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_frontiers.dir/lu_frontiers.cpp.o"
+  "CMakeFiles/lu_frontiers.dir/lu_frontiers.cpp.o.d"
+  "lu_frontiers"
+  "lu_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_debug_session.dir/strassen_debug_session.cpp.o"
+  "CMakeFiles/strassen_debug_session.dir/strassen_debug_session.cpp.o.d"
+  "strassen_debug_session"
+  "strassen_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("mpi")
+subdirs("trace")
+subdirs("instrument")
+subdirs("graph")
+subdirs("causality")
+subdirs("replay")
+subdirs("debugger")
+subdirs("analysis")
+subdirs("viz")
+subdirs("apps")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/critical_path.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/critical_path.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/deadlock.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/intertwined.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/intertwined.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/intertwined.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/races.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/races.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/races.cpp.o.d"
+  "/root/repo/src/analysis/supervision.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/supervision.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/supervision.cpp.o.d"
+  "/root/repo/src/analysis/traffic.cpp" "src/analysis/CMakeFiles/tdbg_analysis.dir/traffic.cpp.o" "gcc" "src/analysis/CMakeFiles/tdbg_analysis.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/causality/CMakeFiles/tdbg_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tdbg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdbg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

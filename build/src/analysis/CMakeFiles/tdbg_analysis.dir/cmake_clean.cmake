@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/deadlock.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/deadlock.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/intertwined.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/intertwined.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/races.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/races.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/supervision.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/supervision.cpp.o.d"
+  "CMakeFiles/tdbg_analysis.dir/traffic.cpp.o"
+  "CMakeFiles/tdbg_analysis.dir/traffic.cpp.o.d"
+  "libtdbg_analysis.a"
+  "libtdbg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdbg_analysis.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fib.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/fib.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/fib.cpp.o.d"
+  "/root/repo/src/apps/halo.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/halo.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/halo.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/matrix.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/matrix.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/matrix.cpp.o.d"
+  "/root/repo/src/apps/ring.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/ring.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/ring.cpp.o.d"
+  "/root/repo/src/apps/strassen.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/strassen.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/strassen.cpp.o.d"
+  "/root/repo/src/apps/taskfarm.cpp" "src/apps/CMakeFiles/tdbg_apps.dir/taskfarm.cpp.o" "gcc" "src/apps/CMakeFiles/tdbg_apps.dir/taskfarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/tdbg_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/tdbg_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/tdbg_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdbg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_apps.dir/fib.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/fib.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/halo.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/halo.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/lu.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/matrix.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/matrix.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/ring.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/ring.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/strassen.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/strassen.cpp.o.d"
+  "CMakeFiles/tdbg_apps.dir/taskfarm.cpp.o"
+  "CMakeFiles/tdbg_apps.dir/taskfarm.cpp.o.d"
+  "libtdbg_apps.a"
+  "libtdbg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

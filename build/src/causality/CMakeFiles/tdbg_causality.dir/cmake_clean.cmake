@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_causality.dir/causal_order.cpp.o"
+  "CMakeFiles/tdbg_causality.dir/causal_order.cpp.o.d"
+  "libtdbg_causality.a"
+  "libtdbg_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

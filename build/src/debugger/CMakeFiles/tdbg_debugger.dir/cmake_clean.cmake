@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_debugger.dir/commands.cpp.o"
+  "CMakeFiles/tdbg_debugger.dir/commands.cpp.o.d"
+  "CMakeFiles/tdbg_debugger.dir/debugger.cpp.o"
+  "CMakeFiles/tdbg_debugger.dir/debugger.cpp.o.d"
+  "CMakeFiles/tdbg_debugger.dir/process_groups.cpp.o"
+  "CMakeFiles/tdbg_debugger.dir/process_groups.cpp.o.d"
+  "libtdbg_debugger.a"
+  "libtdbg_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

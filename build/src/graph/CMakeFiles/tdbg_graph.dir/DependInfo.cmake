@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/action_graph.cpp" "src/graph/CMakeFiles/tdbg_graph.dir/action_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tdbg_graph.dir/action_graph.cpp.o.d"
+  "/root/repo/src/graph/call_graph.cpp" "src/graph/CMakeFiles/tdbg_graph.dir/call_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tdbg_graph.dir/call_graph.cpp.o.d"
+  "/root/repo/src/graph/comm_graph.cpp" "src/graph/CMakeFiles/tdbg_graph.dir/comm_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tdbg_graph.dir/comm_graph.cpp.o.d"
+  "/root/repo/src/graph/export.cpp" "src/graph/CMakeFiles/tdbg_graph.dir/export.cpp.o" "gcc" "src/graph/CMakeFiles/tdbg_graph.dir/export.cpp.o.d"
+  "/root/repo/src/graph/trace_graph.cpp" "src/graph/CMakeFiles/tdbg_graph.dir/trace_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tdbg_graph.dir/trace_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tdbg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

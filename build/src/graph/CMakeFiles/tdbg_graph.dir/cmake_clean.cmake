@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_graph.dir/action_graph.cpp.o"
+  "CMakeFiles/tdbg_graph.dir/action_graph.cpp.o.d"
+  "CMakeFiles/tdbg_graph.dir/call_graph.cpp.o"
+  "CMakeFiles/tdbg_graph.dir/call_graph.cpp.o.d"
+  "CMakeFiles/tdbg_graph.dir/comm_graph.cpp.o"
+  "CMakeFiles/tdbg_graph.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/tdbg_graph.dir/export.cpp.o"
+  "CMakeFiles/tdbg_graph.dir/export.cpp.o.d"
+  "CMakeFiles/tdbg_graph.dir/trace_graph.cpp.o"
+  "CMakeFiles/tdbg_graph.dir/trace_graph.cpp.o.d"
+  "libtdbg_graph.a"
+  "libtdbg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

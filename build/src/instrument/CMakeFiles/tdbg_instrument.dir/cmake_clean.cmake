@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_instrument.dir/session.cpp.o"
+  "CMakeFiles/tdbg_instrument.dir/session.cpp.o.d"
+  "libtdbg_instrument.a"
+  "libtdbg_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/mailbox.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/mailbox.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/mpi/subcomm.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/subcomm.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/subcomm.cpp.o.d"
+  "/root/repo/src/mpi/wait_registry.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/wait_registry.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/wait_registry.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/tdbg_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/tdbg_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_mpi.dir/comm.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/tdbg_mpi.dir/mailbox.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/tdbg_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/tdbg_mpi.dir/subcomm.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/subcomm.cpp.o.d"
+  "CMakeFiles/tdbg_mpi.dir/wait_registry.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/wait_registry.cpp.o.d"
+  "CMakeFiles/tdbg_mpi.dir/world.cpp.o"
+  "CMakeFiles/tdbg_mpi.dir/world.cpp.o.d"
+  "libtdbg_mpi.a"
+  "libtdbg_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tdbg_mpi.
+# This may be replaced when dependencies are built.

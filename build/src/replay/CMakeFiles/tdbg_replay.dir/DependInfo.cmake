@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/breakpoints.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/breakpoints.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/breakpoints.cpp.o.d"
+  "/root/repo/src/replay/checkpoint.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/checkpoint.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/replay/checkpointed_session.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/checkpointed_session.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/checkpointed_session.cpp.o.d"
+  "/root/repo/src/replay/match_log.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/match_log.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/match_log.cpp.o.d"
+  "/root/repo/src/replay/record.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/record.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/record.cpp.o.d"
+  "/root/repo/src/replay/replay.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/replay.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/replay.cpp.o.d"
+  "/root/repo/src/replay/stopline.cpp" "src/replay/CMakeFiles/tdbg_replay.dir/stopline.cpp.o" "gcc" "src/replay/CMakeFiles/tdbg_replay.dir/stopline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/tdbg_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/tdbg_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdbg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_replay.dir/breakpoints.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/breakpoints.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/checkpoint.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/checkpointed_session.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/checkpointed_session.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/match_log.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/match_log.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/record.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/record.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/replay.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/replay.cpp.o.d"
+  "CMakeFiles/tdbg_replay.dir/stopline.cpp.o"
+  "CMakeFiles/tdbg_replay.dir/stopline.cpp.o.d"
+  "libtdbg_replay.a"
+  "libtdbg_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

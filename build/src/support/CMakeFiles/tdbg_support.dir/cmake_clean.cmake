@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_support.dir/clock.cpp.o"
+  "CMakeFiles/tdbg_support.dir/clock.cpp.o.d"
+  "CMakeFiles/tdbg_support.dir/error.cpp.o"
+  "CMakeFiles/tdbg_support.dir/error.cpp.o.d"
+  "CMakeFiles/tdbg_support.dir/serialize.cpp.o"
+  "CMakeFiles/tdbg_support.dir/serialize.cpp.o.d"
+  "CMakeFiles/tdbg_support.dir/strings.cpp.o"
+  "CMakeFiles/tdbg_support.dir/strings.cpp.o.d"
+  "libtdbg_support.a"
+  "libtdbg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

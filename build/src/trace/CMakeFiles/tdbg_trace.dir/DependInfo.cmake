@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/collector.cpp" "src/trace/CMakeFiles/tdbg_trace.dir/collector.cpp.o" "gcc" "src/trace/CMakeFiles/tdbg_trace.dir/collector.cpp.o.d"
+  "/root/repo/src/trace/construct_registry.cpp" "src/trace/CMakeFiles/tdbg_trace.dir/construct_registry.cpp.o" "gcc" "src/trace/CMakeFiles/tdbg_trace.dir/construct_registry.cpp.o.d"
+  "/root/repo/src/trace/merge.cpp" "src/trace/CMakeFiles/tdbg_trace.dir/merge.cpp.o" "gcc" "src/trace/CMakeFiles/tdbg_trace.dir/merge.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/tdbg_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/tdbg_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/tdbg_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/tdbg_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tdbg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/tdbg_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

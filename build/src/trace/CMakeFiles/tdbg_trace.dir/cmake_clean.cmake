@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_trace.dir/collector.cpp.o"
+  "CMakeFiles/tdbg_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/tdbg_trace.dir/construct_registry.cpp.o"
+  "CMakeFiles/tdbg_trace.dir/construct_registry.cpp.o.d"
+  "CMakeFiles/tdbg_trace.dir/merge.cpp.o"
+  "CMakeFiles/tdbg_trace.dir/merge.cpp.o.d"
+  "CMakeFiles/tdbg_trace.dir/trace.cpp.o"
+  "CMakeFiles/tdbg_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/tdbg_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/tdbg_trace.dir/trace_io.cpp.o.d"
+  "libtdbg_trace.a"
+  "libtdbg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_viz.dir/html_view.cpp.o"
+  "CMakeFiles/tdbg_viz.dir/html_view.cpp.o.d"
+  "CMakeFiles/tdbg_viz.dir/profile.cpp.o"
+  "CMakeFiles/tdbg_viz.dir/profile.cpp.o.d"
+  "CMakeFiles/tdbg_viz.dir/timeline.cpp.o"
+  "CMakeFiles/tdbg_viz.dir/timeline.cpp.o.d"
+  "libtdbg_viz.a"
+  "libtdbg_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

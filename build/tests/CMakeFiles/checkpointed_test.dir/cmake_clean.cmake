@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpointed_test.dir/checkpointed_test.cpp.o"
+  "CMakeFiles/checkpointed_test.dir/checkpointed_test.cpp.o.d"
+  "checkpointed_test"
+  "checkpointed_test.pdb"
+  "checkpointed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpointed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

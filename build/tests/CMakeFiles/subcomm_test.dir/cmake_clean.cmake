@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcomm_test.dir/subcomm_test.cpp.o"
+  "CMakeFiles/subcomm_test.dir/subcomm_test.cpp.o.d"
+  "subcomm_test"
+  "subcomm_test.pdb"
+  "subcomm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uinst_test.dir/uinst_test.cpp.o"
+  "CMakeFiles/uinst_test.dir/uinst_test.cpp.o.d"
+  "uinst_test"
+  "uinst_test.pdb"
+  "uinst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uinst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

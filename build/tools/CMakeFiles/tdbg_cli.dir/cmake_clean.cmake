@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_cli.dir/tdbg_cli.cpp.o"
+  "CMakeFiles/tdbg_cli.dir/tdbg_cli.cpp.o.d"
+  "tdbg_cli"
+  "tdbg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdbg_trace_tool.dir/tdbg_trace.cpp.o"
+  "CMakeFiles/tdbg_trace_tool.dir/tdbg_trace.cpp.o.d"
+  "tdbg_trace"
+  "tdbg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdbg_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

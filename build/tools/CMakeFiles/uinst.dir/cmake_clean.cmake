@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uinst.dir/uinst/main.cpp.o"
+  "CMakeFiles/uinst.dir/uinst/main.cpp.o.d"
+  "uinst"
+  "uinst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uinst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

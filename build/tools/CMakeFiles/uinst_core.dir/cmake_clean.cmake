@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uinst_core.dir/uinst/rewriter.cpp.o"
+  "CMakeFiles/uinst_core.dir/uinst/rewriter.cpp.o.d"
+  "libuinst_core.a"
+  "libuinst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uinst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
