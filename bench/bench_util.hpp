@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/clock.hpp"
 
 /// \file bench_util.hpp
@@ -29,6 +32,44 @@ inline double time_median_s(int reps, const std::function<void()>& fn) {
   }
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+/// Registry-backed variant: every sample is also recorded into the
+/// global `MetricsRegistry` histogram `bench.<name>_ns`, and the
+/// recorded value IS the value used for the median — so a table row
+/// and a `stats` dump of the same run can never disagree.  Falls back
+/// to a plain stopwatch when metrics are compiled out or disabled.
+inline double time_median_s(std::string_view name, int reps,
+                            const std::function<void()>& fn) {
+  auto& hist = obs::MetricsRegistry::global().histogram(
+      "bench." + std::string(name) + "_ns", obs::Unit::kNanoseconds);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    if (hist.hot()) {
+      obs::ScopedTimer timer(hist, /*rank=*/-1);
+      fn();
+      samples.push_back(static_cast<double>(timer.stop()) * 1e-9);
+    } else {
+      support::Stopwatch sw;
+      fn();
+      samples.push_back(sw.elapsed_s());
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Mean seconds of the named `bench.<name>_ns` histogram, read back
+/// from the global registry (NaN when it has no samples).
+inline double registry_mean_s(std::string_view name) {
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* m = snap.find("bench." + std::string(name) + "_ns");
+  if (m == nullptr || m->total() == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return static_cast<double>(m->hist_sum) /
+         static_cast<double>(m->total()) * 1e-9;
 }
 
 /// Prints a section header.

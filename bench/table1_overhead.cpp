@@ -37,7 +37,7 @@ struct Cell {
   double instr_s = 0.0;
 };
 
-Cell strassen_cell(std::size_t n, int reps) {
+Cell strassen_cell(const std::string& name, std::size_t n, int reps) {
   apps::strassen::Options opts;
   opts.n = n;
   opts.cutoff = 32;
@@ -47,11 +47,12 @@ Cell strassen_cell(std::size_t n, int reps) {
   };
 
   Cell cell;
-  cell.uninstr_s = bench::time_median_s(reps, [&] { mpi::run(4, body); });
+  cell.uninstr_s = bench::time_median_s(name + "_uninstr", reps,
+                                        [&] { mpi::run(4, body); });
 
   // Instrumented: UserMonitor counts markers on every function entry
   // and MPI call (no trace records — Table 1 measures the monitor).
-  cell.instr_s = bench::time_median_s(reps, [&] {
+  cell.instr_s = bench::time_median_s(name + "_instr", reps, [&] {
     instr::Session session(4, nullptr);
     mpi::RunOptions options;
     options.hooks = &session;
@@ -67,13 +68,13 @@ Cell strassen_cell(std::size_t n, int reps) {
   return cell;
 }
 
-Cell fib_cell(unsigned n, int reps) {
+Cell fib_cell(const std::string& name, unsigned n, int reps) {
   Cell cell;
   cell.calls = apps::fib_call_count(n);
   volatile std::uint64_t sink = 0;
-  cell.uninstr_s =
-      bench::time_median_s(reps, [&] { sink = apps::fib_plain(n); });
-  cell.instr_s = bench::time_median_s(reps, [&] {
+  cell.uninstr_s = bench::time_median_s(name + "_uninstr", reps,
+                                        [&] { sink = apps::fib_plain(n); });
+  cell.instr_s = bench::time_median_s(name + "_instr", reps, [&] {
     instr::Session session(1, nullptr);
     mpi::RunOptions options;
     options.hooks = &session;
@@ -89,10 +90,10 @@ Cell fib_cell(unsigned n, int reps) {
 int main() {
   bench::header("Table 1: instrumentation overhead (seconds)");
 
-  const auto s1 = strassen_cell(256, 5);
-  const auto s2 = strassen_cell(512, 3);
-  const auto f1 = fib_cell(28, 5);
-  const auto f2 = fib_cell(30, 3);
+  const auto s1 = strassen_cell("table1.strassen256", 256, 5);
+  const auto s2 = strassen_cell("table1.strassen512", 512, 3);
+  const auto f1 = fib_cell("table1.fib28", 28, 5);
+  const auto f2 = fib_cell("table1.fib30", 30, 3);
 
   std::printf("%-18s %14s %14s %14s %14s\n", "", "Strassen 256",
               "Strassen 512", "fib(28)", "fib(30)");
@@ -106,6 +107,23 @@ int main() {
   std::printf("%-18s %13.2fx %13.2fx %13.2fx %13.2fx\n", "Overhead",
               s1.instr_s / s1.uninstr_s, s2.instr_s / s2.uninstr_s,
               f1.instr_s / f1.uninstr_s, f2.instr_s / f2.uninstr_s);
+
+  // Same ratios read back from the MetricsRegistry histograms the
+  // timing loop recorded into (mean-based; the rows above are
+  // medians).  A mismatch in shape here would mean the user-visible
+  // `stats` surface and the bench tables drifted apart.
+  const auto reg_ratio = [](const char* name) {
+    const auto uninstr =
+        bench::registry_mean_s(std::string(name) + "_uninstr");
+    const auto instr = bench::registry_mean_s(std::string(name) + "_instr");
+    return instr / uninstr;
+  };
+  if (obs::kMetricsEnabled) {
+    std::printf("%-18s %13.2fx %13.2fx %13.2fx %13.2fx\n",
+                "Overhead (registry)", reg_ratio("table1.strassen256"),
+                reg_ratio("table1.strassen512"), reg_ratio("table1.fib28"),
+                reg_ratio("table1.fib30"));
+  }
 
   bench::note("paper (SGI PCA cluster): Strassen 8.19->8.46s (1.03x) and "
               "28.72->28.77s (1.00x);");

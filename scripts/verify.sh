@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Build-and-test matrix for the repo. Run from anywhere; builds land in
+# build-verify-<config> next to the sources so the default build/ tree is
+# left alone.
+#
+# Matrix:
+#   metrics-on   default config (TDBG_METRICS=ON)  — full test suite
+#   metrics-off  -DTDBG_METRICS=OFF                — obs layer compiled to
+#                no-ops; hammering tests GTEST_SKIP; everything else must
+#                still pass
+#
+# Extras under metrics-on:
+#   - ctest -L obs        (the obs label must select the obs suite)
+#   - abl_metrics_cost    (asserts the disabled-metric ≤ relaxed-load
+#                          budget contract; exits nonzero on drift)
+#   - tdbg_cli ring4 --stats smoke (per-rank sends/recvs/bytes visible)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local bdir="$repo/build-verify-$name"
+  echo "=== config $name: cmake $* ==="
+  cmake -B "$bdir" -S "$repo" "$@" >/dev/null
+  cmake --build "$bdir" -j "$jobs"
+  (cd "$bdir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config metrics-on
+run_config metrics-off -DTDBG_METRICS=OFF
+
+bdir="$repo/build-verify-metrics-on"
+
+echo "=== ctest -L obs ==="
+(cd "$bdir" && ctest -L obs --output-on-failure)
+
+echo "=== abl_metrics_cost contract ==="
+"$bdir/bench/abl_metrics_cost" --benchmark_min_time=0.05
+
+echo "=== tdbg_cli ring4 --stats smoke ==="
+out="$(printf 'record\nquit\n' | "$bdir/tools/tdbg_cli" ring4 --stats)"
+echo "$out" | grep -q 'runtime.calls.send' || {
+  echo "FAIL: --stats output missing runtime.calls.send" >&2; exit 1; }
+echo "$out" | grep -q 'runtime.bytes_sent' || {
+  echo "FAIL: --stats output missing runtime.bytes_sent" >&2; exit 1; }
+echo "smoke OK"
+
+echo "=== verify: all configs green ==="

@@ -4,12 +4,17 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace tdbg::analysis {
 
 CriticalPath critical_path(const trace::Trace& trace) {
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::global().histogram("analysis.critical_path_ns",
+                                               obs::Unit::kNanoseconds),
+      /*rank=*/-1);
   CriticalPath out;
   out.per_rank.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
   if (trace.empty()) return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace tdbg::analysis {
 
 namespace {
@@ -58,6 +60,9 @@ std::vector<mpi::Rank> find_cycle(const std::vector<mpi::WaitInfo>& waits) {
 }  // namespace
 
 DeadlockReport explain_deadlock(const std::vector<mpi::WaitInfo>& waits) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
+                             "analysis.deadlock_ns", obs::Unit::kNanoseconds),
+                         /*rank=*/-1);
   DeadlockReport report;
 
   for (const auto& w : waits) {

@@ -2,10 +2,15 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace tdbg::analysis {
 
 RaceReport find_races(const trace::Trace& trace,
                       const causality::CausalOrder& order) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
+                             "analysis.races_ns", obs::Unit::kNanoseconds),
+                         /*rank=*/-1);
   RaceReport report;
   const auto& matches = order.matches();
 

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace tdbg::analysis {
 
 TrafficReport analyze_traffic(const trace::Trace& trace) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
+                             "analysis.traffic_ns", obs::Unit::kNanoseconds),
+                         /*rank=*/-1);
   TrafficReport report;
   const auto matches = trace.match_report();
 

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace tdbg::causality {
 
 CausalOrder::CausalOrder(const trace::Trace& trace)
     : trace_(&trace), matches_(trace.match_report()) {
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::global().histogram("analysis.causal_order_ns",
+                                               obs::Unit::kNanoseconds),
+      /*rank=*/-1);
   const auto n = trace.size();
   const auto ranks = static_cast<std::size_t>(trace.num_ranks());
   clocks_.assign(n, {});

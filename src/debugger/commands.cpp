@@ -6,6 +6,7 @@
 #include "analysis/critical_path.hpp"
 #include "analysis/patterns.hpp"
 #include "graph/export.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "viz/html_view.hpp"
@@ -59,6 +60,7 @@ std::string CommandInterpreter::help() {
   html <path>                    interactive HTML view (zoom/pan/inspect)
   export {calls|comm|trace} {dot|vcg} <path>   write a graph file
   frontiers <rank> <marker>      past/future frontier of an event
+  stats [rank|-json]             runtime/collector/replay/analysis metrics
   help | quit
 )";
 }
@@ -94,6 +96,26 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
     if (cmd == "quit" || cmd == "exit") return {true, true, "bye\n"};
     if (cmd == "record") return cmd_record();
     if (cmd == "launch") return cmd_launch(args);
+    if (cmd == "stats") {
+      // Live registry state — works before `record` too (e.g. to see
+      // what an aborted or in-progress run cost so far).
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      if (args.size() >= 2 && args[1] == "-json") {
+        return {true, false, snap.to_json() + "\n"};
+      }
+      if (args.size() >= 2) {
+        TDBG_CHECK(args[1][0] != '-',
+                   "unknown stats flag (usage: stats [rank|-json])");
+        return {true, false, snap.to_text(parse_rank(args[1]))};
+      }
+      const auto text = snap.to_text();
+      return {true, false,
+              text.empty() ? std::string("no metrics recorded") +
+                                 (obs::kMetricsEnabled
+                                      ? " yet\n"
+                                      : " (built with TDBG_METRICS=OFF)\n")
+                           : text};
+    }
 
     // Live-session commands that need no recorded trace yet.
     if (debugger_.live()) {
@@ -164,7 +186,10 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
       if (args.size() != 2) return {false, false, "usage: html <path>\n"};
       std::ofstream out(args[1]);
       if (!out) return {false, false, "cannot write " + args[1] + "\n"};
-      out << viz::to_html(debugger_.trace());
+      viz::HtmlOptions html_options;
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      html_options.metrics = &snap;
+      out << viz::to_html(debugger_.trace(), html_options);
       return {true, false, "wrote " + args[1] + "\n"};
     }
     if (cmd == "export") return cmd_export(args);

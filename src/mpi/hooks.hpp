@@ -40,9 +40,18 @@ class ProfilingHooks {
   virtual void on_rank_finish(Rank rank) { (void)rank; }
 };
 
-/// Forwards every hook to a list of children, in order.  Lets a run
-/// install both the instrumentation session and e.g. the replay
-/// recorder at once.
+/// Forwards every hook to a list of children.  Lets a run install both
+/// the instrumentation session and e.g. the replay recorder at once.
+///
+/// Ordering contract: begin-side hooks (`on_call_begin`,
+/// `on_rank_start`) run in installation order; end-side hooks
+/// (`on_call_end`, `on_rank_finish`) run in *reverse* installation
+/// order.  Children therefore nest like scopes — a child that starts a
+/// timer in `on_call_begin` sees every later-installed child's begin
+/// and end *inside* its own measurement window, never straddling it.
+/// Without the reversal, a slow later child's end-side work would be
+/// charged to an earlier child's timer on some calls and not others,
+/// skewing latency histograms nondeterministically.
 class HookFanout : public ProfilingHooks {
  public:
   HookFanout() = default;
@@ -58,13 +67,17 @@ class HookFanout : public ProfilingHooks {
     for (auto* h : hooks_) h->on_call_begin(info);
   }
   void on_call_end(const CallInfo& info, const Status* status) override {
-    for (auto* h : hooks_) h->on_call_end(info, status);
+    for (auto it = hooks_.rbegin(); it != hooks_.rend(); ++it) {
+      (*it)->on_call_end(info, status);
+    }
   }
   void on_rank_start(Rank rank) override {
     for (auto* h : hooks_) h->on_rank_start(rank);
   }
   void on_rank_finish(Rank rank) override {
-    for (auto* h : hooks_) h->on_rank_finish(rank);
+    for (auto it = hooks_.rbegin(); it != hooks_.rend(); ++it) {
+      (*it)->on_rank_finish(rank);
+    }
   }
 
  private:

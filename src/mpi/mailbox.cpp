@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "support/clock.hpp"
 #include "support/error.hpp"
 
 namespace tdbg::mpi {
@@ -11,6 +13,22 @@ namespace {
 
 bool tag_matches(Tag posted, Tag actual) {
   return posted == kAnyTag || posted == actual;
+}
+
+/// Mailbox-family instruments, interned once per process.  Per-rank
+/// slots keep concurrent mailboxes off each other's cache lines.
+struct MailboxMetrics {
+  obs::Counter& delivered =
+      obs::MetricsRegistry::global().counter("runtime.msgs_delivered");
+  obs::Gauge& queue_hwm =
+      obs::MetricsRegistry::global().gauge("runtime.mailbox_queue_hwm");
+  obs::Histogram& match_latency = obs::MetricsRegistry::global().histogram(
+      "runtime.match_latency_ns", obs::Unit::kNanoseconds);
+};
+
+MailboxMetrics& mailbox_metrics() {
+  static MailboxMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -22,12 +40,21 @@ Mailbox::Mailbox(Rank owner, int world_size, MailboxShared* shared)
 }
 
 void Mailbox::deliver(Message msg) {
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = mailbox_metrics();
+    metrics.delivered.add(owner_);
+    if (metrics.match_latency.hot()) msg.delivered_ns = support::now_ns();
+  }
   {
     std::lock_guard lk(mu_);
     auto& ch = channels_.at(static_cast<std::size_t>(msg.source));
     msg.seq = ch.next_seq++;
     msg.arrival = arrivals_++;
     ch.queue.push_back(std::move(msg));
+    ++queued_now_;
+    if constexpr (obs::kMetricsEnabled) {
+      mailbox_metrics().queue_hwm.record_max(owner_, queued_now_);
+    }
     shared_->progress.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_all();
@@ -108,9 +135,18 @@ Status Mailbox::receive(Rank source, Tag tag, std::vector<std::byte>& out,
       Message msg = std::move(ch.queue[pick->index]);
       ch.queue.erase(ch.queue.begin() +
                      static_cast<std::ptrdiff_t>(pick->index));
+      if (queued_now_ > 0) --queued_now_;
       shared_->progress.fetch_add(1, std::memory_order_relaxed);
       lk.unlock();
 
+      if constexpr (obs::kMetricsEnabled) {
+        auto& metrics = mailbox_metrics();
+        if (msg.delivered_ns != 0 && metrics.match_latency.hot()) {
+          metrics.match_latency.record(
+              owner_, static_cast<std::uint64_t>(support::now_ns() -
+                                                 msg.delivered_ns));
+        }
+      }
       out = std::move(msg.payload);
       if (msg.synchronous && msg.sync) {
         std::lock_guard slk(msg.sync->mu);

@@ -106,6 +106,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::vector<Channel> channels_;  ///< indexed by source rank
   std::uint64_t arrivals_ = 0;
+  std::size_t queued_now_ = 0;  ///< live queued total, for the HWM gauge
 };
 
 }  // namespace tdbg::mpi

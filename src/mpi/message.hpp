@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mpi/types.hpp"
+#include "support/clock.hpp"
 
 namespace tdbg::mpi {
 
@@ -30,6 +31,8 @@ struct Message {
   Tag tag = 0;
   ChannelSeq seq = 0;                 ///< per-(source,dest) FIFO position
   std::uint64_t arrival = 0;          ///< mailbox-wide arrival counter
+  support::TimeNs delivered_ns = 0;   ///< delivery stamp for match-latency
+                                      ///< metrics; 0 when metrics are off
   bool synchronous = false;           ///< true for ssend: sender is blocked
   std::shared_ptr<SyncHandle> sync;   ///< set iff synchronous
   std::vector<std::byte> payload;

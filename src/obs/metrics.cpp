@@ -1,0 +1,561 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace tdbg::obs {
+
+std::string_view unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kCount: return "count";
+    case Unit::kNanoseconds: return "ns";
+    case Unit::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+std::string_view instrument_kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : slots_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::total_sum() const {
+  std::uint64_t n = 0;
+  for (const auto& s : slots_) n += s.sum.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::total_max() const {
+  std::uint64_t best = 0;
+  for (const auto& s : slots_) {
+    best = std::max(best, s.max.load(std::memory_order_relaxed));
+  }
+  return best;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::intern(std::string_view name,
+                                                InstrumentKind kind,
+                                                Unit unit) {
+  std::lock_guard lk(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) return *e;  // kind mismatch: first creation wins
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  entry->unit = unit;
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      entry->counter.reset(new Counter(&enabled_));
+      break;
+    case InstrumentKind::kGauge:
+      entry->gauge.reset(new Gauge(&enabled_));
+      break;
+    case InstrumentKind::kHistogram:
+      entry->histogram.reset(new Histogram(&enabled_));
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *intern(name, InstrumentKind::kCounter, Unit::kCount).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *intern(name, InstrumentKind::kGauge, Unit::kCount).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Unit unit) {
+  return *intern(name, InstrumentKind::kHistogram, unit).histogram;
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& e : entries_) {
+    for (std::size_t s = 0; s < kRankSlots; ++s) {
+      if (e->counter) {
+        e->counter->cells_[s].value.store(0, std::memory_order_relaxed);
+      }
+      if (e->gauge) {
+        e->gauge->cells_[s].value.store(0, std::memory_order_relaxed);
+      }
+      if (e->histogram) {
+        auto& slot = e->histogram->slots_[s];
+        for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.sum.store(0, std::memory_order_relaxed);
+        slot.max.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot out;
+  out.taken_ns = support::now_ns();
+  std::lock_guard lk(mu_);
+  out.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnap snap;
+    snap.name = e->name;
+    snap.kind = e->kind;
+    snap.unit = e->unit;
+    for (std::size_t s = 0; s < kRankSlots; ++s) {
+      switch (e->kind) {
+        case InstrumentKind::kCounter:
+          snap.per_rank[s] =
+              e->counter->cells_[s].value.load(std::memory_order_relaxed);
+          break;
+        case InstrumentKind::kGauge:
+          snap.per_rank[s] =
+              e->gauge->cells_[s].value.load(std::memory_order_relaxed);
+          break;
+        case InstrumentKind::kHistogram: {
+          const auto& slot = e->histogram->slots_[s];
+          snap.per_rank[s] = slot.count.load(std::memory_order_relaxed);
+          snap.hist_sum += slot.sum.load(std::memory_order_relaxed);
+          snap.hist_max = std::max(
+              snap.hist_max, slot.max.load(std::memory_order_relaxed));
+          for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            snap.buckets[b] +=
+                slot.buckets[b].load(std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+    }
+    out.metrics.push_back(std::move(snap));
+  }
+  return out;
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+std::uint64_t MetricSnap::total() const {
+  std::uint64_t sum = 0;
+  for (const auto v : per_rank) sum += v;
+  return sum;
+}
+
+std::string_view MetricSnap::family() const {
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? std::string_view(name)
+                                  : std::string_view(name).substr(0, dot);
+}
+
+const MetricSnap* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  Snapshot out;
+  out.taken_ns = taken_ns;
+  out.metrics.reserve(metrics.size());
+  for (const auto& m : metrics) {
+    const MetricSnap* base = earlier.find(m.name);
+    MetricSnap d = m;
+    if (base != nullptr && m.kind != InstrumentKind::kGauge) {
+      for (std::size_t s = 0; s < kRankSlots; ++s) {
+        d.per_rank[s] = sub(m.per_rank[s], base->per_rank[s]);
+      }
+      d.hist_sum = sub(m.hist_sum, base->hist_sum);
+      // max is not diffable; keep the later window's observed max.
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        d.buckets[b] = sub(m.buckets[b], base->buckets[b]);
+      }
+    }
+    out.metrics.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+/// "1234567" ns → "1.23ms"; bytes → "1.2MB"; counts stay plain.
+std::string format_value(std::uint64_t v, Unit unit) {
+  char buf[48];
+  switch (unit) {
+    case Unit::kNanoseconds:
+      if (v >= 1000000000ull) {
+        std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(v) * 1e-9);
+      } else if (v >= 1000000ull) {
+        std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(v) * 1e-6);
+      } else if (v >= 1000ull) {
+        std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(v) * 1e-3);
+      } else {
+        std::snprintf(buf, sizeof buf, "%lluns",
+                      static_cast<unsigned long long>(v));
+      }
+      return buf;
+    case Unit::kBytes:
+      if (v >= 1048576ull) {
+        std::snprintf(buf, sizeof buf, "%.1fMB",
+                      static_cast<double>(v) / 1048576.0);
+      } else if (v >= 1024ull) {
+        std::snprintf(buf, sizeof buf, "%.1fKB",
+                      static_cast<double>(v) / 1024.0);
+      } else {
+        std::snprintf(buf, sizeof buf, "%lluB",
+                      static_cast<unsigned long long>(v));
+      }
+      return buf;
+    case Unit::kCount:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(v));
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Snapshot::to_text(std::optional<int> rank,
+                              std::optional<std::string_view> family) const {
+  // Group by family (in order of first appearance) so interleaved
+  // intern order doesn't split a family across several headers.
+  std::vector<std::string_view> families;
+  for (const auto& m : metrics) {
+    if (family && m.family() != *family) continue;
+    if (std::find(families.begin(), families.end(), m.family()) ==
+        families.end()) {
+      families.push_back(m.family());
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto fam : families) {
+    bool wrote_header = false;
+    for (const auto& m : metrics) {
+      if (m.family() != fam) continue;
+      // Histogram per-rank slots hold sample *counts*, not unit values.
+      const auto slot_unit =
+          m.kind == InstrumentKind::kHistogram ? Unit::kCount : m.unit;
+      if (rank) {
+        // Single-rank view: that rank's slot only.
+        const auto v = m.per_rank[slot_of(*rank)];
+        if (v == 0) continue;
+        if (!wrote_header) {
+          wrote_header = true;
+          os << "== " << fam << " ==\n";
+        }
+        os << "  " << m.name << " = " << format_value(v, slot_unit);
+        if (m.kind == InstrumentKind::kHistogram) os << " samples";
+        os << "\n";
+        continue;
+      }
+      if (m.total() == 0 && m.hist_sum == 0) continue;
+      if (!wrote_header) {
+        wrote_header = true;
+        os << "== " << fam << " ==\n";
+      }
+      char line[128];
+      if (m.kind == InstrumentKind::kHistogram) {
+        const auto count = m.total();
+        const auto avg = count == 0 ? 0 : m.hist_sum / count;
+        std::snprintf(line, sizeof line,
+                      "  %-34s count %-8llu avg %-10s max %s", m.name.c_str(),
+                      static_cast<unsigned long long>(count),
+                      format_value(avg, m.unit).c_str(),
+                      format_value(m.hist_max, m.unit).c_str());
+      } else if (m.kind == InstrumentKind::kGauge) {
+        // A gauge's meaningful aggregate is the max, not the sum.
+        const auto peak =
+            *std::max_element(m.per_rank.begin(), m.per_rank.end());
+        std::snprintf(line, sizeof line, "  %-34s peak %s", m.name.c_str(),
+                      format_value(peak, m.unit).c_str());
+      } else {
+        std::snprintf(line, sizeof line, "  %-34s total %s", m.name.c_str(),
+                      format_value(m.total(), m.unit).c_str());
+      }
+      os << line;
+      // Per-rank strip: only ranks that contributed.
+      bool first = true;
+      for (std::size_t s = 1; s < kRankSlots; ++s) {
+        if (m.per_rank[s] == 0) continue;
+        os << (first ? "  | " : "  ") << "r" << rank_of_slot(s) << ":"
+           << format_value(m.per_rank[s], slot_unit);
+        first = false;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"taken_ns\":" << taken_ns << ",\"metrics\":[";
+  bool first_metric = true;
+  for (const auto& m : metrics) {
+    if (!first_metric) os << ",";
+    first_metric = false;
+    os << "{\"name\":\"" << m.name << "\",\"kind\":\""
+       << instrument_kind_name(m.kind) << "\",\"unit\":\""
+       << unit_name(m.unit) << "\",\"total\":" << m.total()
+       << ",\"per_rank\":{";
+    bool first_slot = true;
+    for (std::size_t s = 0; s < kRankSlots; ++s) {
+      if (m.per_rank[s] == 0) continue;
+      if (!first_slot) os << ",";
+      first_slot = false;
+      os << "\"" << rank_of_slot(s) << "\":" << m.per_rank[s];
+    }
+    os << "}";
+    if (m.kind == InstrumentKind::kHistogram) {
+      os << ",\"sum\":" << m.hist_sum << ",\"max\":" << m.hist_max
+         << ",\"buckets\":{";
+      bool first_bucket = true;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (m.buckets[b] == 0) continue;
+        if (!first_bucket) os << ",";
+        first_bucket = false;
+        os << "\"" << b << "\":" << m.buckets[b];
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// --- JSON parsing (exactly the grammar to_json emits) ----------------------
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    if (!consume('"')) return std::nullopt;
+    return out;
+  }
+
+  std::optional<std::int64_t> integer() {
+    skip_ws();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return std::nullopt;
+    }
+    std::int64_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    return negative ? -v : v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<InstrumentKind> parse_kind(std::string_view s) {
+  if (s == "counter") return InstrumentKind::kCounter;
+  if (s == "gauge") return InstrumentKind::kGauge;
+  if (s == "histogram") return InstrumentKind::kHistogram;
+  return std::nullopt;
+}
+
+std::optional<Unit> parse_unit(std::string_view s) {
+  if (s == "count") return Unit::kCount;
+  if (s == "ns") return Unit::kNanoseconds;
+  if (s == "bytes") return Unit::kBytes;
+  return std::nullopt;
+}
+
+/// Parses {"<int-key>": <int>, ...} into `put(key, value)` calls.
+template <typename Put>
+bool parse_int_map(JsonCursor& in, const Put& put) {
+  if (!in.consume('{')) return false;
+  if (in.consume('}')) return true;
+  for (;;) {
+    const auto key = in.string();
+    if (!key || !in.consume(':')) return false;
+    const auto value = in.integer();
+    if (!value) return false;
+    std::int64_t k = 0;
+    try {
+      k = std::stoll(*key);
+    } catch (...) {
+      return false;
+    }
+    if (!put(k, static_cast<std::uint64_t>(*value))) return false;
+    if (in.consume('}')) return true;
+    if (!in.consume(',')) return false;
+  }
+}
+
+}  // namespace
+
+std::optional<Snapshot> Snapshot::from_json(std::string_view json) {
+  JsonCursor in(json);
+  Snapshot out;
+  if (!in.consume('{')) return std::nullopt;
+  // "taken_ns": N
+  if (auto key = in.string(); !key || *key != "taken_ns") return std::nullopt;
+  if (!in.consume(':')) return std::nullopt;
+  if (auto t = in.integer()) {
+    out.taken_ns = *t;
+  } else {
+    return std::nullopt;
+  }
+  if (!in.consume(',')) return std::nullopt;
+  if (auto key = in.string(); !key || *key != "metrics") return std::nullopt;
+  if (!in.consume(':') || !in.consume('[')) return std::nullopt;
+  if (in.consume(']')) {
+    return in.consume('}') ? std::optional<Snapshot>(std::move(out))
+                           : std::nullopt;
+  }
+  for (;;) {
+    if (!in.consume('{')) return std::nullopt;
+    MetricSnap m;
+    for (;;) {
+      const auto key = in.string();
+      if (!key || !in.consume(':')) return std::nullopt;
+      if (*key == "name") {
+        const auto v = in.string();
+        if (!v) return std::nullopt;
+        m.name = *v;
+      } else if (*key == "kind") {
+        const auto v = in.string();
+        if (!v) return std::nullopt;
+        const auto kind = parse_kind(*v);
+        if (!kind) return std::nullopt;
+        m.kind = *kind;
+      } else if (*key == "unit") {
+        const auto v = in.string();
+        if (!v) return std::nullopt;
+        const auto unit = parse_unit(*v);
+        if (!unit) return std::nullopt;
+        m.unit = *unit;
+      } else if (*key == "total") {
+        if (!in.integer()) return std::nullopt;  // derived; recomputed
+      } else if (*key == "per_rank") {
+        if (!parse_int_map(in, [&m](std::int64_t rank, std::uint64_t v) {
+              if (rank < -1 || rank >= kRankSlots - 1) return false;
+              m.per_rank[slot_of(static_cast<int>(rank))] = v;
+              return true;
+            })) {
+          return std::nullopt;
+        }
+      } else if (*key == "sum") {
+        const auto v = in.integer();
+        if (!v) return std::nullopt;
+        m.hist_sum = static_cast<std::uint64_t>(*v);
+      } else if (*key == "max") {
+        const auto v = in.integer();
+        if (!v) return std::nullopt;
+        m.hist_max = static_cast<std::uint64_t>(*v);
+      } else if (*key == "buckets") {
+        if (!parse_int_map(in, [&m](std::int64_t b, std::uint64_t v) {
+              if (b < 0 ||
+                  b >= static_cast<std::int64_t>(Histogram::kBuckets)) {
+                return false;
+              }
+              m.buckets[static_cast<std::size_t>(b)] = v;
+              return true;
+            })) {
+          return std::nullopt;
+        }
+      } else {
+        return std::nullopt;
+      }
+      if (in.consume('}')) break;
+      if (!in.consume(',')) return std::nullopt;
+    }
+    out.metrics.push_back(std::move(m));
+    if (in.consume(']')) break;
+    if (!in.consume(',')) return std::nullopt;
+  }
+  if (!in.consume('}')) return std::nullopt;
+  return out;
+}
+
+// --- TimeSeriesCsv ----------------------------------------------------------
+
+void TimeSeriesCsv::add(const Snapshot& snapshot) {
+  if (columns_.empty()) {
+    header_ = "t_ns";
+    for (const auto& m : snapshot.metrics) {
+      columns_.push_back(m.name);
+      header_ += "," + m.name;
+    }
+    header_ += "\n";
+  }
+  std::ostringstream row;
+  row << snapshot.taken_ns;
+  for (const auto& name : columns_) {
+    const auto* m = snapshot.find(name);
+    row << "," << (m == nullptr ? 0 : m->total());
+  }
+  row << "\n";
+  rows_ += row.str();
+  ++row_count_;
+}
+
+}  // namespace tdbg::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics_hooks.hpp"
+
+#include <string>
+
+#include "support/clock.hpp"
+
+namespace tdbg::obs {
+
+std::string_view call_kind_token(mpi::CallKind kind) {
+  using mpi::CallKind;
+  switch (kind) {
+    case CallKind::kSend: return "send";
+    case CallKind::kSsend: return "ssend";
+    case CallKind::kRecv: return "recv";
+    case CallKind::kProbe: return "probe";
+    case CallKind::kBarrier: return "barrier";
+    case CallKind::kBcast: return "bcast";
+    case CallKind::kReduce: return "reduce";
+    case CallKind::kAllreduce: return "allreduce";
+    case CallKind::kGather: return "gather";
+    case CallKind::kScatter: return "scatter";
+    case CallKind::kAlltoall: return "alltoall";
+    case CallKind::kInit: return "init";
+    case CallKind::kFinalize: return "finalize";
+  }
+  return "unknown";
+}
+
+MetricsHooks::MetricsHooks(MetricsRegistry& registry) {
+  for (std::size_t k = 0; k < kCallKinds; ++k) {
+    const auto token = call_kind_token(static_cast<mpi::CallKind>(k));
+    calls_[k] = &registry.counter("runtime.calls." + std::string(token));
+  }
+  bytes_sent_ = &registry.counter("runtime.bytes_sent");
+  bytes_received_ = &registry.counter("runtime.bytes_received");
+  recv_wildcards_ = &registry.counter("runtime.recv_wildcards");
+  recv_block_ns_ =
+      &registry.histogram("runtime.recv_block_ns", Unit::kNanoseconds);
+  ranks_started_ = &registry.counter("runtime.ranks_started");
+  ranks_finished_ = &registry.counter("runtime.ranks_finished");
+}
+
+namespace {
+
+// A rank thread has at most one receive in flight (recvs don't nest),
+// so a single thread-local begin stamp is enough; shared across
+// MetricsHooks instances, which only means duplicate instances time
+// from the innermost begin.
+thread_local support::TimeNs t_recv_begin = 0;
+
+}  // namespace
+
+void MetricsHooks::on_call_begin(const mpi::CallInfo& info) {
+  if constexpr (!kMetricsEnabled) return;
+  if (info.kind != mpi::CallKind::kRecv || !recv_block_ns_->hot()) return;
+  t_recv_begin = support::now_ns();
+}
+
+void MetricsHooks::on_call_end(const mpi::CallInfo& info,
+                               const mpi::Status* status) {
+  if constexpr (!kMetricsEnabled) return;
+  calls_[static_cast<std::size_t>(info.kind)]->add(info.rank);
+  switch (info.kind) {
+    case mpi::CallKind::kSend:
+    case mpi::CallKind::kSsend:
+      bytes_sent_->add(info.rank, info.bytes);
+      break;
+    case mpi::CallKind::kRecv:
+      if (status != nullptr) bytes_received_->add(info.rank, status->bytes);
+      if (info.peer == mpi::kAnySource || info.tag == mpi::kAnyTag) {
+        recv_wildcards_->add(info.rank);
+      }
+      if (recv_block_ns_->hot() && t_recv_begin != 0) {
+        recv_block_ns_->record(
+            info.rank,
+            static_cast<std::uint64_t>(support::now_ns() - t_recv_begin));
+        t_recv_begin = 0;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MetricsHooks::on_rank_start(mpi::Rank rank) {
+  if constexpr (!kMetricsEnabled) return;
+  ranks_started_->add(rank);
+}
+
+void MetricsHooks::on_rank_finish(mpi::Rank rank) {
+  if constexpr (!kMetricsEnabled) return;
+  ranks_finished_->add(rank);
+}
+
+}  // namespace tdbg::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+
+#include "mpi/hooks.hpp"
+#include "obs/metrics.hpp"
+
+/// \file metrics_hooks.hpp
+/// Bridges the runtime's PMPI-style profiling interface to the metrics
+/// registry.  Installing a `MetricsHooks` (usually via `HookFanout`,
+/// next to the instrumentation session) gives every run per-rank call
+/// counts, byte totals, and recv-block latency at a cost of a few
+/// relaxed atomic increments per call — the self-observation layer the
+/// paper's overhead discussion (Table 1) needs on our side.
+///
+/// Layering note: this header lives in `tdbg_obs`, which links only
+/// `tdbg_support`.  It may include `mpi/hooks.hpp` because
+/// `ProfilingHooks` is fully inline; it must not reference symbols
+/// defined in the mpi library's .cpp files.
+
+namespace tdbg::obs {
+
+/// Profiling hook that folds every observed call into a
+/// `MetricsRegistry`.  All instruments are interned at construction,
+/// so the per-call path never takes the registry lock.
+///
+/// Metric families written (all prefixed `runtime.`):
+///   - `runtime.calls.<kind>`   — per-rank call count per `CallKind`
+///   - `runtime.bytes_sent`     — payload bytes passed to send calls
+///   - `runtime.bytes_received` — payload bytes actually matched
+///   - `runtime.recv_wildcards` — receives posted with ANY_SOURCE/TAG
+///   - `runtime.recv_block_ns`  — wall time a rank spent inside recv
+///   - `runtime.ranks_started` / `runtime.ranks_finished`
+class MetricsHooks : public mpi::ProfilingHooks {
+ public:
+  static constexpr std::size_t kCallKinds =
+      static_cast<std::size_t>(mpi::CallKind::kFinalize) + 1;
+
+  explicit MetricsHooks(MetricsRegistry& registry = MetricsRegistry::global());
+
+  void on_call_begin(const mpi::CallInfo& info) override;
+  void on_call_end(const mpi::CallInfo& info,
+                   const mpi::Status* status) override;
+  void on_rank_start(mpi::Rank rank) override;
+  void on_rank_finish(mpi::Rank rank) override;
+
+ private:
+  std::array<Counter*, kCallKinds> calls_{};
+  Counter* bytes_sent_ = nullptr;
+  Counter* bytes_received_ = nullptr;
+  Counter* recv_wildcards_ = nullptr;
+  Histogram* recv_block_ns_ = nullptr;
+  Counter* ranks_started_ = nullptr;
+  Counter* ranks_finished_ = nullptr;
+};
+
+/// Lower-cased call-kind token used in metric names ("send", "recv",
+/// ...).  Local to obs so the library does not depend on the mpi
+/// library's `call_kind_name` definition.
+std::string_view call_kind_token(mpi::CallKind kind);
+
+}  // namespace tdbg::obs

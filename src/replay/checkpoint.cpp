@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace tdbg::replay {
+
+namespace {
+
+struct CheckpointMetrics {
+  obs::Counter& retained =
+      obs::MetricsRegistry::global().counter("replay.checkpoints_retained");
+  obs::Counter& bytes = obs::MetricsRegistry::global().counter(
+      "replay.checkpoint_bytes_offered");
+  obs::Histogram& save_ns = obs::MetricsRegistry::global().histogram(
+      "replay.checkpoint_save_ns", obs::Unit::kNanoseconds);
+};
+
+CheckpointMetrics& checkpoint_metrics() {
+  static CheckpointMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 CheckpointStore::CheckpointStore(int num_ranks, std::uint64_t interval)
     : interval_(std::max<std::uint64_t>(1, interval)),
@@ -15,6 +34,7 @@ CheckpointStore::CheckpointStore(int num_ranks, std::uint64_t interval)
 
 bool CheckpointStore::offer(mpi::Rank rank, std::uint64_t marker,
                             std::vector<std::byte> state) {
+  obs::ScopedTimer timer(checkpoint_metrics().save_ns, rank);
   std::lock_guard lk(mu_);
   auto& slot = per_rank_.at(static_cast<std::size_t>(rank));
   const std::uint64_t index = marker / interval_;
@@ -26,6 +46,11 @@ bool CheckpointStore::offer(mpi::Rank rank, std::uint64_t marker,
   slot.has_last = true;
   slot.last_index = index;
   slot.last_marker = marker;
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = checkpoint_metrics();
+    metrics.retained.add(rank);
+    metrics.bytes.add(rank, state.size());
+  }
 
   // Binary-bucket retention: level k keeps the two most recent
   // snapshots whose index is a multiple of 2^k.  The retained set is

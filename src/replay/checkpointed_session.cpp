@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace tdbg::replay {
@@ -87,7 +88,13 @@ SteppedRun CheckpointedSession::rollback_to(
         base, [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
     TDBG_CHECK(base_min == base_max,
                "ranks hold checkpoints from different supersteps");
-    if (restored) app->restore(cp->state);
+    if (restored) {
+      obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
+                                 "replay.checkpoint_restore_ns",
+                                 obs::Unit::kNanoseconds),
+                             comm.rank());
+      app->restore(cp->state);
+    }
 
     // Re-step from the boundary to the target.  A restored state is
     // "after superstep base", so the next step index is base + 1; a

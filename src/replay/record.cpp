@@ -1,11 +1,17 @@
 #include "replay/record.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/metrics_hooks.hpp"
 #include "trace/collector.hpp"
 
 namespace tdbg::replay {
 
 RecordedRun record(int num_ranks, const mpi::RankBody& body,
                    const RecordOptions& options) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::ScopedTimer record_timer(
+      registry.histogram("replay.record_ns", obs::Unit::kNanoseconds),
+      /*rank=*/-1);
   std::unique_ptr<trace::TraceCollector> collector;
   if (options.collect_trace) {
     collector = std::make_unique<trace::TraceCollector>(
@@ -13,7 +19,10 @@ RecordedRun record(int num_ranks, const mpi::RankBody& body,
   }
   instr::Session session(num_ranks, collector.get(), options.session);
   MatchRecorder recorder(num_ranks);
-  mpi::HookFanout hooks{&session, &recorder};
+  // Metrics first: begin-side runs before, end-side after, every other
+  // hook, so its timing windows bracket the whole instrumented call.
+  obs::MetricsHooks metrics_hooks;
+  mpi::HookFanout hooks{&metrics_hooks, &session, &recorder};
 
   mpi::RunOptions run_options = options.run;
   run_options.hooks = &hooks;

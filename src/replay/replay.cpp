@@ -24,7 +24,11 @@ ReplaySession::ReplaySession(int num_ranks, mpi::RankBody body, MatchLog log,
   if (record_matches) {
     recorder_ = std::make_unique<MatchRecorder>(num_ranks);
   }
+  metrics_hooks_ = std::make_unique<obs::MetricsHooks>();
   hooks_ = std::make_unique<mpi::HookFanout>();
+  // Metrics first so its begin/end windows bracket every other hook's
+  // work (HookFanout runs end-side children in reverse order).
+  hooks_->add(metrics_hooks_.get());
   hooks_->add(session_.get());
   hooks_->add(recorder_.get());
   hooks_->add(finish_hook_.get());
@@ -41,6 +45,7 @@ ReplaySession::~ReplaySession() {
 void ReplaySession::start_if_needed() {
   if (started_) return;
   started_ = true;
+  started_ns_ = support::now_ns();
   std::promise<std::shared_ptr<const mpi::World>> world_promise;
   auto world_future = world_promise.get_future();
   runner_ = std::thread([this, &world_promise] {
@@ -163,6 +168,15 @@ mpi::RunResult ReplaySession::finish() {
   control_->resume_all();
   runner_.join();
   finished_ = true;
+  if constexpr (obs::kMetricsEnabled) {
+    // Wall time from first start to completion — interactive pauses
+    // included, which is exactly the "replay overhead vs. record"
+    // number the paper's Table 1 discussion cares about.
+    obs::MetricsRegistry::global()
+        .histogram("replay.replay_ns", obs::Unit::kNanoseconds)
+        .record(-1, static_cast<std::uint64_t>(support::now_ns() -
+                                               started_ns_));
+  }
   return result_;
 }
 

@@ -5,6 +5,7 @@
 
 #include "instrument/session.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/metrics_hooks.hpp"
 #include "replay/breakpoints.hpp"
 #include "replay/match_log.hpp"
 #include "replay/stopline.hpp"
@@ -125,11 +126,13 @@ class ReplaySession {
   std::unique_ptr<MatchRecorder> recorder_;
   std::unique_ptr<BreakpointControl> control_;
   std::unique_ptr<FinishHook> finish_hook_;
+  std::unique_ptr<obs::MetricsHooks> metrics_hooks_;
   std::unique_ptr<mpi::HookFanout> hooks_;
 
   std::thread runner_;
   std::shared_ptr<const mpi::World> world_;
   mpi::RunResult result_;
+  support::TimeNs started_ns_ = 0;
   bool started_ = false;
   bool finished_ = false;
 };

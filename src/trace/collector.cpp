@@ -1,9 +1,35 @@
 #include "trace/collector.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tdbg::trace {
+
+namespace {
+
+/// Collector-family instruments (interned once; see DESIGN.md
+/// "Observability").  Appends are per-rank; flush timing is charged to
+/// the flushing thread's rank slot via the driver slot (-1).
+struct CollectorMetrics {
+  obs::Counter& appended =
+      obs::MetricsRegistry::global().counter("collector.events_appended");
+  obs::Counter& dropped =
+      obs::MetricsRegistry::global().counter("collector.events_dropped");
+  obs::Counter& flushes =
+      obs::MetricsRegistry::global().counter("collector.flushes");
+  obs::Gauge& buffer_hwm =
+      obs::MetricsRegistry::global().gauge("collector.buffer_hwm");
+  obs::Histogram& flush_ns = obs::MetricsRegistry::global().histogram(
+      "collector.flush_ns", obs::Unit::kNanoseconds);
+};
+
+CollectorMetrics& collector_metrics() {
+  static CollectorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 TraceCollector::TraceCollector(int num_ranks,
                                std::shared_ptr<ConstructRegistry> constructs)
@@ -25,19 +51,31 @@ void TraceCollector::set_kind_enabled(EventKind kind, bool enabled) {
 }
 
 void TraceCollector::append(const Event& event) {
-  if (!enabled_.load(std::memory_order_relaxed)) return;
-  if (!kind_enabled_[static_cast<std::size_t>(event.kind)].load(
+  if (!enabled_.load(std::memory_order_relaxed) ||
+      !kind_enabled_[static_cast<std::size_t>(event.kind)].load(
           std::memory_order_relaxed)) {
+    // The monitor is toggled off (paper §2: trace-size control) — the
+    // record is intentionally not collected.
+    if constexpr (obs::kMetricsEnabled) {
+      collector_metrics().dropped.add(event.rank);
+    }
     return;
   }
   auto& buf = *buffers_.at(static_cast<std::size_t>(event.rank));
   bool should_flush = false;
+  std::size_t buffered = 0;
   {
     std::lock_guard lk(buf.mu);
     buf.events.push_back(event);
-    should_flush = writer_ != nullptr && buf.events.size() >= flush_threshold_;
+    buffered = buf.events.size();
+    should_flush = writer_ != nullptr && buffered >= flush_threshold_;
   }
   total_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = collector_metrics();
+    metrics.appended.add(event.rank);
+    metrics.buffer_hwm.record_max(event.rank, buffered);
+  }
   if (should_flush) flush_rank(buf);
 }
 
@@ -49,6 +87,8 @@ void TraceCollector::attach_writer(TraceWriter* writer,
 }
 
 void TraceCollector::flush_rank(RankBuffer& buffer) {
+  obs::ScopedTimer timer(collector_metrics().flush_ns, /*rank=*/-1);
+  if constexpr (obs::kMetricsEnabled) collector_metrics().flushes.add(-1);
   std::vector<Event> drained;
   {
     std::lock_guard lk(buffer.mu);

@@ -18,6 +18,56 @@ const char* color_of_kind(trace::EventKind kind) {
   }
 }
 
+/// Per-rank stats strip under the rank labels.  With a metrics
+/// snapshot: sends / recvs / bytes / recv-block time from the obs
+/// registry; without one: send/recv counts derived from the trace.
+std::string metrics_strip(const trace::Trace& trace,
+                          const obs::Snapshot* metrics) {
+  std::ostringstream os;
+  os << "<table id='stats'><tr><th>rank</th><th>sends</th><th>recvs</th>";
+  if (metrics != nullptr) {
+    os << "<th>bytes out</th><th>bytes in</th><th>recv block</th>";
+  }
+  os << "</tr>\n";
+  const auto* sends =
+      metrics != nullptr ? metrics->find("runtime.calls.send") : nullptr;
+  const auto* recvs =
+      metrics != nullptr ? metrics->find("runtime.calls.recv") : nullptr;
+  const auto* bytes_out =
+      metrics != nullptr ? metrics->find("runtime.bytes_sent") : nullptr;
+  const auto* bytes_in =
+      metrics != nullptr ? metrics->find("runtime.bytes_received") : nullptr;
+  const auto* block =
+      metrics != nullptr ? metrics->find("runtime.recv_block_ns") : nullptr;
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    const auto slot = obs::slot_of(r);
+    std::uint64_t n_send = 0;
+    std::uint64_t n_recv = 0;
+    if (metrics != nullptr) {
+      if (sends != nullptr) n_send = sends->per_rank[slot];
+      if (recvs != nullptr) n_recv = recvs->per_rank[slot];
+    } else {
+      for (std::size_t i : trace.rank_events(r)) {
+        const auto kind = trace.event(i).kind;
+        if (kind == trace::EventKind::kSend) ++n_send;
+        if (kind == trace::EventKind::kRecv) ++n_recv;
+      }
+    }
+    os << "<tr><td>P" << r << "</td><td>" << n_send << "</td><td>" << n_recv
+       << "</td>";
+    if (metrics != nullptr) {
+      os << "<td>" << (bytes_out != nullptr ? bytes_out->per_rank[slot] : 0)
+         << "</td><td>"
+         << (bytes_in != nullptr ? bytes_in->per_rank[slot] : 0)
+         << "</td><td>"
+         << (block != nullptr ? block->per_rank[slot] : 0) << " blocks</td>";
+    }
+    os << "</tr>\n";
+  }
+  os << "</table>\n";
+  return os.str();
+}
+
 }  // namespace
 
 std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
@@ -77,6 +127,9 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
      << "#detail{margin-top:8px;padding:6px;background:#eee;"
         "min-height:2.5em;white-space:pre}\n"
      << "#labels span{margin-right:1em}\n"
+     << "#stats{border-collapse:collapse;margin:6px 0;font-size:12px}\n"
+     << "#stats td,#stats th{border:1px solid #ccc;padding:2px 8px;"
+        "text-align:right}\n"
      << "</style></head><body>\n"
      << "<h3>" << support::escape_label(options.title) << " &mdash; "
      << rows << " ranks, " << trace.size()
@@ -84,6 +137,7 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
      << "<div id='labels'>";
   for (mpi::Rank r = rows - 1; r >= 0; --r) os << "<span>P" << r << "</span>";
   os << "</div>\n"
+     << metrics_strip(trace, options.metrics)
      << "<svg id='viewport' width='100%' height='" << height
      << "' viewBox='0 0 " << width << " " << height << "'>\n"
      << svg.str() << "</svg>\n"

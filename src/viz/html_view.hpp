@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "viz/timeline.hpp"
 
 /// \file html_view.hpp
@@ -18,6 +19,10 @@ namespace tdbg::viz {
 struct HtmlOptions {
   std::string title = "tdbg trace";
   DiagramOptions diagram;
+  /// Optional metrics snapshot to render as the per-rank stats strip
+  /// (sends / recvs / bytes / recv-block time).  When null the strip
+  /// is derived from the trace events instead (counts only).
+  const obs::Snapshot* metrics = nullptr;
 };
 
 /// Renders the trace as one self-contained HTML page.

@@ -1,0 +1,356 @@
+// Tests for the obs metrics layer: instrument exactness under
+// concurrency, snapshot monotonicity/diff/JSON round-trip, and the
+// HookFanout ordering contract nested timers depend on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mpi/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_hooks.hpp"
+#include "support/clock.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+TEST(ObsSlots, RankFolding) {
+  EXPECT_EQ(obs::slot_of(-1), 0u);
+  EXPECT_EQ(obs::slot_of(0), 1u);
+  EXPECT_EQ(obs::slot_of(31), 32u);
+  EXPECT_EQ(obs::slot_of(32), 1u);  // folds onto rank 0's slot
+  EXPECT_EQ(obs::rank_of_slot(0), -1);
+  EXPECT_EQ(obs::rank_of_slot(1), 0);
+  EXPECT_EQ(obs::rank_of_slot(32), 31);
+}
+
+TEST(ObsHistogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024), 11u);
+  // Width-64 values clamp into the top bucket.
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST(ObsCounter, ConcurrentHammeringIsExact) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 50000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        counter.add(t);            // per-thread rank slot
+        counter.add(-1, 2);        // shared driver slot
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(counter.value(t), kIters);
+  EXPECT_EQ(counter.value(-1), 2 * kThreads * kIters);
+  EXPECT_EQ(counter.total(), 3 * kThreads * kIters);
+}
+
+TEST(ObsHistogram, ConcurrentHammeringIsExact) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("test.hist");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 1; i <= kIters; ++i) hist.record(t, i);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(hist.total_count(), kThreads * kIters);
+  EXPECT_EQ(hist.total_sum(), kThreads * kIters * (kIters + 1) / 2);
+  EXPECT_EQ(hist.total_max(), kIters);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(hist.count(t), kIters);
+}
+
+TEST(ObsSnapshot, MonotonicUnderConcurrentWrites) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("test.mono");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter.add(0);
+  });
+
+  std::uint64_t last = 0;
+  support::TimeNs last_ns = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = registry.snapshot();
+    const auto* m = snap.find("test.mono");
+    ASSERT_NE(m, nullptr);
+    EXPECT_GE(m->total(), last);
+    EXPECT_GE(snap.taken_ns, last_ns);
+    last = m->total();
+    last_ns = snap.taken_ns;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(ObsSnapshot, DiffSubtractsCountersKeepsGauges) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("test.c");
+  auto& gauge = registry.gauge("test.g");
+  auto& hist = registry.histogram("test.h");
+
+  counter.add(0, 10);
+  gauge.set(0, 5);
+  hist.record(0, 100);
+  const auto before = registry.snapshot();
+
+  counter.add(0, 7);
+  gauge.set(0, 3);
+  hist.record(0, 50);
+  const auto after = registry.snapshot();
+
+  const auto delta = after.diff(before);
+  EXPECT_EQ(delta.find("test.c")->total(), 7u);
+  EXPECT_EQ(delta.find("test.g")->total(), 3u);  // gauge: newer value
+  EXPECT_EQ(delta.find("test.h")->total(), 1u);  // one new sample
+  EXPECT_EQ(delta.find("test.h")->hist_sum, 50u);
+}
+
+TEST(ObsSnapshot, JsonRoundTrip) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  registry.counter("test.calls").add(0, 42);
+  registry.counter("test.calls").add(3, 7);
+  registry.gauge("test.depth").record_max(1, 9);
+  registry.histogram("test.lat", obs::Unit::kNanoseconds).record(2, 1000);
+  registry.histogram("test.lat", obs::Unit::kNanoseconds).record(-1, 3);
+
+  const auto snap = registry.snapshot();
+  const auto parsed = obs::Snapshot::from_json(snap.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->taken_ns, snap.taken_ns);
+  ASSERT_EQ(parsed->metrics.size(), snap.metrics.size());
+  for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+    EXPECT_EQ(parsed->metrics[i], snap.metrics[i]) << snap.metrics[i].name;
+  }
+}
+
+TEST(ObsSnapshot, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(obs::Snapshot::from_json("").has_value());
+  EXPECT_FALSE(obs::Snapshot::from_json("{}").has_value());
+  EXPECT_FALSE(obs::Snapshot::from_json("{\"taken_ns\":1}").has_value());
+  EXPECT_FALSE(obs::Snapshot::from_json("[1,2,3]").has_value());
+}
+
+TEST(ObsSnapshot, TextRenderingFiltersByRankAndFamily) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  registry.counter("alpha.x").add(0, 4);
+  registry.counter("beta.y").add(1, 5);
+  const auto snap = registry.snapshot();
+
+  const auto all = snap.to_text();
+  EXPECT_NE(all.find("alpha.x"), std::string::npos);
+  EXPECT_NE(all.find("beta.y"), std::string::npos);
+
+  const auto alpha_only = snap.to_text(std::nullopt, "alpha");
+  EXPECT_NE(alpha_only.find("alpha.x"), std::string::npos);
+  EXPECT_EQ(alpha_only.find("beta.y"), std::string::npos);
+
+  const auto rank1 = snap.to_text(1);
+  EXPECT_EQ(rank1.find("alpha.x"), std::string::npos);
+  EXPECT_NE(rank1.find("beta.y"), std::string::npos);
+}
+
+TEST(ObsTimeSeries, CsvFixesColumnsFromFirstSnapshot) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  registry.counter("test.a").add(0, 1);
+  obs::TimeSeriesCsv csv;
+  csv.add(registry.snapshot());
+  registry.counter("test.a").add(0, 2);
+  registry.counter("test.late").add(0, 9);  // not in the first snapshot
+  csv.add(registry.snapshot());
+
+  EXPECT_EQ(csv.rows(), 2u);
+  const auto out = csv.str();
+  EXPECT_NE(out.find("t_ns,test.a"), std::string::npos);
+  EXPECT_EQ(out.find("test.late"), std::string::npos);
+}
+
+TEST(ObsRegistry, DisabledAddsAreDropped) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("test.off");
+  registry.set_enabled(false);
+  counter.add(0, 100);
+  EXPECT_EQ(counter.total(), 0u);
+  registry.set_enabled(true);
+  counter.add(0, 1);
+  EXPECT_EQ(counter.total(), 1u);
+}
+
+TEST(ObsRegistry, InternReturnsSameInstrument) {
+  obs::MetricsRegistry registry;
+  auto& a = registry.counter("test.same");
+  auto& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(ObsScopedTimer, RecordsOneSample) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("test.timer");
+  {
+    obs::ScopedTimer timer(hist, 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(hist.count(2), 1u);
+  EXPECT_GE(hist.sum(2), 1000000u);  // at least the 1ms sleep
+}
+
+// --- HookFanout ordering contract ----------------------------------------
+
+/// Records every hook invocation into a shared log.
+class OrderHook : public mpi::ProfilingHooks {
+ public:
+  OrderHook(std::string name, std::vector<std::string>* log)
+      : name_(std::move(name)), log_(log) {}
+  void on_call_begin(const mpi::CallInfo&) override {
+    log_->push_back(name_ + ".begin");
+  }
+  void on_call_end(const mpi::CallInfo&, const mpi::Status*) override {
+    log_->push_back(name_ + ".end");
+  }
+  void on_rank_start(mpi::Rank) override {
+    log_->push_back(name_ + ".start");
+  }
+  void on_rank_finish(mpi::Rank) override {
+    log_->push_back(name_ + ".finish");
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+TEST(HookFanout, BeginInOrderEndInReverse) {
+  std::vector<std::string> log;
+  OrderHook a("a", &log);
+  OrderHook b("b", &log);
+  OrderHook c("c", &log);
+  mpi::HookFanout fanout{&a, &b, &c};
+
+  mpi::CallInfo info;
+  fanout.on_call_begin(info);
+  fanout.on_call_end(info, nullptr);
+  fanout.on_rank_start(0);
+  fanout.on_rank_finish(0);
+
+  const std::vector<std::string> expected{
+      "a.begin", "b.begin", "c.begin", "c.end",    "b.end",    "a.end",
+      "a.start", "b.start", "c.start", "c.finish", "b.finish", "a.finish"};
+  EXPECT_EQ(log, expected);
+}
+
+/// Times begin→end of every observed call into a histogram.
+class TimingHook : public mpi::ProfilingHooks {
+ public:
+  explicit TimingHook(obs::Histogram& hist) : hist_(&hist) {}
+  void on_call_begin(const mpi::CallInfo&) override {
+    start_ = support::now_ns();
+  }
+  void on_call_end(const mpi::CallInfo&, const mpi::Status*) override {
+    hist_->record(0, static_cast<std::uint64_t>(support::now_ns() - start_));
+  }
+
+ private:
+  obs::Histogram* hist_;
+  support::TimeNs start_ = 0;
+};
+
+/// Burns measurable time on the end side (a slow recorder).
+class SlowEndHook : public mpi::ProfilingHooks {
+ public:
+  void on_call_end(const mpi::CallInfo&, const mpi::Status*) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+};
+
+TEST(HookFanout, NestedScopedTimersUnderFanout) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  auto& outer_hist = registry.histogram("test.outer");
+  auto& inner_hist = registry.histogram("test.inner");
+  TimingHook outer(outer_hist);
+  SlowEndHook slow;
+  TimingHook inner(inner_hist);
+  // Installation order: outer, slow, inner.  Reverse end-side order
+  // means inner.end and slow.end both run inside outer's window.
+  mpi::HookFanout fanout{&outer, &slow, &inner};
+
+  mpi::CallInfo info;
+  fanout.on_call_begin(info);
+  fanout.on_call_end(info, nullptr);
+
+  ASSERT_EQ(outer_hist.count(0), 1u);
+  ASSERT_EQ(inner_hist.count(0), 1u);
+  // The earlier-installed timer's window brackets the later one's...
+  EXPECT_GE(outer_hist.sum(0), inner_hist.sum(0));
+  // ...and includes the slow child's 2ms of end-side work, which the
+  // inner window must exclude.
+  EXPECT_GE(outer_hist.sum(0), 2000000u);
+  EXPECT_LT(inner_hist.sum(0), 2000000u);
+}
+
+TEST(MetricsHooks, CountsCallsAndBytes) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  obs::MetricsRegistry registry;
+  obs::MetricsHooks hooks(registry);
+
+  mpi::CallInfo send;
+  send.kind = mpi::CallKind::kSend;
+  send.rank = 1;
+  send.bytes = 64;
+  hooks.on_call_begin(send);
+  hooks.on_call_end(send, nullptr);
+
+  mpi::CallInfo recv;
+  recv.kind = mpi::CallKind::kRecv;
+  recv.rank = 2;
+  recv.peer = mpi::kAnySource;
+  mpi::Status status;
+  status.bytes = 64;
+  hooks.on_call_begin(recv);
+  hooks.on_call_end(recv, &status);
+  hooks.on_rank_finish(1);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.find("runtime.calls.send")->per_rank[obs::slot_of(1)], 1u);
+  EXPECT_EQ(snap.find("runtime.calls.recv")->per_rank[obs::slot_of(2)], 1u);
+  EXPECT_EQ(snap.find("runtime.bytes_sent")->total(), 64u);
+  EXPECT_EQ(snap.find("runtime.bytes_received")->total(), 64u);
+  EXPECT_EQ(snap.find("runtime.recv_wildcards")->total(), 1u);
+  EXPECT_EQ(snap.find("runtime.recv_block_ns")->total(), 1u);
+  EXPECT_EQ(snap.find("runtime.ranks_finished")->total(), 1u);
+}
+
+}  // namespace

@@ -2,7 +2,10 @@
 // programs (the p2d2 console analog).
 //
 // Usage:
-//   tdbg_cli <target> [--script <file>] [--auto-record]
+//   tdbg_cli <target> [--script <file>] [--auto-record] [--stats]
+//
+// --stats dumps the final metrics report (per-rank sends/recvs/bytes/
+// recv-block time, collector flush stats, analysis timings) on exit.
 //
 // Targets:
 //   ring4            4-rank token ring
@@ -26,6 +29,7 @@
 #include "apps/strassen.hpp"
 #include "apps/taskfarm.hpp"
 #include "debugger/commands.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -84,15 +88,19 @@ int main(int argc, char** argv) {
   std::string target_name;
   std::string script_path;
   bool auto_record = false;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--script" && i + 1 < argc) {
       script_path = argv[++i];
     } else if (arg == "--auto-record") {
       auto_record = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
-                   "taskfarm5|lu8> [--script file] [--auto-record]\n";
+                   "taskfarm5|lu8> [--script file] [--auto-record] "
+                   "[--stats]\n";
       return 0;
     } else {
       target_name = arg;
@@ -139,6 +147,10 @@ int main(int argc, char** argv) {
     std::cout << result.output;
     if (!result.ok) ++failures;
     if (result.quit) break;
+  }
+  if (stats) {
+    std::cout << "--- stats ---\n"
+              << tdbg::obs::MetricsRegistry::global().snapshot().to_text();
   }
   return failures == 0 ? 0 : 1;
 }

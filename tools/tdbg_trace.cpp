@@ -11,17 +11,23 @@
 //   tdbg_trace graph <file> <out.dot>      dynamic call graph (DOT)
 //   tdbg_trace merge <out> <in1> <in2...>  merge per-rank trace files
 //
+// Any mode also accepts --stats: on exit, the tool's own metrics
+// (analysis wall times, collector counters) are dumped to stderr.
+//
 // Traces are produced by attaching a TraceWriter to a run's collector
 // (see README "Writing traces to disk") or via trace::write_trace.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "analysis/critical_path.hpp"
 #include "analysis/traffic.hpp"
 #include "graph/call_graph.hpp"
 #include "graph/export.hpp"
+#include "obs/metrics.hpp"
 #include "trace/merge.hpp"
 #include "trace/trace_io.hpp"
 #include "viz/html_view.hpp"
@@ -69,11 +75,31 @@ int stats(const tdbg::trace::Trace& trace) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
   using namespace tdbg;
+  // Strip the global --stats flag before positional parsing.
+  bool want_stats = false;
+  std::vector<char*> args;
+  for (int i = 0; i < raw_argc; ++i) {
+    if (std::string_view(raw_argv[i]) == "--stats") {
+      want_stats = true;
+    } else {
+      args.push_back(raw_argv[i]);
+    }
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
+  struct StatsDump {
+    bool enabled;
+    ~StatsDump() {
+      if (!enabled) return;
+      const auto text = obs::MetricsRegistry::global().snapshot().to_text();
+      if (!text.empty()) std::cerr << "--- stats ---\n" << text;
+    }
+  } stats_dump{want_stats};
   if (argc < 3) {
     std::cerr << "usage: tdbg_trace {dump|stats|convert|svg|graph} <file> "
-                 "[args]\n";
+                 "[args] [--stats]\n";
     return 2;
   }
   const std::string mode = argv[1];
