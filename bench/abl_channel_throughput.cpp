@@ -1,0 +1,160 @@
+// Ablation A7 — messaging hot-path throughput (google-benchmark).
+//
+// The paper's overhead argument (§2, Table 1) only works if the
+// runtime under the instrumentation is itself fast: every nanosecond
+// the mailbox spends on locks is charged to the "uninstrumented" rows
+// too.  This bench pins down the four messaging shapes the debugger
+// workloads exercise: two-rank ping-pong latency, one-directional
+// streaming throughput, many-to-one wildcard fan-in (the taskfarm
+// shape), and ssend rendezvous round trips.
+//
+// The driver rank owns the benchmark `state`; peers run an
+// open-ended protocol loop terminated by a sentinel tag, so iteration
+// counts never need to be agreed on up front.
+
+#include <benchmark/benchmark.h>
+
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+constexpr mpi::Tag kWork = 1;
+constexpr mpi::Tag kEcho = 2;
+constexpr mpi::Tag kCtl = 3;  ///< batch-size requests; 0 = stop
+
+void BM_PingPong(benchmark::State& state) {
+  mpi::run(2, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (auto _ : state) {
+        comm.send_value<int>(1, 1, kWork);
+        benchmark::DoNotOptimize(comm.recv_value<int>(1, kEcho));
+      }
+      comm.send_value<int>(0, 1, kCtl);
+    } else {
+      for (;;) {
+        const auto st = comm.probe(0, mpi::kAnyTag);
+        if (st.tag == kCtl) {
+          comm.recv_value<int>(0, kCtl);
+          return;
+        }
+        comm.send_value<int>(comm.recv_value<int>(0, kWork) + 1, 0, kEcho);
+      }
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PingPong);
+
+void BM_StreamOneToOne(benchmark::State& state) {
+  // Receiver-driven batches: rank 0 requests `kBatch` messages, rank 1
+  // streams them, so the ring fast path runs without rendezvous.
+  constexpr int kBatch = 1024;
+  mpi::run(2, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      while (state.KeepRunningBatch(kBatch)) {
+        comm.send_value<int>(kBatch, 1, kCtl);
+        for (int i = 0; i < kBatch; ++i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(1, kWork));
+        }
+      }
+      comm.send_value<int>(0, 1, kCtl);
+    } else {
+      for (;;) {
+        const int n = comm.recv_value<int>(0, kCtl);
+        if (n == 0) return;
+        for (int i = 0; i < n; ++i) comm.send_value<int>(i, 1 - comm.rank(), kWork);
+      }
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamOneToOne);
+
+void BM_WildcardFanIn(benchmark::State& state) {
+  // The taskfarm shape: every worker streams into rank 0's wildcard
+  // receive.  Exercises the cross-channel arrival scan.
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr int kPerWorker = 256;
+  const int batch = (ranks - 1) * kPerWorker;
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      while (state.KeepRunningBatch(batch)) {
+        for (int r = 1; r < ranks; ++r) comm.send_value<int>(kPerWorker, r, kCtl);
+        for (int i = 0; i < batch; ++i) {
+          benchmark::DoNotOptimize(comm.recv_value<int>(mpi::kAnySource, kWork));
+        }
+      }
+      for (int r = 1; r < ranks; ++r) comm.send_value<int>(0, r, kCtl);
+    } else {
+      for (;;) {
+        const int n = comm.recv_value<int>(0, kCtl);
+        if (n == 0) return;
+        for (int i = 0; i < n; ++i) comm.send_value<int>(i, 0, kWork);
+      }
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WildcardFanIn)->Arg(4)->Arg(8);
+
+void BM_SsendRendezvous(benchmark::State& state) {
+  mpi::run(2, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      const int value = 7;
+      for (auto _ : state) {
+        comm.ssend(std::as_bytes(std::span<const int>(&value, 1)), 1, kWork);
+      }
+      comm.send_value<int>(0, 1, kCtl);
+    } else {
+      for (;;) {
+        const auto st = comm.probe(0, mpi::kAnyTag);
+        if (st.tag == kCtl) {
+          comm.recv_value<int>(0, kCtl);
+          return;
+        }
+        benchmark::DoNotOptimize(comm.recv_value<int>(0, kWork));
+      }
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SsendRendezvous);
+
+void BM_PayloadStream4k(benchmark::State& state) {
+  // 4 KiB payloads: the shape the payload pool exists for (too big for
+  // inline storage, recycled through the freelist instead of malloc).
+  constexpr int kBatch = 256;
+  constexpr std::size_t kBytes = 4096;
+  mpi::run(2, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buf;
+      while (state.KeepRunningBatch(kBatch)) {
+        comm.send_value<int>(kBatch, 1, kCtl);
+        for (int i = 0; i < kBatch; ++i) {
+          comm.recv(buf, 1, kWork);
+          benchmark::DoNotOptimize(buf.data());
+        }
+      }
+      comm.send_value<int>(0, 1, kCtl);
+    } else {
+      const std::vector<std::byte> payload(kBytes, std::byte{42});
+      for (;;) {
+        const int n = comm.recv_value<int>(0, kCtl);
+        if (n == 0) return;
+        for (int i = 0; i < n; ++i) {
+          comm.send(std::span<const std::byte>(payload), 0, kWork);
+        }
+      }
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBytes));
+}
+BENCHMARK(BM_PayloadStream4k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

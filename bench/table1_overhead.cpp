@@ -131,7 +131,7 @@ int main() {
   bench::note("shape check: coarse-grain overhead ~1x, fine-grain many x.");
   bench::note("(the fine-grain ratio exceeds the paper's 4x because a 2026 "
               "compiler makes the bare call far cheaper than a 1998 one; "
-              "the per-call monitor cost itself is ~40ns, see "
+              "the per-call monitor cost itself is a few ns, see "
               "abl_marker_cost)");
   return 0;
 }

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Re-measures the PR-2 hot paths (messaging fast path, trace append,
+# Table 1 instrumentation overhead) and emits BENCH_pr2_hotpath.json
+# next to the sources: per-benchmark medians, the pre-PR baselines
+# measured on the same machine, and the resulting speedups.
+#
+# Exits nonzero if either acceptance criterion regresses below 2x:
+#   - table1_overhead fine-grain overhead ratio (fib 28/30)
+#   - abl_trace_flush buffered-append throughput
+#
+# Usage: scripts/bench_pr2_hotpath.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr2_hotpath.json"
+
+for bin in abl_trace_flush abl_marker_cost abl_channel_throughput \
+           table1_overhead; do
+  [[ -x "$bdir/bench/$bin" ]] || {
+    echo "missing $bdir/bench/$bin — build the bench targets first" >&2
+    exit 1
+  }
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+gbench_args=(--benchmark_min_time=0.2 --benchmark_repetitions=3
+             --benchmark_report_aggregates_only=true)
+"$bdir/bench/abl_trace_flush" "${gbench_args[@]}" \
+  --benchmark_format=json >"$tmp/trace.json"
+"$bdir/bench/abl_marker_cost" "${gbench_args[@]}" \
+  --benchmark_format=json >"$tmp/marker.json"
+"$bdir/bench/abl_channel_throughput" "${gbench_args[@]}" \
+  --benchmark_format=json >"$tmp/channel.json"
+"$bdir/bench/table1_overhead" >"$tmp/table1.txt"
+
+python3 - "$tmp" "$out" <<'PY'
+import json
+import sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+
+def medians(path):
+    with open(f"{tmp}/{path}") as f:
+        data = json.load(f)
+    return {
+        b["name"].removesuffix("_median"): b["real_time"]
+        for b in data["benchmarks"]
+        if b.get("aggregate_name") == "median"
+    }
+
+ns = {}
+ns.update(medians("trace.json"))
+ns.update(medians("marker.json"))
+ns.update(medians("channel.json"))
+
+# table1_overhead prints aligned columns: S256 S512 fib28 fib30.
+uninstr = instr = None
+with open(f"{tmp}/table1.txt") as f:
+    for line in f:
+        if line.startswith("Time (uninstr.)"):
+            uninstr = [float(x) for x in line.split()[-4:]]
+        elif line.startswith("Time (instr.)"):
+            instr = [float(x) for x in line.split()[-4:]]
+assert uninstr and instr, "table1_overhead output changed shape"
+overhead = [i / u for i, u in zip(instr, uninstr)]
+
+# Pre-PR medians, measured on this machine at the seed commit (the
+# single-mutex mailbox, mutex-guarded trace buffer, steady_clock
+# timestamps, unconditional clock reads on the non-recording path).
+baseline = {
+    "table1_overhead_fib28_x": 49.13,
+    "table1_overhead_fib30_x": 47.65,
+    "trace_append_buffered_ns": 125.0,
+    "trace_autoflush_256_ns": 287.0,
+    "trace_autoflush_4096_ns": 300.0,
+    "trace_autoflush_65536_ns": 316.0,
+    "writer_encode_binary_ns": 272.0,
+    "function_scope_in_session_ns": 48.0,
+    "msg_pingpong_ns": 3340.0,
+    "msg_stream_1to1_ns": 336.0,
+    "msg_wildcard_fanin4_ns": 504.0,
+    "msg_wildcard_fanin8_ns": 417.0,
+    "msg_ssend_rendezvous_ns": 4407.0,
+    "msg_payload_stream_4k_ns": 830.0,
+}
+
+current = {
+    "table1_overhead_fib28_x": overhead[2],
+    "table1_overhead_fib30_x": overhead[3],
+    "table1_overhead_strassen256_x": overhead[0],
+    "table1_overhead_strassen512_x": overhead[1],
+    "trace_append_buffered_ns": ns["BM_CollectorAppendBuffered"],
+    "trace_autoflush_256_ns": ns["BM_CollectorAutoFlush/256"],
+    "trace_autoflush_4096_ns": ns["BM_CollectorAutoFlush/4096"],
+    "trace_autoflush_65536_ns": ns["BM_CollectorAutoFlush/65536"],
+    "writer_encode_binary_ns": ns["BM_WriterEncodeBinary"],
+    "function_scope_in_session_ns": ns["BM_FunctionScopeInSession"],
+    "msg_pingpong_ns": ns["BM_PingPong"],
+    "msg_stream_1to1_ns": ns["BM_StreamOneToOne"],
+    "msg_wildcard_fanin4_ns": ns["BM_WildcardFanIn/4"],
+    "msg_wildcard_fanin8_ns": ns["BM_WildcardFanIn/8"],
+    "msg_ssend_rendezvous_ns": ns["BM_SsendRendezvous"],
+    "msg_payload_stream_4k_ns": ns["BM_PayloadStream4k"],
+}
+
+speedup = {
+    k: round(baseline[k] / current[k], 2)
+    for k in baseline
+    if current.get(k)
+}
+
+doc = {
+    "pr": 2,
+    "description": "PR-2 hot-path medians vs the pre-PR baseline "
+                   "(same machine; lower raw numbers are better, "
+                   "speedup = baseline/current)",
+    "baseline_main": baseline,
+    "current": {k: round(v, 2) for k, v in current.items()},
+    "speedup_x": speedup,
+    "acceptance": {
+        "table1_fib28_speedup_x": speedup["table1_overhead_fib28_x"],
+        "table1_fib30_speedup_x": speedup["table1_overhead_fib30_x"],
+        "trace_append_speedup_x": speedup["trace_append_buffered_ns"],
+        "required_x": 2.0,
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+for k, v in doc["acceptance"].items():
+    print(f"  {k}: {v}")
+ok = (doc["acceptance"]["table1_fib28_speedup_x"] >= 2.0
+      and doc["acceptance"]["table1_fib30_speedup_x"] >= 2.0
+      and doc["acceptance"]["trace_append_speedup_x"] >= 2.0)
+sys.exit(0 if ok else 1)
+PY

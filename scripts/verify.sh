@@ -8,6 +8,9 @@
 #   metrics-off  -DTDBG_METRICS=OFF                — obs layer compiled to
 #                no-ops; hammering tests GTEST_SKIP; everything else must
 #                still pass
+#   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
+#                runs the concurrency-heavy suites (ctest -L "mpi|trace|perf")
+#                and must report zero races
 #
 # Extras under metrics-on:
 #   - ctest -L obs        (the obs label must select the obs suite)
@@ -30,6 +33,16 @@ run_config() {
 
 run_config metrics-on
 run_config metrics-off -DTDBG_METRICS=OFF
+
+echo "=== config tsan: lock-free mailbox + trace paths under ThreadSanitizer ==="
+tsan_bdir="$repo/build-verify-tsan"
+cmake -B "$tsan_bdir" -S "$repo" -DTDBG_TSAN=ON >/dev/null
+cmake --build "$tsan_bdir" -j "$jobs"
+# halt_on_error so a race fails the test that triggered it instead of
+# scrolling past; second_deadlock_stack for readable lock reports.
+(cd "$tsan_bdir" && \
+ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+ ctest -L 'mpi|trace|perf' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 

@@ -43,10 +43,16 @@ class FunctionScope {
     session_ = s;
     rank_ = Session::current_rank();
     cid_ = cid;
-    const auto now = support::run_time_ns();
+    // Only pay for the clock when an event is actually recorded: in
+    // the paper's Table 1 "instrumented but not tracing" configuration
+    // the monitor is just a counter and a threshold test, and reading
+    // a (virtualized) TSC would dominate it.
+    const bool recording =
+        s->options().record_function_events && s->collector() != nullptr;
+    const auto now = recording ? support::run_time_ns() : 0;
     s->enter_function(rank_);
     s->user_monitor(rank_, cid, trace::EventKind::kEnter, arg1, arg2,
-                    s->options().record_function_events, now, now);
+                    recording, now, now);
   }
 
   ~FunctionScope() {
@@ -85,7 +91,9 @@ class ComputeScope {
     session_ = s;
     rank_ = Session::current_rank();
     cid_ = intern_construct(name, {}, 0);
-    t_start_ = support::run_time_ns();
+    if (s->options().record_compute_events && s->collector() != nullptr) {
+      t_start_ = support::run_time_ns();
+    }
     marker_ = s->user_monitor(rank_, cid_, trace::EventKind::kCompute, 0, 0,
                               /*record=*/false, t_start_, t_start_);
   }
@@ -134,9 +142,11 @@ inline void mark(std::string_view name) {
   if (s == nullptr) return;
   const auto rank = Session::current_rank();
   const auto cid = intern_construct(name, {}, 0);
-  const auto now = support::run_time_ns();
-  s->user_monitor(rank, cid, trace::EventKind::kMark, 0, 0,
-                  s->options().record_compute_events, now, now);
+  const bool recording =
+      s->options().record_compute_events && s->collector() != nullptr;
+  const auto now = recording ? support::run_time_ns() : 0;
+  s->user_monitor(rank, cid, trace::EventKind::kMark, 0, 0, recording, now,
+                  now);
 }
 
 }  // namespace tdbg::instr

@@ -5,13 +5,6 @@
 
 namespace tdbg::instr {
 
-namespace {
-
-thread_local Session* tl_session = nullptr;
-thread_local mpi::Rank tl_rank = -1;
-
-}  // namespace
-
 const std::shared_ptr<trace::ConstructRegistry>& global_constructs() {
   static const auto registry = std::make_shared<trace::ConstructRegistry>();
   return registry;
@@ -42,19 +35,15 @@ Session::Session(int num_ranks, trace::TraceCollector* collector,
 
 Session::~Session() = default;
 
-Session* Session::current() { return tl_session; }
-
-mpi::Rank Session::current_rank() { return tl_rank; }
-
 void Session::on_rank_start(mpi::Rank rank) {
-  tl_session = this;
-  tl_rank = rank;
+  detail::tl_session = this;
+  detail::tl_rank = rank;
 }
 
 void Session::on_rank_finish(mpi::Rank rank) {
   (void)rank;
-  tl_session = nullptr;
-  tl_rank = -1;
+  detail::tl_session = nullptr;
+  detail::tl_rank = -1;
 }
 
 void Session::set_threshold(mpi::Rank rank, std::uint64_t marker) {
@@ -73,44 +62,6 @@ std::uint64_t Session::counter(mpi::Rank rank) const {
 
 MonitorRecord Session::last_record(mpi::Rank rank) const {
   return states_.at(static_cast<std::size_t>(rank))->monitor.last_record();
-}
-
-std::uint64_t Session::user_monitor(mpi::Rank rank, trace::ConstructId site,
-                                    trace::EventKind kind, std::uint64_t arg1,
-                                    std::uint64_t arg2, bool record,
-                                    support::TimeNs t_start,
-                                    support::TimeNs t_end,
-                                    const EventDetail& detail) {
-  auto& ctx = *states_[static_cast<std::size_t>(rank)];
-  bool threshold_hit = false;
-  const auto marker = ctx.monitor.tick(site, arg1, arg2, &threshold_hit);
-  if (control_ != nullptr) {
-    control_->at_event(rank, marker, site, kind, ctx.depth, threshold_hit,
-                       detail);
-  }
-  if (record && collector_ != nullptr) {
-    trace::Event e;
-    e.kind = kind;
-    e.rank = rank;
-    e.marker = marker;
-    e.construct = site;
-    e.t_start = t_start;
-    e.t_end = t_end;
-    collector_->append(e);
-  }
-  return marker;
-}
-
-void Session::record_event(const trace::Event& event) {
-  if (collector_ != nullptr) collector_->append(event);
-}
-
-int Session::enter_function(mpi::Rank rank) {
-  return ++states_[static_cast<std::size_t>(rank)]->depth;
-}
-
-int Session::exit_function(mpi::Rank rank) {
-  return --states_[static_cast<std::size_t>(rank)]->depth;
 }
 
 void Session::expose_variable(mpi::Rank rank, std::string name,

@@ -126,7 +126,9 @@ class Session : public mpi::ProfilingHooks {
   // to be called by applications directly)
 
   /// The session bound to the calling thread, or null outside an
-  /// instrumented rank.
+  /// instrumented rank.  Defined inline (with the thread-local itself)
+  /// so the no-session early-out and the per-call lookups in the
+  /// instrumentation guards cost a TLS read, not a function call.
   static Session* current();
 
   /// Rank bound to the calling thread (valid when current() != null).
@@ -134,7 +136,8 @@ class Session : public mpi::ProfilingHooks {
 
   /// UserMonitor entry: counts a marker at `site`, notifies the
   /// control interface, optionally records an event of `kind`.
-  /// Returns the marker value.
+  /// Returns the marker value.  Inline: this is the per-construct hot
+  /// path of the Table 1 overhead measurement.
   std::uint64_t user_monitor(mpi::Rank rank, trace::ConstructId site,
                              trace::EventKind kind, std::uint64_t arg1,
                              std::uint64_t arg2, bool record,
@@ -196,6 +199,53 @@ class Session : public mpi::ProfilingHooks {
   mutable std::mutex variables_mu_;
   std::unordered_map<std::string, VariableView> variables_;  // "rank\x1fname"
 };
+
+namespace detail {
+/// Thread-local session binding, set by Session::on_rank_start.
+/// Header-inline so Session::current() compiles to a TLS load.
+inline thread_local Session* tl_session = nullptr;
+inline thread_local mpi::Rank tl_rank = -1;
+}  // namespace detail
+
+inline Session* Session::current() { return detail::tl_session; }
+
+inline mpi::Rank Session::current_rank() { return detail::tl_rank; }
+
+inline std::uint64_t Session::user_monitor(
+    mpi::Rank rank, trace::ConstructId site, trace::EventKind kind,
+    std::uint64_t arg1, std::uint64_t arg2, bool record,
+    support::TimeNs t_start, support::TimeNs t_end, const EventDetail& detail) {
+  auto& ctx = *states_[static_cast<std::size_t>(rank)];
+  bool threshold_hit = false;
+  const auto marker = ctx.monitor.tick(site, arg1, arg2, &threshold_hit);
+  if (control_ != nullptr) {
+    control_->at_event(rank, marker, site, kind, ctx.depth, threshold_hit,
+                       detail);
+  }
+  if (record && collector_ != nullptr) {
+    trace::Event e;
+    e.kind = kind;
+    e.rank = rank;
+    e.marker = marker;
+    e.construct = site;
+    e.t_start = t_start;
+    e.t_end = t_end;
+    collector_->append(e);
+  }
+  return marker;
+}
+
+inline void Session::record_event(const trace::Event& event) {
+  if (collector_ != nullptr) collector_->append(event);
+}
+
+inline int Session::enter_function(mpi::Rank rank) {
+  return ++states_[static_cast<std::size_t>(rank)]->depth;
+}
+
+inline int Session::exit_function(mpi::Rank rank) {
+  return --states_[static_cast<std::size_t>(rank)]->depth;
+}
 
 /// The process-wide construct table.  Shared by every session so that
 /// `TDBG_FUNCTION`'s per-call-site `static` id cache stays valid

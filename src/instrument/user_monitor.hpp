@@ -54,7 +54,10 @@ struct MonitorState {
   /// when the new value equals the armed threshold.
   std::uint64_t tick(trace::ConstructId site, std::uint64_t arg1,
                      std::uint64_t arg2, bool* threshold_hit) {
-    const auto marker = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Single-writer counter (only the owning rank ticks): a load+store
+    // pair avoids the lock-prefixed fetch_add on the hot path.
+    const auto marker = counter.load(std::memory_order_relaxed) + 1;
+    counter.store(marker, std::memory_order_relaxed);
     last_site.store(site, std::memory_order_relaxed);
     last_arg1.store(arg1, std::memory_order_relaxed);
     last_arg2.store(arg2, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "mpi/world.hpp"
 #include "support/error.hpp"
@@ -82,31 +83,55 @@ void Comm::pmpi_send(std::span<const std::byte> data, Rank dest, Tag tag) {
   msg.source = rank_;
   msg.dest = dest;
   msg.tag = tag;
-  msg.payload.assign(data.begin(), data.end());
+  msg.set_payload(data);
   world_->mailbox(dest).deliver(std::move(msg));
 }
 
 void Comm::pmpi_ssend(std::span<const std::byte> data, Rank dest, Tag tag) {
   check_rank(dest, size(), /*allow_any=*/false);
-  auto handle = std::make_shared<SyncHandle>();
+  // A rank has at most one ssend outstanding (the call blocks), so the
+  // rendezvous needs no per-message completion handle: the receiver
+  // stores this ticket into the sender's world-owned slot, and the
+  // sender waits for the slot to catch up.  No allocation, and no
+  // lifetime race on abort — the slot outlives the call.
+  const std::uint64_t ticket = ++ssend_seq_;
   Message msg;
   msg.source = rank_;
   msg.dest = dest;
   msg.tag = tag;
   msg.synchronous = true;
-  msg.sync = handle;
-  msg.payload.assign(data.begin(), data.end());
+  msg.sync_seq = ticket;
+  msg.set_payload(data);
   world_->mailbox(dest).deliver(std::move(msg));
 
-  // Wait for the receiver to match the message.  Polls the abort flag
-  // so a deadlocked ssend can be unwound by the watchdog.
+  auto& slot =
+      world_->shared().ssend_slots[static_cast<std::size_t>(rank_)].done_seq;
+  // Fast path: rendezvous with an already-posted (or spinning)
+  // receiver completes in a few microseconds — spin before paying for
+  // a sleep/wake cycle.  On a single-CPU host spinning is useless
+  // (the receiver cannot run concurrently), so the budget drops to
+  // zero and we go straight to yielding, which hands the core to the
+  // receiver.  (No PAUSE in the loop — see the mailbox spin note;
+  // under virtualization PAUSE can trap and cost microseconds.)
+  static const int kSpin =
+      std::thread::hardware_concurrency() > 1 ? 8192 : 0;
+  for (int i = 0; i < kSpin; ++i) {
+    if (slot.load(std::memory_order_acquire) >= ticket) return;
+  }
+  for (int i = 0; i < 64; ++i) {
+    std::this_thread::yield();
+    if (slot.load(std::memory_order_acquire) >= ticket) return;
+  }
+  // Slow path: poll with backoff.  The abort flag is checked each
+  // round so a deadlocked ssend can be unwound by the watchdog.
   WaitScope ws(world_->shared().registry, rank_, WaitKind::kSsend, dest, tag);
-  std::unique_lock lk(handle->mu);
-  while (!handle->done) {
+  auto delay = std::chrono::microseconds(10);
+  while (slot.load(std::memory_order_acquire) < ticket) {
     if (world_->shared().aborted.load(std::memory_order_acquire)) {
       throw Aborted{};
     }
-    handle->cv.wait_for(lk, std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(delay);
+    if (delay < std::chrono::microseconds(500)) delay *= 2;
   }
 }
 
@@ -130,7 +155,7 @@ void Comm::internal_send(std::span<const std::byte> data, Rank dest, Tag tag) {
   msg.source = rank_;
   msg.dest = dest;
   msg.tag = tag;
-  msg.payload.assign(data.begin(), data.end());
+  msg.set_payload(data);
   world_->mailbox(dest).deliver(std::move(msg));
 }
 

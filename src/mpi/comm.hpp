@@ -263,6 +263,7 @@ class Comm {
   World* world_;
   Rank rank_;
   std::uint64_t recv_index_ = 0;
+  std::uint64_t ssend_seq_ = 0;  ///< rendezvous tickets (see pmpi_ssend)
 };
 
 }  // namespace tdbg::mpi

@@ -16,7 +16,7 @@ namespace tdbg::mpi {
 /// nondeterminism so that "the replay has identical event causality
 /// with the original program execution".
 ///
-/// `force` is called under the receiver's mailbox lock every time the
+/// `force` is called from the receiving rank's thread every time the
 /// mailbox attempts to complete a receive, with `recv_index` the
 /// 0-based count of receives completed so far by that rank.  Returning
 /// a SourceSeq makes the receive wait until exactly that message is

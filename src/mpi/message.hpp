@@ -1,41 +1,140 @@
 #pragma once
 
-#include <condition_variable>
+#include <array>
 #include <cstddef>
-#include <memory>
-#include <mutex>
+#include <cstring>
+#include <span>
 #include <vector>
 
+#include "mpi/payload.hpp"
 #include "mpi/types.hpp"
 #include "support/clock.hpp"
 
 namespace tdbg::mpi {
 
-/// Completion handle for a synchronous send: the sender blocks on it
-/// until the receiver matches the message.
-struct SyncHandle {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-};
-
 /// A buffered message in flight between two ranks.
 ///
 /// The runtime uses eager (buffered) delivery: `send` copies the
 /// payload into the destination mailbox and returns.  `ssend` blocks
-/// until the matching receive completes (via `sync`), which is what
-/// allows the analysis module to exercise send-side deadlocks as well.
-struct Message {
+/// until the matching receive completes, signalled through the
+/// sender's per-rank rendezvous slot in `MailboxShared` (identified
+/// here by `sync_seq`) — no heap-allocated completion handle is
+/// involved; see DESIGN.md "Hot paths".
+///
+/// Payload storage is small-buffer optimized: payloads up to
+/// `kInlinePayload` bytes live inside the message (the common case —
+/// scalars, barrier tokens, collective rounds), larger ones borrow a
+/// buffer from the `PayloadPool`.  Either way a steady-state send
+/// performs zero heap allocations.
+class Message {
+ public:
+  static constexpr std::size_t kInlinePayload = 64;
+
   Rank source = 0;
   Rank dest = 0;
   Tag tag = 0;
-  ChannelSeq seq = 0;                 ///< per-(source,dest) FIFO position
-  std::uint64_t arrival = 0;          ///< mailbox-wide arrival counter
-  support::TimeNs delivered_ns = 0;   ///< delivery stamp for match-latency
-                                      ///< metrics; 0 when metrics are off
-  bool synchronous = false;           ///< true for ssend: sender is blocked
-  std::shared_ptr<SyncHandle> sync;   ///< set iff synchronous
-  std::vector<std::byte> payload;
+  ChannelSeq seq = 0;                ///< per-(source,dest) FIFO position
+  std::uint64_t arrival = 0;         ///< receiver-side arrival stamp
+  support::TimeNs delivered_ns = 0;  ///< delivery stamp for match-latency
+                                     ///< metrics; 0 when metrics are off
+  bool synchronous = false;          ///< true for ssend: sender is blocked
+  std::uint64_t sync_seq = 0;        ///< sender's rendezvous ticket (ssend)
+
+  Message() = default;
+  // Moves copy only the used prefix of the inline buffer — messages
+  // pass through the transport ring by move, so this keeps a 4-byte
+  // payload from costing a 64-byte copy per hop.
+  Message(Message&& other) noexcept { move_from(other); }
+  Message& operator=(Message&& other) noexcept {
+    if (this != &other) {
+      if (inline_size_ == kNotInline && !heap_.empty()) {
+        PayloadPool::global().release(std::move(heap_));
+      }
+      move_from(other);
+    }
+    return *this;
+  }
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+
+  ~Message() {
+    if (inline_size_ == kNotInline && !heap_.empty()) {
+      PayloadPool::global().release(std::move(heap_));
+    }
+  }
+
+  /// Copies `data` into the message (inline if it fits, pooled buffer
+  /// otherwise).
+  void set_payload(std::span<const std::byte> data) {
+    if (data.size() <= kInlinePayload) {
+      inline_size_ = static_cast<std::uint32_t>(data.size());
+      if (!data.empty()) std::memcpy(inline_.data(), data.data(), data.size());
+      if (!heap_.empty()) {
+        PayloadPool::global().release(std::move(heap_));
+        heap_.clear();
+      }
+    } else {
+      inline_size_ = kNotInline;
+      heap_ = PayloadPool::global().acquire(data.size());
+      std::memcpy(heap_.data(), data.data(), data.size());
+    }
+  }
+
+  [[nodiscard]] std::span<const std::byte> payload() const {
+    if (inline_size_ != kNotInline) {
+      return {inline_.data(), static_cast<std::size_t>(inline_size_)};
+    }
+    return {heap_.data(), heap_.size()};
+  }
+
+  [[nodiscard]] std::size_t payload_size() const {
+    return inline_size_ != kNotInline ? inline_size_ : heap_.size();
+  }
+
+  /// Hands the payload to `out`.  Inline payloads are copied (reusing
+  /// `out`'s capacity); pooled payloads are swapped in — zero copy —
+  /// and `out`'s previous buffer is recycled into the pool, so a
+  /// receive loop's buffer circulates back to the senders.
+  void take_payload(std::vector<std::byte>& out) {
+    if (inline_size_ != kNotInline) {
+      out.resize(inline_size_);
+      if (inline_size_ != 0) {
+        std::memcpy(out.data(), inline_.data(), inline_size_);
+      }
+    } else {
+      out.swap(heap_);
+      PayloadPool::global().release(std::move(heap_));
+      heap_.clear();
+      inline_size_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNotInline = ~std::uint32_t{0};
+
+  void move_from(Message& other) noexcept {
+    source = other.source;
+    dest = other.dest;
+    tag = other.tag;
+    seq = other.seq;
+    arrival = other.arrival;
+    delivered_ns = other.delivered_ns;
+    synchronous = other.synchronous;
+    sync_seq = other.sync_seq;
+    inline_size_ = other.inline_size_;
+    if (inline_size_ != kNotInline) {
+      if (inline_size_ != 0) {
+        std::memcpy(inline_.data(), other.inline_.data(), inline_size_);
+      }
+    } else {
+      heap_ = std::move(other.heap_);
+      other.inline_size_ = 0;
+    }
+  }
+
+  std::uint32_t inline_size_ = 0;  ///< kNotInline => payload in heap_
+  std::array<std::byte, kInlinePayload> inline_;
+  std::vector<std::byte> heap_;
 };
 
 }  // namespace tdbg::mpi

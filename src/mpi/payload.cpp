@@ -1,0 +1,94 @@
+#include "mpi/payload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace tdbg::mpi {
+
+namespace {
+
+/// Shared (cross-thread) freelist.  Touched only when a thread-local
+/// cache under- or overflows, i.e. roughly once every
+/// `kLocalCacheCap / 2` messages in steady state.
+struct SharedFreelist {
+  std::mutex mu;
+  std::vector<std::vector<std::byte>> buffers;
+};
+
+SharedFreelist& shared_freelist() {
+  static SharedFreelist list;
+  return list;
+}
+
+std::atomic<std::size_t> g_reuse_count{0};
+
+/// Thread-local cache.  Destroyed with the thread; the destructor
+/// deliberately frees rather than spilling, to avoid touching the
+/// shared list during thread teardown.
+struct LocalCache {
+  std::vector<std::vector<std::byte>> buffers;
+};
+
+LocalCache& local_cache() {
+  thread_local LocalCache cache;
+  return cache;
+}
+
+}  // namespace
+
+PayloadPool& PayloadPool::global() {
+  static PayloadPool pool;
+  return pool;
+}
+
+std::vector<std::byte> PayloadPool::acquire(std::size_t n) {
+  auto& cache = local_cache();
+  if (cache.buffers.empty()) {
+    // Refill half a cache's worth from the shared list in one trip.
+    auto& shared = shared_freelist();
+    std::lock_guard lk(shared.mu);
+    const std::size_t take =
+        std::min(shared.buffers.size(), kLocalCacheCap / 2);
+    for (std::size_t i = 0; i < take; ++i) {
+      cache.buffers.push_back(std::move(shared.buffers.back()));
+      shared.buffers.pop_back();
+    }
+  }
+  if (!cache.buffers.empty()) {
+    std::vector<std::byte> buf = std::move(cache.buffers.back());
+    cache.buffers.pop_back();
+    buf.resize(n);
+    g_reuse_count.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+  std::vector<std::byte> buf;
+  buf.resize(n);
+  return buf;
+}
+
+void PayloadPool::release(std::vector<std::byte>&& buf) {
+  if (buf.capacity() < kMinPooledCapacity) return;  // not worth keeping
+  buf.clear();
+  auto& cache = local_cache();
+  cache.buffers.push_back(std::move(buf));
+  if (cache.buffers.size() <= kLocalCacheCap) return;
+  // Spill half to the shared list so sender threads can refill.
+  auto& shared = shared_freelist();
+  std::lock_guard lk(shared.mu);
+  while (cache.buffers.size() > kLocalCacheCap / 2) {
+    if (shared.buffers.size() >= kSharedCap) {
+      cache.buffers.pop_back();  // pool full: free outright
+    } else {
+      shared.buffers.push_back(std::move(cache.buffers.back()));
+      cache.buffers.pop_back();
+    }
+  }
+}
+
+std::size_t PayloadPool::reuse_count() const {
+  return g_reuse_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace tdbg::mpi

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tdbg::mpi {
+
+/// Recycler for message payload buffers.
+///
+/// Eager delivery copies every payload into the destination mailbox;
+/// without pooling that is one heap allocation per send and one free
+/// per receive — the dominant cost of small-message traffic once the
+/// mailbox itself is lock-free.  The pool keeps freed buffers on a
+/// small thread-local cache with a mutex-protected shared spillover,
+/// so buffers migrate back from receiver threads to sender threads
+/// (sends allocate on one rank's thread, receives free on another's)
+/// and steady-state traffic hits the allocator not at all.
+///
+/// Only buffers with at least `kMinPooledCapacity` bytes of capacity
+/// are retained: tiny payloads live inline in `Message` (see
+/// message.hpp) and never reach the pool.
+class PayloadPool {
+ public:
+  /// Process-wide pool instance.
+  static PayloadPool& global();
+
+  /// Returns a buffer with `size() == n`, reusing a pooled buffer's
+  /// capacity when one is available.
+  std::vector<std::byte> acquire(std::size_t n);
+
+  /// Returns `buf` to the pool (or frees it, if it is too small to be
+  /// worth keeping or the pool is full).  `buf` is left empty.
+  void release(std::vector<std::byte>&& buf);
+
+  /// Buffers handed out that reused pooled storage (for tests).
+  [[nodiscard]] std::size_t reuse_count() const;
+
+  /// Smallest buffer capacity worth pooling; below this the SBO path
+  /// in `Message` applies anyway.
+  static constexpr std::size_t kMinPooledCapacity = 64;
+
+  /// Per-thread cache size; overflow spills to the shared freelist.
+  static constexpr std::size_t kLocalCacheCap = 16;
+
+  /// Shared freelist bound, so a fan-in burst cannot pin unbounded
+  /// memory after the burst drains.
+  static constexpr std::size_t kSharedCap = 256;
+};
+
+}  // namespace tdbg::mpi

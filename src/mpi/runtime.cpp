@@ -65,7 +65,14 @@ class Watchdog {
 
  private:
   void loop() {
-    bool was_idle = false;
+    // A rank that has been notified but not yet scheduled still shows
+    // as waiting, so on an oversubscribed host a single stable sample
+    // is not proof of deadlock.  Require several consecutive stable
+    // all-idle samples before aborting; a real deadlock is stable
+    // forever, so this only delays detection by (kStableSamples-1)
+    // intervals.
+    static constexpr int kStableSamples = 3;
+    int stable = 0;
     std::uint64_t last_progress = 0;
     while (!stop_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(interval_);
@@ -82,12 +89,15 @@ class Watchdog {
           any_blocked = true;
         }
       }
-      if (all_idle && any_blocked && was_idle && progress == last_progress) {
-        world_.abort(AbortCause::kDeadlock,
-                     "deadlock: " + describe_waits(waits));
-        return;
+      if (all_idle && any_blocked && progress == last_progress) {
+        if (++stable >= kStableSamples) {
+          world_.abort(AbortCause::kDeadlock,
+                       "deadlock: " + describe_waits(waits));
+          return;
+        }
+      } else {
+        stable = 0;
       }
-      was_idle = all_idle && any_blocked;
       last_progress = progress;
     }
   }

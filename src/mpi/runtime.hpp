@@ -31,8 +31,14 @@ struct RunOptions {
   /// Detect stable global quiescence and abort the run.
   bool deadlock_watchdog = true;
 
-  /// Watchdog sampling period.
+  /// Watchdog sampling period.  Wider under ThreadSanitizer: its
+  /// 10-20x slowdown stretches genuine scheduling gaps past the normal
+  /// stability window, which would read as false deadlocks.
+#if defined(__SANITIZE_THREAD__)
+  std::chrono::milliseconds watchdog_interval{20};
+#else
   std::chrono::milliseconds watchdog_interval{2};
+#endif
 
   /// Called once, before ranks start, with shared ownership of the
   /// run's world.  The debugger and replay engine use this to inspect

@@ -1,6 +1,11 @@
 #include "support/clock.hpp"
 
 #include <atomic>
+#include <chrono>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
 
 namespace tdbg::support {
 
@@ -12,16 +17,64 @@ TimeNs steady_now() {
       .count();
 }
 
+#if defined(__x86_64__)
+
+/// Calibrated TSC clock: `now_ns` is on every instrumentation hot path
+/// (two reads per traced construct), and a raw RDTSC plus a fixed-point
+/// scale is several times cheaper than the vDSO clock_gettime path —
+/// especially under virtualization.  Calibrated once at static
+/// initialization against steady_clock over a ~2 ms window (error
+/// well under 0.1%, irrelevant for profiling and ordering uses).
+/// Falls back to steady_clock if the TSC misbehaves (non-increasing).
+struct TscClock {
+  bool usable = false;
+  std::uint64_t base_tsc = 0;
+  TimeNs base_ns = 0;
+  std::uint64_t ns_per_tick_q20 = 0;  ///< ns/tick in 44.20 fixed point
+
+  TscClock() {
+    const TimeNs t0 = steady_now();
+    const std::uint64_t r0 = __rdtsc();
+    while (steady_now() - t0 < 2'000'000) {
+    }
+    const TimeNs t1 = steady_now();
+    const std::uint64_t r1 = __rdtsc();
+    if (r1 <= r0 || t1 <= t0) return;
+    ns_per_tick_q20 = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(t1 - t0) << 20) /
+        static_cast<std::uint64_t>(r1 - r0));
+    base_tsc = r1;
+    base_ns = t1;
+    usable = ns_per_tick_q20 != 0;
+  }
+
+  [[nodiscard]] TimeNs now() const {
+    const std::uint64_t ticks = __rdtsc() - base_tsc;
+    return base_ns +
+           static_cast<TimeNs>(
+               (static_cast<__uint128_t>(ticks) * ns_per_tick_q20) >> 20);
+  }
+};
+
+const TscClock g_tsc;
+
+#endif  // __x86_64__
+
 std::atomic<TimeNs> g_epoch{steady_now()};
 
 }  // namespace
 
-TimeNs now_ns() { return steady_now(); }
+TimeNs now_ns() {
+#if defined(__x86_64__)
+  if (g_tsc.usable) return g_tsc.now();
+#endif
+  return steady_now();
+}
 
-void reset_run_epoch() { g_epoch.store(steady_now(), std::memory_order_relaxed); }
+void reset_run_epoch() { g_epoch.store(now_ns(), std::memory_order_relaxed); }
 
 TimeNs run_time_ns() {
-  return steady_now() - g_epoch.load(std::memory_order_relaxed);
+  return now_ns() - g_epoch.load(std::memory_order_relaxed);
 }
 
 }  // namespace tdbg::support

@@ -1,5 +1,7 @@
 #include "trace/collector.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "trace/trace_io.hpp"
@@ -45,9 +47,32 @@ TraceCollector::TraceCollector(int num_ranks,
   for (auto& flag : kind_enabled_) flag.store(true, std::memory_order_relaxed);
 }
 
+TraceCollector::~TraceCollector() {
+  if (bg_active_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard lk(bg_mu_);
+      bg_stop_ = true;
+    }
+    bg_cv_.notify_one();
+    bg_thread_.join();
+  }
+}
+
 void TraceCollector::set_kind_enabled(EventKind kind, bool enabled) {
   kind_enabled_.at(static_cast<std::size_t>(kind))
       .store(enabled, std::memory_order_relaxed);
+}
+
+TraceCollector::Chunk* TraceCollector::acquire_chunk(RankBuffer& buf) {
+  std::lock_guard lk(buf.pool_mu);
+  if (!buf.free_list.empty()) {
+    Chunk* c = buf.free_list.back();
+    buf.free_list.pop_back();
+    c->next.store(nullptr, std::memory_order_relaxed);
+    return c;
+  }
+  buf.owned.push_back(std::make_unique<Chunk>());
+  return buf.owned.back().get();
 }
 
 void TraceCollector::append(const Event& event) {
@@ -62,72 +87,180 @@ void TraceCollector::append(const Event& event) {
     return;
   }
   auto& buf = *buffers_.at(static_cast<std::size_t>(event.rank));
-  bool should_flush = false;
-  std::size_t buffered = 0;
-  {
-    std::lock_guard lk(buf.mu);
-    buf.events.push_back(event);
-    buffered = buf.events.size();
-    should_flush = writer_ != nullptr && buffered >= flush_threshold_;
+
+  const std::uint64_t appended = buf.appended.load(std::memory_order_relaxed);
+  const std::size_t offset = appended % kChunkEvents;
+  if (offset == 0) {
+    // Chunk boundary (including the very first append): link a fresh
+    // chunk before any of its records are published.  The shared
+    // metrics are also published here — batching the counter/gauge
+    // updates per chunk keeps the per-append path free of RMWs (the
+    // surfaces lag by at most one chunk).
+    if constexpr (obs::kMetricsEnabled) {
+      if (buf.unpublished != 0) {
+        auto& metrics = collector_metrics();
+        metrics.appended.add(event.rank, buf.unpublished);
+        metrics.buffer_hwm.record_max(event.rank, buf.hwm_shadow);
+        buf.unpublished = 0;
+      }
+    }
+    Chunk* c = acquire_chunk(buf);
+    if (buf.write_chunk == nullptr) {
+      buf.first.store(c, std::memory_order_release);
+    } else {
+      buf.write_chunk->next.store(c, std::memory_order_release);
+    }
+    buf.write_chunk = c;
   }
-  total_.fetch_add(1, std::memory_order_relaxed);
+  buf.write_chunk->events[offset] = event;
+  // Publish: everything below `appended` is stable from here on.
+  buf.appended.store(appended + 1, std::memory_order_release);
+
+  const std::uint64_t buffered =
+      appended + 1 - buf.harvested.load(std::memory_order_acquire);
   if constexpr (obs::kMetricsEnabled) {
-    auto& metrics = collector_metrics();
-    metrics.appended.add(event.rank);
-    metrics.buffer_hwm.record_max(event.rank, buffered);
+    if (buffered > buf.hwm_shadow) buf.hwm_shadow = buffered;
+    ++buf.unpublished;
   }
-  if (should_flush) flush_rank(buf);
+
+  if (has_writer_.load(std::memory_order_relaxed) &&
+      buffered >= flush_threshold_.load(std::memory_order_relaxed)) {
+    if (bg_active_.load(std::memory_order_relaxed)) {
+      // Kick the background flusher; the interval timeout backstops a
+      // notify that races with it going to sleep.
+      bg_cv_.notify_one();
+    } else {
+      flush_rank(buf);
+    }
+  }
 }
 
 void TraceCollector::attach_writer(TraceWriter* writer,
                                    std::size_t threshold) {
   std::lock_guard lk(writer_mu_);
   writer_ = writer;
-  flush_threshold_ = threshold == 0 ? 1 : threshold;
+  has_writer_.store(writer != nullptr, std::memory_order_relaxed);
+  flush_threshold_.store(threshold == 0 ? 1 : threshold,
+                         std::memory_order_relaxed);
 }
 
-void TraceCollector::flush_rank(RankBuffer& buffer) {
+void TraceCollector::flush_rank_locked(RankBuffer& buf) {
+  std::uint64_t harvested = buf.harvested.load(std::memory_order_relaxed);
+  const std::uint64_t appended = buf.appended.load(std::memory_order_acquire);
+  if (harvested == appended) return;
   obs::ScopedTimer timer(collector_metrics().flush_ns, /*rank=*/-1);
   if constexpr (obs::kMetricsEnabled) collector_metrics().flushes.add(-1);
-  std::vector<Event> drained;
-  {
-    std::lock_guard lk(buffer.mu);
-    drained.swap(buffer.events);
+  if (buf.read_chunk == nullptr) {
+    buf.read_chunk = buf.first.load(std::memory_order_acquire);
+    buf.read_offset = 0;
   }
-  std::lock_guard wlk(writer_mu_);
-  if (writer_ == nullptr) {
-    // Writer detached between the check and now: put the records back.
-    std::lock_guard lk(buffer.mu);
-    buffer.events.insert(buffer.events.begin(), drained.begin(),
-                         drained.end());
-    return;
+  while (harvested < appended) {
+    if (buf.read_offset == kChunkEvents) {
+      // More records exist, so the owner has linked the next chunk
+      // (link happens-before the appended store we acquired).  The
+      // drained chunk goes back to the pool for reuse.
+      Chunk* done = buf.read_chunk;
+      buf.read_chunk = done->next.load(std::memory_order_acquire);
+      buf.read_offset = 0;
+      std::lock_guard lk(buf.pool_mu);
+      buf.free_list.push_back(done);
+    }
+    const std::size_t n =
+        std::min(kChunkEvents - buf.read_offset,
+                 static_cast<std::size_t>(appended - harvested));
+    writer_->write_events({&buf.read_chunk->events[buf.read_offset], n});
+    buf.read_offset += n;
+    harvested += n;
   }
-  for (const Event& e : drained) writer_->write_event(e);
+  buf.harvested.store(harvested, std::memory_order_release);
+}
+
+void TraceCollector::flush_rank(RankBuffer& buf) {
+  std::lock_guard lk(writer_mu_);
+  if (writer_ == nullptr) return;  // detached since the threshold check
+  flush_rank_locked(buf);
 }
 
 void TraceCollector::flush() {
+  std::lock_guard lk(writer_mu_);
+  if (writer_ == nullptr) return;
+  for (auto& buf : buffers_) flush_rank_locked(*buf);
+}
+
+void TraceCollector::start_background_flush(
+    std::chrono::milliseconds interval) {
+  TDBG_CHECK(!bg_active_.load(std::memory_order_relaxed),
+             "background flusher already running");
+  bg_stop_ = false;
+  bg_active_.store(true, std::memory_order_relaxed);
+  bg_thread_ = std::thread([this, interval] { background_loop(interval); });
+}
+
+void TraceCollector::stop_background_flush() {
+  if (!bg_active_.load(std::memory_order_relaxed)) return;
   {
-    std::lock_guard lk(writer_mu_);
-    if (writer_ == nullptr) return;
+    std::lock_guard lk(bg_mu_);
+    bg_stop_ = true;
   }
-  for (auto& buf : buffers_) flush_rank(*buf);
+  bg_cv_.notify_one();
+  bg_thread_.join();
+  bg_active_.store(false, std::memory_order_relaxed);
+  flush();  // drain whatever arrived after the thread's last pass
+}
+
+void TraceCollector::background_loop(std::chrono::milliseconds interval) {
+  std::unique_lock lk(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lk, interval);
+    if (bg_stop_) break;
+    lk.unlock();
+    flush();
+    lk.lock();
+  }
 }
 
 std::size_t TraceCollector::buffered_count() const {
-  std::size_t n = 0;
+  std::uint64_t n = 0;
   for (const auto& buf : buffers_) {
-    std::lock_guard lk(buf->mu);
-    n += buf->events.size();
+    n += buf->appended.load(std::memory_order_acquire) -
+         buf->harvested.load(std::memory_order_acquire);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t TraceCollector::total_count() const {
+  std::uint64_t n = 0;
+  for (const auto& buf : buffers_) {
+    n += buf->appended.load(std::memory_order_acquire);
   }
   return n;
 }
 
 Trace TraceCollector::build_trace() const {
+  // Walk the unharvested suffix of each rank's log without disturbing
+  // the flusher cursors (writer_mu_ keeps them still while we read).
+  std::lock_guard lk(writer_mu_);
   std::vector<Event> all;
   all.reserve(buffered_count());
   for (const auto& buf : buffers_) {
-    std::lock_guard lk(buf->mu);
-    all.insert(all.end(), buf->events.begin(), buf->events.end());
+    std::uint64_t pos = buf->harvested.load(std::memory_order_relaxed);
+    const std::uint64_t end = buf->appended.load(std::memory_order_acquire);
+    const Chunk* chunk = buf->read_chunk != nullptr
+                             ? buf->read_chunk
+                             : buf->first.load(std::memory_order_acquire);
+    std::size_t offset =
+        buf->read_chunk != nullptr ? buf->read_offset : 0;
+    while (pos < end) {
+      if (offset == kChunkEvents) {
+        chunk = chunk->next.load(std::memory_order_acquire);
+        offset = 0;
+      }
+      const std::size_t n = std::min(kChunkEvents - offset,
+                                     static_cast<std::size_t>(end - pos));
+      all.insert(all.end(), &chunk->events[offset], &chunk->events[offset] + n);
+      offset += n;
+      pos += n;
+    }
   }
   return Trace(num_ranks_, std::move(all), constructs_);
 }

@@ -2,8 +2,11 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "trace/construct_registry.hpp"
@@ -23,8 +26,24 @@ class TraceWriter;
 /// record kind — to control trace size (§3: "the size of trace file
 /// can be controlled by selectively instrumenting constructs and by
 /// toggling the collection on and off in the monitor").
+///
+/// Each rank's buffer is a single-producer single-consumer chunked
+/// log: the owning rank appends into fixed-size chunks with stable
+/// addresses and publishes progress through a release-stored counter,
+/// so an append is a slot write plus a store — wait-free, no lock, no
+/// fence, and no reallocation ever moves published records (see
+/// DESIGN.md "Hot paths").  A flusher walks the chunk list behind the
+/// counter, hands whole chunk spans to `TraceWriter::write_events`
+/// (one writer-lock acquisition per span instead of per record), and
+/// recycles drained chunks through a pool so steady-state tracing
+/// allocates nothing.  An optional background flusher thread
+/// (`start_background_flush`) moves flushing off the traced program's
+/// threads entirely, so append never blocks on I/O.
 class TraceCollector {
  public:
+  /// Records per chunk; also the granularity of flush batching.
+  static constexpr std::size_t kChunkEvents = 1024;
+
   /// \param num_ranks  world size of the run being traced
   /// \param constructs shared construct table (created if null)
   explicit TraceCollector(
@@ -33,6 +52,10 @@ class TraceCollector {
 
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Stops the background flusher if running (without a final flush —
+  /// call `stop_background_flush` yourself to drain first).
+  ~TraceCollector();
 
   /// Appends a record (called from the owning rank's thread).  Drops
   /// the record if collection is disabled globally or for its kind.
@@ -56,13 +79,24 @@ class TraceCollector {
   /// writer.  No-op without a writer.
   void flush();
 
-  /// Number of records currently buffered (all ranks).
+  /// Starts a thread that flushes every `interval` and whenever an
+  /// append pushes a rank's buffer past the flush threshold.  While it
+  /// runs, appends never flush inline — the traced program's threads
+  /// stay wait-free even with a writer attached.
+  void start_background_flush(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(2));
+
+  /// Stops the background flusher after one final flush.  Idempotent.
+  /// Call this (or `attach_writer(nullptr)`) before destroying the
+  /// attached writer.
+  void stop_background_flush();
+
+  /// Number of records currently buffered (all ranks).  Callable from
+  /// any thread.
   [[nodiscard]] std::size_t buffered_count() const;
 
   /// Total records accepted since construction (including flushed).
-  [[nodiscard]] std::uint64_t total_count() const {
-    return total_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t total_count() const;
 
   /// Builds an in-memory `Trace` from the buffered records (leaves the
   /// buffers intact).  Requires that no writer flushing has happened,
@@ -77,23 +111,68 @@ class TraceCollector {
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
 
  private:
-  struct RankBuffer {
-    mutable std::mutex mu;
-    std::vector<Event> events;
+  struct Chunk {
+    std::array<Event, kChunkEvents> events;
+    std::atomic<Chunk*> next{nullptr};
   };
 
-  void flush_rank(RankBuffer& buffer);
+  /// One rank's SPSC chunked log.  The owning rank's thread is the
+  /// only writer of the owner-side cursors and of `appended`; flushers
+  /// (serialized by `writer_mu_`) own the read-side cursors and
+  /// `harvested`.  Publication order is: write slot, link chunk
+  /// (release), store `appended` (release); readers load `appended`
+  /// (acquire) first, so every record at an index below it is stable.
+  struct alignas(64) RankBuffer {
+    // --- owner side (rank thread only) ------------------------------
+    Chunk* write_chunk = nullptr;
+    std::atomic<std::uint64_t> appended{0};
+    std::uint64_t hwm_shadow = 0;   ///< owner-local high-watermark cache
+    std::uint64_t unpublished = 0;  ///< appends since last metric publish
+
+    // --- shared -----------------------------------------------------
+    std::atomic<Chunk*> first{nullptr};  ///< head of the chunk list
+    std::mutex pool_mu;                  ///< guards owned + free_list
+    std::vector<std::unique_ptr<Chunk>> owned;  ///< every chunk allocated
+    std::vector<Chunk*> free_list;              ///< drained, reusable
+
+    // --- flusher side (under writer_mu_) ----------------------------
+    Chunk* read_chunk = nullptr;
+    std::size_t read_offset = 0;  ///< kChunkEvents => chunk consumed
+    std::atomic<std::uint64_t> harvested{0};
+  };
+
+  /// Pops a recycled chunk or allocates one (owner thread, amortized
+  /// once per kChunkEvents appends).
+  Chunk* acquire_chunk(RankBuffer& buf);
+
+  /// Drains one rank to the writer, one chunk span per write.  Caller
+  /// must hold `writer_mu_` and have checked `writer_ != nullptr`.
+  void flush_rank_locked(RankBuffer& buf);
+
+  /// Auto-flush entry from `append`: re-checks the writer under lock.
+  void flush_rank(RankBuffer& buf);
+
+  void background_loop(std::chrono::milliseconds interval);
 
   int num_ranks_;
   std::shared_ptr<ConstructRegistry> constructs_;
   std::vector<std::unique_ptr<RankBuffer>> buffers_;
   std::atomic<bool> enabled_{true};
   std::array<std::atomic<bool>, 8> kind_enabled_;
-  std::atomic<std::uint64_t> total_{0};
 
-  std::mutex writer_mu_;
+  /// Guards writer_ and all read-side cursors (flushers and
+  /// build_trace's walk).
+  mutable std::mutex writer_mu_;
   TraceWriter* writer_ = nullptr;
-  std::size_t flush_threshold_ = 4096;
+  std::atomic<bool> has_writer_{false};
+  std::atomic<std::size_t> flush_threshold_{4096};
+
+  // Background flusher (see start_background_flush).
+  std::thread bg_thread_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::atomic<bool> bg_active_{false};
 };
 
 }  // namespace tdbg::trace

@@ -90,17 +90,22 @@ TraceWriter::~TraceWriter() {
 }
 
 void TraceWriter::write_event(const Event& event) {
+  write_events({&event, 1});
+}
+
+void TraceWriter::write_events(std::span<const Event> events) {
+  if (events.empty()) return;
   std::lock_guard lk(mu_);
   TDBG_CHECK(!finished_, "write_event after finish");
   if (format_ == TraceFormat::kBinary) {
-    support::BinaryWriter w;
-    encode_event(w, event);
-    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
-               static_cast<std::streamsize>(w.size()));
+    scratch_.clear();
+    for (const Event& e : events) encode_event(scratch_, e);
+    out_.write(reinterpret_cast<const char*>(scratch_.bytes().data()),
+               static_cast<std::streamsize>(scratch_.size()));
   } else {
-    out_ << text_event_line(event) << '\n';
+    for (const Event& e : events) out_ << text_event_line(e) << '\n';
   }
-  ++count_;
+  count_ += events.size();
   if (!out_) throw IoError("trace write failed");
 }
 

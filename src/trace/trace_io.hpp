@@ -4,7 +4,9 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <span>
 
+#include "support/serialize.hpp"
 #include "trace/trace.hpp"
 
 namespace tdbg::trace {
@@ -37,6 +39,12 @@ class TraceWriter {
   /// Appends one record.  Thread-safe.
   void write_event(const Event& event);
 
+  /// Appends a batch of records under a single lock acquisition,
+  /// encoding them into one reused scratch buffer and writing them
+  /// with one stream call.  This is the collector's flush path; the
+  /// per-record cost is a fraction of `write_event`'s.  Thread-safe.
+  void write_events(std::span<const Event> events);
+
   /// Writes the construct table and end-of-stream marker, then closes.
   /// Idempotent.
   void finish();
@@ -51,6 +59,7 @@ class TraceWriter {
   TraceFormat format_;
   std::ofstream out_;
   std::mutex mu_;
+  support::BinaryWriter scratch_;  ///< reused encode buffer (under mu_)
   std::uint64_t count_ = 0;
   bool finished_ = false;
 };

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "replay/record.hpp"
+
+/// Randomized stress tests for the per-(source,dest) channel mailbox:
+/// heavy contended traffic at 8+ ranks must preserve exactly the MPI
+/// matching semantics the old single-mutex mailbox gave us — FIFO per
+/// channel (non-overtaking), wildcard receives that see messages from
+/// every channel, and record→replay match-log equivalence.  Each test
+/// derives its traffic from a fixed seed so a failure reproduces.
+
+namespace tdbg {
+namespace {
+
+using replay::MatchRecorder;
+using replay::ReplayController;
+using replay::record;
+
+/// Payload exchanged by the stress bodies: enough to identify the
+/// sender, the per-(src,dst) sequence number, and to vary the size
+/// across the small-buffer / pooled-payload boundary.
+struct StressMsg {
+  std::int32_t src = -1;
+  std::uint32_t seq = 0;      ///< per-(src,dst) send index
+  std::uint32_t fill = 0;     ///< payload size knob, echoed for checks
+};
+
+/// All-to-all storm: every rank sends `msgs_per_pair` messages to every
+/// other rank (random tag out of a small set, random payload size,
+/// every 4th one a synchronous send), while receiving its own expected
+/// share with wildcard source+tag.  Asserts, per source: channel_seq
+/// strictly increasing (FIFO through the ring *and* the overflow
+/// deque, even when matched by wildcard) and per-(src,dst) payload
+/// sequence numbers increasing.
+void storm_body(mpi::Comm& comm, int msgs_per_pair, unsigned seed) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  std::mt19937 rng(seed + static_cast<unsigned>(rank) * 7919u);
+  std::uniform_int_distribution<int> tag_dist(1, 3);
+  std::uniform_int_distribution<std::uint32_t> fill_dist(0, 4096);
+
+  // Interleave sending and receiving so rings actually fill and spill
+  // into the overflow deque (receivers lag behind senders).
+  const int total_recvs = (size - 1) * msgs_per_pair;
+  std::vector<std::uint32_t> next_seq(static_cast<std::size_t>(size), 0);
+  std::vector<std::uint64_t> last_channel_seq(static_cast<std::size_t>(size));
+  std::vector<bool> seen_any(static_cast<std::size_t>(size), false);
+
+  int sent_rounds = 0;
+  int received = 0;
+  std::vector<StressMsg> scratch;
+  while (sent_rounds < msgs_per_pair || received < total_recvs) {
+    if (sent_rounds < msgs_per_pair) {
+      for (int dest = 0; dest < size; ++dest) {
+        if (dest == rank) continue;
+        StressMsg m;
+        m.src = rank;
+        m.seq = static_cast<std::uint32_t>(sent_rounds);
+        m.fill = fill_dist(rng);
+        // Vary payload size: header plus m.fill % 128 copies, so some
+        // messages stay in the small-buffer optimization and some go
+        // through the payload pool.
+        scratch.assign(1 + m.fill % 128, m);
+        const int tag = tag_dist(rng);
+        // Synchronous sends only towards higher ranks: the blocked-on
+        // relation stays acyclic, so mutual-ssend deadlock (both ends
+        // blocked in ssend, neither receiving) cannot form.
+        if (dest > rank && (sent_rounds + dest) % 4 == 0) {
+          comm.ssend(std::as_bytes(std::span<const StressMsg>(scratch)),
+                     dest, tag);
+        } else {
+          comm.send_span(std::span<const StressMsg>(scratch), dest, tag);
+        }
+      }
+      ++sent_rounds;
+    }
+    // Drain a few receives per send round; finish the tail after all
+    // sends are out.
+    const int batch = sent_rounds < msgs_per_pair ? size - 1 : total_recvs;
+    for (int i = 0; i < batch && received < total_recvs; ++i) {
+      mpi::Status st;
+      std::vector<StressMsg> got;
+      comm.recv_into<StressMsg>(got, mpi::kAnySource, mpi::kAnyTag, &st);
+      ASSERT_FALSE(got.empty());
+      const StressMsg& m = got[0];
+      ASSERT_EQ(m.src, st.source);
+      ASSERT_EQ(got.size(), 1 + m.fill % 128);
+      const auto s = static_cast<std::size_t>(st.source);
+      // Per-(src,dst) FIFO: same-source messages arrive in send order
+      // regardless of tag (all tags share the channel here — the
+      // channel sequence is the per-channel total order).
+      EXPECT_EQ(m.seq, next_seq[s]) << "from rank " << st.source;
+      ++next_seq[s];
+      if (seen_any[s]) {
+        EXPECT_GT(st.channel_seq, last_channel_seq[s])
+            << "channel_seq went backwards for source " << st.source;
+      }
+      seen_any[s] = true;
+      last_channel_seq[s] = st.channel_seq;
+      ++received;
+    }
+  }
+  // Every source delivered its full quota.
+  for (int src = 0; src < size; ++src) {
+    if (src == rank) continue;
+    EXPECT_EQ(next_seq[static_cast<std::size_t>(src)],
+              static_cast<std::uint32_t>(msgs_per_pair));
+  }
+}
+
+TEST(ChannelStress, AllToAllFifoPerChannel8Ranks) {
+  for (unsigned seed : {1u, 42u, 20260805u}) {
+    const auto result = mpi::run(
+        8, [&](mpi::Comm& comm) { storm_body(comm, 40, seed); });
+    ASSERT_TRUE(result.completed) << "seed " << seed << ": "
+                                  << result.abort_detail;
+  }
+}
+
+TEST(ChannelStress, AllToAllFifoTenRanksSmall) {
+  const auto result =
+      mpi::run(10, [&](mpi::Comm& comm) { storm_body(comm, 12, 7u); });
+  ASSERT_TRUE(result.completed) << result.abort_detail;
+}
+
+// Wildcard receives must find messages across channels as they become
+// matchable.  The happens-before chain (each send is acknowledged
+// before the next sender goes) makes the expected match unique at
+// every step, so this is deterministic — no scheduling luck involved.
+TEST(ChannelStress, WildcardMatchesAcrossChannelsInCausalOrder) {
+  constexpr int kRanks = 6;
+  const auto result = mpi::run(kRanks, [](mpi::Comm& comm) {
+    constexpr mpi::Tag kData = 7;
+    constexpr mpi::Tag kGo = 8;
+    if (comm.rank() == 0) {
+      // Senders fire one at a time, highest rank first (so a scan that
+      // preferred low channel indices over actual availability would
+      // still have to wait for the only message in flight).
+      for (int sender = kRanks - 1; sender >= 1; --sender) {
+        comm.send_value<int>(1, sender, kGo);
+        mpi::Status st;
+        const int payload = comm.recv_value<int>(mpi::kAnySource, kData, &st);
+        EXPECT_EQ(st.source, sender);
+        EXPECT_EQ(payload, sender * 11);
+      }
+    } else {
+      comm.recv_value<int>(0, kGo);
+      comm.send_value<int>(comm.rank() * 11, 0, kData);
+    }
+  });
+  ASSERT_TRUE(result.completed) << result.abort_detail;
+}
+
+/// Nondeterministic wildcard sink: rank 0 absorbs a storm from every
+/// other rank with any-source receives — the match order is real
+/// nondeterminism that the match log must capture and replay exactly.
+void sink_body(mpi::Comm& comm, int msgs_per_sender) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (rank == 0) {
+    std::vector<std::uint32_t> next_seq(static_cast<std::size_t>(size), 0);
+    for (int i = 0; i < (size - 1) * msgs_per_sender; ++i) {
+      mpi::Status st;
+      const auto seq = comm.recv_value<std::uint32_t>(mpi::kAnySource, 1, &st);
+      EXPECT_EQ(seq, next_seq[static_cast<std::size_t>(st.source)]++);
+    }
+  } else {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(msgs_per_sender); ++i) {
+      if (i % 5 == 3) {
+        comm.ssend(std::as_bytes(std::span<const std::uint32_t>(&i, 1)), 0, 1);
+      } else {
+        comm.send_value<std::uint32_t>(i, 0, 1);
+      }
+    }
+  }
+}
+
+TEST(ChannelStress, RecordReplayMatchLogEquivalence8Ranks) {
+  constexpr int kRanks = 8;
+  const auto body = [](mpi::Comm& comm) { sink_body(comm, 25); };
+  const auto rec = record(kRanks, body);
+  ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
+  ASSERT_GT(rec.log.total_receives(), 0u);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    MatchRecorder second(kRanks);
+    ReplayController controller(rec.log);
+    mpi::RunOptions options;
+    options.hooks = &second;
+    options.controller = &controller;
+    const auto replayed = mpi::run(kRanks, body, options);
+    ASSERT_TRUE(replayed.completed) << replayed.abort_detail;
+    EXPECT_EQ(second.log(), rec.log) << "trial " << trial;
+  }
+}
+
+TEST(ChannelStress, RecordReplayStormEquivalence) {
+  // The full all-to-all storm, recorded and replayed: wildcard source
+  // *and* tag on every receive, payload sizes crossing the pool
+  // boundary, ssends mixed in.
+  constexpr int kRanks = 8;
+  const auto body = [](mpi::Comm& comm) { storm_body(comm, 10, 99u); };
+  const auto rec = record(kRanks, body);
+  ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
+
+  MatchRecorder second(kRanks);
+  ReplayController controller(rec.log);
+  mpi::RunOptions options;
+  options.hooks = &second;
+  options.controller = &controller;
+  const auto replayed = mpi::run(kRanks, body, options);
+  ASSERT_TRUE(replayed.completed) << replayed.abort_detail;
+  EXPECT_EQ(second.log(), rec.log);
+}
+
+}  // namespace
+}  // namespace tdbg

@@ -59,7 +59,7 @@ TEST(CriticalPathTest, PrefersHeavierBranch) {
 
 TEST(CriticalPathTest, PathIsCausallyOrdered) {
   apps::strassen::Options opts;
-  opts.n = 32;
+  opts.n = 64;
   opts.cutoff = 8;
   const auto rec = replay::record(
       4, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
@@ -74,8 +74,11 @@ TEST(CriticalPathTest, PathIsCausallyOrdered) {
     EXPECT_TRUE(order.happens_before(path.events[i - 1], path.events[i]))
         << "path step " << i << " not causally ordered";
   }
-  // The critical path of a master/worker run crosses ranks.
-  EXPECT_GT(path.rank_switches, 0u);
+  // No rank_switches assertion here: on a single-CPU host the ranks
+  // serialize, so the master's wall-clock self time can legitimately
+  // dominate every worker chain and the costliest path stays on one
+  // rank.  FollowsMessageChain pins the cross-rank property on a
+  // deterministic trace instead.
   // It cannot be longer than the run itself by more than the per-event
   // bookkeeping (durations nest within the run span).
   const auto span = rec.trace.t_max() - rec.trace.t_min();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mpi/hooks.hpp"
+#include "mpi/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_hooks.hpp"
 #include "support/clock.hpp"
@@ -351,6 +352,50 @@ TEST(MetricsHooks, CountsCallsAndBytes) {
   EXPECT_EQ(snap.find("runtime.recv_wildcards")->total(), 1u);
   EXPECT_EQ(snap.find("runtime.recv_block_ns")->total(), 1u);
   EXPECT_EQ(snap.find("runtime.ranks_finished")->total(), 1u);
+}
+
+TEST(MailboxObs, ChannelPathPublishesDeliveryMetrics) {
+  // The per-channel mailbox must keep feeding the runtime.* metrics
+  // the old single-mutex mailbox published: delivery counts, receiver
+  // queue high-watermark, and delivery→match latency samples.
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
+  auto& registry = obs::MetricsRegistry::global();
+  auto& delivered = registry.counter("runtime.msgs_delivered");
+  auto& queue_hwm = registry.gauge("runtime.mailbox_queue_hwm");
+  auto& match_latency =
+      registry.histogram("runtime.match_latency_ns", obs::Unit::kNanoseconds);
+  const auto delivered_before = delivered.total();
+  const auto delivered_r1_before = delivered.value(1);
+  const auto latency_before = match_latency.total_count();
+
+  // Rank 0 floods rank 1 with kBurst tag-1 messages, then one tag-2
+  // message.  Rank 1 receives tag 2 *first*: nothing can match until
+  // the last delivery, so the queue is kBurst + 1 deep at that point
+  // and the high-watermark must reflect it.
+  static constexpr std::uint64_t kBurst = 64;
+  const auto result = mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < kBurst; ++i) {
+        comm.send_value<std::uint64_t>(i, 1, /*tag=*/1);
+      }
+      comm.send_value<std::uint64_t>(kBurst, 1, /*tag=*/2);
+    } else {
+      EXPECT_EQ(comm.recv_value<std::uint64_t>(0, 2), kBurst);
+      for (std::uint64_t i = 0; i < kBurst; ++i) {
+        EXPECT_EQ(comm.recv_value<std::uint64_t>(0, 1), i);
+      }
+    }
+  });
+  ASSERT_TRUE(result.completed) << result.abort_detail;
+
+  // Every user message was delivered exactly once to rank 1's mailbox.
+  EXPECT_EQ(delivered.total() - delivered_before, kBurst + 1);
+  EXPECT_EQ(delivered.value(1) - delivered_r1_before, kBurst + 1)
+      << "deliveries are counted against the receiving rank";
+  // The burst sat unmatched while rank 1 waited for tag 2.
+  EXPECT_GE(queue_hwm.value(1), kBurst + 1);
+  // Each match of a stamped delivery records one latency sample.
+  EXPECT_GE(match_latency.total_count() - latency_before, kBurst + 1);
 }
 
 }  // namespace
