@@ -1,0 +1,208 @@
+// Ablation — trace store open latency and query cost (google-benchmark).
+//
+// PR 3 replaces the monolithic load-everything trace reader with the
+// segmented, footer-indexed v2 format and a lazy SegmentedTraceStore.
+// This bench quantifies the change on a >1M-event trace:
+//
+//   BM_OpenEagerV1       full v1 load (the old behavior: decode all)
+//   BM_OpenLazyV2        v2 open (header + footer only)
+//   BM_WindowV1LoadScan  1% time-window query the old way: full load,
+//                        then a full scan
+//   BM_WindowV2Cold      1% window on a fresh lazy open (directory
+//                        binary search + the touched segments only)
+//   BM_WindowV2Warm      same window with the segment cache warm
+//   BM_FindMarkerLazy    marker lookup through the footer index
+//   BM_LastEventLazy     hit-test (last_event_at_or_before)
+//
+// The warm-window benchmark also reports the store's resident segment
+// bytes so the RSS bound from the LRU cache is visible in the output.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <random>
+#include <vector>
+
+#include "trace/store.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+constexpr std::size_t kEvents = 1u << 21;  // ~2.1M events
+constexpr int kRanks = 8;
+
+struct BenchFiles {
+  std::filesystem::path v1;
+  std::filesystem::path v2;
+  support::TimeNs t_min = 0;
+  support::TimeNs t_max = 0;
+  std::vector<std::uint64_t> rank_markers;  // highest marker per rank
+
+  BenchFiles() {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto pid = std::to_string(::getpid());
+    v1 = dir / ("tdbg_bench_query_" + pid + "_v1.trc");
+    v2 = dir / ("tdbg_bench_query_" + pid + "_v2.trc");
+
+    auto registry = std::make_shared<trace::ConstructRegistry>();
+    const auto c_work = registry->intern("work", "bench.cpp", 1);
+    const auto c_msg = registry->intern("msg", "bench.cpp", 2);
+
+    std::mt19937 rng(12345);
+    std::vector<std::uint64_t> marker(kRanks, 0);
+    std::vector<support::TimeNs> clock(kRanks, 0);
+    std::vector<mpi::ChannelSeq> ring_seq(kRanks, 0);
+    std::vector<trace::Event> events;
+    events.reserve(kEvents);
+    while (events.size() < kEvents) {
+      const auto r =
+          static_cast<mpi::Rank>(std::uniform_int_distribution<int>(
+              0, kRanks - 1)(rng));
+      trace::Event e;
+      e.rank = r;
+      e.marker = ++marker[static_cast<std::size_t>(r)];
+      e.t_start = clock[static_cast<std::size_t>(r)];
+      clock[static_cast<std::size_t>(r)] +=
+          std::uniform_int_distribution<support::TimeNs>(1, 20)(rng);
+      e.t_end = clock[static_cast<std::size_t>(r)];
+      if (std::uniform_int_distribution<int>(0, 9)(rng) == 0) {
+        // Ring message: r -> r+1 with FIFO channel sequence.
+        e.kind = trace::EventKind::kSend;
+        e.construct = c_msg;
+        e.peer = static_cast<mpi::Rank>((r + 1) % kRanks);
+        e.tag = 1;
+        e.channel_seq = ring_seq[static_cast<std::size_t>(r)]++;
+        e.bytes = 256;
+      } else {
+        e.kind = trace::EventKind::kCompute;
+        e.construct = c_work;
+      }
+      events.push_back(e);
+    }
+    rank_markers = marker;
+    trace::Trace trace(kRanks, std::move(events), std::move(registry));
+    t_min = trace.t_min();
+    t_max = trace.t_max();
+    trace::write_trace(v1, trace, trace::TraceFormat::kBinaryV1);
+    trace::write_trace(v2, trace, trace::TraceFormat::kBinary);
+  }
+
+  ~BenchFiles() {
+    std::filesystem::remove(v1);
+    std::filesystem::remove(v2);
+  }
+
+  [[nodiscard]] std::pair<support::TimeNs, support::TimeNs> window(
+      double at, double frac) const {
+    const auto span = static_cast<double>(t_max - t_min);
+    const auto t0 =
+        t_min + static_cast<support::TimeNs>(span * at);
+    return {t0, t0 + static_cast<support::TimeNs>(span * frac)};
+  }
+};
+
+BenchFiles& files() {
+  static BenchFiles f;
+  return f;
+}
+
+void BM_OpenEagerV1(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto trace = trace::read_trace(files().v1);
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_OpenEagerV1)->Unit(benchmark::kMillisecond);
+
+void BM_OpenLazyV2(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto trace = trace::open_trace(files().v2);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_OpenLazyV2)->Unit(benchmark::kMicrosecond);
+
+void BM_WindowV1LoadScan(benchmark::State& state) {
+  const auto [t0, t1] = files().window(0.47, 0.01);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const auto trace = trace::read_trace(files().v1);
+    trace.for_each_in_window(
+        t0, t1, [&](std::size_t, const trace::Event&) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["window_events"] =
+      static_cast<double>(hits) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WindowV1LoadScan)->Unit(benchmark::kMillisecond);
+
+void BM_WindowV2Cold(benchmark::State& state) {
+  const auto [t0, t1] = files().window(0.47, 0.01);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const auto trace = trace::open_trace(files().v2);
+    trace.for_each_in_window(
+        t0, t1, [&](std::size_t, const trace::Event&) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["window_events"] =
+      static_cast<double>(hits) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WindowV2Cold)->Unit(benchmark::kMicrosecond);
+
+void BM_WindowV2Warm(benchmark::State& state) {
+  const auto trace = trace::open_trace(files().v2);
+  const auto [t0, t1] = files().window(0.47, 0.01);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    trace.for_each_in_window(
+        t0, t1, [&](std::size_t, const trace::Event&) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  const auto* seg =
+      dynamic_cast<const trace::SegmentedTraceStore*>(trace.store().get());
+  if (seg != nullptr) {
+    state.counters["resident_bytes"] =
+        static_cast<double>(seg->cache_stats().resident_bytes);
+    state.counters["resident_segments"] =
+        static_cast<double>(seg->cache_stats().resident_segments);
+  }
+}
+BENCHMARK(BM_WindowV2Warm)->Unit(benchmark::kMicrosecond);
+
+void BM_FindMarkerLazy(benchmark::State& state) {
+  const auto trace = trace::open_trace(files().v2);
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    const auto r = static_cast<mpi::Rank>(
+        std::uniform_int_distribution<int>(0, kRanks - 1)(rng));
+    const auto m = std::uniform_int_distribution<std::uint64_t>(
+        1, files().rank_markers[static_cast<std::size_t>(r)])(rng);
+    benchmark::DoNotOptimize(trace.find_marker(r, m));
+  }
+}
+BENCHMARK(BM_FindMarkerLazy)->Unit(benchmark::kMicrosecond);
+
+void BM_LastEventLazy(benchmark::State& state) {
+  const auto trace = trace::open_trace(files().v2);
+  std::mt19937 rng(8);
+  for (auto _ : state) {
+    const auto r = static_cast<mpi::Rank>(
+        std::uniform_int_distribution<int>(0, kRanks - 1)(rng));
+    const auto t = std::uniform_int_distribution<support::TimeNs>(
+        files().t_min, files().t_max)(rng);
+    benchmark::DoNotOptimize(trace.last_event_at_or_before(r, t));
+  }
+}
+BENCHMARK(BM_LastEventLazy)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,19 +32,18 @@ int main() {
 
   // Count the structure from the trace.
   int operand_sends = 0, result_sends = 0, worker_recvs[8] = {0};
-  for (const auto& e : rec.trace.events()) {
-    if (e.kind != trace::EventKind::kSend) continue;
-    if (e.rank == 0 && (e.tag == apps::strassen::kTagOperandA ||
-                        e.tag == apps::strassen::kTagOperandB)) {
-      ++operand_sends;
+  rec.trace.for_each_event([&](std::size_t, const trace::Event& e) {
+    if (e.kind == trace::EventKind::kSend) {
+      if (e.rank == 0 && (e.tag == apps::strassen::kTagOperandA ||
+                          e.tag == apps::strassen::kTagOperandB)) {
+        ++operand_sends;
+      }
+      if (e.rank != 0 && e.tag == apps::strassen::kTagResult) ++result_sends;
     }
-    if (e.rank != 0 && e.tag == apps::strassen::kTagResult) ++result_sends;
-  }
-  for (const auto& e : rec.trace.events()) {
     if (e.kind == trace::EventKind::kRecv && e.rank != 0) {
       ++worker_recvs[e.rank];
     }
-  }
+  });
 
   std::printf("operand sends from process 0 : %d (expect 14 = 7 pairs)\n",
               operand_sends);

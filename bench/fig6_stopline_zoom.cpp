@@ -36,11 +36,11 @@ int main() {
 
   // The caption's observations, from the trace.
   int recvs[8] = {0};
-  for (const auto& e : rec.trace.events()) {
+  rec.trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kRecv) {
       ++recvs[e.rank];
     }
-  }
+  });
   std::printf("worker receive counts        : ");
   for (int r = 1; r < 8; ++r) std::printf("P%d=%d ", r, recvs[r]);
   std::printf("\n");
@@ -67,12 +67,14 @@ int main() {
 
   // Stopline before the first send of the distribution group.
   support::TimeNs first_send_t = rec.trace.t_max();
-  for (const auto& e : rec.trace.events()) {
+  bool saw_first_send = false;
+  rec.trace.for_each_event([&](std::size_t, const trace::Event& e) {
+    if (saw_first_send) return;
     if (e.kind == trace::EventKind::kSend && e.rank == 0) {
       first_send_t = std::min(first_send_t, e.t_start);
-      break;
+      saw_first_send = true;
     }
-  }
+  });
   const auto t_line = first_send_t - 1;
   auto cut = causality::cut_at_time(rec.trace, t_line);
   const auto dropped = causality::restrict_to_consistent(rec.trace, cut);

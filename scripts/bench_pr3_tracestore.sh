@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Measures the PR-3 trace store (segmented v2 format + lazy
+# SegmentedTraceStore) against the v1 full-load path on a >1M-event
+# trace and emits BENCH_pr3_tracestore.json next to the sources:
+# per-benchmark medians plus the speedups the PR claims.
+#
+# Exits nonzero if either acceptance criterion falls below 10x:
+#   - open latency: BM_OpenLazyV2 vs BM_OpenEagerV1
+#   - 1% window query: BM_WindowV2Cold vs BM_WindowV1LoadScan
+#
+# Usage: scripts/bench_pr3_tracestore.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr3_tracestore.json"
+
+[[ -x "$bdir/bench/abl_trace_query" ]] || {
+  echo "missing $bdir/bench/abl_trace_query — build the bench targets first" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bdir/bench/abl_trace_query" \
+  --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$tmp/query.json"
+
+python3 - "$tmp/query.json" "$out" <<'PY'
+import json
+import sys
+
+src, out = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    data = json.load(f)
+
+medians = {}
+counters = {}
+for b in data["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["name"].removesuffix("_median")
+    medians[name] = b["real_time"]  # in the benchmark's own time_unit
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    medians[name] = b["real_time"] * scale  # normalize to ns
+    for key in ("resident_bytes", "resident_segments", "window_events"):
+        if key in b:
+            counters[key] = b[key]
+
+required = [
+    "BM_OpenEagerV1", "BM_OpenLazyV2",
+    "BM_WindowV1LoadScan", "BM_WindowV2Cold", "BM_WindowV2Warm",
+    "BM_FindMarkerLazy", "BM_LastEventLazy",
+]
+missing = [n for n in required if n not in medians]
+assert not missing, f"benchmark output missing {missing}"
+
+open_x = medians["BM_OpenEagerV1"] / medians["BM_OpenLazyV2"]
+window_cold_x = medians["BM_WindowV1LoadScan"] / medians["BM_WindowV2Cold"]
+window_warm_x = medians["BM_WindowV1LoadScan"] / medians["BM_WindowV2Warm"]
+
+doc = {
+    "pr": 3,
+    "description": "Segmented v2 trace store vs v1 full-load on a "
+                   "~2.1M-event, 8-rank trace (medians of 3 reps; "
+                   "times in ns; speedup = v1/v2)",
+    "median_ns": {k: round(v, 1) for k, v in sorted(medians.items())},
+    "segment_cache": {k: counters[k] for k in sorted(counters)},
+    "speedup_x": {
+        "open": round(open_x, 1),
+        "window_1pct_cold": round(window_cold_x, 1),
+        "window_1pct_warm": round(window_warm_x, 1),
+    },
+    "acceptance": {
+        "open_speedup_x": round(open_x, 1),
+        "window_speedup_x": round(window_cold_x, 1),
+        "required_x": 10.0,
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+for k, v in doc["speedup_x"].items():
+    print(f"  {k}: {v}x")
+sys.exit(0 if open_x >= 10.0 and window_cold_x >= 10.0 else 1)
+PY

@@ -11,6 +11,10 @@
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
 #                runs the concurrency-heavy suites (ctest -L "mpi|trace|perf")
 #                and must report zero races
+#   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
+#                runs the store/query-heavy suites
+#                (ctest -L "trace|analysis|viz") and must report zero
+#                memory or UB findings
 #
 # Extras under metrics-on:
 #   - ctest -L obs        (the obs label must select the obs suite)
@@ -43,6 +47,17 @@ cmake --build "$tsan_bdir" -j "$jobs"
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
  ctest -L 'mpi|trace|perf' --output-on-failure -j "$jobs")
+
+echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
+asan_bdir="$repo/build-verify-asan-ubsan"
+cmake -B "$asan_bdir" -S "$repo" -DTDBG_ASAN=ON >/dev/null
+cmake --build "$asan_bdir" -j "$jobs"
+# The segmented store's eviction + by-value event API is exactly the
+# kind of code where a stale reference survives by luck: fail loudly.
+(cd "$asan_bdir" && \
+ ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+ ctest -L 'trace|analysis|viz' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 

@@ -19,7 +19,7 @@ CriticalPath critical_path(const trace::Trace& trace) {
   out.per_rank.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
   if (trace.empty()) return out;
 
-  const auto matches = trace.match_report();
+  const auto& matches = trace.match_report();
   std::unordered_map<std::size_t, std::size_t> send_of_recv;
   for (const auto& m : matches.matches) {
     send_of_recv.emplace(m.recv_index, m.send_index);
@@ -30,33 +30,44 @@ CriticalPath critical_path(const trace::Trace& trace) {
   std::vector<support::TimeNs> eff(trace.size(), 0);   // effective durations
   std::vector<std::size_t> pred(trace.size(), kNone);
 
+  // Per-rank program-order sequences, gathered once through the rank
+  // cursor (one segment sweep on a lazy store) and random-accessed by
+  // the worklist below.
+  std::vector<std::vector<std::size_t>> seqs(
+      static_cast<std::size_t>(trace.num_ranks()));
+
   // Weights are profiler-style *self times*: an event's interval minus
   // the intervals of events directly nested inside it on the same rank
   // (a compute scope around blocking receives must not count their
   // waits as its own work), and a matched receive's time spent blocked
   // before its sender finished counts as edge latency, not rank work.
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    std::vector<std::size_t> stack;  // open enclosing intervals
-    for (const std::size_t e : trace.rank_events(r)) {
-      const auto& ev = trace.event(e);
+    struct Open {
+      std::size_t index;
+      support::TimeNs t_end;
+    };
+    std::vector<Open> stack;  // open enclosing intervals
+    auto& seq = seqs[static_cast<std::size_t>(r)];
+    seq.reserve(trace.rank_size(r));
+    trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event& ev) {
+      seq.push_back(e);
       const auto raw = std::max<support::TimeNs>(0, ev.t_end - ev.t_start);
       eff[e] = raw;
-      while (!stack.empty() &&
-             trace.event(stack.back()).t_end <= ev.t_start) {
+      while (!stack.empty() && stack.back().t_end <= ev.t_start) {
         stack.pop_back();
       }
-      if (!stack.empty() && ev.t_end <= trace.event(stack.back()).t_end) {
-        eff[stack.back()] = std::max<support::TimeNs>(
-            0, eff[stack.back()] - raw);  // direct parent loses child time
-        stack.push_back(e);
+      if (!stack.empty() && ev.t_end <= stack.back().t_end) {
+        eff[stack.back().index] = std::max<support::TimeNs>(
+            0, eff[stack.back().index] - raw);  // parent loses child time
+        stack.push_back(Open{e, ev.t_end});
       } else if (stack.empty()) {
-        stack.push_back(e);
+        stack.push_back(Open{e, ev.t_end});
       }
-    }
+    });
   }
   for (const auto& m : matches.matches) {
-    const auto& recv = trace.event(m.recv_index);
-    const auto& send = trace.event(m.send_index);
+    const auto recv = trace.event(m.recv_index);
+    const auto send = trace.event(m.send_index);
     eff[m.recv_index] = std::max<support::TimeNs>(
         0, recv.t_end - std::max(recv.t_start, send.t_end));
   }
@@ -71,7 +82,7 @@ CriticalPath critical_path(const trace::Trace& trace) {
     TDBG_CHECK(progressed, "cyclic message dependency in trace");
     progressed = false;
     for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-      const auto& seq = trace.rank_events(r);
+      const auto& seq = seqs[static_cast<std::size_t>(r)];
       auto& pos = next[static_cast<std::size_t>(r)];
       while (pos < seq.size()) {
         const std::size_t e = seq[pos];

@@ -21,22 +21,39 @@ RaceReport find_races(const trace::Trace& trace,
     recv_of_send.emplace(m.send_index, m.recv_index);
   }
 
-  for (std::size_t r = 0; r < trace.size(); ++r) {
-    const auto& recv = trace.event(r);
-    if (recv.kind != trace::EventKind::kRecv || !recv.wildcard) continue;
+  // One sweep gathers the candidate pools; the quadratic pairing below
+  // then runs over local copies instead of re-querying the store.
+  struct Indexed {
+    std::size_t index;
+    trace::Event event;
+  };
+  std::vector<Indexed> sends;
+  std::vector<Indexed> wildcard_recvs;
+  trace.for_each_event([&](std::size_t i, const trace::Event& e) {
+    if (e.kind == trace::EventKind::kSend) {
+      sends.push_back(Indexed{i, e});
+    } else if (e.kind == trace::EventKind::kRecv && e.wildcard) {
+      wildcard_recvs.push_back(Indexed{i, e});
+    }
+  });
+  std::unordered_map<std::size_t, const trace::Event*> send_events;
+  send_events.reserve(sends.size());
+  for (const auto& s : sends) send_events.emplace(s.index, &s.event);
+
+  for (const auto& [r, recv] : wildcard_recvs) {
     const auto matched_it = send_of_recv.find(r);
     if (matched_it == send_of_recv.end()) continue;
     const std::size_t matched = matched_it->second;
-    const auto& matched_send = trace.event(matched);
+    const auto matched_send_it = send_events.find(matched);
+    if (matched_send_it == send_events.end()) continue;
+    const auto& matched_send = *matched_send_it->second;
 
     MessageRace race;
     race.recv_index = r;
     race.matched_send = matched;
 
-    for (std::size_t s = 0; s < trace.size(); ++s) {
+    for (const auto& [s, send] : sends) {
       if (s == matched) continue;
-      const auto& send = trace.event(s);
-      if (send.kind != trace::EventKind::kSend) continue;
       if (send.peer != recv.rank) continue;  // different destination
       // Tag compatibility with the posted receive.  The posted tag is
       // not stored separately; the matched message's tag equals it

@@ -12,7 +12,7 @@ TrafficReport analyze_traffic(const trace::Trace& trace) {
                              "analysis.traffic_ns", obs::Unit::kNanoseconds),
                          /*rank=*/-1);
   TrafficReport report;
-  const auto matches = trace.match_report();
+  const auto& matches = trace.match_report();
 
   std::map<std::pair<mpi::Rank, mpi::Rank>, ChannelStats> channels;
   report.ranks.resize(static_cast<std::size_t>(trace.num_ranks()));

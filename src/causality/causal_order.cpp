@@ -8,6 +8,22 @@
 
 namespace tdbg::causality {
 
+namespace {
+
+/// Per-event program-order positions, built with one rank-cursor sweep
+/// (no whole-vector materialization on a lazy trace store).
+std::vector<std::size_t> rank_positions(const trace::Trace& trace) {
+  std::vector<std::size_t> pos(trace.size(), 0);
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    std::size_t p = 0;
+    trace.for_each_rank_event(
+        r, [&](std::size_t e, const trace::Event&) { pos[e] = p++; });
+  }
+  return pos;
+}
+
+}  // namespace
+
 CausalOrder::CausalOrder(const trace::Trace& trace)
     : trace_(&trace), matches_(trace.match_report()) {
   obs::ScopedTimer timer(
@@ -18,6 +34,7 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
   const auto ranks = static_cast<std::size_t>(trace.num_ranks());
   clocks_.assign(n, {});
   positions_.assign(n, 0);
+  seqs_.assign(ranks, {});
 
   // Map receive event -> matched send event.
   std::unordered_map<std::size_t, std::size_t> send_of_recv;
@@ -27,10 +44,12 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
   }
 
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    const auto& seq = trace.rank_events(r);
-    for (std::size_t pos = 0; pos < seq.size(); ++pos) {
-      positions_[seq[pos]] = pos;
-    }
+    auto& seq = seqs_[static_cast<std::size_t>(r)];
+    seq.reserve(trace.rank_size(r));
+    trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event&) {
+      positions_[e] = seq.size();
+      seq.push_back(e);
+    });
   }
 
   // Propagate clocks in dependency order.  Each rank's events are
@@ -47,7 +66,7 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
                "cyclic message dependency in trace (corrupt trace file?)");
     progressed = false;
     for (std::size_t r = 0; r < ranks; ++r) {
-      const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+      const auto& seq = seqs_[r];
       while (next[r] < seq.size()) {
         const std::size_t e = seq[next[r]];
         const auto it = send_of_recv.find(e);
@@ -102,7 +121,7 @@ Frontier CausalOrder::past_frontier(std::size_t e) const {
     std::size_t count = vc[r];
     if (r == re) --count;  // exclude e
     if (count == 0) continue;
-    frontier[r] = trace_->rank_events(static_cast<mpi::Rank>(r))[count - 1];
+    frontier[r] = seqs_[r][count - 1];
   }
   return frontier;
 }
@@ -113,7 +132,7 @@ Frontier CausalOrder::future_frontier(std::size_t e) const {
   const auto re = static_cast<std::size_t>(trace_->event(e).rank);
   const auto threshold = static_cast<std::uint32_t>(positions_.at(e) + 1);
   for (std::size_t r = 0; r < ranks; ++r) {
-    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    const auto& seq = seqs_[r];
     if (r == re) {
       if (positions_.at(e) + 1 < seq.size()) {
         frontier[r] = seq[positions_.at(e) + 1];
@@ -136,7 +155,7 @@ std::vector<std::size_t> CausalOrder::causal_past(std::size_t e) const {
   const auto frontier = past_frontier(e);
   for (std::size_t r = 0; r < frontier.size(); ++r) {
     if (!frontier[r]) continue;
-    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    const auto& seq = seqs_[r];
     const auto last_pos = positions_.at(*frontier[r]);
     for (std::size_t pos = 0; pos <= last_pos; ++pos) past.push_back(seq[pos]);
   }
@@ -149,7 +168,7 @@ std::vector<std::size_t> CausalOrder::causal_future(std::size_t e) const {
   const auto frontier = future_frontier(e);
   for (std::size_t r = 0; r < frontier.size(); ++r) {
     if (!frontier[r]) continue;
-    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
+    const auto& seq = seqs_[r];
     for (std::size_t pos = positions_.at(*frontier[r]); pos < seq.size();
          ++pos) {
       future.push_back(seq[pos]);
@@ -186,9 +205,9 @@ Cut CausalOrder::future_frontier_cut(std::size_t e) const {
   Cut cut;
   cut.prefix_len.assign(ranks, 0);
   for (std::size_t r = 0; r < ranks; ++r) {
-    const auto& seq = trace_->rank_events(static_cast<mpi::Rank>(r));
     // Ranks with no event in e's future run to completion.
-    cut.prefix_len[r] = frontier[r] ? positions_.at(*frontier[r]) : seq.size();
+    cut.prefix_len[r] =
+        frontier[r] ? positions_.at(*frontier[r]) : seqs_[r].size();
   }
   const auto re = static_cast<std::size_t>(trace_->event(e).rank);
   cut.prefix_len[re] = positions_.at(e) + 1;  // e itself has executed
@@ -198,13 +217,8 @@ Cut CausalOrder::future_frontier_cut(std::size_t e) const {
 bool is_consistent(const trace::Trace& trace, const Cut& cut) {
   TDBG_CHECK(cut.prefix_len.size() == static_cast<std::size_t>(trace.num_ranks()),
              "cut rank count mismatch");
-  const auto report = trace.match_report();
-  // Positions per event.
-  std::vector<std::size_t> pos(trace.size(), 0);
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    const auto& seq = trace.rank_events(r);
-    for (std::size_t p = 0; p < seq.size(); ++p) pos[seq[p]] = p;
-  }
+  const auto& report = trace.match_report();
+  const auto pos = rank_positions(trace);
   const auto inside = [&](std::size_t e) {
     return pos[e] <
            cut.prefix_len[static_cast<std::size_t>(trace.event(e).rank)];
@@ -219,23 +233,22 @@ Cut cut_at_time(const trace::Trace& trace, support::TimeNs t) {
   Cut cut;
   cut.prefix_len.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    const auto& seq = trace.rank_events(r);
+    // t_end is not monotone along a rank (nested intervals), so this
+    // stays a linear sweep — but through the cursor, not a vector.
     std::size_t len = 0;
-    for (std::size_t p = 0; p < seq.size(); ++p) {
-      if (trace.event(seq[p]).t_end <= t) len = p + 1;
-    }
+    std::size_t p = 0;
+    trace.for_each_rank_event(r, [&](std::size_t, const trace::Event& e) {
+      ++p;
+      if (e.t_end <= t) len = p;
+    });
     cut.prefix_len[static_cast<std::size_t>(r)] = len;
   }
   return cut;
 }
 
 std::size_t restrict_to_consistent(const trace::Trace& trace, Cut& cut) {
-  const auto report = trace.match_report();
-  std::vector<std::size_t> pos(trace.size(), 0);
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    const auto& seq = trace.rank_events(r);
-    for (std::size_t p = 0; p < seq.size(); ++p) pos[seq[p]] = p;
-  }
+  const auto& report = trace.match_report();
+  const auto pos = rank_positions(trace);
   std::size_t dropped = 0;
   bool changed = true;
   while (changed) {
@@ -260,10 +273,10 @@ std::vector<std::optional<std::uint64_t>> cut_thresholds(
   std::vector<std::optional<std::uint64_t>> thresholds(
       static_cast<std::size_t>(trace.num_ranks()));
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    const auto& seq = trace.rank_events(r);
     const auto len = cut.prefix_len[static_cast<std::size_t>(r)];
-    if (len < seq.size()) {
-      thresholds[static_cast<std::size_t>(r)] = trace.event(seq[len]).marker;
+    if (len < trace.rank_size(r)) {
+      thresholds[static_cast<std::size_t>(r)] =
+          trace.event(trace.rank_event(r, len)).marker;
     }
   }
   return thresholds;

@@ -273,13 +273,15 @@ CommandResult CommandInterpreter::cmd_events(
       args.size() > 2 ? std::stoul(args[2]) : std::size_t{20};
   const auto& trace = debugger_.trace();
   std::ostringstream os;
-  std::size_t shown = 0;
-  for (std::size_t i : trace.rank_events(rank)) {
-    if (shown++ == count) {
+  // Point queries through the store: only the first `count` events of
+  // the rank are touched, not the whole per-rank index.
+  const std::size_t total = trace.rank_size(rank);
+  for (std::size_t pos = 0; pos < total; ++pos) {
+    if (pos == count) {
       os << "  ...\n";
       break;
     }
-    const auto& e = trace.event(i);
+    const auto& e = trace.event(trace.rank_event(rank, pos));
     os << "  marker " << e.marker << "  "
        << trace::event_kind_name(e.kind) << "  "
        << (e.construct == trace::kNoConstruct
@@ -492,7 +494,7 @@ CommandResult CommandInterpreter::cmd_races() {
 }
 
 CommandResult CommandInterpreter::cmd_unmatched() {
-  const auto report = debugger_.trace().match_report();
+  const auto& report = debugger_.trace().match_report();
   std::ostringstream os;
   os << report.unmatched_sends.size() << " unmatched send(s), "
      << report.unmatched_recvs.size() << " orphan receive(s)\n";

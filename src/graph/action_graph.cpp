@@ -12,11 +12,10 @@ ActionGraph ActionGraph::from_trace(const trace::Trace& trace) {
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
     auto& actions = g.per_rank_[static_cast<std::size_t>(r)];
     std::vector<trace::ConstructId> stack;
-    for (std::size_t i : trace.rank_events(r)) {
-      const auto& e = trace.event(i);
+    trace.for_each_rank_event(r, [&](std::size_t, const trace::Event& e) {
       if (e.kind == trace::EventKind::kExit) {
         if (!stack.empty()) stack.pop_back();
-        continue;
+        return;
       }
       const auto parent =
           stack.empty() ? trace::kNoConstruct : stack.back();
@@ -29,13 +28,13 @@ ActionGraph ActionGraph::from_trace(const trace::Trace& trace) {
           ++last.count;
           last.marker_hi = e.marker;
           if (e.kind == trace::EventKind::kEnter) stack.push_back(e.construct);
-          continue;
+          return;
         }
       }
       actions.push_back(Action{r, parent, e.construct, e.kind, 1, e.marker,
                                e.marker});
       if (e.kind == trace::EventKind::kEnter) stack.push_back(e.construct);
-    }
+    });
   }
   return g;
 }

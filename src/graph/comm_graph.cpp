@@ -9,7 +9,7 @@ namespace tdbg::graph {
 
 CommGraph CommGraph::from_trace(const trace::Trace& trace) {
   CommGraph g;
-  const auto report = trace.match_report();
+  const auto& report = trace.match_report();
 
   // Node per matched pair, then per unmatched half.
   std::unordered_map<std::size_t, std::size_t> node_of_event;
@@ -42,16 +42,15 @@ CommGraph CommGraph::from_trace(const trace::Trace& trace) {
   std::set<std::pair<std::size_t, std::size_t>> arc_set;
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
     std::size_t prev_node = kNoEvent;
-    for (std::size_t i : trace.rank_events(r)) {
-      const auto& e = trace.event(i);
-      if (!e.is_message()) continue;
+    trace.for_each_rank_event(r, [&](std::size_t i, const trace::Event& e) {
+      if (!e.is_message()) return;
       const auto it = node_of_event.find(i);
-      if (it == node_of_event.end()) continue;
+      if (it == node_of_event.end()) return;
       if (prev_node != kNoEvent && prev_node != it->second) {
         arc_set.emplace(prev_node, it->second);
       }
       prev_node = it->second;
-    }
+    });
   }
   g.arcs_.assign(arc_set.begin(), arc_set.end());
   return g;

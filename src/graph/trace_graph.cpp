@@ -105,9 +105,8 @@ TraceGraph TraceGraph::from_trace(const trace::Trace& trace,
       /*rank=*/-1);
   TraceGraph g(trace.num_ranks(), merge_limit);
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    for (std::size_t i : trace.rank_events(r)) {
-      g.add_event(trace.event(i));
-    }
+    trace.for_each_rank_event(
+        r, [&](std::size_t, const trace::Event& e) { g.add_event(e); });
   }
   return g;
 }
@@ -148,41 +147,42 @@ std::vector<std::size_t> TraceGraph::expand_arc(const trace::Trace& trace,
   // "function performing" each operation is known, and collect the
   // operations the merged arc summarizes.
   std::vector<trace::ConstructId> stack;
-  for (std::size_t i : trace.rank_events(arc.marker_rank)) {
-    const auto& e = trace.event(i);
-    const auto current = [&]() -> trace::ConstructId {
-      return stack.empty() ? e.construct : stack.back();
-    };
-    const bool in_range = e.marker >= arc.marker_lo && e.marker <= arc.marker_hi;
-    switch (e.kind) {
-      case trace::EventKind::kEnter:
-        if (in_range && arc.kind == ArcKind::kCall &&
-            e.construct == arc.to.construct &&
-            (stack.empty() ? trace::kNoConstruct : stack.back()) ==
-                arc.from.construct) {
-          hits.push_back(i);
+  trace.for_each_rank_event(
+      arc.marker_rank, [&](std::size_t i, const trace::Event& e) {
+        const auto current = [&]() -> trace::ConstructId {
+          return stack.empty() ? e.construct : stack.back();
+        };
+        const bool in_range =
+            e.marker >= arc.marker_lo && e.marker <= arc.marker_hi;
+        switch (e.kind) {
+          case trace::EventKind::kEnter:
+            if (in_range && arc.kind == ArcKind::kCall &&
+                e.construct == arc.to.construct &&
+                (stack.empty() ? trace::kNoConstruct : stack.back()) ==
+                    arc.from.construct) {
+              hits.push_back(i);
+            }
+            stack.push_back(e.construct);
+            break;
+          case trace::EventKind::kExit:
+            if (!stack.empty()) stack.pop_back();
+            break;
+          case trace::EventKind::kSend:
+            if (in_range && arc.kind == ArcKind::kSend &&
+                e.peer == arc.to.peer && current() == arc.from.construct) {
+              hits.push_back(i);
+            }
+            break;
+          case trace::EventKind::kRecv:
+            if (in_range && arc.kind == ArcKind::kRecv &&
+                e.peer == arc.from.rank && current() == arc.to.construct) {
+              hits.push_back(i);
+            }
+            break;
+          default:
+            break;
         }
-        stack.push_back(e.construct);
-        break;
-      case trace::EventKind::kExit:
-        if (!stack.empty()) stack.pop_back();
-        break;
-      case trace::EventKind::kSend:
-        if (in_range && arc.kind == ArcKind::kSend &&
-            e.peer == arc.to.peer && current() == arc.from.construct) {
-          hits.push_back(i);
-        }
-        break;
-      case trace::EventKind::kRecv:
-        if (in_range && arc.kind == ArcKind::kRecv &&
-            e.peer == arc.from.rank && current() == arc.to.construct) {
-          hits.push_back(i);
-        }
-        break;
-      default:
-        break;
-    }
-  }
+      });
   return hits;
 }
 

@@ -21,14 +21,15 @@ Trace merge_traces(const std::vector<Trace>& parts) {
       remap[id] =
           registry->intern(table[id].name, table[id].file, table[id].line);
     }
-    for (Event e : part.events()) {
+    part.for_each_event([&](std::size_t, const Event& ev) {
+      Event e = ev;
       if (e.construct != kNoConstruct) {
         TDBG_CHECK(e.construct < remap.size(),
                    "event references a construct missing from its table");
         e.construct = remap[e.construct];
       }
       events.push_back(e);
-    }
+    });
   }
   return Trace(num_ranks, std::move(events), std::move(registry));
 }
@@ -45,10 +46,9 @@ std::vector<Trace> split_by_rank(const Trace& trace) {
   parts.reserve(static_cast<std::size_t>(trace.num_ranks()));
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
     std::vector<Event> events;
-    events.reserve(trace.rank_events(r).size());
-    for (std::size_t i : trace.rank_events(r)) {
-      events.push_back(trace.event(i));
-    }
+    events.reserve(trace.rank_size(r));
+    trace.for_each_rank_event(
+        r, [&](std::size_t, const Event& e) { events.push_back(e); });
     parts.emplace_back(trace.num_ranks(), std::move(events),
                        trace.constructs_ptr());
   }

@@ -1,0 +1,345 @@
+#include "trace/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+
+namespace tdbg::trace {
+
+// ---------------------------------------------------------------------------
+// InMemoryTraceStore
+
+InMemoryTraceStore::InMemoryTraceStore(
+    int num_ranks, std::vector<Event> events,
+    std::shared_ptr<const ConstructRegistry> constructs)
+    : num_ranks_(num_ranks), events_(std::move(events)),
+      constructs_(std::move(constructs)) {
+  TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
+  if (constructs_ == nullptr) {
+    constructs_ = std::make_shared<ConstructRegistry>();
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.marker < b.marker;
+                   });
+  by_rank_.assign(static_cast<std::size_t>(num_ranks_), {});
+  t_min_ = events_.empty() ? 0 : events_.front().t_start;
+  t_max_ = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
+    by_rank_[static_cast<std::size_t>(e.rank)].push_back(i);
+    t_max_ = std::max(t_max_, e.t_end);
+  }
+  // Global sorting by start time can reorder same-rank events that
+  // share a timestamp; restore per-rank program order by marker (the
+  // marker counter is nondecreasing within a rank).
+  for (auto& idx : by_rank_) {
+    std::stable_sort(idx.begin(), idx.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       if (events_[a].marker != events_[b].marker) {
+                         return events_[a].marker < events_[b].marker;
+                       }
+                       return events_[a].t_start < events_[b].t_start;
+                     });
+  }
+}
+
+const std::vector<std::size_t>& InMemoryTraceStore::rank_index(
+    mpi::Rank rank) const {
+  TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
+  return by_rank_[static_cast<std::size_t>(rank)];
+}
+
+void InMemoryTraceStore::for_each(const EventVisitor& visit) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) visit(i, events_[i]);
+}
+
+void InMemoryTraceStore::for_each_in_window(support::TimeNs t0,
+                                            support::TimeNs t1,
+                                            const EventVisitor& visit) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.t_start > t1) break;  // sorted by start time
+    if (e.t_end >= t0) visit(i, e);
+  }
+}
+
+std::size_t InMemoryTraceStore::rank_size(mpi::Rank rank) const {
+  return rank_index(rank).size();
+}
+
+std::size_t InMemoryTraceStore::rank_event(mpi::Rank rank,
+                                           std::size_t pos) const {
+  return rank_index(rank).at(pos);
+}
+
+void InMemoryTraceStore::for_each_rank_event(mpi::Rank rank,
+                                             const EventVisitor& visit) const {
+  for (std::size_t i : rank_index(rank)) visit(i, events_[i]);
+}
+
+std::optional<std::size_t> InMemoryTraceStore::find_marker(
+    mpi::Rank rank, std::uint64_t marker) const {
+  const auto& idx = rank_index(rank);
+  // Program order is sorted by marker: binary search.
+  const auto it = std::lower_bound(
+      idx.begin(), idx.end(), marker,
+      [this](std::size_t i, std::uint64_t m) { return events_[i].marker < m; });
+  if (it == idx.end() || events_[*it].marker != marker) return std::nullopt;
+  return *it;
+}
+
+std::optional<std::size_t> InMemoryTraceStore::last_event_at_or_before(
+    mpi::Rank rank, support::TimeNs t) const {
+  const auto& idx = rank_index(rank);
+  // Per-rank start times are nondecreasing in program order (each
+  // rank's clock is monotone), so the answer is a partition point.
+  const auto it = std::partition_point(
+      idx.begin(), idx.end(),
+      [this, t](std::size_t i) { return events_[i].t_start <= t; });
+  if (it == idx.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedTraceStore
+
+SegmentedTraceStore::SegmentedTraceStore(std::filesystem::path path,
+                                         int num_ranks, wire::Footer footer,
+                                         std::size_t cache_segments)
+    : path_(std::move(path)), footer_(std::move(footer)),
+      num_ranks_(num_ranks),
+      cache_segments_(std::max<std::size_t>(1, cache_segments)),
+      in_(path_, std::ios::binary) {
+  TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
+  TDBG_CHECK(footer_.display_sorted() && footer_.rank_markers_monotone(),
+             "segmented store requires a sorted v2 trace");
+  if (!in_) {
+    throw IoError("cannot open trace file: " + path_.string());
+  }
+  auto registry = std::make_shared<ConstructRegistry>();
+  registry->restore(footer_.constructs);
+  constructs_ = std::move(registry);
+
+  const std::size_t nseg = footer_.segments.size();
+  seg_first_index_.assign(nseg + 1, 0);
+  rank_first_pos_.assign(static_cast<std::size_t>(num_ranks_),
+                         std::vector<std::size_t>(nseg + 1, 0));
+  for (std::size_t s = 0; s < nseg; ++s) {
+    const auto& seg = footer_.segments[s];
+    TDBG_CHECK(seg.ranks.size() == static_cast<std::size_t>(num_ranks_),
+               "trace directory rank-table width mismatch");
+    seg_first_index_[s + 1] = seg_first_index_[s] + seg.count;
+    for (int r = 0; r < num_ranks_; ++r) {
+      rank_first_pos_[r][s + 1] =
+          rank_first_pos_[r][s] + seg.ranks[static_cast<std::size_t>(r)].count;
+    }
+  }
+  TDBG_CHECK(seg_first_index_[nseg] == footer_.event_count,
+             "trace directory event count mismatch");
+  if (nseg > 0) {
+    t_min_ = footer_.segments.front().t_min;
+    for (const auto& seg : footer_.segments) {
+      t_max_ = std::max(t_max_, seg.t_max);
+    }
+  }
+  cache_.assign(nseg, nullptr);
+}
+
+std::size_t SegmentedTraceStore::segment_of_index(std::size_t i) const {
+  TDBG_CHECK(i < size(), "event index out of range");
+  const auto it = std::upper_bound(seg_first_index_.begin(),
+                                   seg_first_index_.end(), i);
+  return static_cast<std::size_t>(it - seg_first_index_.begin()) - 1;
+}
+
+std::shared_ptr<const SegmentedTraceStore::LoadedSegment>
+SegmentedTraceStore::segment(std::size_t seg) const {
+  std::lock_guard lk(mu_);
+  if (cache_[seg]) {
+    ++stats_.hits;
+    lru_.remove(seg);
+    lru_.push_front(seg);
+    return cache_[seg];
+  }
+  const auto& meta = footer_.segments[seg];
+  std::vector<std::byte> bytes(meta.byte_len);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(meta.offset));
+  in_.read(reinterpret_cast<char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!in_ || static_cast<std::uint64_t>(in_.gcount()) != meta.byte_len) {
+    throw IoError("trace segment read failed: " + path_.string());
+  }
+
+  auto loaded = std::make_shared<LoadedSegment>();
+  loaded->events.reserve(meta.count);
+  loaded->rank_positions.assign(static_cast<std::size_t>(num_ranks_), {});
+  support::BinaryReader r(bytes);
+  for (std::uint64_t k = 0; k < meta.count; ++k) {
+    const auto tag = r.get<std::uint8_t>();
+    if (tag != wire::kRecordEvent) {
+      throw FormatError("corrupt trace segment in " + path_.string());
+    }
+    Event e = wire::decode_event(r);
+    TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
+    loaded->rank_positions[static_cast<std::size_t>(e.rank)].push_back(
+        static_cast<std::uint32_t>(k));
+    loaded->events.push_back(e);
+  }
+
+  const auto seg_bytes = [](const LoadedSegment& s) {
+    std::size_t b = s.events.size() * sizeof(Event);
+    for (const auto& v : s.rank_positions) b += v.size() * sizeof(std::uint32_t);
+    return b;
+  };
+  while (lru_.size() >= cache_segments_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    stats_.resident_bytes -= seg_bytes(*cache_[victim]);
+    cache_[victim] = nullptr;
+    ++stats_.evictions;
+  }
+  cache_[seg] = loaded;
+  lru_.push_front(seg);
+  ++stats_.loads;
+  stats_.resident_bytes += seg_bytes(*loaded);
+  stats_.resident_segments = lru_.size();
+  return loaded;
+}
+
+SegmentCacheStats SegmentedTraceStore::cache_stats() const {
+  std::lock_guard lk(mu_);
+  auto s = stats_;
+  s.resident_segments = lru_.size();
+  return s;
+}
+
+Event SegmentedTraceStore::event(std::size_t i) const {
+  const std::size_t s = segment_of_index(i);
+  return segment(s)->events[i - seg_first_index_[s]];
+}
+
+void SegmentedTraceStore::for_each(const EventVisitor& visit) const {
+  for (std::size_t s = 0; s < footer_.segments.size(); ++s) {
+    const auto seg = segment(s);
+    const std::size_t base = seg_first_index_[s];
+    for (std::size_t k = 0; k < seg->events.size(); ++k) {
+      visit(base + k, seg->events[k]);
+    }
+  }
+}
+
+void SegmentedTraceStore::for_each_in_window(support::TimeNs t0,
+                                             support::TimeNs t1,
+                                             const EventVisitor& visit) const {
+  // Segment t_min values are nondecreasing (the stream is sorted by
+  // t_start): every segment past the last one with t_min <= t1 starts
+  // after the window.
+  const auto hi = std::partition_point(
+      footer_.segments.begin(), footer_.segments.end(),
+      [t1](const wire::SegmentMeta& m) { return m.t_min <= t1; });
+  const auto nseg =
+      static_cast<std::size_t>(hi - footer_.segments.begin());
+  for (std::size_t s = 0; s < nseg; ++s) {
+    if (footer_.segments[s].t_max < t0) continue;  // directory-only skip
+    const auto seg = segment(s);
+    const std::size_t base = seg_first_index_[s];
+    for (std::size_t k = 0; k < seg->events.size(); ++k) {
+      const Event& e = seg->events[k];
+      if (e.t_start > t1) return;  // sorted by start time
+      if (e.t_end >= t0) visit(base + k, e);
+    }
+  }
+}
+
+std::size_t SegmentedTraceStore::rank_size(mpi::Rank rank) const {
+  TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
+  return rank_first_pos_[static_cast<std::size_t>(rank)].back();
+}
+
+std::size_t SegmentedTraceStore::rank_event(mpi::Rank rank,
+                                            std::size_t pos) const {
+  TDBG_CHECK(pos < rank_size(rank), "rank event position out of range");
+  const auto& first_pos = rank_first_pos_[static_cast<std::size_t>(rank)];
+  const auto it =
+      std::upper_bound(first_pos.begin(), first_pos.end(), pos);
+  const auto s = static_cast<std::size_t>(it - first_pos.begin()) - 1;
+  const auto seg = segment(s);
+  const auto& positions = seg->rank_positions[static_cast<std::size_t>(rank)];
+  return seg_first_index_[s] + positions[pos - first_pos[s]];
+}
+
+void SegmentedTraceStore::for_each_rank_event(mpi::Rank rank,
+                                              const EventVisitor& visit) const {
+  TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
+  for (std::size_t s = 0; s < footer_.segments.size(); ++s) {
+    const auto& meta = footer_.segments[s];
+    if (meta.ranks[static_cast<std::size_t>(rank)].count == 0) continue;
+    const auto seg = segment(s);
+    const std::size_t base = seg_first_index_[s];
+    for (std::uint32_t k : seg->rank_positions[static_cast<std::size_t>(rank)]) {
+      visit(base + k, seg->events[k]);
+    }
+  }
+}
+
+std::optional<std::size_t> SegmentedTraceStore::find_marker(
+    mpi::Rank rank, std::uint64_t marker) const {
+  TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
+  // Per-rank markers are nondecreasing across the stream, so the first
+  // segment whose marker_hi reaches `marker` is the only candidate
+  // holding its first occurrence.
+  for (std::size_t s = 0; s < footer_.segments.size(); ++s) {
+    const auto& rk = footer_.segments[s].ranks[static_cast<std::size_t>(rank)];
+    if (rk.count == 0 || rk.marker_hi < marker) continue;
+    if (rk.marker_lo > marker) return std::nullopt;
+    const auto seg = segment(s);
+    const auto& positions =
+        seg->rank_positions[static_cast<std::size_t>(rank)];
+    const auto it = std::lower_bound(
+        positions.begin(), positions.end(), marker,
+        [&](std::uint32_t p, std::uint64_t m) {
+          return seg->events[p].marker < m;
+        });
+    if (it == positions.end() || seg->events[*it].marker != marker) {
+      return std::nullopt;
+    }
+    return seg_first_index_[s] + *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SegmentedTraceStore::last_event_at_or_before(
+    mpi::Rank rank, support::TimeNs t) const {
+  TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
+  // Candidate: the last segment with rank events whose t_min <= t.
+  // Everything in earlier segments starts no later than that
+  // segment's first event, so at most two segment loads resolve the
+  // query.
+  const auto hi = std::partition_point(
+      footer_.segments.begin(), footer_.segments.end(),
+      [t](const wire::SegmentMeta& m) { return m.t_min <= t; });
+  auto s = static_cast<std::size_t>(hi - footer_.segments.begin());
+  while (s > 0) {
+    --s;
+    const auto& rk = footer_.segments[s].ranks[static_cast<std::size_t>(rank)];
+    if (rk.count == 0) continue;
+    const auto seg = segment(s);
+    const auto& positions =
+        seg->rank_positions[static_cast<std::size_t>(rank)];
+    const auto it = std::partition_point(
+        positions.begin(), positions.end(),
+        [&](std::uint32_t p) { return seg->events[p].t_start <= t; });
+    if (it == positions.begin()) continue;  // all start after t: step back
+    return seg_first_index_[s] + *(it - 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace tdbg::trace

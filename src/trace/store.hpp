@@ -1,0 +1,239 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "support/clock.hpp"
+#include "trace/construct_registry.hpp"
+#include "trace/event.hpp"
+#include "trace/wire.hpp"
+
+/// \file store.hpp
+/// Storage backends behind `trace::Trace`.
+///
+/// `Trace` is a thin query facade; the event history itself lives in a
+/// `TraceStore`.  Two implementations exist:
+///
+///   - `InMemoryTraceStore` — the seed behavior: every event in one
+///     sorted vector plus per-rank index vectors.  Built by the
+///     collector, by `read_trace`, and by tests.
+///   - `SegmentedTraceStore` — a v2 trace file opened by its footer
+///     directory alone.  Event segments are loaded lazily on first
+///     touch and held in a small LRU cache, so opening a 10M-event
+///     trace costs O(directory) and a zoomed window query touches only
+///     the segments it intersects.
+///
+/// All indices exchanged through this interface are *global display
+/// indices*: positions in the trace-wide (t_start, rank, marker)
+/// order, identical across both backends for the same history.
+
+namespace tdbg::trace {
+
+/// Visitor for event cursors.  Receives the event's global display
+/// index and a reference that is only valid during the call (the
+/// segmented store may evict the backing segment afterwards) — copy
+/// the event if it must outlive the visit.
+using EventVisitor = std::function<void(std::size_t index, const Event& e)>;
+
+/// Read-only random/sequential access to one recorded history.
+class TraceStore {
+ public:
+  virtual ~TraceStore() = default;
+
+  [[nodiscard]] virtual int num_ranks() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual support::TimeNs t_min() const = 0;
+  [[nodiscard]] virtual support::TimeNs t_max() const = 0;
+  [[nodiscard]] virtual std::shared_ptr<const ConstructRegistry> constructs()
+      const = 0;
+
+  /// The event at global display index `i` (by value: the backing
+  /// segment may be evicted as soon as this returns).
+  [[nodiscard]] virtual Event event(std::size_t i) const = 0;
+
+  /// Visits every event in display order.
+  virtual void for_each(const EventVisitor& visit) const = 0;
+
+  /// Visits the events whose [t_start, t_end] intersects [t0, t1], in
+  /// display order.  The segmented store prunes whole segments via the
+  /// directory's [t_min, t_max] before touching event data.
+  virtual void for_each_in_window(support::TimeNs t0, support::TimeNs t1,
+                                  const EventVisitor& visit) const = 0;
+
+  /// Number of events recorded by `rank`.
+  [[nodiscard]] virtual std::size_t rank_size(mpi::Rank rank) const = 0;
+
+  /// Global display index of `rank`'s `pos`-th event in that rank's
+  /// program order.
+  [[nodiscard]] virtual std::size_t rank_event(mpi::Rank rank,
+                                               std::size_t pos) const = 0;
+
+  /// Visits one rank's events in program order.
+  virtual void for_each_rank_event(mpi::Rank rank,
+                                   const EventVisitor& visit) const = 0;
+
+  /// First event of `rank` whose marker equals `marker`, if any.
+  [[nodiscard]] virtual std::optional<std::size_t> find_marker(
+      mpi::Rank rank, std::uint64_t marker) const = 0;
+
+  /// Last event of `rank` whose start time is <= `t`, if any.
+  [[nodiscard]] virtual std::optional<std::size_t> last_event_at_or_before(
+      mpi::Rank rank, support::TimeNs t) const = 0;
+};
+
+/// The seed storage: one eagerly sorted vector plus per-rank indexes.
+///
+/// Accepts events in any order; sorts them into display order and
+/// rebuilds per-rank program order by marker, exactly as the original
+/// `Trace` constructor did.
+class InMemoryTraceStore final : public TraceStore {
+ public:
+  InMemoryTraceStore(int num_ranks, std::vector<Event> events,
+                     std::shared_ptr<const ConstructRegistry> constructs);
+
+  [[nodiscard]] int num_ranks() const override { return num_ranks_; }
+  [[nodiscard]] std::size_t size() const override { return events_.size(); }
+  [[nodiscard]] support::TimeNs t_min() const override { return t_min_; }
+  [[nodiscard]] support::TimeNs t_max() const override { return t_max_; }
+  [[nodiscard]] std::shared_ptr<const ConstructRegistry> constructs()
+      const override {
+    return constructs_;
+  }
+
+  [[nodiscard]] Event event(std::size_t i) const override {
+    return events_.at(i);
+  }
+  void for_each(const EventVisitor& visit) const override;
+  void for_each_in_window(support::TimeNs t0, support::TimeNs t1,
+                          const EventVisitor& visit) const override;
+  [[nodiscard]] std::size_t rank_size(mpi::Rank rank) const override;
+  [[nodiscard]] std::size_t rank_event(mpi::Rank rank,
+                                       std::size_t pos) const override;
+  void for_each_rank_event(mpi::Rank rank,
+                           const EventVisitor& visit) const override;
+  [[nodiscard]] std::optional<std::size_t> find_marker(
+      mpi::Rank rank, std::uint64_t marker) const override;
+  [[nodiscard]] std::optional<std::size_t> last_event_at_or_before(
+      mpi::Rank rank, support::TimeNs t) const override;
+
+  /// Zero-copy views for the `Trace::events()` / `rank_events()`
+  /// compatibility surface.
+  [[nodiscard]] const std::vector<Event>& events_vector() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& rank_index(
+      mpi::Rank rank) const;
+
+ private:
+  int num_ranks_ = 0;
+  std::vector<Event> events_;
+  std::vector<std::vector<std::size_t>> by_rank_;
+  std::shared_ptr<const ConstructRegistry> constructs_;
+  support::TimeNs t_min_ = 0;
+  support::TimeNs t_max_ = 0;
+};
+
+/// Residency counters for the segmented store's LRU cache.  `loads`
+/// counts segment reads from disk, `hits` cache hits, `evictions`
+/// segments dropped; `resident_segments`/`resident_bytes` describe the
+/// cache right now.
+struct SegmentCacheStats {
+  std::uint64_t loads = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
+  std::size_t resident_segments = 0;
+  std::size_t resident_bytes = 0;
+};
+
+/// Lazily loads a v2 trace file through its footer directory.
+///
+/// Requires a display-sorted stream with monotone per-rank markers
+/// (the v2 writer records both as footer flags) — that is what turns
+/// every query into a directory binary search.  `open_trace` falls
+/// back to the eager reader when the flags are absent.
+///
+/// Thread-safe: the file handle and cache sit behind one mutex, and
+/// loaded segments are handed out as `shared_ptr`s so an eviction
+/// never invalidates a segment another thread is scanning.
+class SegmentedTraceStore final : public TraceStore {
+ public:
+  /// Opens `path`, whose parsed footer the caller already has (from
+  /// `try_read_footer`).  `num_ranks` comes from the file header;
+  /// `cache_segments` bounds resident segments (minimum 1).
+  SegmentedTraceStore(std::filesystem::path path, int num_ranks,
+                      wire::Footer footer, std::size_t cache_segments);
+
+  [[nodiscard]] int num_ranks() const override { return num_ranks_; }
+  [[nodiscard]] std::size_t size() const override {
+    return static_cast<std::size_t>(footer_.event_count);
+  }
+  [[nodiscard]] support::TimeNs t_min() const override { return t_min_; }
+  [[nodiscard]] support::TimeNs t_max() const override { return t_max_; }
+  [[nodiscard]] std::shared_ptr<const ConstructRegistry> constructs()
+      const override {
+    return constructs_;
+  }
+
+  [[nodiscard]] Event event(std::size_t i) const override;
+  void for_each(const EventVisitor& visit) const override;
+  void for_each_in_window(support::TimeNs t0, support::TimeNs t1,
+                          const EventVisitor& visit) const override;
+  [[nodiscard]] std::size_t rank_size(mpi::Rank rank) const override;
+  [[nodiscard]] std::size_t rank_event(mpi::Rank rank,
+                                       std::size_t pos) const override;
+  void for_each_rank_event(mpi::Rank rank,
+                           const EventVisitor& visit) const override;
+  [[nodiscard]] std::optional<std::size_t> find_marker(
+      mpi::Rank rank, std::uint64_t marker) const override;
+  [[nodiscard]] std::optional<std::size_t> last_event_at_or_before(
+      mpi::Rank rank, support::TimeNs t) const override;
+
+  [[nodiscard]] std::size_t segment_count() const {
+    return footer_.segments.size();
+  }
+  [[nodiscard]] SegmentCacheStats cache_stats() const;
+
+ private:
+  /// One resident segment: its events in stream order plus, per rank,
+  /// the in-segment positions of that rank's events (stream order ==
+  /// program order under the monotone-marker flag).
+  struct LoadedSegment {
+    std::vector<Event> events;
+    std::vector<std::vector<std::uint32_t>> rank_positions;
+  };
+
+  [[nodiscard]] std::shared_ptr<const LoadedSegment> segment(
+      std::size_t seg) const;
+  [[nodiscard]] std::size_t segment_of_index(std::size_t i) const;
+
+  std::filesystem::path path_;
+  wire::Footer footer_;
+  int num_ranks_ = 0;
+  support::TimeNs t_min_ = 0;
+  support::TimeNs t_max_ = 0;
+  std::shared_ptr<const ConstructRegistry> constructs_;
+
+  /// Global display index of each segment's first event (size =
+  /// segments + 1; last entry = event_count).
+  std::vector<std::size_t> seg_first_index_;
+  /// Per rank: that rank's program-order position at each segment's
+  /// start (size = segments + 1; last entry = the rank's total).
+  std::vector<std::vector<std::size_t>> rank_first_pos_;
+
+  std::size_t cache_segments_ = 1;
+  mutable std::mutex mu_;
+  mutable std::ifstream in_;  ///< under mu_
+  mutable std::list<std::size_t> lru_;  ///< most recent first, under mu_
+  mutable std::vector<std::shared_ptr<const LoadedSegment>> cache_;
+  mutable SegmentCacheStats stats_;
+};
+
+}  // namespace tdbg::trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "support/error.hpp"
 
@@ -22,108 +23,133 @@ std::string_view event_kind_name(EventKind kind) {
 
 Trace::Trace(int num_ranks, std::vector<Event> events,
              std::shared_ptr<const ConstructRegistry> constructs)
-    : num_ranks_(num_ranks), events_(std::move(events)),
-      constructs_(std::move(constructs)) {
-  TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
-  if (constructs_ == nullptr) {
-    constructs_ = std::make_shared<ConstructRegistry>();
-  }
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const Event& a, const Event& b) {
-                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
-                     if (a.rank != b.rank) return a.rank < b.rank;
-                     return a.marker < b.marker;
-                   });
-  by_rank_.assign(static_cast<std::size_t>(num_ranks_), {});
-  t_min_ = events_.empty() ? 0 : events_.front().t_start;
-  t_max_ = 0;
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
-    by_rank_[static_cast<std::size_t>(e.rank)].push_back(i);
-    t_max_ = std::max(t_max_, e.t_end);
-  }
-  // Global sorting by start time can reorder same-rank events that
-  // share a timestamp; restore per-rank program order by marker (the
-  // marker counter is nondecreasing within a rank).
-  for (auto& idx : by_rank_) {
-    std::stable_sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
-      if (events_[a].marker != events_[b].marker) {
-        return events_[a].marker < events_[b].marker;
-      }
-      return events_[a].t_start < events_[b].t_start;
-    });
-  }
+    : Trace(std::make_shared<InMemoryTraceStore>(num_ranks, std::move(events),
+                                                 std::move(constructs))) {}
+
+Trace::Trace(std::shared_ptr<const TraceStore> store)
+    : store_(std::move(store)),
+      inmem_(dynamic_cast<const InMemoryTraceStore*>(store_.get())),
+      caches_(std::make_shared<Caches>()) {
+  TDBG_CHECK(store_ != nullptr, "trace store must not be null");
+}
+
+Event Trace::event(std::size_t i) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->event(i);
 }
 
 const ConstructRegistry& Trace::constructs() const {
-  TDBG_CHECK(constructs_ != nullptr, "trace has no construct table");
-  return *constructs_;
+  TDBG_CHECK(store_ != nullptr && store_->constructs() != nullptr,
+             "trace has no construct table");
+  return *store_->constructs();
 }
 
-const std::vector<std::size_t>& Trace::rank_events(mpi::Rank r) const {
-  TDBG_CHECK(r >= 0 && r < num_ranks_, "rank out of range");
-  return by_rank_[static_cast<std::size_t>(r)];
+std::shared_ptr<const ConstructRegistry> Trace::constructs_ptr() const {
+  return store_ ? store_->constructs() : nullptr;
+}
+
+std::size_t Trace::rank_size(mpi::Rank rank) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->rank_size(rank);
+}
+
+std::size_t Trace::rank_event(mpi::Rank rank, std::size_t pos) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->rank_event(rank, pos);
+}
+
+void Trace::for_each_event(const EventVisitor& visit) const {
+  if (store_) store_->for_each(visit);
+}
+
+void Trace::for_each_rank_event(mpi::Rank rank,
+                                const EventVisitor& visit) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  store_->for_each_rank_event(rank, visit);
+}
+
+void Trace::for_each_in_window(support::TimeNs t0, support::TimeNs t1,
+                               const EventVisitor& visit) const {
+  if (store_) store_->for_each_in_window(t0, t1, visit);
 }
 
 std::optional<std::size_t> Trace::find_marker(mpi::Rank rank,
                                               std::uint64_t marker) const {
-  for (std::size_t i : rank_events(rank)) {
-    if (events_[i].marker == marker) return i;
-  }
-  return std::nullopt;
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->find_marker(rank, marker);
 }
 
 std::optional<std::size_t> Trace::last_event_at_or_before(
     mpi::Rank rank, support::TimeNs t) const {
-  std::optional<std::size_t> best;
-  for (std::size_t i : rank_events(rank)) {
-    if (events_[i].t_start <= t) {
-      best = i;
-    }
-  }
-  return best;
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->last_event_at_or_before(rank, t);
 }
 
 std::vector<std::size_t> Trace::events_in_window(support::TimeNs t0,
                                                  support::TimeNs t1) const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (e.t_start > t1) break;  // sorted by start time
-    if (e.t_end >= t0) out.push_back(i);
-  }
+  for_each_in_window(t0, t1,
+                     [&out](std::size_t i, const Event&) { out.push_back(i); });
   return out;
 }
 
-MatchReport Trace::match_report() const {
+const MatchReport& Trace::match_report() const {
+  static const MatchReport kEmptyReport;
+  if (!store_) return kEmptyReport;
+  std::lock_guard lk(caches_->mu);
+  if (caches_->match) return *caches_->match;
+
   MatchReport report;
 
-  // Per (source, dest) channel: assign sends FIFO sequence numbers in
-  // the sender's program order; receives carry theirs explicitly.
+  // Single pass in display order (one sweep over the segments on a
+  // lazy backend): gather sends per (source, dest) channel and
+  // receives in display order.
   using ChannelKey = std::pair<mpi::Rank, mpi::Rank>;  // (src, dst)
-  std::map<ChannelKey, std::uint64_t> next_send_seq;
+  struct SendRec {
+    std::uint64_t marker;
+    support::TimeNs t_start;
+    std::size_t index;
+  };
+  struct RecvRec {
+    mpi::Rank src;
+    mpi::Rank dst;
+    mpi::ChannelSeq seq;
+    std::size_t index;
+  };
+  std::map<ChannelKey, std::vector<SendRec>> channel_sends;
+  std::vector<RecvRec> recvs;
+  store_->for_each([&](std::size_t i, const Event& e) {
+    if (e.kind == EventKind::kSend) {
+      channel_sends[ChannelKey(e.rank, e.peer)].push_back(
+          SendRec{e.marker, e.t_start, i});
+    } else if (e.kind == EventKind::kRecv) {
+      recvs.push_back(RecvRec{e.peer, e.rank, e.channel_seq, i});
+    }
+  });
+
+  // Per channel: assign sends FIFO sequence numbers in the sender's
+  // program order — (marker, t_start), all sends of a channel share
+  // one rank.  Receives carry their sequence numbers explicitly.
   std::map<std::tuple<mpi::Rank, mpi::Rank, mpi::ChannelSeq>, std::size_t>
       send_by_seq;
-
-  for (mpi::Rank r = 0; r < num_ranks_; ++r) {
-    for (std::size_t i : rank_events(r)) {
-      const Event& e = events_[i];
-      if (e.kind != EventKind::kSend) continue;
-      const auto seq = next_send_seq[ChannelKey(e.rank, e.peer)]++;
-      send_by_seq[{e.rank, e.peer, seq}] = i;
+  for (auto& [key, sends] : channel_sends) {
+    std::stable_sort(sends.begin(), sends.end(),
+                     [](const SendRec& a, const SendRec& b) {
+                       if (a.marker != b.marker) return a.marker < b.marker;
+                       return a.t_start < b.t_start;
+                     });
+    for (std::size_t seq = 0; seq < sends.size(); ++seq) {
+      send_by_seq[{key.first, key.second, seq}] = sends[seq].index;
     }
   }
 
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (e.kind != EventKind::kRecv) continue;
-    const auto it = send_by_seq.find({e.peer, e.rank, e.channel_seq});
+  for (const RecvRec& rv : recvs) {
+    const auto it = send_by_seq.find({rv.src, rv.dst, rv.seq});
     if (it == send_by_seq.end()) {
-      report.unmatched_recvs.push_back(i);
+      report.unmatched_recvs.push_back(rv.index);
       continue;
     }
-    report.matches.push_back(MessageMatch{it->second, i});
+    report.matches.push_back(MessageMatch{it->second, rv.index});
     send_by_seq.erase(it);
   }
 
@@ -132,7 +158,44 @@ MatchReport Trace::match_report() const {
     report.unmatched_sends.push_back(idx);
   }
   std::sort(report.unmatched_sends.begin(), report.unmatched_sends.end());
-  return report;
+
+  caches_->match = std::move(report);
+  return *caches_->match;
+}
+
+const std::vector<Event>& Trace::events() const {
+  static const std::vector<Event> kNoEvents;
+  if (!store_) return kNoEvents;
+  if (inmem_) return inmem_->events_vector();
+  std::lock_guard lk(caches_->mu);
+  if (!caches_->events) {
+    std::vector<Event> all;
+    all.reserve(store_->size());
+    store_->for_each(
+        [&all](std::size_t, const Event& e) { all.push_back(e); });
+    caches_->events = std::move(all);
+  }
+  return *caches_->events;
+}
+
+const std::vector<std::size_t>& Trace::rank_events(mpi::Rank rank) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  if (inmem_) return inmem_->rank_index(rank);
+  TDBG_CHECK(rank >= 0 && rank < store_->num_ranks(), "rank out of range");
+  std::lock_guard lk(caches_->mu);
+  auto& slots = caches_->rank_index;
+  if (slots.size() < static_cast<std::size_t>(store_->num_ranks())) {
+    slots.resize(static_cast<std::size_t>(store_->num_ranks()));
+  }
+  auto& slot = slots[static_cast<std::size_t>(rank)];
+  if (!slot) {
+    std::vector<std::size_t> idx;
+    idx.reserve(store_->rank_size(rank));
+    store_->for_each_rank_event(
+        rank, [&idx](std::size_t i, const Event&) { idx.push_back(i); });
+    slot = std::move(idx);
+  }
+  return *slot;
 }
 
 }  // namespace tdbg::trace

@@ -1,17 +1,19 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "trace/construct_registry.hpp"
 #include "trace/event.hpp"
+#include "trace/store.hpp"
 
 namespace tdbg::trace {
 
 /// A send record paired with the receive that consumed it.
 struct MessageMatch {
-  std::size_t send_index = 0;  ///< index into `Trace::events()`
+  std::size_t send_index = 0;  ///< global display index
   std::size_t recv_index = 0;
 };
 
@@ -27,37 +29,78 @@ struct MatchReport {
 
 /// An immutable execution history: the merged event stream of one run.
 ///
-/// Events are stored in global display order (by start time, ties by
-/// rank then marker) with a per-rank index preserving each process's
-/// program order.  All correctness-critical queries (markers,
+/// `Trace` is a query facade over a `TraceStore` backend — either the
+/// eager in-memory vector (collector output, v1 files) or the lazy
+/// segmented store (v2 files opened by footer).  Events are addressed
+/// by global display order (start time, ties by rank then marker);
+/// each rank's program order is exposed through `rank_event` /
+/// `for_each_rank_event`.  All correctness-critical queries (markers,
 /// matching) use per-rank order and sequence numbers, never wall time.
+///
+/// Prefer the cursor/range queries (`for_each_event`,
+/// `for_each_rank_event`, `for_each_in_window`, `events_in_window`,
+/// `find_marker`, `last_event_at_or_before`) — they never force full
+/// materialization on a lazy backend.  `events()` / `rank_events()`
+/// remain as compatibility escape hatches that materialize (and cache)
+/// the whole stream on a segmented store.
 class Trace {
  public:
   Trace() = default;
 
-  /// Builds a trace from raw events.  `constructs` may be shared with
-  /// a live registry; it is only read.
+  /// Builds an in-memory trace from raw events.  `constructs` may be
+  /// shared with a live registry; it is only read.
   Trace(int num_ranks, std::vector<Event> events,
         std::shared_ptr<const ConstructRegistry> constructs);
 
-  [[nodiscard]] int num_ranks() const { return num_ranks_; }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] const Event& event(std::size_t i) const { return events_.at(i); }
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  /// Wraps an existing store (e.g. a `SegmentedTraceStore`).
+  explicit Trace(std::shared_ptr<const TraceStore> store);
+
+  [[nodiscard]] int num_ranks() const {
+    return store_ ? store_->num_ranks() : 0;
+  }
+  [[nodiscard]] std::size_t size() const { return store_ ? store_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// The event at global display index `i`, by value: a segmented
+  /// backend may evict the backing segment as soon as this returns, so
+  /// no reference into storage can be handed out.
+  [[nodiscard]] Event event(std::size_t i) const;
+
+  /// True when the backend loads segments lazily instead of holding
+  /// every event in memory.
+  [[nodiscard]] bool is_lazy() const { return store_ && inmem_ == nullptr; }
+
+  /// The storage backend (null for a default-constructed trace).
+  [[nodiscard]] const std::shared_ptr<const TraceStore>& store() const {
+    return store_;
+  }
 
   /// The construct table (never null after construction).
   [[nodiscard]] const ConstructRegistry& constructs() const;
 
   /// Shared handle to the construct table.
-  [[nodiscard]] std::shared_ptr<const ConstructRegistry> constructs_ptr() const {
-    return constructs_;
-  }
+  [[nodiscard]] std::shared_ptr<const ConstructRegistry> constructs_ptr() const;
 
-  /// Event indices of one rank, in that rank's program order.
-  [[nodiscard]] const std::vector<std::size_t>& rank_events(mpi::Rank r) const;
+  /// Number of events recorded by `rank`.
+  [[nodiscard]] std::size_t rank_size(mpi::Rank rank) const;
+
+  /// Global display index of `rank`'s `pos`-th event in program order.
+  [[nodiscard]] std::size_t rank_event(mpi::Rank rank, std::size_t pos) const;
+
+  /// Visits every event in display order with its global index.
+  void for_each_event(const EventVisitor& visit) const;
+
+  /// Visits one rank's events in program order.
+  void for_each_rank_event(mpi::Rank rank, const EventVisitor& visit) const;
+
+  /// Visits the events whose [t_start, t_end] intersects [t0, t1], in
+  /// display order.  On a segmented backend only the segments the
+  /// window touches are loaded.
+  void for_each_in_window(support::TimeNs t0, support::TimeNs t1,
+                          const EventVisitor& visit) const;
 
   /// First event of `rank` whose marker equals `marker`, if any.
+  /// Binary search over the rank's program-order index.
   [[nodiscard]] std::optional<std::size_t> find_marker(
       mpi::Rank rank, std::uint64_t marker) const;
 
@@ -68,10 +111,14 @@ class Trace {
       mpi::Rank rank, support::TimeNs t) const;
 
   /// Earliest start time in the trace (0 when empty).
-  [[nodiscard]] support::TimeNs t_min() const { return t_min_; }
+  [[nodiscard]] support::TimeNs t_min() const {
+    return store_ ? store_->t_min() : 0;
+  }
 
   /// Latest end time in the trace (0 when empty).
-  [[nodiscard]] support::TimeNs t_max() const { return t_max_; }
+  [[nodiscard]] support::TimeNs t_max() const {
+    return store_ ? store_->t_max() : 0;
+  }
 
   /// Indices of events whose [t_start, t_end] intersects [t0, t1], in
   /// display order.  Used by the visualizer's zoom window and by the
@@ -81,16 +128,36 @@ class Trace {
 
   /// Pairs send records with receive records using per-channel FIFO
   /// counting (the non-overtaking rule; see `Event` docs) and reports
-  /// the unmatched remainder.
-  [[nodiscard]] MatchReport match_report() const;
+  /// the unmatched remainder.  Computed once and memoized; the
+  /// returned reference lives as long as any copy of this trace.
+  [[nodiscard]] const MatchReport& match_report() const;
+
+  /// Compatibility: the full event vector in display order.  On a
+  /// segmented backend this materializes (once, cached) — prefer the
+  /// cursor queries above.
+  [[nodiscard]] const std::vector<Event>& events() const;
+
+  /// Compatibility: event indices of one rank, in that rank's program
+  /// order.  Materialized lazily (once, cached) on a segmented
+  /// backend.
+  [[nodiscard]] const std::vector<std::size_t>& rank_events(
+      mpi::Rank rank) const;
 
  private:
-  int num_ranks_ = 0;
-  std::vector<Event> events_;
-  std::vector<std::vector<std::size_t>> by_rank_;
-  std::shared_ptr<const ConstructRegistry> constructs_;
-  support::TimeNs t_min_ = 0;
-  support::TimeNs t_max_ = 0;
+  /// Lazily computed caches, shared across copies of the facade so a
+  /// memoized match report survives `Trace` being copied or moved.
+  struct Caches {
+    std::mutex mu;
+    std::optional<MatchReport> match;
+    std::optional<std::vector<Event>> events;
+    std::vector<std::optional<std::vector<std::size_t>>> rank_index;
+  };
+
+  std::shared_ptr<const TraceStore> store_;
+  /// Fast path: non-null when the backend is the in-memory store, so
+  /// `events()` / `rank_events()` stay zero-copy.
+  const InMemoryTraceStore* inmem_ = nullptr;
+  std::shared_ptr<Caches> caches_;
 };
 
 }  // namespace tdbg::trace

@@ -1,50 +1,17 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
 #include "support/error.hpp"
 #include "support/serialize.hpp"
 #include "support/strings.hpp"
+#include "trace/store.hpp"
 
 namespace tdbg::trace {
 
 namespace {
-
-constexpr char kMagic[8] = {'T', 'D', 'B', 'G', 'T', 'R', 'C', '1'};
-constexpr std::uint8_t kRecordEvent = 0;
-constexpr std::uint8_t kRecordEnd = 1;
-
-void encode_event(support::BinaryWriter& w, const Event& e) {
-  w.put<std::uint8_t>(kRecordEvent);
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
-  w.put<std::int32_t>(e.rank);
-  w.put<std::uint64_t>(e.marker);
-  w.put<std::uint32_t>(e.construct);
-  w.put<std::int64_t>(e.t_start);
-  w.put<std::int64_t>(e.t_end);
-  w.put<std::int32_t>(e.peer);
-  w.put<std::int32_t>(e.tag);
-  w.put<std::uint64_t>(e.channel_seq);
-  w.put<std::uint64_t>(e.bytes);
-  w.put<std::uint8_t>(e.wildcard ? 1 : 0);
-}
-
-Event decode_event(support::BinaryReader& r) {
-  Event e;
-  e.kind = static_cast<EventKind>(r.get<std::uint8_t>());
-  e.rank = r.get<std::int32_t>();
-  e.marker = r.get<std::uint64_t>();
-  e.construct = r.get<std::uint32_t>();
-  e.t_start = r.get<std::int64_t>();
-  e.t_end = r.get<std::int64_t>();
-  e.peer = r.get<std::int32_t>();
-  e.tag = r.get<std::int32_t>();
-  e.channel_seq = r.get<std::uint64_t>();
-  e.bytes = r.get<std::uint64_t>();
-  e.wildcard = r.get<std::uint8_t>() != 0;
-  return e;
-}
 
 std::string text_event_line(const Event& e) {
   std::ostringstream os;
@@ -55,28 +22,46 @@ std::string text_event_line(const Event& e) {
   return os.str();
 }
 
+bool display_before_or_equal(const Event& a, const Event& b) {
+  if (a.t_start != b.t_start) return a.t_start < b.t_start;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.marker <= b.marker;
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(const std::filesystem::path& path, int num_ranks,
                          std::shared_ptr<const ConstructRegistry> constructs,
-                         TraceFormat format)
-    : constructs_(std::move(constructs)), format_(format),
-      out_(path, format == TraceFormat::kBinary
-                     ? std::ios::binary | std::ios::trunc
-                     : std::ios::trunc) {
+                         TraceFormat format, std::uint32_t segment_events)
+    : path_(path), constructs_(std::move(constructs)), format_(format),
+      num_ranks_(num_ranks),
+      segment_events_(std::max<std::uint32_t>(1, segment_events)),
+      out_(path, format == TraceFormat::kText
+                     ? std::ios::trunc
+                     : std::ios::binary | std::ios::trunc) {
   TDBG_CHECK(constructs_ != nullptr, "trace writer needs a construct table");
   if (!out_) {
-    throw IoError("cannot open trace file for writing: " + path.string());
+    throw IoError("cannot open trace file for writing: " + path_.string());
   }
-  if (format_ == TraceFormat::kBinary) {
-    out_.write(kMagic, sizeof kMagic);
+  if (format_ == TraceFormat::kText) {
+    out_ << "#tdbg-trace v1\n";
+    out_ << "R\t" << num_ranks << "\n";
+  } else {
+    out_.write(format_ == TraceFormat::kBinary ? wire::kMagicV2
+                                               : wire::kMagicV1,
+               sizeof wire::kMagicV2);
     support::BinaryWriter w;
     w.put<std::int32_t>(num_ranks);
     out_.write(reinterpret_cast<const char*>(w.bytes().data()),
                static_cast<std::streamsize>(w.size()));
-  } else {
-    out_ << "#tdbg-trace v1\n";
-    out_ << "R\t" << num_ranks << "\n";
+  }
+  check_stream("header write");
+  if (format_ == TraceFormat::kBinary) {
+    TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
+    cur_.offset = wire::kHeaderBytes;
+    cur_.ranks.assign(static_cast<std::size_t>(num_ranks_), {});
+    last_marker_.assign(static_cast<std::size_t>(num_ranks_), 0);
+    rank_seen_.assign(static_cast<std::size_t>(num_ranks_), false);
   }
 }
 
@@ -89,6 +74,55 @@ TraceWriter::~TraceWriter() {
   }
 }
 
+void TraceWriter::check_stream(const char* op) {
+  if (!out_) {
+    throw IoError(std::string("trace ") + op + " failed: " + path_.string());
+  }
+}
+
+void TraceWriter::note_event(const Event& e) {
+  TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
+  const auto r = static_cast<std::size_t>(e.rank);
+  if (count_ > 0 && !display_before_or_equal(prev_, e)) {
+    display_sorted_ = false;
+  }
+  if (rank_seen_[r] && e.marker < last_marker_[r]) {
+    markers_monotone_ = false;
+  }
+  rank_seen_[r] = true;
+  last_marker_[r] = e.marker;
+  prev_ = e;
+
+  if (cur_.count == 0) {
+    cur_.t_min = e.t_start;
+    cur_.t_max = e.t_end;
+  } else {
+    cur_.t_min = std::min(cur_.t_min, e.t_start);
+    cur_.t_max = std::max(cur_.t_max, e.t_end);
+  }
+  auto& rk = cur_.ranks[r];
+  if (rk.count == 0) {
+    rk.marker_lo = e.marker;
+    rk.marker_hi = e.marker;
+  } else {
+    rk.marker_lo = std::min(rk.marker_lo, e.marker);
+    rk.marker_hi = std::max(rk.marker_hi, e.marker);
+  }
+  ++rk.count;
+  ++cur_.count;
+  ++count_;
+  if (cur_.count >= segment_events_) close_segment();
+}
+
+void TraceWriter::close_segment() {
+  if (cur_.count == 0) return;
+  cur_.byte_len = cur_.count * wire::kEventRecordBytes;
+  segments_.push_back(std::move(cur_));
+  cur_ = wire::SegmentMeta{};
+  cur_.offset = wire::kHeaderBytes + count_ * wire::kEventRecordBytes;
+  cur_.ranks.assign(static_cast<std::size_t>(num_ranks_), {});
+}
+
 void TraceWriter::write_event(const Event& event) {
   write_events({&event, 1});
 }
@@ -97,16 +131,22 @@ void TraceWriter::write_events(std::span<const Event> events) {
   if (events.empty()) return;
   std::lock_guard lk(mu_);
   TDBG_CHECK(!finished_, "write_event after finish");
-  if (format_ == TraceFormat::kBinary) {
+  if (format_ == TraceFormat::kText) {
+    for (const Event& e : events) out_ << text_event_line(e) << '\n';
+    count_ += events.size();
+  } else {
     scratch_.clear();
-    for (const Event& e : events) encode_event(scratch_, e);
+    for (const Event& e : events) {
+      wire::encode_event(scratch_, e);
+      if (format_ == TraceFormat::kBinary) {
+        note_event(e);
+      }
+    }
+    if (format_ != TraceFormat::kBinary) count_ += events.size();
     out_.write(reinterpret_cast<const char*>(scratch_.bytes().data()),
                static_cast<std::streamsize>(scratch_.size()));
-  } else {
-    for (const Event& e : events) out_ << text_event_line(e) << '\n';
   }
-  count_ += events.size();
-  if (!out_) throw IoError("trace write failed");
+  check_stream("write");
 }
 
 void TraceWriter::finish() {
@@ -114,60 +154,73 @@ void TraceWriter::finish() {
   if (finished_) return;
   finished_ = true;
   const auto table = constructs_->snapshot();
-  if (format_ == TraceFormat::kBinary) {
-    support::BinaryWriter w;
-    w.put<std::uint8_t>(kRecordEnd);
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(table.size()));
-    for (const auto& c : table) {
-      w.put_string(c.name);
-      w.put_string(c.file);
-      w.put<std::int32_t>(c.line);
-    }
-    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
-               static_cast<std::streamsize>(w.size()));
-  } else {
+  if (format_ == TraceFormat::kText) {
     for (std::size_t id = 0; id < table.size(); ++id) {
       out_ << "C\t" << id << '\t' << table[id].line << '\t' << table[id].name
            << '\t' << table[id].file << '\n';
     }
+  } else {
+    scratch_.clear();
+    wire::encode_construct_table(scratch_, table);
+    if (format_ == TraceFormat::kBinary) {
+      close_segment();
+      wire::Footer footer;
+      footer.flags = (display_sorted_ ? wire::kFlagDisplaySorted : 0u) |
+                     (markers_monotone_ ? wire::kFlagRankMarkersMonotone : 0u);
+      footer.segment_events = segment_events_;
+      footer.event_count = count_;
+      footer.segments = std::move(segments_);
+      wire::encode_directory(scratch_, footer);
+      // Trailer: fixed-width records make the footer offset computable.
+      scratch_.put<std::uint64_t>(wire::kHeaderBytes +
+                                  count_ * wire::kEventRecordBytes);
+      scratch_.put_raw(std::as_bytes(std::span(wire::kFooterMagic)));
+    }
+    out_.write(reinterpret_cast<const char*>(scratch_.bytes().data()),
+               static_cast<std::streamsize>(scratch_.size()));
   }
   out_.flush();
-  if (!out_) throw IoError("trace finish failed");
+  check_stream("finish");
   out_.close();
 }
 
 namespace {
 
-Trace read_binary(const std::vector<std::byte>& bytes) {
+Trace read_binary(const std::vector<std::byte>& bytes,
+                  const std::filesystem::path& path) {
   support::BinaryReader r(bytes);
-  r.seek(sizeof kMagic);
+  r.seek(sizeof wire::kMagicV1);
   const auto num_ranks = r.get<std::int32_t>();
   std::vector<Event> events;
   bool saw_end = false;
   while (!r.exhausted()) {
+    const auto record_offset = r.position();
     const auto tag = r.get<std::uint8_t>();
-    if (tag == kRecordEnd) {
+    if (tag == wire::kRecordEnd) {
       saw_end = true;
       break;
     }
-    if (tag != kRecordEvent) {
-      throw FormatError("unknown record tag in trace file");
+    if (tag != wire::kRecordEvent) {
+      throw FormatError("unknown record tag in trace file " + path.string());
     }
-    events.push_back(decode_event(r));
+    if (r.remaining() + 1 < wire::kEventRecordBytes) {
+      throw FormatError("truncated event record in trace file " +
+                        path.string() + " at offset " +
+                        std::to_string(record_offset));
+    }
+    events.push_back(wire::decode_event(r));
   }
   auto registry = std::make_shared<ConstructRegistry>();
   if (saw_end) {
-    const auto n = r.get<std::uint32_t>();
-    std::vector<ConstructInfo> table;
-    table.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      ConstructInfo c;
-      c.name = r.get_string();
-      c.file = r.get_string();
-      c.line = r.get<std::int32_t>();
-      table.push_back(std::move(c));
+    try {
+      registry->restore(wire::decode_construct_table(r));
+    } catch (const FormatError& e) {
+      throw FormatError("truncated construct table in trace file " +
+                        path.string() + ": " + e.what());
     }
-    registry->restore(std::move(table));
+    // Anything after the construct table is the v2 directory +
+    // trailer; the eager reader rebuilds its own indexes, so it is
+    // skipped (and may be truncated) here.
   }
   return Trace(num_ranks, std::move(events), std::move(registry));
 }
@@ -221,6 +274,11 @@ Trace read_text(const std::string& content) {
   return Trace(num_ranks, std::move(events), std::move(registry));
 }
 
+bool has_magic(const std::string& content, const char (&magic)[8]) {
+  return content.size() >= sizeof magic &&
+         std::memcmp(content.data(), magic, sizeof magic) == 0;
+}
+
 }  // namespace
 
 Trace read_trace(const std::filesystem::path& path) {
@@ -228,19 +286,186 @@ Trace read_trace(const std::filesystem::path& path) {
   if (!in) throw IoError("cannot open trace file: " + path.string());
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  if (content.size() >= sizeof kMagic &&
-      std::memcmp(content.data(), kMagic, sizeof kMagic) == 0) {
+  if (has_magic(content, wire::kMagicV1) || has_magic(content, wire::kMagicV2)) {
     std::vector<std::byte> bytes(content.size());
     std::memcpy(bytes.data(), content.data(), content.size());
-    return read_binary(bytes);
+    return read_binary(bytes, path);
   }
   return read_text(content);
 }
 
+std::optional<TraceFooter> try_read_footer(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < wire::kHeaderBytes + wire::kTrailerBytes) {
+    return std::nullopt;
+  }
+
+  char header[wire::kHeaderBytes];
+  in.seekg(0);
+  in.read(header, sizeof header);
+  if (!in || std::memcmp(header, wire::kMagicV2, sizeof wire::kMagicV2) != 0) {
+    return std::nullopt;
+  }
+  std::int32_t num_ranks = 0;
+  std::memcpy(&num_ranks, header + sizeof wire::kMagicV2, sizeof num_ranks);
+
+  char trailer[wire::kTrailerBytes];
+  in.seekg(static_cast<std::streamoff>(file_size - wire::kTrailerBytes));
+  in.read(trailer, sizeof trailer);
+  if (!in || std::memcmp(trailer + sizeof(std::uint64_t), wire::kFooterMagic,
+                         sizeof wire::kFooterMagic) != 0) {
+    return std::nullopt;  // no trailer: flush-on-demand prefix or crash
+  }
+  std::uint64_t footer_offset = 0;
+  std::memcpy(&footer_offset, trailer, sizeof footer_offset);
+  if (footer_offset < wire::kHeaderBytes ||
+      footer_offset > file_size - wire::kTrailerBytes) {
+    throw FormatError("trace footer offset out of range in " + path.string());
+  }
+
+  std::vector<std::byte> footer_bytes(
+      static_cast<std::size_t>(file_size - wire::kTrailerBytes - footer_offset));
+  in.seekg(static_cast<std::streamoff>(footer_offset));
+  in.read(reinterpret_cast<char*>(footer_bytes.data()),
+          static_cast<std::streamsize>(footer_bytes.size()));
+  if (!in) throw IoError("trace footer read failed: " + path.string());
+
+  try {
+    support::BinaryReader r(footer_bytes);
+    TraceFooter result;
+    result.num_ranks = num_ranks;
+    if (r.get<std::uint8_t>() != wire::kRecordEnd) {
+      throw FormatError("footer does not start with the construct table");
+    }
+    result.footer.constructs = wire::decode_construct_table(r);
+    if (r.get<std::uint8_t>() != wire::kRecordDirectory) {
+      throw FormatError("footer is missing the segment directory");
+    }
+    wire::decode_directory(r, num_ranks, &result.footer);
+    return result;
+  } catch (const FormatError& e) {
+    throw FormatError("corrupt trace footer in " + path.string() + ": " +
+                      e.what());
+  }
+}
+
+Trace open_trace(const std::filesystem::path& path,
+                 const TraceOpenOptions& options) {
+  auto footer = try_read_footer(path);
+  if (footer && footer->footer.display_sorted() &&
+      footer->footer.rank_markers_monotone()) {
+    return Trace(std::make_shared<SegmentedTraceStore>(
+        path, footer->num_ranks, std::move(footer->footer),
+        options.cache_segments));
+  }
+  // v1, text, footerless prefix, or an unsorted stream: the directory
+  // binary searches would be wrong, so fall back to the eager store.
+  return read_trace(path);
+}
+
+TraceFileInfo inspect_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  TraceFileInfo info;
+  info.file_bytes = file_size;
+
+  char magic[8] = {};
+  if (file_size >= sizeof magic) {
+    in.read(magic, sizeof magic);
+  }
+  const bool v1 = std::memcmp(magic, wire::kMagicV1, sizeof magic) == 0;
+  const bool v2 = std::memcmp(magic, wire::kMagicV2, sizeof magic) == 0;
+
+  if (v2) {
+    info.format = "binary-v2";
+    if (auto footer = try_read_footer(path)) {
+      info.has_footer = true;
+      info.num_ranks = footer->num_ranks;
+      info.event_count = footer->footer.event_count;
+      info.segment_count = footer->footer.segments.size();
+      info.segment_events = footer->footer.segment_events;
+      info.display_sorted = footer->footer.display_sorted();
+      info.rank_markers_monotone = footer->footer.rank_markers_monotone();
+      info.construct_count = footer->footer.constructs.size();
+      if (!footer->footer.segments.empty()) {
+        info.has_time_span = true;
+        info.t_min = footer->footer.segments.front().t_min;
+        for (const auto& seg : footer->footer.segments) {
+          info.t_max = std::max(info.t_max, seg.t_max);
+        }
+      }
+      return info;
+    }
+  } else if (v1) {
+    info.format = "binary-v1";
+  } else {
+    // Text traces have no magic; count record lines.
+    info.format = "text";
+    in.clear();
+    in.seekg(0);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      if (line[0] == 'E') ++info.event_count;
+      else if (line[0] == 'C') ++info.construct_count;
+      else if (line[0] == 'R' && line.size() > 2) {
+        info.num_ranks = std::atoi(line.c_str() + 2);
+      }
+    }
+    return info;
+  }
+
+  // Binary stream without a usable footer: walk the fixed-width
+  // records counting tags (no event decode).
+  std::string content;
+  in.clear();
+  in.seekg(0);
+  content.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(content.size());
+  std::memcpy(bytes.data(), content.data(), content.size());
+  support::BinaryReader r(bytes);
+  r.seek(sizeof magic);
+  info.num_ranks = r.get<std::int32_t>();
+  while (!r.exhausted()) {
+    const auto tag = r.get<std::uint8_t>();
+    if (tag == wire::kRecordEnd) {
+      info.construct_count = r.get<std::uint32_t>();
+      break;
+    }
+    if (tag != wire::kRecordEvent ||
+        r.remaining() + 1 < wire::kEventRecordBytes) {
+      break;  // truncated or foreign record: report the prefix count
+    }
+    r.seek(r.position() + wire::kEventRecordBytes - 1);
+    ++info.event_count;
+  }
+  return info;
+}
+
 void write_trace(const std::filesystem::path& path, const Trace& trace,
-                 TraceFormat format) {
-  TraceWriter writer(path, trace.num_ranks(), trace.constructs_ptr(), format);
-  for (const Event& e : trace.events()) writer.write_event(e);
+                 TraceFormat format, std::uint32_t segment_events) {
+  TraceWriter writer(path, trace.num_ranks(), trace.constructs_ptr(), format,
+                     segment_events);
+  // Stream in display order through a bounded batch buffer: a lazy
+  // source trace is never fully materialized.
+  std::vector<Event> batch;
+  batch.reserve(8192);
+  trace.for_each_event([&](std::size_t, const Event& e) {
+    batch.push_back(e);
+    if (batch.size() == batch.capacity()) {
+      writer.write_events(batch);
+      batch.clear();
+    }
+  });
+  writer.write_events(batch);
   writer.finish();
 }
 

@@ -47,11 +47,10 @@ std::string metrics_strip(const trace::Trace& trace,
       if (sends != nullptr) n_send = sends->per_rank[slot];
       if (recvs != nullptr) n_recv = recvs->per_rank[slot];
     } else {
-      for (std::size_t i : trace.rank_events(r)) {
-        const auto kind = trace.event(i).kind;
-        if (kind == trace::EventKind::kSend) ++n_send;
-        if (kind == trace::EventKind::kRecv) ++n_recv;
-      }
+      trace.for_each_rank_event(r, [&](std::size_t, const trace::Event& e) {
+        if (e.kind == trace::EventKind::kSend) ++n_send;
+        if (e.kind == trace::EventKind::kRecv) ++n_recv;
+      });
     }
     os << "<tr><td>P" << r << "</td><td>" << n_send << "</td><td>" << n_recv
        << "</td>";
@@ -84,19 +83,18 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
   const auto row_y = [&](mpi::Rank r) { return 10 + (rows - 1 - r) * row_h; };
 
   std::ostringstream svg;
-  const auto matches = trace.match_report();
+  const auto& matches = trace.match_report();
   for (const auto& m : matches.matches) {
-    const auto& s = trace.event(m.send_index);
-    const auto& r = trace.event(m.recv_index);
+    const auto s = trace.event(m.send_index);
+    const auto r = trace.event(m.recv_index);
     svg << "<line class='msg' x1='" << x_of(s.t_start) << "' y1='"
         << row_y(s.rank) + row_h / 2 << "' x2='" << x_of(r.t_end) << "' y2='"
         << row_y(r.rank) + row_h / 2 << "'/>\n";
   }
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const auto& e = trace.event(i);
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kEnter ||
         e.kind == trace::EventKind::kExit) {
-      continue;
+      return;
     }
     const double x = x_of(e.t_start);
     const double w = std::max(1.0, x_of(e.t_end) - x);
@@ -110,7 +108,7 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
         << trace::event_kind_name(e.kind) << "' data-construct='"
         << support::escape_label(name) << "' data-t0='" << e.t_start
         << "' data-t1='" << e.t_end << "'/>\n";
-  }
+  });
   if (overlay.stopline) {
     svg << "<line x1='" << x_of(*overlay.stopline) << "' y1='0' x2='"
         << x_of(*overlay.stopline) << "' y2='" << height

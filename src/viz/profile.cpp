@@ -18,7 +18,7 @@ Profile profile_trace(const trace::Trace& trace) {
   std::map<std::tuple<mpi::Rank, trace::ConstructId, trace::EventKind>,
            ProfileRow>
       rows;
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     auto& rank = out.ranks[static_cast<std::size_t>(e.rank)];
     const auto span = e.t_end - e.t_start;
     switch (e.kind) {
@@ -31,7 +31,7 @@ Profile profile_trace(const trace::Trace& trace) {
     }
     if (e.kind == trace::EventKind::kExit ||
         e.kind == trace::EventKind::kMark) {
-      continue;
+      return;
     }
     auto& row = rows[{e.rank, e.construct, e.kind}];
     row.rank = e.rank;
@@ -40,7 +40,7 @@ Profile profile_trace(const trace::Trace& trace) {
     ++row.count;
     row.total += span;
     row.max = std::max(row.max, span);
-  }
+  });
   out.rows.reserve(rows.size());
   for (auto& [key, row] : rows) out.rows.push_back(row);
   std::sort(out.rows.begin(), out.rows.end(),

@@ -87,15 +87,15 @@ std::string TimeSpaceDiagram::to_svg(const Overlay& overlay) const {
        << "\" stroke=\"#e0e0e0\"/>\n";
   }
 
-  const auto matches = trace_->match_report();
+  const auto& matches = trace_->match_report();
 
-  // Construct bars.
-  for (std::size_t i : trace_->events_in_window(t0_, t1_)) {
-    const auto& e = trace_->event(i);
+  // Construct bars: only the segments the window intersects are
+  // touched on a lazy store.
+  trace_->for_each_in_window(t0_, t1_, [&](std::size_t, const trace::Event& e) {
     const bool tick = e.kind == trace::EventKind::kEnter ||
                       e.kind == trace::EventKind::kExit ||
                       e.kind == trace::EventKind::kMark;
-    if (tick && !options_.show_enter_exit) continue;
+    if (tick && !options_.show_enter_exit) return;
     const double x0 = label_w + x_of(e.t_start);
     const double x1 = label_w + x_of(e.t_end);
     const double w = std::max(1.0, x1 - x0);
@@ -106,13 +106,13 @@ std::string TimeSpaceDiagram::to_svg(const Overlay& overlay) const {
        << support::escape_label(
               trace::event_kind_name(e.kind))
        << " marker=" << e.marker << "</title></rect>\n";
-  }
+  });
 
   // Message lines: (time_sent, source) -> (time_received, destination).
   if (options_.show_messages) {
     for (const auto& m : matches.matches) {
-      const auto& s = trace_->event(m.send_index);
-      const auto& r = trace_->event(m.recv_index);
+      const auto s = trace_->event(m.send_index);
+      const auto r = trace_->event(m.recv_index);
       if (s.t_start > t1_ || r.t_end < t0_) continue;
       os << "<line x1=\"" << label_w + x_of(s.t_start) << "\" y1=\""
          << row_y(s.rank) + options_.row_height / 2 << "\" x2=\""
@@ -123,7 +123,7 @@ std::string TimeSpaceDiagram::to_svg(const Overlay& overlay) const {
     // Unmatched (missed) messages render dashed red to the margin —
     // the Fig. 6 "missed message".
     for (std::size_t i : matches.unmatched_sends) {
-      const auto& s = trace_->event(i);
+      const auto s = trace_->event(i);
       if (s.t_start > t1_) continue;
       os << "<line x1=\"" << label_w + x_of(s.t_start) << "\" y1=\""
          << row_y(s.rank) + rh / 2 << "\" x2=\""
@@ -183,12 +183,11 @@ std::string TimeSpaceDiagram::to_ascii(int columns,
     return static_cast<int>(c);
   };
 
-  for (std::size_t i : trace_->events_in_window(t0_, t1_)) {
-    const auto& e = trace_->event(i);
+  trace_->for_each_in_window(t0_, t1_, [&](std::size_t, const trace::Event& e) {
     if ((e.kind == trace::EventKind::kEnter ||
          e.kind == trace::EventKind::kExit) &&
         !options_.show_enter_exit) {
-      continue;
+      return;
     }
     const int c0 = col_of(e.t_start);
     const int c1 = std::max(c0, col_of(e.t_end));
@@ -196,7 +195,7 @@ std::string TimeSpaceDiagram::to_ascii(int columns,
     for (int c = c0; c <= c1; ++c) {
       row[static_cast<std::size_t>(c)] = ascii_of(e.kind);
     }
-  }
+  });
 
   if (overlay.stopline) {
     const int c = col_of(*overlay.stopline);

@@ -78,10 +78,10 @@ TEST(SessionTest, RecordsEnterAndExitEvents) {
   mpi::run(1, [](mpi::Comm&) { small_instrumented_fn(2); }, options);
   const auto trace = collector.build_trace();
   std::size_t enters = 0, exits = 0;
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kEnter) ++enters;
     if (e.kind == trace::EventKind::kExit) ++exits;
-  }
+  });
   EXPECT_EQ(enters, 3u);
   EXPECT_EQ(exits, 3u);
 }
@@ -137,13 +137,13 @@ TEST(SessionTest, ComputeScopeRecordsSpan) {
   }, options);
   const auto trace = collector.build_trace();
   bool found = false;
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kCompute) {
       found = true;
       EXPECT_GE(e.t_end, e.t_start);
       EXPECT_EQ(trace.constructs().info(e.construct).name, "work_block");
     }
-  }
+  });
   EXPECT_TRUE(found);
 }
 
@@ -161,14 +161,14 @@ TEST(SessionTest, RecvEventCarriesActualSourceAndWildcardFlag) {
   }, options);
   const auto trace = collector.build_trace();
   bool found = false;
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kRecv) {
       found = true;
       EXPECT_EQ(e.peer, 0);  // actual source, not ANY
       EXPECT_TRUE(e.wildcard);
       EXPECT_EQ(e.tag, 2);
     }
-  }
+  });
   EXPECT_TRUE(found);
 }
 
@@ -198,9 +198,9 @@ TEST(SessionTest, MpiEventToggleSuppressesMessageRecords) {
     }
   }, options);
   const auto trace = collector.build_trace();
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     EXPECT_FALSE(e.is_message());
-  }
+  });
   // But markers counted anyway.
   EXPECT_EQ(session.counter(0), 1u);
 }

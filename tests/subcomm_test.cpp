@@ -127,10 +127,10 @@ TEST(SubCommTest, SubCommTrafficIsTraced) {
   // The subgroup p2p shows up as send/recv records with the
   // user-visible tag and world ranks.
   int sends = 0, recvs = 0;
-  for (const auto& e : rec.trace.events()) {
+  rec.trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind == trace::EventKind::kSend && e.tag == 2) ++sends;
     if (e.kind == trace::EventKind::kRecv && e.tag == 2) ++recvs;
-  }
+  });
   EXPECT_EQ(sends, 2);
   EXPECT_EQ(recvs, 2);
 }

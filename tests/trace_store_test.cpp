@@ -1,0 +1,408 @@
+// Round-trip, query-equivalence, and failure-mode tests for the trace
+// store layer: the v2 segmented format, the lazy SegmentedTraceStore,
+// and the v1 compatibility path (including a committed golden file).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "support/error.hpp"
+#include "trace/store.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tdbg::trace {
+namespace {
+
+class TempFile {
+ public:
+  TempFile() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tdbg_store_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++) + ".trc");
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+bool same_event(const Event& a, const Event& b) {
+  return a.kind == b.kind && a.rank == b.rank && a.marker == b.marker &&
+         a.construct == b.construct && a.t_start == b.t_start &&
+         a.t_end == b.t_end && a.peer == b.peer && a.tag == b.tag &&
+         a.channel_seq == b.channel_seq && a.bytes == b.bytes &&
+         a.wildcard == b.wildcard;
+}
+
+void expect_same_trace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.num_ranks(), b.num_ranks());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ea = a.event(i);
+    const auto eb = b.event(i);
+    EXPECT_TRUE(same_event(ea, eb)) << "event " << i << " differs";
+  }
+  const auto& ra = a.match_report();
+  const auto& rb = b.match_report();
+  ASSERT_EQ(ra.matches.size(), rb.matches.size());
+  for (std::size_t i = 0; i < ra.matches.size(); ++i) {
+    EXPECT_EQ(ra.matches[i].send_index, rb.matches[i].send_index);
+    EXPECT_EQ(ra.matches[i].recv_index, rb.matches[i].recv_index);
+  }
+  EXPECT_EQ(ra.unmatched_sends, rb.unmatched_sends);
+  EXPECT_EQ(ra.unmatched_recvs, rb.unmatched_recvs);
+}
+
+struct GenOptions {
+  int num_ranks = 4;
+  std::size_t messages = 60;
+  std::size_t noise_events = 80;  // compute / mark filler
+  double recv_probability = 0.9;  // rest become missed messages
+  double wildcard_probability = 0.2;
+};
+
+/// Random but *causally plausible* trace: per-rank monotone markers
+/// and times, FIFO channel sequence numbers for receives.
+Trace random_trace(std::uint32_t seed, const GenOptions& opt) {
+  std::mt19937 rng(seed);
+  auto registry = std::make_shared<ConstructRegistry>();
+  const auto c_work = registry->intern("work", "gen.cpp", 1);
+  const auto c_msg = registry->intern("msg", "gen.cpp", 2);
+
+  const auto nr = static_cast<std::size_t>(opt.num_ranks);
+  std::vector<std::uint64_t> marker(nr, 0);
+  std::vector<support::TimeNs> clock(nr, 0);
+  std::map<std::pair<mpi::Rank, mpi::Rank>, mpi::ChannelSeq> channel;
+  std::vector<Event> events;
+
+  auto base_event = [&](EventKind kind, mpi::Rank r) {
+    Event e;
+    e.kind = kind;
+    e.rank = r;
+    e.marker = ++marker[static_cast<std::size_t>(r)];
+    e.t_start = clock[static_cast<std::size_t>(r)];
+    clock[static_cast<std::size_t>(r)] +=
+        std::uniform_int_distribution<support::TimeNs>(1, 50)(rng);
+    e.t_end = clock[static_cast<std::size_t>(r)];
+    return e;
+  };
+
+  for (std::size_t m = 0; m < opt.messages; ++m) {
+    const auto src = static_cast<mpi::Rank>(
+        std::uniform_int_distribution<int>(0, opt.num_ranks - 1)(rng));
+    auto dst = static_cast<mpi::Rank>(
+        std::uniform_int_distribution<int>(0, opt.num_ranks - 1)(rng));
+    if (opt.num_ranks > 1 && dst == src) {
+      dst = static_cast<mpi::Rank>((dst + 1) % opt.num_ranks);
+    }
+    const auto seq = channel[{src, dst}]++;
+    auto send = base_event(EventKind::kSend, src);
+    send.construct = c_msg;
+    send.peer = dst;
+    send.tag = std::uniform_int_distribution<int>(0, 3)(rng);
+    send.channel_seq = seq;
+    send.bytes = std::uniform_int_distribution<std::uint64_t>(0, 4096)(rng);
+    events.push_back(send);
+    if (std::uniform_real_distribution<>(0, 1)(rng) < opt.recv_probability) {
+      auto recv = base_event(EventKind::kRecv, dst);
+      recv.construct = c_msg;
+      recv.peer = src;
+      recv.tag = send.tag;
+      recv.channel_seq = seq;
+      recv.bytes = send.bytes;
+      recv.wildcard =
+          std::uniform_real_distribution<>(0, 1)(rng) <
+          opt.wildcard_probability;
+      events.push_back(recv);
+    }
+  }
+  for (std::size_t i = 0; i < opt.noise_events; ++i) {
+    const auto r = static_cast<mpi::Rank>(
+        std::uniform_int_distribution<int>(0, opt.num_ranks - 1)(rng));
+    auto e = base_event(std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                            ? EventKind::kCompute
+                            : EventKind::kMark,
+                        r);
+    e.construct = c_work;
+    events.push_back(e);
+  }
+  return Trace(opt.num_ranks, std::move(events), std::move(registry));
+}
+
+// --- round-trip property tests ------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<TraceFormat> {};
+
+TEST_P(RoundTripTest, RandomTracesSurviveWriteAndRead) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    const auto original = random_trace(seed, {});
+    TempFile file;
+    write_trace(file.path(), original, GetParam(),
+                /*segment_events=*/64);  // small: forces many segments
+    const auto eager = read_trace(file.path());
+    expect_same_trace(original, eager);
+    const auto opened = open_trace(file.path());
+    expect_same_trace(original, opened);
+  }
+}
+
+TEST_P(RoundTripTest, EmptyTrace) {
+  const Trace original(3, {}, std::make_shared<ConstructRegistry>());
+  TempFile file;
+  write_trace(file.path(), original, GetParam());
+  const auto loaded = open_trace(file.path());
+  EXPECT_EQ(loaded.num_ranks(), 3);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_TRUE(loaded.match_report().matches.empty());
+}
+
+TEST_P(RoundTripTest, SingleRank) {
+  GenOptions opt;
+  opt.num_ranks = 1;
+  opt.messages = 0;  // a lone rank cannot message anyone
+  const auto original = random_trace(7, opt);
+  TempFile file;
+  write_trace(file.path(), original, GetParam(), /*segment_events=*/32);
+  expect_same_trace(original, open_trace(file.path()));
+}
+
+TEST_P(RoundTripTest, WildcardHeavy) {
+  GenOptions opt;
+  opt.wildcard_probability = 1.0;
+  opt.recv_probability = 1.0;
+  const auto original = random_trace(11, opt);
+  TempFile file;
+  write_trace(file.path(), original, GetParam(), /*segment_events=*/64);
+  expect_same_trace(original, open_trace(file.path()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, RoundTripTest,
+                         ::testing::Values(TraceFormat::kBinary,
+                                           TraceFormat::kBinaryV1,
+                                           TraceFormat::kText),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case TraceFormat::kBinary: return "v2";
+                             case TraceFormat::kBinaryV1: return "v1";
+                             case TraceFormat::kText: return "text";
+                           }
+                           return "unknown";
+                         });
+
+// --- lazy store vs eager equivalence ------------------------------
+
+TEST(SegmentedStoreTest, LazyOpenMatchesEagerQueries) {
+  GenOptions opt;
+  opt.messages = 200;
+  opt.noise_events = 400;
+  const auto original = random_trace(42, opt);
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary,
+              /*segment_events=*/64);
+
+  TraceOpenOptions oo;
+  oo.cache_segments = 2;  // tiny cache: every query path crosses segments
+  const auto lazy = open_trace(file.path(), oo);
+  ASSERT_TRUE(lazy.is_lazy());
+
+  // Point + range queries agree with the in-memory store.
+  std::mt19937 rng(99);
+  for (int i = 0; i < 50; ++i) {
+    auto t0 = std::uniform_int_distribution<support::TimeNs>(
+        original.t_min(), original.t_max())(rng);
+    auto t1 = std::uniform_int_distribution<support::TimeNs>(
+        original.t_min(), original.t_max())(rng);
+    if (t1 < t0) std::swap(t0, t1);
+    EXPECT_EQ(original.events_in_window(t0, t1),
+              lazy.events_in_window(t0, t1));
+  }
+  for (mpi::Rank r = 0; r < original.num_ranks(); ++r) {
+    ASSERT_EQ(original.rank_size(r), lazy.rank_size(r));
+    for (std::uint64_t m = 1; m <= original.rank_size(r); m += 7) {
+      EXPECT_EQ(original.find_marker(r, m), lazy.find_marker(r, m));
+    }
+    for (int i = 0; i < 20; ++i) {
+      const auto t = std::uniform_int_distribution<support::TimeNs>(
+          original.t_min() - 5, original.t_max() + 5)(rng);
+      EXPECT_EQ(original.last_event_at_or_before(r, t),
+                lazy.last_event_at_or_before(r, t));
+    }
+  }
+  expect_same_trace(original, lazy);
+}
+
+TEST(SegmentedStoreTest, CacheResidencyStaysBounded) {
+  GenOptions opt;
+  opt.messages = 300;
+  opt.noise_events = 600;
+  const auto original = random_trace(5, opt);
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary,
+              /*segment_events=*/64);
+
+  TraceOpenOptions oo;
+  oo.cache_segments = 3;
+  const auto lazy = open_trace(file.path(), oo);
+  const auto* seg =
+      dynamic_cast<const SegmentedTraceStore*>(lazy.store().get());
+  ASSERT_NE(seg, nullptr);
+  ASSERT_GT(seg->segment_count(), oo.cache_segments);
+
+  // Full sweep touches every segment but never holds more than the cap.
+  std::size_t n = 0;
+  lazy.for_each_event([&](std::size_t, const Event&) { ++n; });
+  EXPECT_EQ(n, original.size());
+  auto stats = seg->cache_stats();
+  EXPECT_LE(stats.resident_segments, oo.cache_segments);
+  EXPECT_GE(stats.loads, seg->segment_count());
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+
+  // A second sweep with a cold-ish cache reloads evicted segments.
+  lazy.for_each_event([](std::size_t, const Event&) {});
+  const auto stats2 = seg->cache_stats();
+  EXPECT_GT(stats2.loads, stats.loads);
+  EXPECT_LE(stats2.resident_segments, oo.cache_segments);
+}
+
+TEST(SegmentedStoreTest, OpenFallsBackToEagerForV1) {
+  const auto original = random_trace(3, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinaryV1);
+  const auto loaded = open_trace(file.path());
+  EXPECT_FALSE(loaded.is_lazy());
+  expect_same_trace(original, loaded);
+}
+
+// --- inspect_trace (footer-only metadata) -------------------------
+
+TEST(InspectTest, V2FooterCarriesMetadata) {
+  const auto original = random_trace(8, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary,
+              /*segment_events=*/64);
+  const auto fi = inspect_trace(file.path());
+  EXPECT_EQ(fi.format, "binary-v2");
+  EXPECT_TRUE(fi.has_footer);
+  EXPECT_EQ(fi.num_ranks, original.num_ranks());
+  EXPECT_EQ(fi.event_count, original.size());
+  EXPECT_EQ(fi.segment_events, 64u);
+  EXPECT_GT(fi.segment_count, 1u);
+  EXPECT_TRUE(fi.display_sorted);
+  EXPECT_TRUE(fi.rank_markers_monotone);
+  ASSERT_TRUE(fi.has_time_span);
+  EXPECT_EQ(fi.t_min, original.t_min());
+  EXPECT_EQ(fi.t_max, original.t_max());
+}
+
+TEST(InspectTest, V1CountsEventsWithoutFooter) {
+  const auto original = random_trace(9, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinaryV1);
+  const auto fi = inspect_trace(file.path());
+  EXPECT_EQ(fi.format, "binary-v1");
+  EXPECT_FALSE(fi.has_footer);
+  EXPECT_EQ(fi.event_count, original.size());
+  EXPECT_EQ(fi.num_ranks, original.num_ranks());
+}
+
+// --- failure modes (satellite: IoError / FormatError) -------------
+
+TEST(TraceIoErrorTest, WriterThrowsIoErrorWithPathOnUnwritableTarget) {
+  const std::filesystem::path bad =
+      "/nonexistent-tdbg-dir/trace-out.trc";
+  try {
+    TraceWriter writer(bad, 2, std::make_shared<ConstructRegistry>());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(bad.string()), std::string::npos);
+  }
+}
+
+TEST(TraceIoErrorTest, MidRecordTruncationIsFormatError) {
+  const auto original = random_trace(12, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary);
+
+  // Chop the file in the middle of an event record (header is 12
+  // bytes, each record 59): a hard corruption, not a clean prefix.
+  const auto full = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), 12 + 59 + 30);
+  ASSERT_LT(12u + 59 + 30, full);
+  try {
+    read_trace(file.path());
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find(file.path().string()),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIoErrorTest, RecordBoundaryTruncationStillYieldsPrefix) {
+  const auto original = random_trace(13, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary);
+  std::filesystem::resize_file(file.path(), 12 + 59 * 5);
+  const auto loaded = read_trace(file.path());
+  EXPECT_EQ(loaded.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(same_event(loaded.event(i), original.event(i)));
+  }
+}
+
+// --- golden v1 file -----------------------------------------------
+
+TEST(GoldenTest, CommittedV1TraceReadsIdentically) {
+  const auto path = std::filesystem::path(TDBG_TEST_DATA_DIR) /
+                    "golden_v1.trc";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const auto trace = read_trace(path);
+  ASSERT_EQ(trace.num_ranks(), 2);
+  ASSERT_EQ(trace.size(), 6u);
+
+  // Display order: (t_start, rank, marker).
+  const auto e0 = trace.event(0);
+  EXPECT_EQ(e0.kind, EventKind::kEnter);
+  EXPECT_EQ(e0.rank, 0);
+  EXPECT_EQ(e0.marker, 1u);
+  EXPECT_EQ(trace.constructs().info(e0.construct).name, "main");
+
+  const auto e2 = trace.event(2);
+  EXPECT_EQ(e2.kind, EventKind::kSend);
+  EXPECT_EQ(e2.rank, 0);
+  EXPECT_EQ(e2.peer, 1);
+  EXPECT_EQ(e2.tag, 7);
+  EXPECT_EQ(e2.bytes, 64u);
+  EXPECT_EQ(trace.constructs().info(e2.construct).name, "work");
+
+  const auto e3 = trace.event(3);
+  EXPECT_EQ(e3.kind, EventKind::kRecv);
+  EXPECT_EQ(e3.rank, 1);
+  EXPECT_EQ(e3.peer, 0);
+  EXPECT_TRUE(e3.wildcard);
+
+  const auto& report = trace.match_report();
+  ASSERT_EQ(report.matches.size(), 1u);
+  EXPECT_EQ(report.matches[0].send_index, 2u);
+  EXPECT_EQ(report.matches[0].recv_index, 3u);
+  EXPECT_TRUE(report.unmatched_sends.empty());
+  EXPECT_TRUE(report.unmatched_recvs.empty());
+
+  // Converting golden v1 to v2 must not change anything observable.
+  TempFile v2;
+  write_trace(v2.path(), trace, TraceFormat::kBinary);
+  expect_same_trace(trace, open_trace(v2.path()));
+}
+
+}  // namespace
+}  // namespace tdbg::trace

@@ -124,12 +124,12 @@ TEST(ProfileTest, RowCountsMatchEventCounts) {
   std::uint64_t row_events = 0;
   for (const auto& row : profile.rows) row_events += row.count;
   std::uint64_t countable = 0;
-  for (const auto& e : rec.trace.events()) {
+  rec.trace.for_each_event([&](std::size_t, const trace::Event& e) {
     if (e.kind != trace::EventKind::kExit &&
         e.kind != trace::EventKind::kMark) {
       ++countable;
     }
-  }
+  });
   EXPECT_EQ(row_events, countable);
 }
 

@@ -1,11 +1,13 @@
 // tdbg-trace — inspect and convert trace files.
 //
 // Usage:
+//   tdbg_trace info <file>                 file metadata (footer only; no
+//                                          event data is read for v2 files)
 //   tdbg_trace dump <file>                 print events as text
 //   tdbg_trace stats <file>                summary + traffic report
 //   tdbg_trace profile <file>              time per construct / per rank
 //   tdbg_trace critpath <file>             critical path through the run
-//   tdbg_trace convert <in> <out> [text|binary]
+//   tdbg_trace convert <in> <out> [text|v1|v2]   (default v2)
 //   tdbg_trace svg <file> <out.svg>        render the time-space diagram
 //   tdbg_trace html <file> <out.html>      interactive view (zoom/pan)
 //   tdbg_trace graph <file> <out.dot>      dynamic call graph (DOT)
@@ -39,7 +41,7 @@ namespace {
 int dump(const tdbg::trace::Trace& trace) {
   using namespace tdbg;
   std::printf("# %d ranks, %zu events\n", trace.num_ranks(), trace.size());
-  for (const auto& e : trace.events()) {
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
     std::printf("%-8s rank=%d marker=%llu t=[%lld..%lld]",
                 std::string(trace::event_kind_name(e.kind)).c_str(), e.rank,
                 static_cast<unsigned long long>(e.marker),
@@ -54,6 +56,37 @@ int dump(const tdbg::trace::Trace& trace) {
                   e.wildcard ? " (ANY_SOURCE)" : "");
     }
     std::printf("\n");
+  });
+  return 0;
+}
+
+// `info` reads only the header and (for v2) the footer directory —
+// never the event payload — so it stays O(footer) on huge traces.
+int info(const std::filesystem::path& path) {
+  using namespace tdbg;
+  const auto fi = trace::inspect_trace(path);
+  std::printf("file        : %s\n", path.string().c_str());
+  std::printf("format      : %s\n", fi.format.c_str());
+  std::printf("file bytes  : %llu\n",
+              static_cast<unsigned long long>(fi.file_bytes));
+  std::printf("ranks       : %d\n", fi.num_ranks);
+  std::printf("events      : %llu\n",
+              static_cast<unsigned long long>(fi.event_count));
+  std::printf("constructs  : %llu\n",
+              static_cast<unsigned long long>(fi.construct_count));
+  std::printf("footer      : %s\n", fi.has_footer ? "yes" : "no");
+  if (fi.has_footer) {
+    std::printf("segments    : %llu (x%u events)\n",
+                static_cast<unsigned long long>(fi.segment_count),
+                fi.segment_events);
+    std::printf("sorted      : %s\n", fi.display_sorted ? "yes" : "no");
+    std::printf("monotone    : %s\n",
+                fi.rank_markers_monotone ? "yes" : "no");
+  }
+  if (fi.has_time_span) {
+    std::printf("time span   : [%lld .. %lld] ns\n",
+                static_cast<long long>(fi.t_min),
+                static_cast<long long>(fi.t_max));
   }
   return 0;
 }
@@ -64,7 +97,7 @@ int stats(const tdbg::trace::Trace& trace) {
   std::printf("events  : %zu\n", trace.size());
   std::printf("span    : %lld ns\n",
               static_cast<long long>(trace.t_max() - trace.t_min()));
-  const auto report = trace.match_report();
+  const auto& report = trace.match_report();
   std::printf("messages: %zu matched, %zu unmatched sends, %zu orphan "
               "recvs\n",
               report.matches.size(), report.unmatched_sends.size(),
@@ -98,12 +131,13 @@ int main(int raw_argc, char** raw_argv) {
     }
   } stats_dump{want_stats};
   if (argc < 3) {
-    std::cerr << "usage: tdbg_trace {dump|stats|convert|svg|graph} <file> "
-                 "[args] [--stats]\n";
+    std::cerr << "usage: tdbg_trace {info|dump|stats|convert|svg|graph} "
+                 "<file> [args] [--stats]\n";
     return 2;
   }
   const std::string mode = argv[1];
   try {
+    if (mode == "info") return info(argv[2]);
     if (mode == "merge") {
       if (argc < 4) {
         std::cerr << "merge needs an output and at least one input\n";
@@ -115,7 +149,10 @@ int main(int raw_argc, char** raw_argv) {
       std::cout << "wrote " << argv[2] << "\n";
       return 0;
     }
-    const auto trace = trace::read_trace(argv[2]);
+    // open_trace is lazy for indexed v2 files: whole-trace modes below
+    // still work, but windowed/point access never faults in more than
+    // the touched segments.
+    const auto trace = trace::open_trace(argv[2]);
     if (mode == "dump") return dump(trace);
     if (mode == "stats") return stats(trace);
     if (mode == "profile") {
@@ -140,10 +177,21 @@ int main(int raw_argc, char** raw_argv) {
         std::cerr << "convert needs an output path\n";
         return 2;
       }
-      const auto format =
-          argc > 4 && std::string(argv[4]) == "text"
-              ? trace::TraceFormat::kText
-              : trace::TraceFormat::kBinary;
+      auto format = trace::TraceFormat::kBinary;
+      if (argc > 4) {
+        const std::string name = argv[4];
+        if (name == "text") {
+          format = trace::TraceFormat::kText;
+        } else if (name == "v1" || name == "binary-v1") {
+          format = trace::TraceFormat::kBinaryV1;
+        } else if (name == "v2" || name == "binary" || name == "binary-v2") {
+          format = trace::TraceFormat::kBinary;
+        } else {
+          std::cerr << "unknown format " << name
+                    << " (expected text|v1|v2)\n";
+          return 2;
+        }
+      }
       trace::write_trace(argv[3], trace, format);
       std::cout << "wrote " << argv[3] << "\n";
       return 0;
