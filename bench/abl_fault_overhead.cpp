@@ -1,0 +1,140 @@
+// Ablation A7 — the fault-injection seams (google-benchmark).
+//
+// The fault engine's contract (ISSUE: fault injection) is that with no
+// injector installed the runtime pays exactly one pointer test per
+// send and per receive — cheap enough to leave the seams compiled in
+// everywhere, like the obs metrics layer.  Before the benchmark table,
+// main() asserts that contract directly: the median cost of the
+// null-injector check must be within a small factor of a bare relaxed
+// load.  The table then puts numbers on the three configurations a
+// debugging session actually runs: no injector, an armed-but-empty
+// engine, and an active delay plan.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "fault/engine.hpp"
+#include "fault/plan.hpp"
+#include "mpi/fault_injector.hpp"
+#include "mpi/runtime.hpp"
+#include "support/clock.hpp"
+
+namespace {
+
+using namespace tdbg;
+
+/// Rank 0 streams `msgs` small eager messages to rank 1.
+mpi::RankBody pipeline_body(int msgs) {
+  return [msgs](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < msgs; ++i) comm.send_value<int>(i, 1, /*tag=*/3);
+    } else {
+      for (int i = 0; i < msgs; ++i) comm.recv_value<int>(0, /*tag=*/3);
+    }
+  };
+}
+
+double run_pipeline(mpi::FaultInjector* injector,
+                    mpi::ProfilingHooks* hooks, int msgs) {
+  mpi::RunOptions options;
+  options.fault_injector = injector;
+  options.hooks = hooks;
+  const auto start = support::now_ns();
+  const auto result = mpi::run(2, pipeline_body(msgs), options);
+  const auto elapsed = support::now_ns() - start;
+  if (!result.completed) std::abort();
+  return static_cast<double>(elapsed) / static_cast<double>(msgs);
+}
+
+void BM_PipelineNoInjector(benchmark::State& state) {
+  constexpr int kMsgs = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(nullptr, nullptr, kMsgs));
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_PipelineNoInjector)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineEmptyEngine(benchmark::State& state) {
+  constexpr int kMsgs = 20000;
+  for (auto _ : state) {
+    fault::FaultEngine engine(fault::FaultPlan{}, 2);
+    benchmark::DoNotOptimize(run_pipeline(&engine, engine.hooks(), kMsgs));
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_PipelineEmptyEngine)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineDelayPlan(benchmark::State& state) {
+  // Active faults are *supposed* to cost time; this row shows the
+  // delay_storm plan's injected latency dominating honest overhead.
+  constexpr int kMsgs = 2000;
+  for (auto _ : state) {
+    fault::FaultEngine engine(fault::FaultPlan::named("delay_storm", 7), 2);
+    benchmark::DoNotOptimize(run_pipeline(&engine, engine.hooks(), kMsgs));
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_PipelineDelayPlan)->Unit(benchmark::kMillisecond);
+
+/// Median ns/op of `op` over `reps` batches of `iters` calls.
+template <typename Op>
+double median_ns_per_op(const Op& op, int reps = 9, int iters = 2000000) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = support::now_ns();
+    for (int i = 0; i < iters; ++i) op();
+    const auto elapsed = support::now_ns() - start;
+    samples.push_back(static_cast<double>(elapsed) /
+                      static_cast<double>(iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// The contract assert: the per-send null-injector check (load a
+/// pointer, compare, branch not taken) ≈ a bare relaxed load.  Runs
+/// before the benchmark table so a regression fails the binary
+/// (exit 1) even when nobody reads the table.
+bool assert_disabled_cost() {
+  std::atomic<bool> flag{false};
+  const double load_ns = median_ns_per_op([&] {
+    benchmark::DoNotOptimize(flag.load(std::memory_order_relaxed));
+  });
+
+  mpi::FaultInjector* injector = nullptr;
+  benchmark::DoNotOptimize(injector);  // opaque to the optimizer
+  const double check_ns = median_ns_per_op([&] {
+    benchmark::DoNotOptimize(injector != nullptr);
+  });
+
+  const double budget_ns = 4.0 * load_ns + 2.0;
+  // stderr: keeps --benchmark_format=json output parseable.
+  std::fprintf(stderr,
+               "disabled-fault contract: relaxed load %.3f ns/op, "
+               "null-injector check %.3f ns/op (budget %.3f)\n",
+               load_ns, check_ns, budget_ns);
+  if (check_ns > budget_ns) {
+    std::fprintf(stderr,
+                 "FAIL: the null-injector check costs %.3f ns/op, more than "
+                 "the %.3f ns/op budget — the disabled fault path is no "
+                 "longer a single pointer test\n",
+                 check_ns, budget_ns);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!assert_disabled_cost()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Measures the PR-4 fault-injection seams and emits
+# BENCH_pr4_fault.json next to the sources: medians of the three
+# pipeline configurations (no injector / armed-but-empty engine /
+# active delay plan), the per-message overhead of the empty engine,
+# and the disabled-path contract result from abl_fault_overhead's
+# built-in assert.
+#
+# Exits nonzero if:
+#   - the binary's own disabled-cost contract fails (exit 1 from the
+#     bench: the null-injector check is no longer a pointer test), or
+#   - the armed-but-empty engine costs more than 2x the no-injector
+#     pipeline per message (the seams must stay cheap even when a
+#     session arms an engine with no matching rules).
+#
+# Usage: scripts/bench_pr4_fault.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr4_fault.json"
+
+[[ -x "$bdir/bench/abl_fault_overhead" ]] || {
+  echo "missing $bdir/bench/abl_fault_overhead — build the bench targets first" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The binary exits 1 if the null-injector check drifts past its
+# relaxed-load budget — propagate that as our own failure.
+"$bdir/bench/abl_fault_overhead" \
+  --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$tmp/fault.json"
+
+python3 - "$tmp/fault.json" "$out" <<'PY'
+import json
+import sys
+
+src, out = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    data = json.load(f)
+
+medians = {}
+items_per_sec = {}
+for b in data["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["name"].removesuffix("_median")
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    medians[name] = b["real_time"] * scale  # normalize to ns
+    if "items_per_second" in b:
+        items_per_sec[name] = b["items_per_second"]
+
+required = [
+    "BM_PipelineNoInjector", "BM_PipelineEmptyEngine",
+    "BM_PipelineDelayPlan",
+]
+missing = [n for n in required if n not in medians]
+assert not missing, f"benchmark output missing {missing}"
+
+# Per-message medians from wall-clock iteration time (the pipeline
+# rows batch 20000 / 20000 / 2000 messages per iteration; the
+# items_per_second counter uses CPU time, which undercounts a run
+# whose work happens on rank threads).
+batch = {
+    "BM_PipelineNoInjector": 20000,
+    "BM_PipelineEmptyEngine": 20000,
+    "BM_PipelineDelayPlan": 2000,
+}
+ns_per_msg = {n: medians[n] / batch[n] for n in required}
+empty_x = (ns_per_msg["BM_PipelineEmptyEngine"] /
+           ns_per_msg["BM_PipelineNoInjector"])
+delay_x = (ns_per_msg["BM_PipelineDelayPlan"] /
+           ns_per_msg["BM_PipelineNoInjector"])
+
+doc = {
+    "pr": 4,
+    "description": "Fault-injection seam overhead on a 2-rank eager "
+                   "pipeline (medians of 3 reps): no injector vs "
+                   "armed-but-empty FaultEngine vs active delay_storm "
+                   "plan; times in ns per message",
+    "median_ns_per_msg": {k: round(v, 1) for k, v in sorted(ns_per_msg.items())},
+    "overhead_x": {
+        "empty_engine": round(empty_x, 2),
+        "delay_plan": round(delay_x, 2),
+    },
+    "acceptance": {
+        "empty_engine_overhead_x": round(empty_x, 2),
+        "max_allowed_x": 2.0,
+        "disabled_path_contract": "asserted by abl_fault_overhead itself "
+                                  "(exit 1 on drift)",
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+print(f"  empty-engine overhead: {doc['overhead_x']['empty_engine']}x")
+print(f"  delay-plan cost:       {doc['overhead_x']['delay_plan']}x")
+sys.exit(0 if empty_x <= 2.0 else 1)
+PY

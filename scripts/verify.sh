@@ -9,18 +9,25 @@
 #                no-ops; hammering tests GTEST_SKIP; everything else must
 #                still pass
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
-#                runs the concurrency-heavy suites (ctest -L "mpi|trace|perf")
-#                and must report zero races
+#                runs the concurrency-heavy suites
+#                (ctest -L "mpi|trace|perf|fault") and must report zero
+#                races — the fault label covers the injection seams,
+#                which perturb the hot path from extra threadside angles
 #   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
 #                runs the store/query-heavy suites
-#                (ctest -L "trace|analysis|viz") and must report zero
-#                memory or UB findings
+#                (ctest -L "trace|analysis|viz|fault") and must report
+#                zero memory or UB findings (payload corruption and
+#                held-message buffers live here)
 #
 # Extras under metrics-on:
 #   - ctest -L obs        (the obs label must select the obs suite)
 #   - abl_metrics_cost    (asserts the disabled-metric ≤ relaxed-load
 #                          budget contract; exits nonzero on drift)
+#   - abl_fault_overhead  (asserts the null-injector pointer-test
+#                          budget contract; exits nonzero on drift)
 #   - tdbg_cli ring4 --stats smoke (per-rank sends/recvs/bytes visible)
+#   - tdbg_cli ring4 --fault-plan deadlock_ring smoke (injected hold
+#     must deadlock the ring and flush a readable partial trace)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,7 +53,7 @@ cmake --build "$tsan_bdir" -j "$jobs"
 # scrolling past; second_deadlock_stack for readable lock reports.
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
- ctest -L 'mpi|trace|perf' --output-on-failure -j "$jobs")
+ ctest -L 'mpi|trace|perf|fault' --output-on-failure -j "$jobs")
 
 echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
 asan_bdir="$repo/build-verify-asan-ubsan"
@@ -57,7 +64,7 @@ cmake --build "$asan_bdir" -j "$jobs"
 (cd "$asan_bdir" && \
  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
- ctest -L 'trace|analysis|viz' --output-on-failure -j "$jobs")
+ ctest -L 'trace|analysis|viz|fault' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 
@@ -66,6 +73,23 @@ echo "=== ctest -L obs ==="
 
 echo "=== abl_metrics_cost contract ==="
 "$bdir/bench/abl_metrics_cost" --benchmark_min_time=0.05
+
+echo "=== abl_fault_overhead contract ==="
+"$bdir/bench/abl_fault_overhead" --benchmark_min_time=0.05
+
+echo "=== tdbg_cli fault-plan smoke ==="
+fault_tmp="$(mktemp -d)"
+(cd "$fault_tmp" && \
+ printf 'faults\nquit\n' | \
+ "$bdir/tools/tdbg_cli" ring4 --fault-seed 42 --fault-plan deadlock_ring \
+   --auto-record >cli.out 2>cli.err) || true
+grep -q 'DEADLOCKED' "$fault_tmp/cli.out" || {
+  echo "FAIL: deadlock_ring plan did not deadlock the ring" >&2; exit 1; }
+grep -q 'fault plan' "$fault_tmp/cli.out" || {
+  echo "FAIL: faults command missing from CLI output" >&2; exit 1; }
+[[ -f "$fault_tmp/tdbg_fault_partial.trc" ]] || {
+  echo "FAIL: hung faulted run did not flush a partial trace" >&2; exit 1; }
+rm -rf "$fault_tmp"
 
 echo "=== tdbg_cli ring4 --stats smoke ==="
 out="$(printf 'record\nquit\n' | "$bdir/tools/tdbg_cli" ring4 --stats)"

@@ -61,6 +61,7 @@ std::string CommandInterpreter::help() {
   export {calls|comm|trace} {dot|vcg} <path>   write a graph file
   frontiers <rank> <marker>      past/future frontier of an event
   stats [rank|-json]             runtime/collector/replay/analysis metrics
+  faults                         armed fault plan and injected-fault records
   help | quit
 )";
 }
@@ -116,6 +117,9 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
                                       : " (built with TDBG_METRICS=OFF)\n")
                            : text};
     }
+
+    // Works before `record` too: shows the armed plan (if any).
+    if (cmd == "faults") return cmd_faults();
 
     // Live-session commands that need no recorded trace yet.
     if (debugger_.live()) {
@@ -489,6 +493,20 @@ CommandResult CommandInterpreter::cmd_races() {
       os << "  rank " << recv.rank << " marker " << recv.marker << ": "
          << race.candidates.size() << " alternative sender(s)\n";
     }
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_faults() {
+  std::ostringstream os;
+  if (!debugger_.fault_plan()) {
+    os << "no fault plan armed\n";
+    return {true, false, os.str()};
+  }
+  if (const auto* engine = debugger_.fault_engine(); engine != nullptr) {
+    os << engine->describe();
+  } else {
+    os << "armed (not yet recorded): " << debugger_.fault_plan()->describe();
   }
   return {true, false, os.str()};
 }

@@ -35,11 +35,22 @@ std::vector<replay::StopInfo> Debugger::launch(
   return active_->run_to(stopline);
 }
 
+void Debugger::set_fault_plan(fault::FaultPlan plan) {
+  TDBG_CHECK(!recorded_ && !live_,
+             "fault plan must be armed before record()/launch()");
+  fault_plan_ = std::move(plan);
+}
+
 const mpi::RunResult& Debugger::record() {
   TDBG_CHECK(!recorded_ && !live_, "record() may only run once per session");
   TDBG_CHECK(can_replay(), "post-mortem session has no target to run");
   replay::RecordOptions rec_options;
   rec_options.session = options_.session;
+  if (fault_plan_) {
+    fault_engine_ =
+        std::make_unique<fault::FaultEngine>(*fault_plan_, num_ranks_);
+    rec_options.fault_engine = fault_engine_.get();
+  }
   recorded_run_ = replay::record(num_ranks_, body_, rec_options);
   recorded_ = true;
   return recorded_run_.result;

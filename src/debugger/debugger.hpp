@@ -8,6 +8,8 @@
 #include "analysis/races.hpp"
 #include "analysis/traffic.hpp"
 #include "debugger/process_groups.hpp"
+#include "fault/engine.hpp"
+#include "fault/plan.hpp"
 #include "graph/action_graph.hpp"
 #include "causality/causal_order.hpp"
 #include "graph/call_graph.hpp"
@@ -72,6 +74,23 @@ class Debugger {
   /// Runs the target to completion (or crash/deadlock) with recording
   /// installed.  Must be called before anything else.
   const mpi::RunResult& record();
+
+  /// Arms fault injection: `record()` compiles the plan into a fresh
+  /// `fault::FaultEngine` and runs the target under it, so the trace
+  /// carries `kFaultInjected` events alongside the history they
+  /// perturbed.  Must be called before `record()`/`launch()`.
+  void set_fault_plan(fault::FaultPlan plan);
+
+  /// The engine of the faulted recorded run (its injection counts and
+  /// records), or null when no fault plan is armed / recorded yet.
+  [[nodiscard]] const fault::FaultEngine* fault_engine() const {
+    return fault_engine_.get();
+  }
+
+  /// The armed fault plan, if any.
+  [[nodiscard]] const std::optional<fault::FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
 
   /// The recorded execution history.
   [[nodiscard]] const trace::Trace& trace() const;
@@ -206,6 +225,8 @@ class Debugger {
 
   bool recorded_ = false;
   bool live_ = false;
+  std::optional<fault::FaultPlan> fault_plan_;
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
   replay::RecordedRun recorded_run_;
   std::optional<causality::CausalOrder> order_;
 

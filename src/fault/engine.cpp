@@ -1,0 +1,314 @@
+#include "fault/engine.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "instrument/session.hpp"
+#include "mpi/mailbox.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "trace/event.hpp"
+
+namespace tdbg::fault {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& injections;
+  std::array<obs::Counter*, 6> by_kind;
+  obs::Histogram& delay_ns;
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return FaultMetrics{
+        reg.counter("fault.injections"),
+        {&reg.counter("fault.injections.delay"),
+         &reg.counter("fault.injections.reorder"),
+         &reg.counter("fault.injections.corrupt"),
+         &reg.counter("fault.injections.crash"),
+         &reg.counter("fault.injections.slow_rank"),
+         &reg.counter("fault.injections.widen")},
+        reg.histogram("fault.delay_ns", obs::Unit::kNanoseconds)};
+  }();
+  return m;
+}
+
+void sleep_ns(std::uint64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(FaultPlan plan, int num_ranks)
+    : plan_(std::move(plan)), num_ranks_(num_ranks), hooks_(this) {
+  TDBG_CHECK(num_ranks > 0, "fault engine needs at least one rank");
+  const support::SplitMix64 root(plan_.seed);
+  ranks_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->rng = root.split(static_cast<std::uint64_t>(r));
+    ranks_.push_back(std::move(st));
+  }
+}
+
+FaultEngine::~FaultEngine() = default;
+
+bool FaultEngine::rule_fires(const FaultRule& rule, RankState& st,
+                             mpi::Rank acting, mpi::Tag tag,
+                             std::uint64_t op) const {
+  if (rule.rank != kAnyRank && rule.rank != acting) return false;
+  if (rule.tag != mpi::kAnyTag && rule.tag != tag) return false;
+  if (op < rule.window_lo || op > rule.window_hi) return false;
+  if (rule.rate >= 1.0) return true;
+  return st.rng.next_double() < rule.rate;
+}
+
+void FaultEngine::note(RankState& st, const FaultRecord& rec,
+                       support::TimeNs t_start, support::TimeNs t_end) {
+  injections_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<std::size_t>(rec.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(st.records_mu);
+    st.records.push_back(rec);
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    auto& m = fault_metrics();
+    m.injections.add(rec.rank);
+    m.by_kind[static_cast<std::size_t>(rec.kind)]->add(rec.rank);
+    if (rec.kind == FaultKind::kDelay || rec.kind == FaultKind::kSlowRank) {
+      m.delay_ns.record(rec.rank, rec.param);
+    }
+  }
+  // First-class trace record, so the faulted history explains itself
+  // and replay can cross-check its own injections against the
+  // recording's.  The session binding is thread-local to the acting
+  // rank; outside an instrumented run nothing is emitted.
+  if (auto* session = instr::Session::current(); session != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kFaultInjected;
+    e.rank = rec.rank;
+    e.marker = session->counter(rec.rank);
+    e.construct = trace::kNoConstruct;
+    e.t_start = t_start;
+    e.t_end = t_end;
+    e.peer = rec.peer;
+    e.tag = rec.tag;
+    e.channel_seq = rec.op;
+    e.bytes = pack_fault_bytes(rec.kind, rec.param);
+    session->record_event(e);
+  }
+}
+
+void FaultEngine::deliver(mpi::Mailbox& mailbox, mpi::Message&& msg) {
+  RankState& st = state(msg.source);
+  const std::uint64_t op = st.send_ops++;
+  const mpi::Rank sender = msg.source;
+  const mpi::Rank dest = msg.dest;
+
+  bool hold = false;
+  bool reorder = false;
+  std::uint64_t delay = 0;
+  bool corrupt = false;
+  for (const FaultRule& rule : plan_.rules) {
+    switch (rule.kind) {
+      case FaultKind::kDelay:
+        if (!hold && delay == 0 && rule_fires(rule, st, sender, msg.tag, op)) {
+          // A held rendezvous message would block its sender forever
+          // *inside the ssend* — that is sender breakage, not message
+          // loss — so holds apply to eager sends only.
+          if (rule.param == 0 && !msg.synchronous) {
+            hold = true;
+          } else if (rule.param != 0) {
+            delay = rule.param;
+          }
+        }
+        break;
+      case FaultKind::kReorder:
+        if (!reorder && !msg.synchronous &&
+            rule_fires(rule, st, sender, msg.tag, op)) {
+          reorder = true;
+        }
+        break;
+      case FaultKind::kCorrupt:
+        if (!corrupt && msg.payload_size() > 0 &&
+            rule_fires(rule, st, sender, msg.tag, op)) {
+          corrupt = true;
+        }
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kSlowRank:
+      case FaultKind::kWidenMatch:
+        break;  // call-site / receive-site kinds; not a delivery fault
+    }
+  }
+
+  if (corrupt) {
+    const auto payload = msg.payload();
+    std::vector<std::byte> flipped(payload.begin(), payload.end());
+    const std::uint64_t at = st.rng.next_below(flipped.size());
+    flipped[at] ^= std::byte{0xFF};
+    msg.set_payload(flipped);
+    const auto t = support::now_ns();
+    note(st, FaultRecord{FaultKind::kCorrupt, sender, dest, msg.tag, op, at},
+         t, t);
+  }
+
+  if (hold) {
+    // The message is never delivered: its send completes (it already
+    // did, eagerly), but no receive can ever match it — exactly the
+    // "lost message" the supervision detector reports as an unmatched
+    // send, and the raw material of the deadlock_ring plan.
+    const auto t = support::now_ns();
+    note(st, FaultRecord{FaultKind::kDelay, sender, dest, msg.tag, op, 0}, t,
+         t);
+    return;
+  }
+
+  if (delay != 0) {
+    const auto t0 = support::now_ns();
+    sleep_ns(delay);
+    note(st, FaultRecord{FaultKind::kDelay, sender, dest, msg.tag, op, delay},
+         t0, t0 + static_cast<support::TimeNs>(delay));
+  }
+
+  if (reorder) {
+    bool already_held = false;
+    for (const Held& h : st.held) {
+      if (h.msg.dest == dest) {
+        already_held = true;  // bounded: one held message per channel
+        break;
+      }
+    }
+    if (!already_held) {
+      const auto t = support::now_ns();
+      note(st, FaultRecord{FaultKind::kReorder, sender, dest, msg.tag, op, 0},
+           t, t);
+      st.held.push_back(Held{&mailbox, std::move(msg)});
+      return;
+    }
+  }
+
+  mailbox.deliver(std::move(msg));
+
+  // Completing a swap: the message held from an earlier reorder
+  // injection follows the one that just overtook it.  Same sender
+  // thread, so the channel's SPSC discipline is preserved — only the
+  // *order* (and therefore the seq numbering) is perturbed.
+  for (auto it = st.held.begin(); it != st.held.end(); ++it) {
+    if (it->msg.dest == dest) {
+      mpi::Mailbox* box = it->mailbox;
+      mpi::Message held = std::move(it->msg);
+      st.held.erase(it);
+      box->deliver(std::move(held));
+      break;
+    }
+  }
+}
+
+mpi::Rank FaultEngine::post_receive(mpi::Rank receiver, mpi::Rank source,
+                                    mpi::Tag tag, std::uint64_t recv_index) {
+  if (source == mpi::kAnySource) return source;  // nothing to widen
+  RankState& st = state(receiver);
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != FaultKind::kWidenMatch) continue;
+    if (!rule_fires(rule, st, receiver, tag, recv_index)) continue;
+    const auto t = support::now_ns();
+    note(st,
+         FaultRecord{FaultKind::kWidenMatch, receiver, source, tag, recv_index,
+                     0},
+         t, t);
+    return mpi::kAnySource;
+  }
+  return source;
+}
+
+void FaultEngine::call_begin(const mpi::CallInfo& info) {
+  RankState& st = state(info.rank);
+  const std::uint64_t call = ++st.calls;
+  for (const FaultRule& rule : plan_.rules) {
+    switch (rule.kind) {
+      case FaultKind::kSlowRank:
+        if (rule.param != 0 && rule_fires(rule, st, info.rank, info.tag, call)) {
+          const auto t0 = support::now_ns();
+          sleep_ns(rule.param);
+          note(st,
+               FaultRecord{FaultKind::kSlowRank, info.rank, -1, mpi::kAnyTag,
+                           call, rule.param},
+               t0, t0 + static_cast<support::TimeNs>(rule.param));
+        }
+        break;
+      case FaultKind::kCrash:
+        // Deterministic by construction (no rate draw): the rank dies
+        // entering its param-th profiled call.  The record and trace
+        // event land first, then the throw unwinds the body before any
+        // later hook observes the call — ground truth for what the
+        // supervision detector must reconstruct.
+        if ((rule.rank == kAnyRank || rule.rank == info.rank) &&
+            call == rule.param) {
+          const auto t = support::now_ns();
+          note(st,
+               FaultRecord{FaultKind::kCrash, info.rank, -1, mpi::kAnyTag,
+                           call, rule.param},
+               t, t);
+          throw InjectedCrash("injected crash: rank " +
+                              std::to_string(info.rank) + " at call " +
+                              std::to_string(call));
+        }
+        break;
+      case FaultKind::kDelay:
+      case FaultKind::kReorder:
+      case FaultKind::kCorrupt:
+      case FaultKind::kWidenMatch:
+        break;  // delivery / receive-site kinds
+    }
+  }
+}
+
+void FaultEngine::flush_rank(mpi::Rank rank) {
+  // Rank finish, on the rank's own thread: release any reorder-held
+  // messages so a swap interrupted by program end does not turn into
+  // an accidental hold.
+  RankState& st = state(rank);
+  for (Held& h : st.held) h.mailbox->deliver(std::move(h.msg));
+  st.held.clear();
+}
+
+std::vector<FaultRecord> FaultEngine::records() const {
+  std::vector<FaultRecord> out;
+  for (const auto& st : ranks_) {
+    std::lock_guard lk(st->records_mu);
+    out.insert(out.end(), st->records.begin(), st->records.end());
+  }
+  return out;
+}
+
+std::string FaultEngine::describe() const {
+  std::ostringstream os;
+  os << "fault plan: " << plan_.describe() << "\n";
+  os << "injections: " << injection_count();
+  bool any = false;
+  for (std::size_t k = 0; k < by_kind_.size(); ++k) {
+    const auto n = by_kind_[k].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    os << (any ? ", " : " (");
+    os << fault_kind_name(static_cast<FaultKind>(k)) << "=" << n;
+    any = true;
+  }
+  if (any) os << ")";
+  os << "\n";
+  for (const auto& rec : records()) {
+    os << "  " << fault_kind_name(rec.kind) << " rank=" << rec.rank;
+    if (rec.peer >= 0) os << " peer=" << rec.peer;
+    if (rec.tag != mpi::kAnyTag) os << " tag=" << rec.tag;
+    os << " op=" << rec.op;
+    if (rec.param != 0) os << " param=" << rec.param;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::fault

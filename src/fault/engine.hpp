@@ -1,0 +1,180 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "mpi/fault_injector.hpp"
+#include "mpi/hooks.hpp"
+#include "mpi/message.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+/// \file engine.hpp
+/// The fault engine compiles a `FaultPlan` into live injections.  Two
+/// attachment points cover every fault kind:
+///
+///   - `mpi::FaultInjector` (install via `RunOptions::fault_injector`)
+///     intercepts user-tag deliveries on the sender's thread (delay,
+///     hold, reorder, corrupt) and receive postings on the receiver's
+///     thread (match widening);
+///   - `hooks()` (a `ProfilingHooks` child — install FIRST on the
+///     `HookFanout`, so a crash unwinds before the call is observed)
+///     drives call-entry faults (crash, slow rank) and flushes
+///     reorder-held messages at rank finish.
+///
+/// Determinism: every decision is drawn from the acting rank's own
+/// SplitMix64 stream (`plan.seed` split by rank), consumed in that
+/// rank's program order.  No wall-clock input, no shared state on the
+/// decision path — same seed, same program ⇒ same injection sequence,
+/// on record and on replay.
+///
+/// Every injection is (a) appended to the acting rank's record list
+/// (the authoritative sequence the determinism and replay-fidelity
+/// tests compare), (b) emitted as an `EventKind::kFaultInjected` trace
+/// record through the thread-local instrumentation session when one is
+/// live, and (c) counted in the `fault.*` obs metrics.
+
+namespace tdbg::fault {
+
+/// Thrown by a crash rule inside the rank body; the runtime reports it
+/// as a `RankFailure` and aborts the run, exactly like an application
+/// exception.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One injection that actually happened.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kDelay;
+  mpi::Rank rank = 0;   ///< acting rank (sender / receiver / crasher)
+  mpi::Rank peer = -1;  ///< other endpoint, -1 for call-site faults
+  mpi::Tag tag = mpi::kAnyTag;
+  std::uint64_t op = 0;     ///< acting rank's opportunity index
+  std::uint64_t param = 0;  ///< delay ns / call number / byte offset
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
+};
+
+/// Packs (kind, param) into the `bytes` field of a kFaultInjected
+/// trace event: kind in the top byte, param in the low 56 bits.
+[[nodiscard]] constexpr std::uint64_t pack_fault_bytes(FaultKind kind,
+                                                       std::uint64_t param) {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (param & ((std::uint64_t{1} << 56) - 1));
+}
+[[nodiscard]] constexpr FaultKind unpack_fault_kind(std::uint64_t bytes) {
+  return static_cast<FaultKind>(bytes >> 56);
+}
+[[nodiscard]] constexpr std::uint64_t unpack_fault_param(std::uint64_t bytes) {
+  return bytes & ((std::uint64_t{1} << 56) - 1);
+}
+
+class FaultEngine final : public mpi::FaultInjector {
+ public:
+  FaultEngine(FaultPlan plan, int num_ranks);
+  ~FaultEngine() override;
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// The hook child for the run's `HookFanout`.  Install it FIRST: its
+  /// begin-side must run before the session/recorder so an injected
+  /// crash unwinds before the crashed call is observed anywhere.
+  [[nodiscard]] mpi::ProfilingHooks* hooks() { return &hooks_; }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+
+  // --- mpi::FaultInjector ---------------------------------------------------
+  void deliver(mpi::Mailbox& mailbox, mpi::Message&& msg) override;
+  mpi::Rank post_receive(mpi::Rank receiver, mpi::Rank source, mpi::Tag tag,
+                         std::uint64_t recv_index) override;
+
+  /// Total injections so far (any thread).
+  [[nodiscard]] std::uint64_t injection_count() const {
+    return injections_.load(std::memory_order_relaxed);
+  }
+
+  /// Injections of one kind so far (any thread).
+  [[nodiscard]] std::uint64_t injection_count(FaultKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Every injection, grouped by acting rank (rank 0's records first,
+  /// each rank's in its program order — the deterministic sequence the
+  /// tests compare).  Safe while the run is live.
+  [[nodiscard]] std::vector<FaultRecord> records() const;
+
+  /// Active rules + injections so far (debugger `faults` command).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  /// The ProfilingHooks face (separate object so the engine can also
+  /// be a FaultInjector without a diamond).
+  class Hooks : public mpi::ProfilingHooks {
+   public:
+    explicit Hooks(FaultEngine* engine) : engine_(engine) {}
+    void on_call_begin(const mpi::CallInfo& info) override {
+      engine_->call_begin(info);
+    }
+    void on_rank_finish(mpi::Rank rank) override {
+      engine_->flush_rank(rank);
+    }
+
+   private:
+    FaultEngine* engine_;
+  };
+
+  /// A reorder-held message waiting for the sender's next delivery to
+  /// the same destination (or for rank finish).
+  struct Held {
+    mpi::Mailbox* mailbox = nullptr;
+    mpi::Message msg;
+  };
+
+  /// Per-rank decision state.  Touched only by the owning rank's
+  /// thread except `records`, which `records()`/`describe()` read
+  /// under the mutex.
+  struct alignas(64) RankState {
+    support::SplitMix64 rng{0};
+    std::uint64_t send_ops = 0;
+    std::uint64_t calls = 0;
+    std::vector<Held> held;  ///< at most one per destination
+    mutable std::mutex records_mu;
+    std::vector<FaultRecord> records;
+  };
+
+  void call_begin(const mpi::CallInfo& info);
+  void flush_rank(mpi::Rank rank);
+
+  /// Scope + rate check for one rule at one opportunity; consumes one
+  /// RNG draw only when the rule is otherwise eligible and rate < 1.
+  bool rule_fires(const FaultRule& rule, RankState& st, mpi::Rank acting,
+                  mpi::Tag tag, std::uint64_t op) const;
+
+  /// Records the injection (rank list + trace event + metrics).
+  void note(RankState& st, const FaultRecord& rec, support::TimeNs t_start,
+            support::TimeNs t_end);
+
+  RankState& state(mpi::Rank rank) {
+    return *ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  FaultPlan plan_;
+  int num_ranks_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  Hooks hooks_;
+
+  std::atomic<std::uint64_t> injections_{0};
+  std::array<std::atomic<std::uint64_t>, 6> by_kind_{};
+};
+
+}  // namespace tdbg::fault

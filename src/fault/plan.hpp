@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+/// \file plan.hpp
+/// Declarative description of the faults to inject into a run.  A
+/// `FaultPlan` is a seed plus a list of rules; the `FaultEngine`
+/// compiles it into per-rank decision streams (see engine.hpp).  This
+/// is the ground-truth side of the analysis detectors: a plan *states*
+/// which bad thing will happen, the detectors must then find it —
+/// mirroring how MAD perturbs event ordering to expose nondeterminism
+/// and how reference-run comparison localizes faulty processes.
+
+namespace tdbg::fault {
+
+/// Rule scope wildcard for `FaultRule::rank`.
+inline constexpr mpi::Rank kAnyRank = -1;
+
+/// What a rule injects.
+enum class FaultKind : std::uint8_t {
+  kDelay,       ///< sender sleeps `param` ns before delivering; with
+                ///< `param == 0` the message is *held* forever (lost),
+                ///< which manufactures unmatched sends and deadlocks
+  kReorder,     ///< hold one message and deliver the sender's next
+                ///< message to the same destination first (bounded
+                ///< reordering: at most one message held per channel)
+  kCorrupt,     ///< flip one payload byte (position drawn from the
+                ///< rank's RNG stream; `param` records the offset)
+  kCrash,       ///< the rank throws `InjectedCrash` as it enters its
+                ///< `param`-th profiled call (1-based)
+  kSlowRank,    ///< the rank sleeps `param` ns at every profiled call
+  kWidenMatch,  ///< a tagged specific-source receive is posted as
+                ///< ANY_SOURCE, manufacturing a real message race
+};
+
+/// Human-readable kind name ("delay", "crash", ...).
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One injection rule.  A rule applies at an *injection opportunity*
+/// (a send delivery, a receive posting, or a profiled call entry,
+/// depending on the kind) when the scoping fields match; it then fires
+/// with probability `rate`, decided by the acting rank's own RNG
+/// stream so the decision sequence is deterministic per seed.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDelay;
+  double rate = 1.0;            ///< firing probability at eligible sites
+  mpi::Rank rank = kAnyRank;    ///< restrict to one acting rank
+  mpi::Tag tag = mpi::kAnyTag;  ///< restrict to one message tag
+  std::uint64_t param = 0;      ///< kind-specific (see FaultKind)
+  std::uint64_t window_lo = 0;  ///< first eligible opportunity index
+  std::uint64_t window_hi = ~std::uint64_t{0};  ///< last eligible index
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A seeded set of rules.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+  [[nodiscard]] std::string describe() const;
+
+  /// The built-in plan catalogue (`tdbg_cli --fault-plan <name>`):
+  ///   none          empty plan (engine present, nothing fires)
+  ///   delay_storm   25% of sends delayed 20us
+  ///   deadlock_ring rank 0 holds every send — a ring target deadlocks
+  ///   crash         rank 1 throws at its 4th profiled call
+  ///   corrupt       50% of payloads get one byte flipped
+  ///   reorder       40% of sends swapped with the sender's next send
+  ///   widen_races   every tagged receive widened to ANY_SOURCE
+  ///   slow_rank     rank 0 sleeps 50us at every call
+  /// Throws `UsageError` for an unknown name.
+  static FaultPlan named(std::string_view name, std::uint64_t seed = 0);
+
+  /// Names `named` accepts, for --help text and error messages.
+  static std::vector<std::string_view> names();
+};
+
+}  // namespace tdbg::fault

@@ -93,6 +93,7 @@ void TraceGraph::add_event(const trace::Event& event) {
     case trace::EventKind::kCollective:
     case trace::EventKind::kCompute:
     case trace::EventKind::kMark:
+    case trace::EventKind::kFaultInjected:
       break;  // not part of the trace-graph abstraction
   }
 }

@@ -84,7 +84,15 @@ void Comm::pmpi_send(std::span<const std::byte> data, Rank dest, Tag tag) {
   msg.dest = dest;
   msg.tag = tag;
   msg.set_payload(data);
-  world_->mailbox(dest).deliver(std::move(msg));
+  // Fault-injection seam: user-tag deliveries route through the
+  // injector (which may delay, hold, reorder, or corrupt); collective
+  // traffic and the injector-free path go straight to the mailbox.
+  FaultInjector* inj = world_->fault_injector();
+  if (inj != nullptr && tag <= kMaxUserTag) {
+    inj->deliver(world_->mailbox(dest), std::move(msg));
+  } else {
+    world_->mailbox(dest).deliver(std::move(msg));
+  }
 }
 
 void Comm::pmpi_ssend(std::span<const std::byte> data, Rank dest, Tag tag) {
@@ -102,7 +110,15 @@ void Comm::pmpi_ssend(std::span<const std::byte> data, Rank dest, Tag tag) {
   msg.synchronous = true;
   msg.sync_seq = ticket;
   msg.set_payload(data);
-  world_->mailbox(dest).deliver(std::move(msg));
+  // Same seam as pmpi_send.  The injector sees `synchronous` and must
+  // not hold or reorder a rendezvous message (the sender is blocked on
+  // it below); delay and corruption remain fair game.
+  FaultInjector* inj = world_->fault_injector();
+  if (inj != nullptr && tag <= kMaxUserTag) {
+    inj->deliver(world_->mailbox(dest), std::move(msg));
+  } else {
+    world_->mailbox(dest).deliver(std::move(msg));
+  }
 
   auto& slot =
       world_->shared().ssend_slots[static_cast<std::size_t>(rank_)].done_seq;
@@ -206,6 +222,14 @@ void Comm::ssend(std::span<const std::byte> data, Rank dest, Tag tag,
 Status Comm::recv(std::vector<std::byte>& out, Rank source, Tag tag,
                   const char* site) {
   check_user_tag(tag);
+  // Fault-injection seam: match widening rewrites a specific source to
+  // kAnySource *before* the CallInfo is built, so the hooks (and the
+  // trace record they produce) see a genuine wildcard receive — the
+  // race detector must not be able to tell a widened receive from one
+  // the program wrote.
+  if (FaultInjector* inj = world_->fault_injector(); inj != nullptr) {
+    source = inj->post_receive(rank_, source, tag, recv_index_);
+  }
   return profiled(CallInfo{CallKind::kRecv, rank_, source, tag, 0, site},
                   [&] { return pmpi_recv(out, source, tag); });
 }

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "mpi/types.hpp"
+
+namespace tdbg::mpi {
+
+class Mailbox;
+class Message;
+
+/// Seam through which a fault-injection engine perturbs the runtime
+/// without the runtime depending on it (`tdbg::fault` implements this;
+/// `src/mpi` sees only the interface).  Two injection points cover
+/// what the PMPI hooks cannot reach:
+///
+///   - `deliver` replaces the direct `mailbox.deliver(msg)` call on
+///     the *sender's* thread for user-tag point-to-point traffic, so
+///     an implementation can delay, hold, reorder, or corrupt the
+///     message before (or instead of) enqueueing it.  Implementations
+///     that do not act MUST forward the message unchanged.
+///
+///   - `post_receive` runs on the *receiver's* thread as a blocking
+///     user-level receive is posted, before the call is profiled or
+///     traced; returning `kAnySource` widens a tagged receive into a
+///     wildcard (manufacturing a real message race), returning
+///     `source` unchanged leaves the receive alone.
+///
+/// Both points are called from exactly one rank's own thread, so an
+/// implementation keyed on per-rank state needs no synchronization for
+/// decision-making.  A null injector on the `World` means the checks
+/// compile down to one pointer test on the hot path (asserted by
+/// `bench/abl_fault_overhead`).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Sender-side delivery seam (user tags only; collectives bypass).
+  virtual void deliver(Mailbox& mailbox, Message&& msg) = 0;
+
+  /// Receiver-side posting seam; returns the (possibly widened)
+  /// source the receive should be posted with.
+  virtual Rank post_receive(Rank receiver, Rank source, Tag tag,
+                            std::uint64_t recv_index) = 0;
+};
+
+}  // namespace tdbg::mpi

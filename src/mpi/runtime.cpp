@@ -118,7 +118,8 @@ RunResult run(int num_ranks, const RankBody& body, const RunOptions& options) {
 
   support::reset_run_epoch();
   const auto world_ptr =
-      std::make_shared<World>(num_ranks, options.hooks, options.controller);
+      std::make_shared<World>(num_ranks, options.hooks, options.controller,
+                              options.fault_injector);
   World& world = *world_ptr;
   if (options.on_world_ready) options.on_world_ready(world_ptr);
 

@@ -28,6 +28,11 @@ struct RunOptions {
   /// Match controller — installed by the replay engine (§4.2).
   MatchController* controller = nullptr;
 
+  /// Fault injector — installed by the `tdbg::fault` engine to perturb
+  /// user-level message traffic at the delivery and receive-post
+  /// seams.  Null (the default) costs one pointer test per send/recv.
+  FaultInjector* fault_injector = nullptr;
+
   /// Detect stable global quiescence and abort the run.
   bool deadlock_watchdog = true;
 

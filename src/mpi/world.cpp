@@ -4,8 +4,10 @@
 
 namespace tdbg::mpi {
 
-World::World(int size, ProfilingHooks* hooks, MatchController* controller)
-    : size_(size), hooks_(hooks), controller_(controller), shared_(size) {
+World::World(int size, ProfilingHooks* hooks, MatchController* controller,
+             FaultInjector* fault_injector)
+    : size_(size), hooks_(hooks), controller_(controller),
+      fault_injector_(fault_injector), shared_(size) {
   TDBG_CHECK(size > 0, "world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (Rank r = 0; r < size; ++r) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "mpi/fault_injector.hpp"
 #include "mpi/hooks.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/match_controller.hpp"
@@ -33,7 +34,8 @@ struct AbortInfo {
 /// ranks hold a pointer through their `Comm`.
 class World {
  public:
-  World(int size, ProfilingHooks* hooks, MatchController* controller);
+  World(int size, ProfilingHooks* hooks, MatchController* controller,
+        FaultInjector* fault_injector = nullptr);
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -46,6 +48,9 @@ class World {
 
   [[nodiscard]] ProfilingHooks* hooks() const { return hooks_; }
   [[nodiscard]] MatchController* controller() const { return controller_; }
+  [[nodiscard]] FaultInjector* fault_injector() const {
+    return fault_injector_;
+  }
   [[nodiscard]] MailboxShared& shared() { return shared_; }
   [[nodiscard]] const MailboxShared& shared() const { return shared_; }
 
@@ -67,6 +72,7 @@ class World {
   int size_;
   ProfilingHooks* hooks_;
   MatchController* controller_;
+  FaultInjector* fault_injector_;
   MailboxShared shared_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 

@@ -1,5 +1,6 @@
 #include "replay/record.hpp"
 
+#include "fault/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_hooks.hpp"
 #include "trace/collector.hpp"
@@ -19,14 +20,23 @@ RecordedRun record(int num_ranks, const mpi::RankBody& body,
   }
   instr::Session session(num_ranks, collector.get(), options.session);
   MatchRecorder recorder(num_ranks);
-  // Metrics first: begin-side runs before, end-side after, every other
-  // hook, so its timing windows bracket the whole instrumented call.
+  // Fault hooks (if any) first: an injected crash must unwind before
+  // the call is observed by anything.  Then metrics: begin-side runs
+  // before, end-side after, every other hook, so its timing windows
+  // bracket the whole instrumented call.
   obs::MetricsHooks metrics_hooks;
-  mpi::HookFanout hooks{&metrics_hooks, &session, &recorder};
+  mpi::HookFanout hooks;
+  if (options.fault_engine != nullptr) hooks.add(options.fault_engine->hooks());
+  hooks.add(&metrics_hooks);
+  hooks.add(&session);
+  hooks.add(&recorder);
 
   mpi::RunOptions run_options = options.run;
   run_options.hooks = &hooks;
   run_options.controller = nullptr;
+  if (options.fault_engine != nullptr) {
+    run_options.fault_injector = options.fault_engine;
+  }
 
   RecordedRun out;
   out.result = mpi::run(num_ranks, body, run_options);

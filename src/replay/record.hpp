@@ -13,6 +13,10 @@
 /// returns everything the trace-driven debugging features need — the
 /// trace, the match log, and the run outcome.
 
+namespace tdbg::fault {
+class FaultEngine;
+}
+
 namespace tdbg::replay {
 
 /// Configuration of a recorded run.
@@ -23,6 +27,13 @@ struct RecordOptions {
   /// Collect an in-memory trace (disable for overhead measurements
   /// where only markers should run).
   bool collect_trace = true;
+
+  /// Optional fault engine: its hooks are installed first on the
+  /// fanout (an injected crash unwinds before the call is observed)
+  /// and its injector is threaded to the runtime, so the recorded
+  /// trace carries the kFaultInjected records alongside the history
+  /// they perturbed.
+  fault::FaultEngine* fault_engine = nullptr;
 
   /// Forwarded to the runtime (hooks/controller fields are owned by
   /// the recorder and overwritten).

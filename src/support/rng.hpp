@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tdbg::support {
+
+/// Seeded, splittable PRNG (SplitMix64, Steele et al., OOPSLA 2014).
+///
+/// This is the determinism workhorse for the fault-injection layer and
+/// the randomized stress tests: each rank derives its own stream with
+/// `split(rank)` and consumes it in that rank's program order, so no
+/// shared state is touched on the hot path and the sequence a rank
+/// sees is a pure function of (seed, stream, draw index) — identical
+/// across platforms, thread schedules, and record/replay runs.
+///
+/// The generator is the canonical SplitMix64: 64 bits of state, one
+/// addition and three xor-shift-multiply rounds per draw.  Its output
+/// for a given seed is fixed by the algorithm (unit tests pin golden
+/// values), which is exactly what "same seed ⇒ same faults" needs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); 0 when bound == 0.  Modulo reduction
+  /// — the bias is ~bound/2^64, irrelevant for fault rates and test
+  /// shuffles, and keeping it branch-free keeps the sequence identical
+  /// everywhere (a rejection loop's draw count would depend on bound).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1), from the top 53 bits of one draw.
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derives an independent child stream without advancing this
+  /// generator: the child's seed mixes the current state with the
+  /// stream id through the SplitMix64 finalizer, so `split(a)` and
+  /// `split(b)` (a != b) produce statistically unrelated sequences and
+  /// `split` is a pure function of (state, stream).
+  [[nodiscard]] constexpr SplitMix64 split(std::uint64_t stream) const {
+    std::uint64_t z = state_ + (stream + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return SplitMix64(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tdbg::support

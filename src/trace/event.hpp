@@ -31,8 +31,12 @@ enum class EventKind : std::uint8_t {
   kSend,        ///< completed (buffered or synchronous) send
   kRecv,        ///< completed receive
   kCollective,  ///< completed collective operation
-  kCompute,     ///< explicit computation block
-  kMark,        ///< user annotation
+  kCompute,        ///< explicit computation block
+  kMark,           ///< user annotation
+  kFaultInjected,  ///< a fault the `tdbg::fault` engine injected here
+                   ///< (rank = injecting rank, peer/tag/channel_seq =
+                   ///< affected message, bytes = packed kind + param;
+                   ///< see DESIGN.md "Fault injection")
 };
 
 /// Human-readable kind name ("enter", "send", ...).

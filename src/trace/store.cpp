@@ -186,6 +186,13 @@ SegmentedTraceStore::segment(std::size_t seg) const {
     if (tag != wire::kRecordEvent) {
       throw FormatError("corrupt trace segment in " + path_.string());
     }
+    const auto kind = std::to_integer<std::uint8_t>(bytes[r.position()]);
+    if (!wire::valid_event_kind(kind)) {
+      throw FormatError(
+          "unknown event kind " + std::to_string(kind) + " in trace file " +
+          path_.string() + " at offset " +
+          std::to_string(meta.offset + k * wire::kEventRecordBytes + 1));
+    }
     Event e = wire::decode_event(r);
     TDBG_CHECK(e.rank >= 0 && e.rank < num_ranks_, "event rank out of range");
     loaded->rank_positions[static_cast<std::size_t>(e.rank)].push_back(

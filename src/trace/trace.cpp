@@ -17,6 +17,7 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kCollective: return "coll";
     case EventKind::kCompute: return "compute";
     case EventKind::kMark: return "mark";
+    case EventKind::kFaultInjected: return "fault";
   }
   return "?";
 }

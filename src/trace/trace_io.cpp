@@ -208,6 +208,14 @@ Trace read_binary(const std::vector<std::byte>& bytes,
                         path.string() + " at offset " +
                         std::to_string(record_offset));
     }
+    // The kind byte follows the record tag; validate it before the
+    // decode so a corrupt byte can never masquerade as a real kind.
+    const auto kind = std::to_integer<std::uint8_t>(bytes[r.position()]);
+    if (!wire::valid_event_kind(kind)) {
+      throw FormatError("unknown event kind " + std::to_string(kind) +
+                        " in trace file " + path.string() + " at offset " +
+                        std::to_string(record_offset + 1));
+    }
     events.push_back(wire::decode_event(r));
   }
   auto registry = std::make_shared<ConstructRegistry>();
@@ -239,8 +247,13 @@ Trace read_text(const std::string& content) {
       num_ranks = std::stoi(fields[1]);
     } else if (fields[0] == "E") {
       if (fields.size() != 12) throw FormatError("bad E line: " + line);
+      const int kind = std::stoi(fields[1]);
+      if (kind < 0 || !wire::valid_event_kind(static_cast<std::uint8_t>(kind))) {
+        throw FormatError("unknown event kind " + std::to_string(kind) +
+                          " in trace line: " + line);
+      }
       Event e;
-      e.kind = static_cast<EventKind>(std::stoi(fields[1]));
+      e.kind = static_cast<EventKind>(kind);
       e.rank = std::stoi(fields[2]);
       e.marker = std::stoull(fields[3]);
       e.construct = static_cast<ConstructId>(std::stoul(fields[4]));

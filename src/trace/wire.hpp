@@ -76,6 +76,17 @@ inline void encode_event(support::BinaryWriter& w, const Event& e) {
   w.put<std::uint8_t>(e.wildcard ? 1 : 0);
 }
 
+/// Highest EventKind value the wire format knows.  Readers must treat
+/// any kind byte above this as corruption (FormatError naming the
+/// offset), never cast it through — a misparsed kind would silently
+/// poison every downstream analysis.
+inline constexpr std::uint8_t kMaxEventKind =
+    static_cast<std::uint8_t>(EventKind::kFaultInjected);
+
+[[nodiscard]] inline constexpr bool valid_event_kind(std::uint8_t kind) {
+  return kind <= kMaxEventKind;
+}
+
 /// Decodes one event record; the caller has already consumed the tag.
 inline Event decode_event(support::BinaryReader& r) {
   Event e;

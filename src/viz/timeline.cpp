@@ -19,7 +19,8 @@ const char* color_of(trace::EventKind kind) {
     case trace::EventKind::kCollective: return "#8e24aa";  // purple
     case trace::EventKind::kEnter:
     case trace::EventKind::kExit: return "#9e9e9e";        // grey ticks
-    case trace::EventKind::kMark: return "#e53935";        // red
+    case trace::EventKind::kMark: return "#e53935";           // red
+    case trace::EventKind::kFaultInjected: return "#b71c1c";  // dark red
   }
   return "#000000";
 }
@@ -31,6 +32,7 @@ char ascii_of(trace::EventKind kind) {
     case trace::EventKind::kRecv: return 'r';
     case trace::EventKind::kCollective: return 'c';
     case trace::EventKind::kMark: return '!';
+    case trace::EventKind::kFaultInjected: return 'x';
     case trace::EventKind::kEnter:
     case trace::EventKind::kExit: return '.';
   }

@@ -5,6 +5,8 @@
 #include "apps/ring.hpp"
 #include "apps/strassen.hpp"
 #include "debugger/commands.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 
 namespace tdbg::dbg {
 namespace {
@@ -180,6 +182,53 @@ TEST_F(CommandsTest, LiveLaunchWorkflow) {
   // And a second launch/record is rejected.
   EXPECT_FALSE(run("launch").ok);
   EXPECT_FALSE(run("record").ok);
+}
+
+TEST_F(CommandsTest, HelpListsFaults) {
+  const auto r = run("help");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("faults"), std::string::npos);
+}
+
+TEST_F(CommandsTest, FaultsWithoutPlanSaysSo) {
+  const auto r = run("faults");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("no fault plan"), std::string::npos);
+}
+
+TEST(CommandsFaultTest, FaultsShowsArmedPlanAndInjections) {
+  Debugger debugger(4, ring_target());
+  debugger.set_fault_plan(fault::FaultPlan::named("delay_storm", /*seed=*/5));
+  CommandInterpreter interp(debugger);
+
+  // Before record: the armed plan is visible.
+  const auto armed = interp.execute("faults");
+  EXPECT_TRUE(armed.ok);
+  EXPECT_NE(armed.output.find("armed"), std::string::npos);
+  EXPECT_NE(armed.output.find("delay"), std::string::npos);
+
+  ASSERT_TRUE(interp.execute("record").ok);
+  const auto r = interp.execute("faults");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("fault plan"), std::string::npos);
+  EXPECT_NE(r.output.find("injections"), std::string::npos);
+
+  // The obs counters surface through `stats` alongside everything
+  // else (only when the metrics layer is compiled in).
+  if (obs::kMetricsEnabled && debugger.fault_engine()->injection_count() > 0) {
+    const auto stats = interp.execute("stats");
+    EXPECT_NE(stats.output.find("fault.injections"), std::string::npos);
+  }
+}
+
+TEST(CommandsFaultTest, FaultedRecordOfCrashPlanReportsFailure) {
+  Debugger debugger(4, ring_target());
+  debugger.set_fault_plan(fault::FaultPlan::named("crash", /*seed=*/1));
+  CommandInterpreter interp(debugger);
+  const auto rec = interp.execute("record");
+  EXPECT_NE(rec.output.find("failed"), std::string::npos);
+  const auto faults = interp.execute("faults");
+  EXPECT_NE(faults.output.find("crash"), std::string::npos);
 }
 
 TEST(CommandsBuggyTest, DeadlockReported) {

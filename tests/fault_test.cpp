@@ -1,0 +1,416 @@
+// Ground-truth validation of the fault-injection engine (ISSUE PR 4):
+// determinism of the injection sequence, replay fidelity of faulted
+// executions, and — the point of the subsystem — known injected bugs
+// that the analysis detectors must find and name exactly.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/races.hpp"
+#include "analysis/supervision.hpp"
+#include "causality/causal_order.hpp"
+#include "fault/engine.hpp"
+#include "fault/hang.hpp"
+#include "fault/plan.hpp"
+#include "instrument/session.hpp"
+#include "mpi/hooks.hpp"
+#include "mpi/runtime.hpp"
+#include "replay/match_log.hpp"
+#include "replay/record.hpp"
+#include "support/error.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tdbg::fault {
+namespace {
+
+// --- target programs -------------------------------------------------------
+
+/// Rank 0 streams `count` eager messages of `bytes` bytes to rank 1.
+mpi::RankBody pipeline_body(int count, std::size_t bytes) {
+  return [count, bytes](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(bytes, std::byte{0x5A});
+      for (int i = 0; i < count; ++i) comm.send(payload, 1, /*tag=*/3);
+    } else {
+      std::vector<std::byte> out;
+      for (int i = 0; i < count; ++i) comm.recv(out, 0, /*tag=*/3);
+    }
+  };
+}
+
+/// Token ring: rank 0 starts the token, everyone else forwards it.
+/// Holding rank 0's send turns this into a genuine wait-for cycle.
+mpi::RankBody ring_body(int n) {
+  return [n](mpi::Comm& comm) {
+    const mpi::Rank r = comm.rank();
+    const mpi::Rank next = (r + 1) % n;
+    const mpi::Rank prev = (r + n - 1) % n;
+    if (r == 0) {
+      comm.send_value<int>(42, next, /*tag=*/1);
+      comm.recv_value<int>(prev, /*tag=*/1);
+    } else {
+      const int token = comm.recv_value<int>(prev, /*tag=*/1);
+      comm.send_value<int>(token, next, /*tag=*/1);
+    }
+  };
+}
+
+/// Ranks 1 and 2 each send `per_sender` messages to rank 0, same tag;
+/// rank 0 receives them with *specific* sources — raceless until a
+/// widen fault rewrites the postings to ANY_SOURCE.
+mpi::RankBody fan_in_body(int per_sender) {
+  return [per_sender](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 2 * per_sender; ++i) {
+        comm.recv_value<int>(1 + (i % 2), /*tag=*/7);
+      }
+    } else {
+      for (int i = 0; i < per_sender; ++i) {
+        comm.send_value<int>(comm.rank() * 100 + i, 0, /*tag=*/7);
+      }
+    }
+  };
+}
+
+/// Collects the per-rank sequences of kFaultInjected events (fields
+/// that must be deterministic — no timestamps).
+struct FaultEventKey {
+  mpi::Rank rank;
+  mpi::Rank peer;
+  mpi::Tag tag;
+  std::uint64_t channel_seq;
+  std::uint64_t bytes;
+  friend bool operator==(const FaultEventKey&, const FaultEventKey&) = default;
+};
+
+std::vector<FaultEventKey> fault_events_of(const trace::Trace& trace) {
+  std::vector<FaultEventKey> out;
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    trace.for_each_rank_event(r, [&](std::size_t, const trace::Event& e) {
+      if (e.kind == trace::EventKind::kFaultInjected) {
+        out.push_back({e.rank, e.peer, e.tag, e.channel_seq, e.bytes});
+      }
+    });
+  }
+  return out;
+}
+
+class TempFile {
+ public:
+  TempFile() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tdbg_fault_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++) + ".trc");
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+// --- plans -----------------------------------------------------------------
+
+TEST(FaultPlanTest, NamedPlansExistAndUnknownNamesThrow) {
+  for (const auto name : FaultPlan::names()) {
+    const auto plan = FaultPlan::named(name, /*seed=*/7);
+    EXPECT_EQ(plan.seed, 7u);
+  }
+  EXPECT_TRUE(FaultPlan::named("none").empty());
+  EXPECT_FALSE(FaultPlan::named("deadlock_ring").empty());
+  EXPECT_THROW(FaultPlan::named("no_such_plan"), UsageError);
+  try {
+    FaultPlan::named("no_such_plan");
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("delay_storm"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanTest, PackedFaultBytesRoundTrip) {
+  const auto bytes = pack_fault_bytes(FaultKind::kSlowRank, 123'456'789);
+  EXPECT_EQ(unpack_fault_kind(bytes), FaultKind::kSlowRank);
+  EXPECT_EQ(unpack_fault_param(bytes), 123'456'789u);
+  EXPECT_EQ(unpack_fault_param(pack_fault_bytes(FaultKind::kDelay, 0)), 0u);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(FaultEngineTest, SameSeedSameInjectionSequence) {
+  const auto run_once = [](std::uint64_t seed) {
+    FaultEngine engine(FaultPlan::named("corrupt", seed), 2);
+    replay::RecordOptions options;
+    options.fault_engine = &engine;
+    const auto run = replay::record(2, pipeline_body(40, 32), options);
+    EXPECT_TRUE(run.result.completed);
+    return std::pair{engine.records(), fault_events_of(run.trace)};
+  };
+  const auto [records_a, events_a] = run_once(5);
+  const auto [records_b, events_b] = run_once(5);
+  ASSERT_FALSE(records_a.empty());  // rate 0.5 over 40 sends
+  EXPECT_EQ(records_a, records_b);
+  // The trace carries the same injections, field for field.
+  ASSERT_EQ(events_a.size(), records_a.size());
+  EXPECT_EQ(events_a, events_b);
+}
+
+TEST(FaultEngineTest, EmptyPlanInjectsNothing) {
+  FaultEngine engine(FaultPlan{}, 2);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto run = replay::record(2, pipeline_body(10, 16), options);
+  EXPECT_TRUE(run.result.completed);
+  EXPECT_EQ(engine.injection_count(), 0u);
+  EXPECT_TRUE(engine.records().empty());
+  EXPECT_TRUE(fault_events_of(run.trace).empty());
+}
+
+// --- replay fidelity -------------------------------------------------------
+
+TEST(FaultEngineTest, ReplayReproducesFaultedMatchesAndInjections) {
+  const auto plan = FaultPlan::named("corrupt", /*seed=*/9);
+
+  FaultEngine record_engine(plan, 2);
+  replay::RecordOptions rec_options;
+  rec_options.fault_engine = &record_engine;
+  const auto body = pipeline_body(30, 24);
+  auto recorded = replay::record(2, body, rec_options);
+  ASSERT_TRUE(recorded.result.completed);
+  const auto recorded_faults = record_engine.records();
+  ASSERT_FALSE(recorded_faults.empty());
+
+  // Replay: fresh engine, same plan+seed; the match log pins every
+  // receive to the recorded message.  The faulted execution must
+  // reproduce — same matches, same injections, same trace records.
+  FaultEngine replay_engine(plan, 2);
+  trace::TraceCollector collector(2, instr::global_constructs());
+  instr::Session session(2, &collector);
+  replay::MatchRecorder recorder(2);
+  replay::ReplayController controller(recorded.log);
+  mpi::HookFanout hooks;
+  hooks.add(replay_engine.hooks());
+  hooks.add(&session);
+  hooks.add(&recorder);
+  mpi::RunOptions options;
+  options.hooks = &hooks;
+  options.controller = &controller;
+  options.fault_injector = &replay_engine;
+  const auto result = mpi::run(2, body, options);
+  ASSERT_TRUE(result.completed);
+
+  EXPECT_EQ(recorder.log(), recorded.log);
+  EXPECT_EQ(replay_engine.records(), recorded_faults);
+  EXPECT_EQ(fault_events_of(collector.build_trace()),
+            fault_events_of(recorded.trace));
+}
+
+// --- ground truth: crash → supervision -------------------------------------
+
+TEST(FaultGroundTruthTest, InjectedCrashYieldsExactUnmatchedSends) {
+  // Rank 0 streams 6 sends; rank 1 dies entering its 4th receive, so
+  // exactly sends #3, #4, #5 (seq order) can never be consumed.  The
+  // live supervisor must report exactly those.
+  FaultEngine engine(FaultPlan::named("crash", /*seed=*/1), 2);
+  trace::TraceCollector collector(2, instr::global_constructs());
+  instr::Session session(2, &collector);
+  analysis::LiveSupervisor supervisor(2);
+  mpi::HookFanout hooks;
+  hooks.add(engine.hooks());
+  hooks.add(&session);
+  hooks.add(&supervisor);
+  mpi::RunOptions options;
+  options.hooks = &hooks;
+  options.fault_injector = &engine;
+  const auto result = mpi::run(2, pipeline_body(6, 8), options);
+
+  ASSERT_FALSE(result.completed);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].rank, 1);
+  EXPECT_NE(result.failures[0].what.find("injected crash"), std::string::npos);
+  EXPECT_EQ(engine.injection_count(FaultKind::kCrash), 1u);
+
+  const auto outstanding = supervisor.outstanding();
+  ASSERT_EQ(outstanding.size(), 3u);
+  for (std::size_t i = 0; i < outstanding.size(); ++i) {
+    EXPECT_EQ(outstanding[i].src, 0);
+    EXPECT_EQ(outstanding[i].dst, 1);
+    EXPECT_EQ(outstanding[i].tag, 3);
+    EXPECT_EQ(outstanding[i].seq, 3 + i);  // the unreceived tail
+  }
+}
+
+// --- ground truth: hold → deadlock detector --------------------------------
+
+TEST(FaultGroundTruthTest, HeldMessageClosesRingAndDetectorNamesCycle) {
+  constexpr int kRanks = 4;
+  FaultEngine engine(FaultPlan::named("deadlock_ring", /*seed=*/2), kRanks);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto run = replay::record(kRanks, ring_body(kRanks), options);
+
+  ASSERT_FALSE(run.result.completed);
+  EXPECT_TRUE(run.result.deadlocked);
+  EXPECT_GE(engine.injection_count(FaultKind::kDelay), 1u);
+
+  const auto report = analysis::explain_deadlock(run.result.final_waits);
+  ASSERT_EQ(report.cycle.size(), static_cast<std::size_t>(kRanks));
+  std::vector<bool> in_cycle(kRanks, false);
+  for (const auto rank : report.cycle) {
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, kRanks);
+    in_cycle[static_cast<std::size_t>(rank)] = true;
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(in_cycle[static_cast<std::size_t>(r)])
+        << "rank " << r << " missing from the named cycle";
+  }
+}
+
+// --- ground truth: widen → race detector -----------------------------------
+
+TEST(FaultGroundTruthTest, WidenedReceivesManufactureDetectableRaces) {
+  const auto record_with = [](FaultEngine* engine) {
+    replay::RecordOptions options;
+    options.fault_engine = engine;
+    return replay::record(3, fan_in_body(4), options);
+  };
+
+  // Baseline: specific-source receives — raceless by construction.
+  auto clean = record_with(nullptr);
+  ASSERT_TRUE(clean.result.completed);
+  causality::CausalOrder clean_order(clean.trace);
+  EXPECT_FALSE(analysis::find_races(clean.trace, clean_order).racy());
+
+  // Widened: same program, receive postings rewritten to ANY_SOURCE.
+  FaultEngine engine(FaultPlan::named("widen_races", /*seed=*/3), 3);
+  auto widened = record_with(&engine);
+  ASSERT_TRUE(widened.result.completed);
+  ASSERT_GE(engine.injection_count(FaultKind::kWidenMatch), 1u);
+
+  causality::CausalOrder order(widened.trace);
+  const auto report = analysis::find_races(widened.trace, order);
+  ASSERT_TRUE(report.racy());
+  // The racing pair: a widened receive on rank 0 with a send from each
+  // concurrent sender as candidates.
+  bool found_pair = false;
+  for (const auto& race : report.races) {
+    EXPECT_EQ(widened.trace.event(race.recv_index).rank, 0);
+    if (race.candidates.size() >= 2) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+// --- corruption is detectable ----------------------------------------------
+
+TEST(FaultGroundTruthTest, CorruptionBreaksChecksumsExactlyAsCounted) {
+  constexpr int kMessages = 30;
+  constexpr std::size_t kBytes = 64;
+  std::atomic<int> mismatches{0};
+  const auto body = [&mismatches](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int m = 0; m < kMessages; ++m) {
+        std::vector<std::byte> payload(kBytes);
+        std::byte sum{0};
+        for (std::size_t i = 0; i + 1 < kBytes; ++i) {
+          payload[i] = static_cast<std::byte>(i * 7 + m);
+          sum ^= payload[i];
+        }
+        payload[kBytes - 1] = sum;
+        comm.send(payload, 1, /*tag=*/4);
+      }
+    } else {
+      std::vector<std::byte> out;
+      for (int m = 0; m < kMessages; ++m) {
+        comm.recv(out, 0, /*tag=*/4);
+        std::byte sum{0};
+        for (std::size_t i = 0; i + 1 < out.size(); ++i) sum ^= out[i];
+        if (sum != out[out.size() - 1]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  FaultEngine engine(FaultPlan::named("corrupt", /*seed=*/6), 2);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto run = replay::record(2, body, options);
+  ASSERT_TRUE(run.result.completed);
+
+  const auto corrupted = engine.injection_count(FaultKind::kCorrupt);
+  ASSERT_GE(corrupted, 1u);  // rate 0.5 over 30 sends
+  // A single flipped byte always breaks the XOR checksum — whether it
+  // hits a data byte or the checksum byte itself.
+  EXPECT_EQ(mismatches.load(), static_cast<int>(corrupted));
+}
+
+// --- graceful degradation: hang diagnosis ----------------------------------
+
+TEST(FaultGroundTruthTest, HangDiagnosisNamesBlockedRanksAndFlushesTrace) {
+  constexpr int kRanks = 4;
+  FaultEngine engine(FaultPlan::named("deadlock_ring", /*seed=*/8), kRanks);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto run = replay::record(kRanks, ring_body(kRanks), options);
+  ASSERT_FALSE(run.result.completed);
+
+  TempFile flushed;
+  const auto diagnosis =
+      diagnose_hang(run.result, run.trace, flushed.path());
+  EXPECT_TRUE(diagnosis.hung);
+  EXPECT_TRUE(diagnosis.deadlocked);
+  EXPECT_EQ(diagnosis.ranks.size(), static_cast<std::size_t>(kRanks));
+  // Every rank sits blocked in a receive; rank 0 is the only one that
+  // ever *completed* an instrumented call (its held send), so it is
+  // the only one with a last event — the others report wait-state
+  // only, which is exactly the degradation the diagnosis formalizes.
+  EXPECT_EQ(diagnosis.blocked.size(), static_cast<std::size_t>(kRanks));
+  EXPECT_TRUE(diagnosis.ranks[0].has_last_event);
+  // ... and the last thing that happened to it was the injected hold.
+  EXPECT_EQ(diagnosis.ranks[0].last_event.kind,
+            trace::EventKind::kFaultInjected);
+  const auto text = diagnosis.describe();
+  EXPECT_NE(text.find("deadlock"), std::string::npos);
+
+  // The partial trace hit disk and reads back as a valid v2 trace.
+  ASSERT_TRUE(std::filesystem::exists(flushed.path()));
+  const auto reloaded = trace::read_trace(flushed.path());
+  EXPECT_EQ(reloaded.size(), run.trace.size());
+}
+
+TEST(FaultGroundTruthTest, CompletedRunDiagnosesAsNotHung) {
+  replay::RecordOptions options;
+  const auto run = replay::record(2, pipeline_body(4, 8), options);
+  ASSERT_TRUE(run.result.completed);
+  const auto diagnosis = diagnose_hang(run.result, run.trace);
+  EXPECT_FALSE(diagnosis.hung);
+  EXPECT_TRUE(diagnosis.partial_trace.empty());
+}
+
+// --- slow rank + describe surface ------------------------------------------
+
+TEST(FaultEngineTest, SlowRankInjectsAndDescribes) {
+  FaultPlan plan = FaultPlan::named("slow_rank", /*seed=*/4);
+  plan.rules[0].param = 1000;  // keep the test fast: 1us per call
+  FaultEngine engine(plan, 2);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto run = replay::record(2, pipeline_body(5, 8), options);
+  ASSERT_TRUE(run.result.completed);
+  EXPECT_GE(engine.injection_count(FaultKind::kSlowRank), 5u);
+
+  const auto text = engine.describe();
+  EXPECT_NE(text.find("slow_rank"), std::string::npos);
+  EXPECT_NE(text.find("injections"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdbg::fault

@@ -329,6 +329,74 @@ TEST(TraceIoErrorTest, WriterThrowsIoErrorWithPathOnUnwritableTarget) {
   }
 }
 
+TEST(TraceIoErrorTest, UnknownEventKindIsFormatError) {
+  const auto original = random_trace(13, {});
+  TempFile file;
+  write_trace(file.path(), original, TraceFormat::kBinary);
+
+  // Hand-corrupt the kind byte of the second record (header is 12
+  // bytes, each record 59, the kind byte sits at record offset +1):
+  // an enumerator from the future, not a truncation.
+  const std::uintmax_t kind_offset = 12 + 59 + 1;
+  {
+    std::fstream f(file.path(), std::ios::in | std::ios::out |
+                                    std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(kind_offset));
+    const char bad = static_cast<char>(0xEE);
+    f.write(&bad, 1);
+  }
+
+  // Eager read: rejected up front, naming the offending offset.
+  try {
+    read_trace(file.path());
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown event kind"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(kind_offset)), std::string::npos)
+        << what;
+  }
+
+  // Lazy read: open succeeds (footer is intact), but decoding the
+  // poisoned segment must throw the same error, not cast garbage
+  // through the enum.
+  const auto lazy = open_trace(file.path());
+  EXPECT_THROW(static_cast<void>(lazy.event(1)), FormatError);
+}
+
+TEST(TraceStoreFaultTest, FaultInjectedEventsRoundTrip) {
+  auto registry = std::make_shared<ConstructRegistry>();
+  std::vector<Event> events;
+  Event fault;
+  fault.kind = EventKind::kFaultInjected;
+  fault.rank = 0;
+  fault.marker = 1;
+  fault.construct = kNoConstruct;
+  fault.t_start = 5;
+  fault.t_end = 5;
+  fault.peer = 1;
+  fault.tag = 3;
+  fault.channel_seq = 2;
+  fault.bytes = (std::uint64_t{2} << 56) | 16u;  // packed (kind, param)
+  events.push_back(fault);
+  Event other = fault;
+  other.rank = 1;
+  other.peer = -1;
+  other.tag = mpi::kAnyTag;
+  other.bytes = std::uint64_t{3} << 56;
+  events.push_back(other);
+  const Trace original(2, std::move(events), std::move(registry));
+
+  for (const auto format :
+       {TraceFormat::kBinary, TraceFormat::kBinaryV1, TraceFormat::kText}) {
+    TempFile file;
+    write_trace(file.path(), original, format);
+    expect_same_trace(original, read_trace(file.path()));
+    expect_same_trace(original, open_trace(file.path()));
+  }
+}
+
 TEST(TraceIoErrorTest, MidRecordTruncationIsFormatError) {
   const auto original = random_trace(12, {});
   TempFile file;

@@ -3,9 +3,19 @@
 //
 // Usage:
 //   tdbg_cli <target> [--script <file>] [--auto-record] [--stats]
+//            [--fault-plan <name>] [--fault-seed <n>]
 //
 // --stats dumps the final metrics report (per-rank sends/recvs/bytes/
 // recv-block time, collector flush stats, analysis timings) on exit.
+//
+// --fault-plan arms a named fault-injection plan (see
+// `tdbg::fault::FaultPlan::names()`) for the recorded run; --fault-seed
+// sets the plan's RNG seed so the faulted execution is reproducible:
+//
+//   tdbg_cli ring4 --fault-seed 42 --fault-plan deadlock_ring --auto-record
+//
+// If the faulted run hangs or crashes, a partial trace is flushed to
+// `tdbg_fault_partial.trc` with a structured hang diagnosis on stderr.
 //
 // Targets:
 //   ring4            4-rank token ring
@@ -29,7 +39,10 @@
 #include "apps/strassen.hpp"
 #include "apps/taskfarm.hpp"
 #include "debugger/commands.hpp"
+#include "fault/hang.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
 
 namespace {
 
@@ -87,12 +100,18 @@ Target make_target(const std::string& name) {
 int main(int argc, char** argv) {
   std::string target_name;
   std::string script_path;
+  std::string fault_plan_name;
+  std::uint64_t fault_seed = 0;
   bool auto_record = false;
   bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--script" && i + 1 < argc) {
       script_path = argv[++i];
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan_name = argv[++i];
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = std::stoull(argv[++i]);
     } else if (arg == "--auto-record") {
       auto_record = true;
     } else if (arg == "--stats") {
@@ -100,7 +119,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
                    "taskfarm5|lu8> [--script file] [--auto-record] "
-                   "[--stats]\n";
+                   "[--stats] [--fault-plan name] [--fault-seed n]\n";
       return 0;
     } else {
       target_name = arg;
@@ -113,6 +132,15 @@ int main(int argc, char** argv) {
   }
 
   tdbg::dbg::Debugger debugger(target.ranks, target.body);
+  if (!fault_plan_name.empty()) {
+    try {
+      debugger.set_fault_plan(
+          tdbg::fault::FaultPlan::named(fault_plan_name, fault_seed));
+    } catch (const tdbg::UsageError& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
   tdbg::dbg::CommandInterpreter interpreter(debugger);
 
   std::ifstream script;
@@ -147,6 +175,13 @@ int main(int argc, char** argv) {
     std::cout << result.output;
     if (!result.ok) ++failures;
     if (result.quit) break;
+  }
+  if (debugger.fault_engine() != nullptr && !debugger.run_result().completed) {
+    // The faulted run hung or crashed: flush the partial trace for
+    // post-mortem work and print the structured diagnosis.
+    const auto diagnosis = tdbg::fault::diagnose_hang(
+        debugger.run_result(), debugger.trace(), "tdbg_fault_partial.trc");
+    std::cerr << diagnosis.describe();
   }
   if (stats) {
     std::cout << "--- stats ---\n"
