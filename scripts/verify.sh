@@ -10,14 +10,16 @@
 #                still pass
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
 #                runs the concurrency-heavy suites
-#                (ctest -L "mpi|trace|perf|fault") and must report zero
-#                races — the fault label covers the injection seams,
-#                which perturb the hot path from extra threadside angles
+#                (ctest -L "mpi|trace|perf|fault|telemetry") and must
+#                report zero races — the fault label covers the
+#                injection seams, which perturb the hot path from extra
+#                threadside angles; telemetry covers the flight-recorder
+#                seqlock rings and the health heartbeat
 #   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
 #                runs the store/query-heavy suites
-#                (ctest -L "trace|analysis|viz|fault") and must report
-#                zero memory or UB findings (payload corruption and
-#                held-message buffers live here)
+#                (ctest -L "trace|analysis|viz|fault|telemetry") and
+#                must report zero memory or UB findings (payload
+#                corruption and held-message buffers live here)
 #
 # Extras under metrics-on:
 #   - ctest -L obs        (the obs label must select the obs suite)
@@ -25,9 +27,14 @@
 #                          budget contract; exits nonzero on drift)
 #   - abl_fault_overhead  (asserts the null-injector pointer-test
 #                          budget contract; exits nonzero on drift)
+#   - abl_telemetry_overhead (asserts the suppressed-TDBG_LOG ≤
+#                          relaxed-load budget contract; exits nonzero
+#                          on drift)
 #   - tdbg_cli ring4 --stats smoke (per-rank sends/recvs/bytes visible)
 #   - tdbg_cli ring4 --fault-plan deadlock_ring smoke (injected hold
-#     must deadlock the ring and flush a readable partial trace)
+#     must deadlock the ring, flush a readable partial trace, auto-dump
+#     a flight log naming the hold, and export a Chrome trace with app
+#     events plus ≥4 distinct debugger self-span names)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -53,7 +60,7 @@ cmake --build "$tsan_bdir" -j "$jobs"
 # scrolling past; second_deadlock_stack for readable lock reports.
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
- ctest -L 'mpi|trace|perf|fault' --output-on-failure -j "$jobs")
+ ctest -L 'mpi|trace|perf|fault|telemetry' --output-on-failure -j "$jobs")
 
 echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
 asan_bdir="$repo/build-verify-asan-ubsan"
@@ -64,7 +71,7 @@ cmake --build "$asan_bdir" -j "$jobs"
 (cd "$asan_bdir" && \
  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
- ctest -L 'trace|analysis|viz|fault' --output-on-failure -j "$jobs")
+ ctest -L 'trace|analysis|viz|fault|telemetry' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 
@@ -77,18 +84,38 @@ echo "=== abl_metrics_cost contract ==="
 echo "=== abl_fault_overhead contract ==="
 "$bdir/bench/abl_fault_overhead" --benchmark_min_time=0.05
 
+echo "=== abl_telemetry_overhead contract ==="
+"$bdir/bench/abl_telemetry_overhead" --benchmark_min_time=0.05
+
 echo "=== tdbg_cli fault-plan smoke ==="
 fault_tmp="$(mktemp -d)"
 (cd "$fault_tmp" && \
- printf 'faults\nquit\n' | \
+ printf 'faults\nflightrec\nquit\n' | \
  "$bdir/tools/tdbg_cli" ring4 --fault-seed 42 --fault-plan deadlock_ring \
-   --auto-record >cli.out 2>cli.err) || true
+   --auto-record --chrome-trace chrome.json >cli.out 2>cli.err) || true
 grep -q 'DEADLOCKED' "$fault_tmp/cli.out" || {
   echo "FAIL: deadlock_ring plan did not deadlock the ring" >&2; exit 1; }
 grep -q 'fault plan' "$fault_tmp/cli.out" || {
   echo "FAIL: faults command missing from CLI output" >&2; exit 1; }
 [[ -f "$fault_tmp/tdbg_fault_partial.trc" ]] || {
   echo "FAIL: hung faulted run did not flush a partial trace" >&2; exit 1; }
+[[ -f "$fault_tmp/tdbg_flight.log" ]] || {
+  echo "FAIL: hung faulted run did not auto-dump a flight log" >&2; exit 1; }
+grep -q 'fault.hold' "$fault_tmp/tdbg_flight.log" || {
+  echo "FAIL: flight log does not name the injected hold" >&2; exit 1; }
+python3 - "$fault_tmp/chrome.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+app = [e for e in events if e.get("ph") == "X" and e.get("pid") == 1]
+spans = {e["name"] for e in events if e.get("ph") == "X" and e.get("pid") == 2}
+assert app, "chrome trace has no app events"
+assert len(spans) >= 4, f"expected >=4 distinct self-span names, got {sorted(spans)}"
+print(f"chrome trace OK: {len(app)} app events, self-spans {sorted(spans)}")
+PY
 rm -rf "$fault_tmp"
 
 echo "=== tdbg_cli ring4 --stats smoke ==="

@@ -9,6 +9,8 @@
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/span.hpp"
 #include "viz/html_view.hpp"
 #include "viz/profile.hpp"
 
@@ -62,6 +64,8 @@ std::string CommandInterpreter::help() {
   frontiers <rank> <marker>      past/future frontier of an event
   stats [rank|-json]             runtime/collector/replay/analysis metrics
   faults                         armed fault plan and injected-fault records
+  health                         per-rank heartbeat: progress, queues, stalls
+  flightrec [count]              tail of the always-on flight recorder
   help | quit
 )";
 }
@@ -120,6 +124,12 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
 
     // Works before `record` too: shows the armed plan (if any).
     if (cmd == "faults") return cmd_faults();
+
+    // Telemetry surfaces — the flight recorder is always on (it sees
+    // events from before/without a recording), and `health` explains
+    // itself when no heartbeat has run yet.
+    if (cmd == "health") return cmd_health();
+    if (cmd == "flightrec") return cmd_flightrec(args);
 
     // Live-session commands that need no recorded trace yet.
     if (debugger_.live()) {
@@ -193,6 +203,8 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
       viz::HtmlOptions html_options;
       const auto snap = obs::MetricsRegistry::global().snapshot();
       html_options.metrics = &snap;
+      const auto spans = telemetry::SpanCollector::global().snapshot();
+      html_options.self_spans = &spans;
       out << viz::to_html(debugger_.trace(), html_options);
       return {true, false, "wrote " + args[1] + "\n"};
     }
@@ -507,6 +519,33 @@ CommandResult CommandInterpreter::cmd_faults() {
     os << engine->describe();
   } else {
     os << "armed (not yet recorded): " << debugger_.fault_plan()->describe();
+  }
+  return {true, false, os.str()};
+}
+
+CommandResult CommandInterpreter::cmd_health() {
+  const auto* monitor = debugger_.health();
+  if (monitor == nullptr) {
+    return {true, false,
+            "no health heartbeat yet — `record` runs one alongside the "
+            "target\n"};
+  }
+  return {true, false, monitor->report()};
+}
+
+CommandResult CommandInterpreter::cmd_flightrec(
+    const std::vector<std::string>& args) {
+  std::size_t count = 32;
+  if (args.size() > 1) count = std::stoul(args[1]);
+  auto& flight = telemetry::FlightRecorder::global();
+  std::ostringstream os;
+  os << "flight recorder: " << flight.appended() << " record(s) appended";
+  const auto text = flight.dump_text(count);
+  if (text.empty()) {
+    os << "\n";
+  } else {
+    os << "; last " << (count == 0 ? std::string("records")
+                                   : std::to_string(count)) << ":\n" << text;
   }
   return {true, false, os.str()};
 }

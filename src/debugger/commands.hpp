@@ -60,6 +60,8 @@ class CommandInterpreter {
   CommandResult cmd_races();
   CommandResult cmd_unmatched();
   CommandResult cmd_faults();
+  CommandResult cmd_health();
+  CommandResult cmd_flightrec(const std::vector<std::string>& args);
   CommandResult cmd_calls(const std::vector<std::string>& args);
   CommandResult cmd_actions(const std::vector<std::string>& args);
   CommandResult cmd_groups(const std::vector<std::string>& args);

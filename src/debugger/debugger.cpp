@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace tdbg::dbg {
 
@@ -29,6 +30,7 @@ std::vector<replay::StopInfo> Debugger::launch(
   TDBG_CHECK(!recorded_ && !live_, "session already has a history");
   TDBG_CHECK(can_replay(), "post-mortem session has no target to run");
   live_ = true;
+  telemetry::Span span("debugger.replay");
   active_ = std::make_unique<replay::ReplaySession>(
       num_ranks_, body_, replay::MatchLog{}, options_.session,
       /*collect_trace=*/true, /*record_matches=*/true);
@@ -63,7 +65,10 @@ const trace::Trace& Debugger::trace() const {
 
 const causality::CausalOrder& Debugger::order() {
   TDBG_CHECK(recorded_, "call record() first");
-  if (!order_) order_.emplace(recorded_run_.trace);
+  if (!order_) {
+    telemetry::Span span("debugger.analysis");
+    order_.emplace(recorded_run_.trace);
+  }
   return *order_;
 }
 
@@ -140,6 +145,7 @@ std::vector<replay::StopInfo> Debugger::replay_to(
     const replay::Stopline& stopline) {
   TDBG_CHECK(recorded_ || live_, "call record() or launch() first");
   TDBG_CHECK(can_replay(), "post-mortem session cannot re-execute");
+  telemetry::Span span("debugger.replay");
   if (active_ != nullptr) {
     // Resuming an existing replay: remember where we are for undo
     // (§4.2 — "every time a target process stops, p2d2 records its

@@ -101,6 +101,13 @@ class Debugger {
   /// The recorded run's outcome.
   [[nodiscard]] const mpi::RunResult& run_result() const;
 
+  /// The recording's health heartbeat (stopped; last snapshot and the
+  /// accumulated series stay readable), or null before `record()` /
+  /// when monitoring was disabled.  Powers the `health` command.
+  [[nodiscard]] const telemetry::HealthMonitor* health() const {
+    return recorded_run_.health.get();
+  }
+
   // --- Phase 2: history displays & analysis ----------------------------
 
   /// Time-space diagram of the recorded history.
@@ -163,6 +170,10 @@ class Debugger {
 
   /// True while a live (first-execution) run is active.
   [[nodiscard]] bool live() const { return live_; }
+
+  /// True once a history exists (after `record()`, a finished live
+  /// run, or `from_trace`).
+  [[nodiscard]] bool recorded() const { return recorded_; }
 
   // --- Phase 3: controlled replay -----------------------------------------
 

@@ -8,6 +8,8 @@
 #include "mpi/mailbox.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/span.hpp"
 #include "trace/event.hpp"
 
 namespace tdbg::fault {
@@ -38,6 +40,34 @@ FaultMetrics& fault_metrics() {
 
 void sleep_ns(std::uint64_t ns) {
   std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+/// Flight-recorder site for an injection.  A hold (kDelay, param 0)
+/// gets its own site — it is the injection the hang diagnosis must
+/// name, so "fault.hold" appearing in a dumped flight log is the
+/// black box explaining the deadlock.
+std::uint32_t fault_site(const FaultRecord& rec) {
+  static const std::uint32_t hold = telemetry::intern_site("fault.hold");
+  static const std::uint32_t delay = telemetry::intern_site("fault.delay");
+  static const std::uint32_t reorder = telemetry::intern_site("fault.reorder");
+  static const std::uint32_t corrupt = telemetry::intern_site("fault.corrupt");
+  static const std::uint32_t crash = telemetry::intern_site("fault.crash");
+  static const std::uint32_t slow = telemetry::intern_site("fault.slow_rank");
+  static const std::uint32_t widen = telemetry::intern_site("fault.widen");
+  switch (rec.kind) {
+    case FaultKind::kDelay: return rec.param == 0 ? hold : delay;
+    case FaultKind::kReorder: return reorder;
+    case FaultKind::kCorrupt: return corrupt;
+    case FaultKind::kCrash: return crash;
+    case FaultKind::kSlowRank: return slow;
+    case FaultKind::kWidenMatch: return widen;
+  }
+  return delay;
+}
+
+std::uint32_t inject_span_site() {
+  static const std::uint32_t id = telemetry::intern_site("fault.inject");
+  return id;
 }
 
 }  // namespace
@@ -81,6 +111,20 @@ void FaultEngine::note(RankState& st, const FaultRecord& rec,
     m.by_kind[static_cast<std::size_t>(rec.kind)]->add(rec.rank);
     if (rec.kind == FaultKind::kDelay || rec.kind == FaultKind::kSlowRank) {
       m.delay_ns.record(rec.rank, rec.param);
+    }
+  }
+  // Flight-recorder line and a "fault.inject" self-span per injection:
+  // the black box records *what* struck (per-kind site, op and param as
+  // args), the Chrome trace shows *when* on the tdbg track.
+  {
+    auto& flight = telemetry::FlightRecorder::global();
+    if (flight.enabled(telemetry::LogLevel::kWarn)) {
+      flight.log_rank(rec.rank, telemetry::LogLevel::kWarn, fault_site(rec),
+                      rec.op, rec.param);
+    }
+    auto& spans = telemetry::SpanCollector::global();
+    if (spans.enabled()) {
+      spans.add(inject_span_site(), rec.rank, t_start, t_end);
     }
   }
   // First-class trace record, so the faulted history explains itself
@@ -152,7 +196,7 @@ void FaultEngine::deliver(mpi::Mailbox& mailbox, mpi::Message&& msg) {
     const std::uint64_t at = st.rng.next_below(flipped.size());
     flipped[at] ^= std::byte{0xFF};
     msg.set_payload(flipped);
-    const auto t = support::now_ns();
+    const auto t = support::run_time_ns();
     note(st, FaultRecord{FaultKind::kCorrupt, sender, dest, msg.tag, op, at},
          t, t);
   }
@@ -162,14 +206,14 @@ void FaultEngine::deliver(mpi::Mailbox& mailbox, mpi::Message&& msg) {
     // did, eagerly), but no receive can ever match it — exactly the
     // "lost message" the supervision detector reports as an unmatched
     // send, and the raw material of the deadlock_ring plan.
-    const auto t = support::now_ns();
+    const auto t = support::run_time_ns();
     note(st, FaultRecord{FaultKind::kDelay, sender, dest, msg.tag, op, 0}, t,
          t);
     return;
   }
 
   if (delay != 0) {
-    const auto t0 = support::now_ns();
+    const auto t0 = support::run_time_ns();
     sleep_ns(delay);
     note(st, FaultRecord{FaultKind::kDelay, sender, dest, msg.tag, op, delay},
          t0, t0 + static_cast<support::TimeNs>(delay));
@@ -184,7 +228,7 @@ void FaultEngine::deliver(mpi::Mailbox& mailbox, mpi::Message&& msg) {
       }
     }
     if (!already_held) {
-      const auto t = support::now_ns();
+      const auto t = support::run_time_ns();
       note(st, FaultRecord{FaultKind::kReorder, sender, dest, msg.tag, op, 0},
            t, t);
       st.held.push_back(Held{&mailbox, std::move(msg)});
@@ -216,7 +260,7 @@ mpi::Rank FaultEngine::post_receive(mpi::Rank receiver, mpi::Rank source,
   for (const FaultRule& rule : plan_.rules) {
     if (rule.kind != FaultKind::kWidenMatch) continue;
     if (!rule_fires(rule, st, receiver, tag, recv_index)) continue;
-    const auto t = support::now_ns();
+    const auto t = support::run_time_ns();
     note(st,
          FaultRecord{FaultKind::kWidenMatch, receiver, source, tag, recv_index,
                      0},
@@ -233,7 +277,7 @@ void FaultEngine::call_begin(const mpi::CallInfo& info) {
     switch (rule.kind) {
       case FaultKind::kSlowRank:
         if (rule.param != 0 && rule_fires(rule, st, info.rank, info.tag, call)) {
-          const auto t0 = support::now_ns();
+          const auto t0 = support::run_time_ns();
           sleep_ns(rule.param);
           note(st,
                FaultRecord{FaultKind::kSlowRank, info.rank, -1, mpi::kAnyTag,
@@ -249,7 +293,7 @@ void FaultEngine::call_begin(const mpi::CallInfo& info) {
         // supervision detector must reconstruct.
         if ((rule.rank == kAnyRank || rule.rank == info.rank) &&
             call == rule.param) {
-          const auto t = support::now_ns();
+          const auto t = support::run_time_ns();
           note(st,
                FaultRecord{FaultKind::kCrash, info.rank, -1, mpi::kAnyTag,
                            call, rule.param},

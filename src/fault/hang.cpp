@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "telemetry/log.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tdbg::fault {
@@ -53,6 +54,15 @@ HangDiagnosis diagnose_hang(const mpi::RunResult& result,
     trace::write_trace(flush_to, trace);
     diag.partial_trace = flush_to;
   }
+
+  // A hung run auto-dumps the flight recorder: the last records name
+  // the injected hold ("fault.hold"), any stalled-rank warnings, and
+  // the watchdog's deadlock verdict — the chain of evidence in one
+  // place.
+  if (diag.hung) {
+    diag.flight_log =
+        telemetry::FlightRecorder::global().dump_text(/*max_records=*/64);
+  }
   return diag;
 }
 
@@ -91,6 +101,13 @@ std::string HangDiagnosis::describe() const {
   }
   if (!partial_trace.empty()) {
     os << "  partial trace flushed to " << partial_trace.string() << "\n";
+  }
+  if (!flight_log.empty()) {
+    os << "  flight recorder (most recent last):\n";
+    std::istringstream lines(flight_log);
+    for (std::string line; std::getline(lines, line);) {
+      os << "    " << line << "\n";
+    }
   }
   return os.str();
 }

@@ -45,6 +45,10 @@ struct HangDiagnosis {
   /// Where the partial trace was flushed; empty if not requested.
   std::filesystem::path partial_trace;
 
+  /// Tail of the flight recorder at diagnosis time — the black box's
+  /// last words (injected holds, stall warnings, the watchdog verdict).
+  std::string flight_log;
+
   [[nodiscard]] std::string describe() const;
 };
 

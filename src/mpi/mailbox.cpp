@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "support/clock.hpp"
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace tdbg::mpi {
 
@@ -296,9 +297,35 @@ Status Mailbox::consume(const Pick& pick, std::vector<std::byte>& out) {
   return Status{msg.source, msg.tag, out.size(), msg.seq};
 }
 
+namespace {
+
+/// Span site ids, interned once (the mailbox slow path must not take
+/// the site-registry mutex per blocked receive).
+std::uint32_t match_span_site() {
+  static const std::uint32_t id = telemetry::intern_site("mpi.match");
+  return id;
+}
+std::uint32_t park_span_site() {
+  static const std::uint32_t id = telemetry::intern_site("mpi.park");
+  return id;
+}
+
+}  // namespace
+
 Status Mailbox::receive(Rank source, Tag tag, std::vector<std::byte>& out,
                         MatchController* controller,
                         std::uint64_t recv_index) {
+  // Fast path: the message is already here — no span, no clock read.
+  check_aborted();
+  drain_transport();
+  if (auto pick = try_match(source, tag, controller, recv_index)) {
+    return consume(*pick, out);
+  }
+  // Slow path: the whole match wait is one "mpi.match" self-span, with
+  // each futex sleep inside it an "mpi.park" span — so a Chrome-trace
+  // view shows how long a rank waited and how much of that was parked
+  // versus spinning.
+  telemetry::Span match_span(match_span_site());
   for (;;) {
     check_aborted();
     drain_transport();
@@ -317,7 +344,10 @@ Status Mailbox::receive(Rank source, Tag tag, std::vector<std::byte>& out,
     }
     check_aborted();
     shared_->registry.enter_wait(owner_, WaitKind::kRecv, source, tag);
-    cv_.wait(lk);
+    {
+      telemetry::Span park_span(park_span_site());
+      cv_.wait(lk);
+    }
     shared_->registry.exit_wait(owner_);
   }
 }

@@ -8,6 +8,7 @@
 
 #include "support/clock.hpp"
 #include "support/error.hpp"
+#include "telemetry/log.hpp"
 
 namespace tdbg::mpi {
 
@@ -15,11 +16,19 @@ namespace {
 
 thread_local Rank tl_rank = -1;
 
-/// Scope guard for the thread-local rank.
+/// Scope guard for the thread-local rank — also binds the telemetry
+/// layer's rank, so flight-recorder records and self-spans written on
+/// this thread attribute to the rank.
 class RankScope {
  public:
-  explicit RankScope(Rank rank) { tl_rank = rank; }
-  ~RankScope() { tl_rank = -1; }
+  explicit RankScope(Rank rank) {
+    tl_rank = rank;
+    telemetry::set_thread_rank(rank);
+  }
+  ~RankScope() {
+    tl_rank = -1;
+    telemetry::set_thread_rank(-1);
+  }
 };
 
 std::string describe_waits(const std::vector<WaitInfo>& waits) {
@@ -91,6 +100,8 @@ class Watchdog {
       }
       if (all_idle && any_blocked && progress == last_progress) {
         if (++stable >= kStableSamples) {
+          TDBG_LOG(telemetry::LogLevel::kError, "mpi.watchdog.deadlock",
+                   progress);
           world_.abort(AbortCause::kDeadlock,
                        "deadlock: " + describe_waits(waits));
           return;
@@ -149,6 +160,8 @@ RunResult run(int num_ranks, const RankBody& body, const RunOptions& options) {
           // Unwound by an abort elsewhere; not a failure of this rank.
           world.shared().registry.mark_finished(r);
         } catch (const std::exception& e) {
+          TDBG_LOG(telemetry::LogLevel::kError, "mpi.rank_failed",
+                   static_cast<std::uint64_t>(r));
           {
             std::lock_guard lk(failures_mu);
             failures.push_back(RankFailure{r, e.what()});

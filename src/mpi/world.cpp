@@ -1,6 +1,7 @@
 #include "mpi/world.hpp"
 
 #include "support/error.hpp"
+#include "telemetry/log.hpp"
 
 namespace tdbg::mpi {
 
@@ -16,6 +17,8 @@ World::World(int size, ProfilingHooks* hooks, MatchController* controller,
 }
 
 void World::abort(AbortCause cause, std::string detail) {
+  TDBG_LOG(telemetry::LogLevel::kError, "mpi.abort",
+           static_cast<std::uint64_t>(cause));
   {
     std::lock_guard lk(abort_mu_);
     if (abort_.cause == AbortCause::kNone) {

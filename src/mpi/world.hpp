@@ -46,6 +46,10 @@ class World {
     return *mailboxes_.at(static_cast<std::size_t>(rank));
   }
 
+  [[nodiscard]] const Mailbox& mailbox(Rank rank) const {
+    return *mailboxes_.at(static_cast<std::size_t>(rank));
+  }
+
   [[nodiscard]] ProfilingHooks* hooks() const { return hooks_; }
   [[nodiscard]] MatchController* controller() const { return controller_; }
   [[nodiscard]] FaultInjector* fault_injector() const {

@@ -536,26 +536,44 @@ std::optional<Snapshot> Snapshot::from_json(std::string_view json) {
   return out;
 }
 
-// --- TimeSeriesCsv ----------------------------------------------------------
+// --- MetricsSeries ----------------------------------------------------------
 
-void TimeSeriesCsv::add(const Snapshot& snapshot) {
-  if (columns_.empty()) {
-    header_ = "t_ns";
-    for (const auto& m : snapshot.metrics) {
-      columns_.push_back(m.name);
-      header_ += "," + m.name;
+void MetricsSeries::add(const Snapshot& snapshot) {
+  // Register any metric this snapshot introduces; rows already taken
+  // simply stay shorter than the column list and render as 0.
+  for (const auto& m : snapshot.metrics) {
+    bool known = false;
+    for (const auto& c : columns_) {
+      if (c == m.name) {
+        known = true;
+        break;
+      }
     }
-    header_ += "\n";
+    if (!known) columns_.push_back(m.name);
   }
-  std::ostringstream row;
-  row << snapshot.taken_ns;
+  Row row;
+  row.t_ns = snapshot.taken_ns;
+  row.values.reserve(columns_.size());
   for (const auto& name : columns_) {
     const auto* m = snapshot.find(name);
-    row << "," << (m == nullptr ? 0 : m->total());
+    row.values.push_back(m == nullptr ? 0 : m->total());
   }
-  row << "\n";
-  rows_ += row.str();
-  ++row_count_;
+  rows_.push_back(std::move(row));
+}
+
+std::string MetricsSeries::str() const {
+  std::ostringstream os;
+  os << "t_ns";
+  for (const auto& c : columns_) os << "," << c;
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << row.t_ns;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      os << "," << (i < row.values.size() ? row.values[i] : 0);
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace tdbg::obs

@@ -326,21 +326,34 @@ struct Snapshot {
   static std::optional<Snapshot> from_json(std::string_view json);
 };
 
-/// Accumulates snapshots into a time-series CSV: one column per metric
-/// total, one row per snapshot.  The column set is fixed by the first
-/// snapshot added.
-class TimeSeriesCsv {
+/// Accumulates snapshots into a time series: one column per metric
+/// total, one row per snapshot, rendered as CSV by `str()`.  The
+/// column set grows on the fly — a metric first seen on a later
+/// snapshot gets a new column and earlier rows are back-filled with 0
+/// (metrics used to be silently dropped once the first snapshot froze
+/// the header; the telemetry heartbeat registers gauges lazily, so
+/// late columns are now the common case).
+class MetricsSeries {
  public:
   void add(const Snapshot& snapshot);
-  [[nodiscard]] std::string str() const { return header_ + rows_; }
-  [[nodiscard]] std::size_t rows() const { return row_count_; }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return columns_.size(); }
 
  private:
+  struct Row {
+    support::TimeNs t_ns = 0;
+    /// Totals aligned to `columns_`; shorter than `columns_` when
+    /// columns appeared after this row (rendered as 0).
+    std::vector<std::uint64_t> values;
+  };
+
   std::vector<std::string> columns_;
-  std::string header_;
-  std::string rows_;
-  std::size_t row_count_ = 0;
+  std::vector<Row> rows_;
 };
+
+/// Historical name, kept for existing callers.
+using TimeSeriesCsv = MetricsSeries;
 
 /// Owns named instruments.  Creation/lookup takes a mutex and interns
 /// by name (callers cache the returned reference); the instruments

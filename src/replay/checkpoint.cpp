@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace tdbg::replay {
 
@@ -35,6 +36,8 @@ CheckpointStore::CheckpointStore(int num_ranks, std::uint64_t interval)
 bool CheckpointStore::offer(mpi::Rank rank, std::uint64_t marker,
                             std::vector<std::byte> state) {
   obs::ScopedTimer timer(checkpoint_metrics().save_ns, rank);
+  static const std::uint32_t kSite = telemetry::intern_site("debugger.checkpoint");
+  telemetry::Span span(kSite);
   std::lock_guard lk(mu_);
   auto& slot = per_rank_.at(static_cast<std::size_t>(rank));
   const std::uint64_t index = marker / interval_;

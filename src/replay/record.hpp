@@ -5,6 +5,7 @@
 #include "instrument/session.hpp"
 #include "mpi/runtime.hpp"
 #include "replay/match_log.hpp"
+#include "telemetry/health.hpp"
 #include "trace/trace.hpp"
 
 /// \file record.hpp
@@ -38,6 +39,16 @@ struct RecordOptions {
   /// Forwarded to the runtime (hooks/controller fields are owned by
   /// the recorder and overwritten).
   mpi::RunOptions run;
+
+  /// Run a health heartbeat alongside the recording: per-rank marker /
+  /// mailbox-depth / trace-backlog samples into an `obs::MetricsSeries`
+  /// and stall flags ahead of the watchdog.  The monitor is stopped
+  /// before `record` returns; its last snapshot stays readable through
+  /// `RecordedRun::health` (the debugger's `health` command).
+  bool monitor_health = true;
+
+  /// Heartbeat cadence and stall threshold (tests shorten these).
+  telemetry::HealthOptions health;
 };
 
 /// Everything a recorded run produces.
@@ -45,6 +56,10 @@ struct RecordedRun {
   mpi::RunResult result;  ///< outcome (completed / deadlocked / failed)
   trace::Trace trace;     ///< execution history (empty if not collected)
   MatchLog log;           ///< receive-match log for replay
+
+  /// Stopped heartbeat monitor (null when `monitor_health` was off);
+  /// `health->report()` is the post-run per-rank health picture.
+  std::shared_ptr<telemetry::HealthMonitor> health;
 };
 
 /// Runs `body` on `num_ranks` ranks with recording installed.

@@ -77,4 +77,6 @@ TimeNs run_time_ns() {
   return now_ns() - g_epoch.load(std::memory_order_relaxed);
 }
 
+TimeNs run_epoch_ns() { return g_epoch.load(std::memory_order_relaxed); }
+
 }  // namespace tdbg::support

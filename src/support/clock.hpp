@@ -29,6 +29,12 @@ void reset_run_epoch();
 /// start).
 TimeNs run_time_ns();
 
+/// The current run epoch in `now_ns` terms — lets consumers that
+/// buffer absolute timestamps (the telemetry flight recorder, spans
+/// that straddle a run start) convert them to run-relative display
+/// time at read-out.
+TimeNs run_epoch_ns();
+
 /// Simple wall-clock stopwatch used by the benchmark harnesses.
 class Stopwatch {
  public:

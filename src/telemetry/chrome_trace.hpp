@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/clock.hpp"
+#include "telemetry/span.hpp"
+
+/// \file chrome_trace.hpp
+/// Chrome `trace_event` JSON export.  The writer accumulates complete
+/// events ("ph":"X") and instants ("ph":"i") plus process/thread
+/// metadata, and renders the standard `{"traceEvents":[...]}` object
+/// that chrome://tracing and Perfetto load directly.
+///
+/// Conventions used by the exporters in this repo:
+///   pid 1 = the traced application (one tid per rank)
+///   pid 2 = "tdbg" — the debugger/runtime self-spans
+/// Timestamps are microseconds (the format's unit) with sub-µs
+/// precision kept as decimals, converted from run-relative ns.
+
+namespace tdbg::telemetry {
+
+class ChromeTraceWriter {
+ public:
+  /// Names a process track ("process_name" metadata event).
+  void set_process_name(int pid, std::string_view name);
+
+  /// Names one thread row within a process track.
+  void set_thread_name(int pid, int tid, std::string_view name);
+
+  /// A complete event: `dur` nanoseconds starting at `t_start`
+  /// (run-relative ns).  `args_json`, when non-empty, must be a valid
+  /// JSON object body without braces (e.g. `"peer":3,"tag":7`).
+  void add_complete(int pid, int tid, std::string_view name,
+                    support::TimeNs t_start, support::TimeNs dur_ns,
+                    std::string_view args_json = {});
+
+  /// A zero-duration instant event (thread scope).
+  void add_instant(int pid, int tid, std::string_view name,
+                   support::TimeNs t, std::string_view args_json = {});
+
+  /// Appends every span on the synthetic self-profile track.
+  void add_spans(const std::vector<SpanRecord>& spans, int pid = kTdbgPid);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// The full `{"traceEvents":[...]}` document.
+  [[nodiscard]] std::string str() const;
+  void write(std::ostream& os) const;
+
+  static constexpr int kAppPid = 1;
+  static constexpr int kTdbgPid = 2;
+
+ private:
+  std::vector<std::string> events_;  ///< pre-rendered JSON objects
+};
+
+}  // namespace tdbg::telemetry

@@ -1,0 +1,170 @@
+#include "telemetry/log.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace tdbg::telemetry {
+
+namespace {
+
+thread_local int tl_rank = -1;
+
+/// Site registry: append-only, id = index.  Lookups by name take the
+/// mutex; call sites cache ids in function-local statics so the lock
+/// is paid once per site, not per record.
+struct SiteRegistry {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint32_t> by_name;
+};
+
+SiteRegistry& sites() {
+  static SiteRegistry* reg = new SiteRegistry();  // leaked: outlives TLS dtors
+  return *reg;
+}
+
+constexpr std::uint64_t pack_meta(std::uint32_t site, int rank,
+                                  LogLevel level) {
+  return (static_cast<std::uint64_t>(site) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(
+              static_cast<std::int16_t>(rank)))
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint8_t>(level));
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::uint32_t intern_site(std::string_view name) {
+  auto& reg = sites();
+  std::lock_guard lk(reg.mu);
+  const auto it = reg.by_name.find(std::string(name));
+  if (it != reg.by_name.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(reg.names.size());
+  reg.names.emplace_back(name);
+  reg.by_name.emplace(reg.names.back(), id);
+  return id;
+}
+
+std::string site_name(std::uint32_t id) {
+  auto& reg = sites();
+  std::lock_guard lk(reg.mu);
+  if (id >= reg.names.size()) return "?";
+  return reg.names[id];
+}
+
+void set_thread_rank(int rank) { tl_rank = rank; }
+
+int thread_rank() { return tl_rank; }
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 2))) {
+  for (auto& ring : rings_) {
+    ring.words =
+        std::make_unique<std::atomic<std::uint64_t>[]>(capacity_ * kSlotWords);
+    for (std::size_t i = 0; i < capacity_ * kSlotWords; ++i) {
+      ring.words[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked: see sites()
+  return *recorder;
+}
+
+void FlightRecorder::log(LogLevel level, std::uint32_t site, std::uint64_t a0,
+                         std::uint64_t a1) {
+  log_rank(tl_rank, level, site, a0, a1);
+}
+
+void FlightRecorder::log_rank(int rank, LogLevel level, std::uint32_t site,
+                              std::uint64_t a0, std::uint64_t a1) {
+  if (!enabled(level)) return;
+  Ring& ring = rings_[ring_of(rank)];
+  // Claim a unique slot; concurrent writers on the no-rank ring get
+  // disjoint indices, so only a wrapped overwriter can race a reader.
+  const std::uint64_t idx = ring.cursor.fetch_add(1, std::memory_order_relaxed);
+  auto* w = &ring.words[(idx & (capacity_ - 1)) * kSlotWords];
+  // Seqlock over atomic words: invalidate the stamp, fence, write the
+  // payload, publish.  A reader that still sees the *old* stamp after
+  // its acquire fence cannot have observed any of these payload
+  // writes (the release fence orders the invalidation before them).
+  w[0].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  // Absolute time: the recorder outlives run-epoch resets, and only
+  // absolute stamps sort records from successive runs correctly.
+  // `dump` converts to run-relative display time.
+  w[1].store(static_cast<std::uint64_t>(support::now_ns()),
+             std::memory_order_relaxed);
+  w[2].store(a0, std::memory_order_relaxed);
+  w[3].store(a1, std::memory_order_relaxed);
+  w[4].store(pack_meta(site, rank, level), std::memory_order_relaxed);
+  w[0].store(idx + 1, std::memory_order_release);
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LogRecord> FlightRecorder::dump() const {
+  std::vector<LogRecord> out;
+  const support::TimeNs epoch = support::run_epoch_ns();
+  for (const auto& ring : rings_) {
+    const std::uint64_t cursor = ring.cursor.load(std::memory_order_acquire);
+    const std::uint64_t live = std::min<std::uint64_t>(cursor, capacity_);
+    for (std::uint64_t i = 0; i < live; ++i) {
+      const auto* w = &ring.words[i * kSlotWords];
+      const std::uint64_t s1 = w[0].load(std::memory_order_acquire);
+      if (s1 == 0) continue;  // invalidated mid-write
+      LogRecord rec;
+      rec.seq = s1 - 1;
+      rec.t = static_cast<support::TimeNs>(
+                  w[1].load(std::memory_order_relaxed)) -
+              epoch;  // pre-run records come out negative (and old)
+      rec.a0 = w[2].load(std::memory_order_relaxed);
+      rec.a1 = w[3].load(std::memory_order_relaxed);
+      const std::uint64_t meta = w[4].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (w[0].load(std::memory_order_relaxed) != s1) continue;  // torn
+      rec.site = static_cast<std::uint32_t>(meta >> 32);
+      rec.rank = static_cast<std::int16_t>((meta >> 16) & 0xFFFF);
+      rec.level = static_cast<LogLevel>(meta & 0xFF);
+      out.push_back(rec);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LogRecord& a, const LogRecord& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::string FlightRecorder::dump_text(std::size_t max_records) const {
+  auto records = dump();
+  std::size_t first = 0;
+  if (max_records != 0 && records.size() > max_records) {
+    first = records.size() - max_records;
+  }
+  std::ostringstream os;
+  for (std::size_t i = first; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << "t=" << r.t << "ns rank=" << r.rank << " " << log_level_name(r.level)
+       << " " << site_name(r.site);
+    if (r.a0 != 0 || r.a1 != 0) os << " a0=" << r.a0;
+    if (r.a1 != 0) os << " a1=" << r.a1;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::telemetry

@@ -1,0 +1,81 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tdbg::telemetry {
+
+namespace {
+
+constexpr std::uint64_t pack_name_rank(std::uint32_t name, int rank) {
+  return (static_cast<std::uint64_t>(name) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank));
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+      words_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity_ *
+                                                            kSlotWords)) {
+  for (std::size_t i = 0; i < capacity_ * kSlotWords; ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector* collector = new SpanCollector();  // leaked on purpose
+  return *collector;
+}
+
+void SpanCollector::add(std::uint32_t name, int rank, support::TimeNs t_start,
+                        support::TimeNs t_end) {
+  if (!enabled()) return;
+  const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto* w = &words_[idx * kSlotWords];
+  // Slots are written once (no wrap), so a release publish of the
+  // stamp after the payload words is enough for readers.
+  w[1].store(pack_name_rank(name, rank), std::memory_order_relaxed);
+  w[2].store(static_cast<std::uint64_t>(t_start), std::memory_order_relaxed);
+  w[3].store(static_cast<std::uint64_t>(t_end), std::memory_order_relaxed);
+  w[0].store(1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  const std::uint64_t claimed =
+      std::min<std::uint64_t>(cursor_.load(std::memory_order_acquire),
+                              capacity_);
+  std::vector<SpanRecord> out;
+  out.reserve(claimed);
+  for (std::uint64_t i = 0; i < claimed; ++i) {
+    const auto* w = &words_[i * kSlotWords];
+    if (w[0].load(std::memory_order_acquire) == 0) continue;  // in flight
+    const std::uint64_t packed = w[1].load(std::memory_order_relaxed);
+    SpanRecord rec;
+    rec.name = static_cast<std::uint32_t>(packed >> 32);
+    rec.rank = static_cast<std::int32_t>(packed & 0xFFFFFFFF);
+    rec.t_start =
+        static_cast<support::TimeNs>(w[2].load(std::memory_order_relaxed));
+    rec.t_end =
+        static_cast<support::TimeNs>(w[3].load(std::memory_order_relaxed));
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void SpanCollector::reset() {
+  const std::uint64_t claimed =
+      std::min<std::uint64_t>(cursor_.load(std::memory_order_relaxed),
+                              capacity_);
+  for (std::uint64_t i = 0; i < claimed; ++i) {
+    words_[i * kSlotWords].store(0, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tdbg::telemetry

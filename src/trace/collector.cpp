@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "telemetry/span.hpp"
 #include "trace/trace_io.hpp"
 
 namespace tdbg::trace {
@@ -182,6 +183,8 @@ void TraceCollector::flush_rank(RankBuffer& buf) {
 }
 
 void TraceCollector::flush() {
+  static const std::uint32_t kFlushSite = telemetry::intern_site("trace.flush");
+  telemetry::Span span(kFlushSite);
   std::lock_guard lk(writer_mu_);
   if (writer_ == nullptr) return;
   for (auto& buf : buffers_) flush_rank_locked(*buf);
@@ -226,6 +229,14 @@ std::size_t TraceCollector::buffered_count() const {
          buf->harvested.load(std::memory_order_acquire);
   }
   return static_cast<std::size_t>(n);
+}
+
+std::size_t TraceCollector::rank_buffered_count(int rank) const {
+  if (rank < 0 || rank >= num_ranks_) return 0;
+  const auto& buf = *buffers_[static_cast<std::size_t>(rank)];
+  return static_cast<std::size_t>(
+      buf.appended.load(std::memory_order_acquire) -
+      buf.harvested.load(std::memory_order_acquire));
 }
 
 std::uint64_t TraceCollector::total_count() const {

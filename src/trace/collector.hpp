@@ -95,6 +95,10 @@ class TraceCollector {
   /// any thread.
   [[nodiscard]] std::size_t buffered_count() const;
 
+  /// Number of records currently buffered for one rank — the "trace
+  /// backlog" the health heartbeat samples.  Callable from any thread.
+  [[nodiscard]] std::size_t rank_buffered_count(int rank) const;
+
   /// Total records accepted since construction (including flushed).
   [[nodiscard]] std::uint64_t total_count() const;
 

@@ -1,0 +1,60 @@
+#include "viz/chrome.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace tdbg::viz {
+
+namespace {
+
+/// Display name of one app event: the construct when known, the kind
+/// otherwise ("send", "recv", "fault_injected", ...).
+std::string event_name(const trace::Trace& trace, const trace::Event& e) {
+  if (e.construct != trace::kNoConstruct) {
+    return trace.constructs().info(e.construct).name;
+  }
+  return std::string(trace::event_kind_name(e.kind));
+}
+
+std::string event_args(const trace::Event& e) {
+  std::ostringstream os;
+  os << "\"kind\":\"" << trace::event_kind_name(e.kind) << "\",\"marker\":"
+     << e.marker;
+  if (e.is_message() || e.kind == trace::EventKind::kFaultInjected) {
+    os << ",\"peer\":" << e.peer << ",\"tag\":" << e.tag
+       << ",\"seq\":" << e.channel_seq;
+  }
+  if (e.bytes != 0) os << ",\"bytes\":" << e.bytes;
+  return os.str();
+}
+
+}  // namespace
+
+std::size_t write_chrome_trace(
+    std::ostream& os, const trace::Trace& trace,
+    const std::vector<telemetry::SpanRecord>& self_spans) {
+  telemetry::ChromeTraceWriter writer;
+  writer.set_process_name(telemetry::ChromeTraceWriter::kAppPid, "app");
+  writer.set_process_name(telemetry::ChromeTraceWriter::kTdbgPid, "tdbg");
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    writer.set_thread_name(telemetry::ChromeTraceWriter::kAppPid, r,
+                           "rank " + std::to_string(r));
+  }
+
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
+    // Enter/exit pairs already surface as the enclosing construct's
+    // phase elsewhere; as Chrome events every record is a complete
+    // slice (instant-like when t_end == t_start).
+    writer.add_complete(telemetry::ChromeTraceWriter::kAppPid, e.rank,
+                        event_name(trace, e), e.t_start,
+                        e.t_end - e.t_start, event_args(e));
+  });
+
+  writer.add_spans(self_spans);
+  writer.write(os);
+  return writer.event_count();
+}
+
+}  // namespace tdbg::viz

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/span.hpp"
+#include "trace/trace.hpp"
+
+/// \file chrome.hpp
+/// Bridges a recorded `trace::Trace` and the telemetry self-spans into
+/// one Chrome trace_event JSON document: the application's events on
+/// pid 1 (one thread row per rank, message sends/receives carrying
+/// peer/tag/marker args) and the debugger's own phases on the
+/// synthetic "tdbg" track (pid 2).  Load the output in
+/// chrome://tracing or Perfetto.
+
+namespace tdbg::viz {
+
+/// Renders `trace` plus `self_spans` as trace_event JSON to `os`.
+/// Either input may be empty.  Returns the number of events written.
+std::size_t write_chrome_trace(
+    std::ostream& os, const trace::Trace& trace,
+    const std::vector<telemetry::SpanRecord>& self_spans);
+
+}  // namespace tdbg::viz

@@ -1,5 +1,6 @@
 #include "viz/html_view.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "support/strings.hpp"
@@ -62,6 +63,34 @@ std::string metrics_strip(const trace::Trace& trace,
          << (block != nullptr ? block->per_rank[slot] : 0) << " blocks</td>";
     }
     os << "</tr>\n";
+  }
+  os << "</table>\n";
+  return os.str();
+}
+
+/// Aggregate self-profile strip: one row per span name with count and
+/// total time — the page-sized summary of the Chrome-trace export.
+std::string spans_strip(const std::vector<telemetry::SpanRecord>& spans) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::uint32_t, Agg> by_name;
+  for (const auto& s : spans) {
+    auto& agg = by_name[s.name];
+    ++agg.count;
+    if (s.t_end > s.t_start) {
+      agg.total_ns += static_cast<std::uint64_t>(s.t_end - s.t_start);
+    }
+  }
+  std::ostringstream os;
+  os << "<table id='stats'><tr><th>tdbg phase</th><th>count</th>"
+        "<th>total</th></tr>\n";
+  for (const auto& [name, agg] : by_name) {
+    os << "<tr><td>" << support::escape_label(
+              std::string(telemetry::site_name(name)))
+       << "</td><td>" << agg.count << "</td><td>"
+       << agg.total_ns / 1000 << " &micro;s</td></tr>\n";
   }
   os << "</table>\n";
   return os.str();
@@ -135,8 +164,11 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
      << "<div id='labels'>";
   for (mpi::Rank r = rows - 1; r >= 0; --r) os << "<span>P" << r << "</span>";
   os << "</div>\n"
-     << metrics_strip(trace, options.metrics)
-     << "<svg id='viewport' width='100%' height='" << height
+     << metrics_strip(trace, options.metrics);
+  if (options.self_spans != nullptr && !options.self_spans->empty()) {
+    os << spans_strip(*options.self_spans);
+  }
+  os << "<svg id='viewport' width='100%' height='" << height
      << "' viewBox='0 0 " << width << " " << height << "'>\n"
      << svg.str() << "</svg>\n"
      << "<div id='detail'>click a bar for details</div>\n"

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "viz/timeline.hpp"
 
 /// \file html_view.hpp
@@ -23,6 +25,11 @@ struct HtmlOptions {
   /// (sends / recvs / bytes / recv-block time).  When null the strip
   /// is derived from the trace events instead (counts only).
   const obs::Snapshot* metrics = nullptr;
+  /// Optional telemetry self-spans: rendered as an aggregate strip
+  /// (per-phase count and total time) under the stats table, so the
+  /// page shows what the *debugger* spent alongside the target's
+  /// history.  Null hides the strip.
+  const std::vector<telemetry::SpanRecord>* self_spans = nullptr;
 };
 
 /// Renders the trace as one self-contained HTML page.

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -180,20 +181,36 @@ TEST(ObsSnapshot, TextRenderingFiltersByRankAndFamily) {
   EXPECT_NE(rank1.find("beta.y"), std::string::npos);
 }
 
-TEST(ObsTimeSeries, CsvFixesColumnsFromFirstSnapshot) {
+// Regression: the series used to freeze its column set at the first
+// snapshot, silently dropping any instrument that first reported later
+// (a heartbeat sampling a lazily-created gauge lost the whole column).
+// Columns must grow, with earlier rows back-filled as 0.
+TEST(ObsTimeSeries, ColumnsGrowWithLateInstruments) {
   if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
   obs::MetricsRegistry registry;
   registry.counter("test.a").add(0, 1);
-  obs::TimeSeriesCsv csv;
-  csv.add(registry.snapshot());
+  obs::MetricsSeries series;
+  series.add(registry.snapshot());
   registry.counter("test.a").add(0, 2);
   registry.counter("test.late").add(0, 9);  // not in the first snapshot
-  csv.add(registry.snapshot());
+  series.add(registry.snapshot());
 
-  EXPECT_EQ(csv.rows(), 2u);
-  const auto out = csv.str();
-  EXPECT_NE(out.find("t_ns,test.a"), std::string::npos);
-  EXPECT_EQ(out.find("test.late"), std::string::npos);
+  EXPECT_EQ(series.rows(), 2u);
+  EXPECT_EQ(series.columns(), 2u);
+  const auto out = series.str();
+  EXPECT_NE(out.find("test.a"), std::string::npos);
+  EXPECT_NE(out.find("test.late"), std::string::npos);
+
+  // Row 1 (before test.late existed) back-fills its cell with 0; row 2
+  // carries the value 9.
+  std::istringstream lines(out);
+  std::string header, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_NE(header.find("test.late"), std::string::npos);
+  EXPECT_EQ(row1.substr(row1.rfind(',') + 1), "0");
+  EXPECT_EQ(row2.substr(row2.rfind(',') + 1), "9");
 }
 
 TEST(ObsRegistry, DisabledAddsAreDropped) {

@@ -4,9 +4,16 @@
 // Usage:
 //   tdbg_cli <target> [--script <file>] [--auto-record] [--stats]
 //            [--fault-plan <name>] [--fault-seed <n>]
+//            [--chrome-trace <out.json>]
 //
 // --stats dumps the final metrics report (per-rank sends/recvs/bytes/
 // recv-block time, collector flush stats, analysis timings) on exit.
+//
+// --chrome-trace writes the whole session as Chrome trace_event JSON
+// on exit — the application's message events (pid "app", one thread
+// row per rank) next to the debugger's own phases (pid "tdbg":
+// record/replay/analysis spans, mpi match/park waits, trace flushes,
+// fault injections).  Load it in chrome://tracing or Perfetto.
 //
 // --fault-plan arms a named fault-injection plan (see
 // `tdbg::fault::FaultPlan::names()`) for the recorded run; --fault-seed
@@ -15,7 +22,9 @@
 //   tdbg_cli ring4 --fault-seed 42 --fault-plan deadlock_ring --auto-record
 //
 // If the faulted run hangs or crashes, a partial trace is flushed to
-// `tdbg_fault_partial.trc` with a structured hang diagnosis on stderr.
+// `tdbg_fault_partial.trc` with a structured hang diagnosis on stderr,
+// and the flight recorder's tail (whose last records name the injected
+// fault) is dumped to `tdbg_flight.log`.
 //
 // Targets:
 //   ring4            4-rank token ring
@@ -43,6 +52,9 @@
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/span.hpp"
+#include "viz/chrome.hpp"
 
 namespace {
 
@@ -101,6 +113,7 @@ int main(int argc, char** argv) {
   std::string target_name;
   std::string script_path;
   std::string fault_plan_name;
+  std::string chrome_path;
   std::uint64_t fault_seed = 0;
   bool auto_record = false;
   bool stats = false;
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
       fault_plan_name = argv[++i];
     } else if (arg == "--fault-seed" && i + 1 < argc) {
       fault_seed = std::stoull(argv[++i]);
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_path = argv[++i];
     } else if (arg == "--auto-record") {
       auto_record = true;
     } else if (arg == "--stats") {
@@ -119,7 +134,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
                    "taskfarm5|lu8> [--script file] [--auto-record] "
-                   "[--stats] [--fault-plan name] [--fault-seed n]\n";
+                   "[--stats] [--fault-plan name] [--fault-seed n] "
+                   "[--chrome-trace out.json]\n";
       return 0;
     } else {
       target_name = arg;
@@ -178,10 +194,29 @@ int main(int argc, char** argv) {
   }
   if (debugger.fault_engine() != nullptr && !debugger.run_result().completed) {
     // The faulted run hung or crashed: flush the partial trace for
-    // post-mortem work and print the structured diagnosis.
+    // post-mortem work, print the structured diagnosis, and drop the
+    // flight recorder's tail next to it — its last records name the
+    // injected fault that explains the hang.
     const auto diagnosis = tdbg::fault::diagnose_hang(
         debugger.run_result(), debugger.trace(), "tdbg_fault_partial.trc");
     std::cerr << diagnosis.describe();
+    std::ofstream flight("tdbg_flight.log");
+    if (flight) {
+      flight << tdbg::telemetry::FlightRecorder::global().dump_text();
+      std::cerr << "  flight log written to tdbg_flight.log\n";
+    }
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::cerr << "cannot write " << chrome_path << "\n";
+      return 2;
+    }
+    const bool recorded = debugger.recorded();
+    const auto n = tdbg::viz::write_chrome_trace(
+        out, recorded ? debugger.trace() : tdbg::trace::Trace{},
+        tdbg::telemetry::SpanCollector::global().snapshot());
+    std::cout << "wrote " << n << " event(s) to " << chrome_path << "\n";
   }
   if (stats) {
     std::cout << "--- stats ---\n"

@@ -1,8 +1,7 @@
 // tdbg-trace — inspect and convert trace files.
 //
 // Usage:
-//   tdbg_trace info <file>                 file metadata (footer only; no
-//                                          event data is read for v2 files)
+//   tdbg_trace info <file>                 file metadata + per-kind counts
 //   tdbg_trace dump <file>                 print events as text
 //   tdbg_trace stats <file>                summary + traffic report
 //   tdbg_trace profile <file>              time per construct / per rank
@@ -15,10 +14,14 @@
 //
 // Any mode also accepts --stats: on exit, the tool's own metrics
 // (analysis wall times, collector counters) are dumped to stderr.
+// Any trace-opening mode also accepts --chrome-trace <out.json>: the
+// trace (plus any telemetry self-spans this tool produced) is exported
+// as Chrome trace_event JSON for chrome://tracing / Perfetto.
 //
 // Traces are produced by attaching a TraceWriter to a run's collector
 // (see README "Writing traces to disk") or via trace::write_trace.
 
+#include <array>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -30,8 +33,10 @@
 #include "graph/call_graph.hpp"
 #include "graph/export.hpp"
 #include "obs/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "trace/merge.hpp"
 #include "trace/trace_io.hpp"
+#include "viz/chrome.hpp"
 #include "viz/html_view.hpp"
 #include "viz/profile.hpp"
 #include "viz/timeline.hpp"
@@ -60,8 +65,9 @@ int dump(const tdbg::trace::Trace& trace) {
   return 0;
 }
 
-// `info` reads only the header and (for v2) the footer directory —
-// never the event payload — so it stays O(footer) on huge traces.
+// `info` reads the header and (for v2) the footer directory for the
+// metadata block, then one streaming pass over the events for the
+// per-kind census (the census is the only part that touches payload).
 int info(const std::filesystem::path& path) {
   using namespace tdbg;
   const auto fi = trace::inspect_trace(path);
@@ -88,6 +94,21 @@ int info(const std::filesystem::path& path) {
                 static_cast<long long>(fi.t_min),
                 static_cast<long long>(fi.t_max));
   }
+  const auto trace = trace::open_trace(path);
+  std::array<std::uint64_t, 8> by_kind{};
+  trace.for_each_event([&](std::size_t, const trace::Event& e) {
+    const auto k = static_cast<std::size_t>(e.kind);
+    if (k < by_kind.size()) ++by_kind[k];
+  });
+  std::printf("events by kind:\n");
+  for (std::size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] == 0) continue;
+    std::printf("  %-14s: %llu\n",
+                std::string(trace::event_kind_name(
+                                static_cast<trace::EventKind>(k)))
+                    .c_str(),
+                static_cast<unsigned long long>(by_kind[k]));
+  }
   return 0;
 }
 
@@ -110,12 +131,17 @@ int stats(const tdbg::trace::Trace& trace) {
 
 int main(int raw_argc, char** raw_argv) {
   using namespace tdbg;
-  // Strip the global --stats flag before positional parsing.
+  // Strip the global --stats / --chrome-trace flags before positional
+  // parsing.
   bool want_stats = false;
+  std::string chrome_path;
   std::vector<char*> args;
   for (int i = 0; i < raw_argc; ++i) {
     if (std::string_view(raw_argv[i]) == "--stats") {
       want_stats = true;
+    } else if (std::string_view(raw_argv[i]) == "--chrome-trace" &&
+               i + 1 < raw_argc) {
+      chrome_path = raw_argv[++i];
     } else {
       args.push_back(raw_argv[i]);
     }
@@ -153,6 +179,24 @@ int main(int raw_argc, char** raw_argv) {
     // still work, but windowed/point access never faults in more than
     // the touched segments.
     const auto trace = trace::open_trace(argv[2]);
+    // Deferred --chrome-trace export: fires on scope exit, after
+    // whichever mode ran (so analysis self-spans, if any, are
+    // included).
+    struct ChromeDump {
+      const trace::Trace* trace;
+      std::string path;
+      ~ChromeDump() {
+        if (path.empty()) return;
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "cannot write " << path << "\n";
+          return;
+        }
+        viz::write_chrome_trace(
+            out, *trace, telemetry::SpanCollector::global().snapshot());
+        std::cerr << "wrote chrome trace " << path << "\n";
+      }
+    } chrome_dump{&trace, chrome_path};
     if (mode == "dump") return dump(trace);
     if (mode == "stats") return stats(trace);
     if (mode == "profile") {
