@@ -10,15 +10,17 @@
 #                still pass
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
 #                runs the concurrency-heavy suites
-#                (ctest -L "mpi|trace|perf|fault|telemetry") and must
-#                report zero races — the fault label covers the
+#                (ctest -L "mpi|trace|perf|fault|telemetry|exec") and
+#                must report zero races — the fault label covers the
 #                injection seams, which perturb the hot path from extra
 #                threadside angles; telemetry covers the flight-recorder
-#                seqlock rings and the health heartbeat
+#                seqlock rings and the health heartbeat; exec covers the
+#                analysis thread pool and the segmented store's shared
+#                LRU cache under concurrent readers
 #   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
 #                runs the store/query-heavy suites
-#                (ctest -L "trace|analysis|viz|fault|telemetry") and
-#                must report zero memory or UB findings (payload
+#                (ctest -L "trace|analysis|viz|fault|telemetry|exec")
+#                and must report zero memory or UB findings (payload
 #                corruption and held-message buffers live here)
 #
 # Extras under metrics-on:
@@ -30,6 +32,9 @@
 #   - abl_telemetry_overhead (asserts the suppressed-TDBG_LOG ≤
 #                          relaxed-load budget contract; exits nonzero
 #                          on drift)
+#   - abl_parallel_analysis (asserts analysis reports are byte-identical
+#                          at 1/2/4/8 threads, and the ≥3x speedup gate
+#                          where 8 hardware threads exist)
 #   - tdbg_cli ring4 --stats smoke (per-rank sends/recvs/bytes visible)
 #   - tdbg_cli ring4 --fault-plan deadlock_ring smoke (injected hold
 #     must deadlock the ring, flush a readable partial trace, auto-dump
@@ -60,7 +65,7 @@ cmake --build "$tsan_bdir" -j "$jobs"
 # scrolling past; second_deadlock_stack for readable lock reports.
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
- ctest -L 'mpi|trace|perf|fault|telemetry' --output-on-failure -j "$jobs")
+ ctest -L 'mpi|trace|perf|fault|telemetry|exec' --output-on-failure -j "$jobs")
 
 echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
 asan_bdir="$repo/build-verify-asan-ubsan"
@@ -71,7 +76,7 @@ cmake --build "$asan_bdir" -j "$jobs"
 (cd "$asan_bdir" && \
  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
- ctest -L 'trace|analysis|viz|fault|telemetry' --output-on-failure -j "$jobs")
+ ctest -L 'trace|analysis|viz|fault|telemetry|exec' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 
@@ -86,6 +91,13 @@ echo "=== abl_fault_overhead contract ==="
 
 echo "=== abl_telemetry_overhead contract ==="
 "$bdir/bench/abl_telemetry_overhead" --benchmark_min_time=0.05
+
+echo "=== abl_parallel_analysis determinism + speedup contract ==="
+# The binary asserts byte-identical reports at 1/2/4/8 threads before
+# any timing, and enforces the 3x gate where 8 hardware threads exist
+# (exit 1 on either failure).  Filter out the timed section: the
+# contract runs in main().
+"$bdir/bench/abl_parallel_analysis" --benchmark_filter='^$'
 
 echo "=== tdbg_cli fault-plan smoke ==="
 fault_tmp="$(mktemp -d)"

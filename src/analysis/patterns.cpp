@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/strings.hpp"
 
 namespace tdbg::analysis {
@@ -143,11 +144,16 @@ std::vector<ModelResult> check_model_all(const trace::Trace& trace,
                                          const std::string& pattern) {
   const auto tokens = parse_pattern(pattern);
   const auto actions = graph::ActionGraph::from_trace(trace);
-  std::vector<ModelResult> results;
-  results.reserve(static_cast<std::size_t>(trace.num_ranks()));
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    results.push_back(check_model(trace, actions, r, tokens));
-  }
+  // One backtracking match per rank into a pre-sized slot: the slot
+  // is the rank index, so the result order never depends on task
+  // scheduling.
+  std::vector<ModelResult> results(
+      static_cast<std::size_t>(trace.num_ranks()));
+  exec::Executor::global().parallel_for(
+      results.size(), "analysis.model", [&](std::size_t r) {
+        results[r] =
+            check_model(trace, actions, static_cast<mpi::Rank>(r), tokens);
+      });
   return results;
 }
 

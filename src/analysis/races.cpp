@@ -1,10 +1,23 @@
 #include "analysis/races.hpp"
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "support/executor.hpp"
 
 namespace tdbg::analysis {
+
+namespace {
+
+/// Wildcard receives examined per pairing task.  Each receive's
+/// candidate scan is quadratic in the send pool, so chunks are kept
+/// small; the size is fixed (never thread-count derived) so the
+/// chunk-ordered concatenation below is deterministic.
+constexpr std::size_t kRecvChunk = 16;
+
+}  // namespace
 
 RaceReport find_races(const trace::Trace& trace,
                       const causality::CausalOrder& order) {
@@ -21,66 +34,104 @@ RaceReport find_races(const trace::Trace& trace,
     recv_of_send.emplace(m.send_index, m.recv_index);
   }
 
-  // One sweep gathers the candidate pools; the quadratic pairing below
-  // then runs over local copies instead of re-querying the store.
+  // Gather the candidate pools with one map task per segment —
+  // concatenated in segment order, the pools land in display order,
+  // exactly as the serial sweep produced them.
   struct Indexed {
     std::size_t index;
     trace::Event event;
   };
-  std::vector<Indexed> sends;
-  std::vector<Indexed> wildcard_recvs;
-  trace.for_each_event([&](std::size_t i, const trace::Event& e) {
-    if (e.kind == trace::EventKind::kSend) {
-      sends.push_back(Indexed{i, e});
-    } else if (e.kind == trace::EventKind::kRecv && e.wildcard) {
-      wildcard_recvs.push_back(Indexed{i, e});
-    }
-  });
+  struct Pools {
+    std::vector<Indexed> sends;
+    std::vector<Indexed> wildcard_recvs;
+  };
+  const Pools pools = trace.map_reduce<Pools>(
+      "analysis.races.gather",
+      [&](std::size_t seg, Pools& part) {
+        trace.for_each_in_segment(seg, [&](std::size_t i,
+                                           const trace::Event& e) {
+          if (e.kind == trace::EventKind::kSend) {
+            part.sends.push_back(Indexed{i, e});
+          } else if (e.kind == trace::EventKind::kRecv && e.wildcard) {
+            part.wildcard_recvs.push_back(Indexed{i, e});
+          }
+        });
+      },
+      [](Pools& acc, Pools&& part) {
+        acc.sends.insert(acc.sends.end(), part.sends.begin(),
+                         part.sends.end());
+        acc.wildcard_recvs.insert(acc.wildcard_recvs.end(),
+                                  part.wildcard_recvs.begin(),
+                                  part.wildcard_recvs.end());
+      });
+  const auto& sends = pools.sends;
+  const auto& wildcard_recvs = pools.wildcard_recvs;
+
   std::unordered_map<std::size_t, const trace::Event*> send_events;
   send_events.reserve(sends.size());
   for (const auto& s : sends) send_events.emplace(s.index, &s.event);
 
-  for (const auto& [r, recv] : wildcard_recvs) {
-    const auto matched_it = send_of_recv.find(r);
-    if (matched_it == send_of_recv.end()) continue;
-    const std::size_t matched = matched_it->second;
-    const auto matched_send_it = send_events.find(matched);
-    if (matched_send_it == send_events.end()) continue;
-    const auto& matched_send = *matched_send_it->second;
+  // Pairing: chunks of receives in parallel over read-only state; the
+  // per-chunk race lists concatenate in chunk order, which is the
+  // serial algorithm's receive display order.
+  const std::size_t nrecvs = wildcard_recvs.size();
+  const std::size_t nchunks = (nrecvs + kRecvChunk - 1) / kRecvChunk;
+  std::vector<std::vector<MessageRace>> per_chunk(nchunks);
+  exec::Executor::global().parallel_for(
+      nchunks, "analysis.races.pair", [&](std::size_t c) {
+        const std::size_t lo = c * kRecvChunk;
+        const std::size_t hi = std::min(lo + kRecvChunk, nrecvs);
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& [r, recv] = wildcard_recvs[k];
+          const auto matched_it = send_of_recv.find(r);
+          if (matched_it == send_of_recv.end()) continue;
+          const std::size_t matched = matched_it->second;
+          const auto matched_send_it = send_events.find(matched);
+          if (matched_send_it == send_events.end()) continue;
+          const auto& matched_send = *matched_send_it->second;
 
-    MessageRace race;
-    race.recv_index = r;
-    race.matched_send = matched;
+          MessageRace race;
+          race.recv_index = r;
+          race.matched_send = matched;
 
-    for (const auto& [s, send] : sends) {
-      if (s == matched) continue;
-      if (send.peer != recv.rank) continue;  // different destination
-      // Tag compatibility with the posted receive.  The posted tag is
-      // not stored separately; the matched message's tag equals it
-      // unless the receive was also ANY_TAG.  Requiring equal tags is
-      // the conservative (no-false-positive) choice.
-      if (send.tag != recv.tag) continue;
-      // m' cannot race if its send causally requires R to be done.
-      if (order.happens_before(r, s)) continue;
-      // m' cannot race if it was consumed strictly before R could see
-      // it.
-      const auto consumed = recv_of_send.find(s);
-      if (consumed != recv_of_send.end() &&
-          order.happens_before(consumed->second, r)) {
-        continue;
-      }
-      // Non-overtaking: an earlier same-channel message than m from
-      // the same source is ordered, not racing — but only when it
-      // precedes m on the same (source, dest) channel AND was
-      // consumed by the same rank earlier; a *later* same-source
-      // message can still race.  Distinct sources always race.
-      if (send.rank == matched_send.rank &&
-          order.happens_before(s, matched)) {
-        continue;
-      }
-      race.candidates.push_back(s);
-    }
-    if (!race.candidates.empty()) report.races.push_back(std::move(race));
+          for (const auto& [s, send] : sends) {
+            if (s == matched) continue;
+            if (send.peer != recv.rank) continue;  // different destination
+            // Tag compatibility with the posted receive.  The posted
+            // tag is not stored separately; the matched message's tag
+            // equals it unless the receive was also ANY_TAG.
+            // Requiring equal tags is the conservative
+            // (no-false-positive) choice.
+            if (send.tag != recv.tag) continue;
+            // m' cannot race if its send causally requires R to be
+            // done.
+            if (order.happens_before(r, s)) continue;
+            // m' cannot race if it was consumed strictly before R
+            // could see it.
+            const auto consumed = recv_of_send.find(s);
+            if (consumed != recv_of_send.end() &&
+                order.happens_before(consumed->second, r)) {
+              continue;
+            }
+            // Non-overtaking: an earlier same-channel message than m
+            // from the same source is ordered, not racing — but only
+            // when it precedes m on the same (source, dest) channel
+            // AND was consumed by the same rank earlier; a *later*
+            // same-source message can still race.  Distinct sources
+            // always race.
+            if (send.rank == matched_send.rank &&
+                order.happens_before(s, matched)) {
+              continue;
+            }
+            race.candidates.push_back(s);
+          }
+          if (!race.candidates.empty()) {
+            per_chunk[c].push_back(std::move(race));
+          }
+        }
+      });
+  for (auto& chunk : per_chunk) {
+    for (auto& race : chunk) report.races.push_back(std::move(race));
   }
   return report;
 }

@@ -5,20 +5,26 @@
 
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 
 namespace tdbg::causality {
 
 namespace {
 
-/// Per-event program-order positions, built with one rank-cursor sweep
-/// (no whole-vector materialization on a lazy trace store).
+/// Per-event program-order positions, one rank-cursor sweep per pool
+/// task (no whole-vector materialization on a lazy trace store).  Rank
+/// sweeps write disjoint slots of `pos`, so the tasks never conflict
+/// and the result is independent of scheduling.
 std::vector<std::size_t> rank_positions(const trace::Trace& trace) {
   std::vector<std::size_t> pos(trace.size(), 0);
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    std::size_t p = 0;
-    trace.for_each_rank_event(
-        r, [&](std::size_t e, const trace::Event&) { pos[e] = p++; });
-  }
+  exec::Executor::global().parallel_for(
+      static_cast<std::size_t>(trace.num_ranks()), "causality.positions",
+      [&](std::size_t r) {
+        std::size_t p = 0;
+        trace.for_each_rank_event(
+            static_cast<mpi::Rank>(r),
+            [&](std::size_t e, const trace::Event&) { pos[e] = p++; });
+      });
   return pos;
 }
 
@@ -43,14 +49,19 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
     send_of_recv.emplace(m.recv_index, m.send_index);
   }
 
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    auto& seq = seqs_[static_cast<std::size_t>(r)];
-    seq.reserve(trace.rank_size(r));
-    trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event&) {
-      positions_[e] = seq.size();
-      seq.push_back(e);
-    });
-  }
+  // Per-rank program-order indexes: every task owns its rank's
+  // `seqs_` slot and that rank's disjoint share of `positions_`, so
+  // the parallel build is race-free and scheduling-independent.
+  exec::Executor::global().parallel_for(
+      ranks, "causality.rank_index", [&](std::size_t ri) {
+        const auto r = static_cast<mpi::Rank>(ri);
+        auto& seq = seqs_[ri];
+        seq.reserve(trace.rank_size(r));
+        trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event&) {
+          positions_[e] = seq.size();
+          seq.push_back(e);
+        });
+      });
 
   // Propagate clocks in dependency order.  Each rank's events are
   // processed in program order; a receive additionally waits for its

@@ -1,9 +1,14 @@
 #include "trace/store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/serialize.hpp"
 
 namespace tdbg::trace {
@@ -94,6 +99,23 @@ std::optional<std::size_t> InMemoryTraceStore::find_marker(
   return *it;
 }
 
+std::size_t InMemoryTraceStore::segment_count() const {
+  return (events_.size() + kInMemorySegmentEvents - 1) / kInMemorySegmentEvents;
+}
+
+std::pair<std::size_t, std::size_t> InMemoryTraceStore::segment_range(
+    std::size_t seg) const {
+  TDBG_CHECK(seg < segment_count(), "segment index out of range");
+  const std::size_t begin = seg * kInMemorySegmentEvents;
+  return {begin, std::min(begin + kInMemorySegmentEvents, events_.size())};
+}
+
+void InMemoryTraceStore::for_each_in_segment(std::size_t seg,
+                                             const EventVisitor& visit) const {
+  const auto [begin, end] = segment_range(seg);
+  for (std::size_t i = begin; i < end; ++i) visit(i, events_[i]);
+}
+
 std::optional<std::size_t> InMemoryTraceStore::last_event_at_or_before(
     mpi::Rank rank, support::TimeNs t) const {
   const auto& idx = rank_index(rank);
@@ -111,15 +133,16 @@ std::optional<std::size_t> InMemoryTraceStore::last_event_at_or_before(
 
 SegmentedTraceStore::SegmentedTraceStore(std::filesystem::path path,
                                          int num_ranks, wire::Footer footer,
-                                         std::size_t cache_segments)
+                                         std::size_t cache_segments,
+                                         bool prefetch)
     : path_(std::move(path)), footer_(std::move(footer)),
-      num_ranks_(num_ranks),
-      cache_segments_(std::max<std::size_t>(1, cache_segments)),
-      in_(path_, std::ios::binary) {
+      num_ranks_(num_ranks), prefetch_enabled_(prefetch),
+      cache_segments_(std::max<std::size_t>(1, cache_segments)) {
   TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
   TDBG_CHECK(footer_.display_sorted() && footer_.rank_markers_monotone(),
              "segmented store requires a sorted v2 trace");
-  if (!in_) {
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) {
     throw IoError("cannot open trace file: " + path_.string());
   }
   auto registry = std::make_shared<ConstructRegistry>();
@@ -158,23 +181,28 @@ std::size_t SegmentedTraceStore::segment_of_index(std::size_t i) const {
   return static_cast<std::size_t>(it - seg_first_index_.begin()) - 1;
 }
 
-std::shared_ptr<const SegmentedTraceStore::LoadedSegment>
-SegmentedTraceStore::segment(std::size_t seg) const {
-  std::lock_guard lk(mu_);
-  if (cache_[seg]) {
-    ++stats_.hits;
-    lru_.remove(seg);
-    lru_.push_front(seg);
-    return cache_[seg];
+SegmentedTraceStore::~SegmentedTraceStore() {
+  {
+    std::unique_lock lk(prefetch_mu_);
+    prefetch_cv_.wait(lk, [this] { return prefetch_inflight_ == 0; });
   }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SegmentedTraceStore::SegmentPtr SegmentedTraceStore::load_segment(
+    std::size_t seg) const {
   const auto& meta = footer_.segments[seg];
   std::vector<std::byte> bytes(meta.byte_len);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(meta.offset));
-  in_.read(reinterpret_cast<char*>(bytes.data()),
-           static_cast<std::streamsize>(bytes.size()));
-  if (!in_ || static_cast<std::uint64_t>(in_.gcount()) != meta.byte_len) {
-    throw IoError("trace segment read failed: " + path_.string());
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n =
+        ::pread(fd_, bytes.data() + got, bytes.size() - got,
+                static_cast<off_t>(meta.offset + got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw IoError("trace segment read failed: " + path_.string());
+    }
+    got += static_cast<std::size_t>(n);
   }
 
   auto loaded = std::make_shared<LoadedSegment>();
@@ -199,7 +227,11 @@ SegmentedTraceStore::segment(std::size_t seg) const {
         static_cast<std::uint32_t>(k));
     loaded->events.push_back(e);
   }
+  return loaded;
+}
 
+void SegmentedTraceStore::install(std::size_t seg,
+                                  const SegmentPtr& loaded) const {
   const auto seg_bytes = [](const LoadedSegment& s) {
     std::size_t b = s.events.size() * sizeof(Event);
     for (const auto& v : s.rank_positions) b += v.size() * sizeof(std::uint32_t);
@@ -217,7 +249,79 @@ SegmentedTraceStore::segment(std::size_t seg) const {
   ++stats_.loads;
   stats_.resident_bytes += seg_bytes(*loaded);
   stats_.resident_segments = lru_.size();
-  return loaded;
+}
+
+SegmentedTraceStore::SegmentPtr SegmentedTraceStore::segment(
+    std::size_t seg) const {
+  std::shared_future<SegmentPtr> pending;
+  std::promise<SegmentPtr> promise;
+  bool loader = false;
+  {
+    std::lock_guard lk(mu_);
+    if (cache_[seg]) {
+      ++stats_.hits;
+      lru_.remove(seg);
+      lru_.push_front(seg);
+      return cache_[seg];
+    }
+    const auto it = loading_.find(seg);
+    if (it != loading_.end()) {
+      // Someone is already reading this segment: share its result.
+      ++stats_.hits;
+      pending = it->second;
+    } else {
+      loader = true;
+      pending = promise.get_future().share();
+      loading_.emplace(seg, pending);
+    }
+  }
+  if (!loader) return pending.get();  // rethrows the loader's error
+
+  // IO + decode run outside the lock: concurrent misses on *different*
+  // segments proceed in parallel through pread.
+  try {
+    auto loaded = load_segment(seg);
+    {
+      std::lock_guard lk(mu_);
+      install(seg, loaded);
+      loading_.erase(seg);
+    }
+    promise.set_value(loaded);
+    return loaded;
+  } catch (...) {
+    {
+      std::lock_guard lk(mu_);
+      loading_.erase(seg);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+void SegmentedTraceStore::maybe_prefetch(std::size_t seg) const {
+  if (!prefetch_enabled_ || seg >= footer_.segments.size()) return;
+  auto& pool = exec::Executor::global();
+  if (pool.threads() <= 1) return;
+  {
+    std::lock_guard lk(mu_);
+    if (cache_[seg] || loading_.count(seg) != 0) return;
+    ++stats_.prefetches;
+  }
+  {
+    std::lock_guard lk(prefetch_mu_);
+    ++prefetch_inflight_;
+  }
+  pool.async([this, seg] {
+    try {
+      (void)segment(seg);
+    } catch (...) {
+      // A failing read-ahead is dropped; the demand read surfaces the
+      // error on the consuming thread.
+    }
+    std::lock_guard lk(prefetch_mu_);
+    --prefetch_inflight_;
+    prefetch_cv_.notify_all();
+  });
 }
 
 SegmentCacheStats SegmentedTraceStore::cache_stats() const {
@@ -232,8 +336,25 @@ Event SegmentedTraceStore::event(std::size_t i) const {
   return segment(s)->events[i - seg_first_index_[s]];
 }
 
+std::pair<std::size_t, std::size_t> SegmentedTraceStore::segment_range(
+    std::size_t seg) const {
+  TDBG_CHECK(seg < footer_.segments.size(), "segment index out of range");
+  return {seg_first_index_[seg], seg_first_index_[seg + 1]};
+}
+
+void SegmentedTraceStore::for_each_in_segment(std::size_t s,
+                                              const EventVisitor& visit) const {
+  TDBG_CHECK(s < footer_.segments.size(), "segment index out of range");
+  const auto seg = segment(s);
+  const std::size_t base = seg_first_index_[s];
+  for (std::size_t k = 0; k < seg->events.size(); ++k) {
+    visit(base + k, seg->events[k]);
+  }
+}
+
 void SegmentedTraceStore::for_each(const EventVisitor& visit) const {
   for (std::size_t s = 0; s < footer_.segments.size(); ++s) {
+    maybe_prefetch(s + 1);  // decode k+1 on the pool while we consume k
     const auto seg = segment(s);
     const std::size_t base = seg_first_index_[s];
     for (std::size_t k = 0; k < seg->events.size(); ++k) {
@@ -255,6 +376,9 @@ void SegmentedTraceStore::for_each_in_window(support::TimeNs t0,
       static_cast<std::size_t>(hi - footer_.segments.begin());
   for (std::size_t s = 0; s < nseg; ++s) {
     if (footer_.segments[s].t_max < t0) continue;  // directory-only skip
+    if (s + 1 < nseg && footer_.segments[s + 1].t_max >= t0) {
+      maybe_prefetch(s + 1);
+    }
     const auto seg = segment(s);
     const std::size_t base = seg_first_index_[s];
     for (std::size_t k = 0; k < seg->events.size(); ++k) {
@@ -285,9 +409,15 @@ std::size_t SegmentedTraceStore::rank_event(mpi::Rank rank,
 void SegmentedTraceStore::for_each_rank_event(mpi::Rank rank,
                                               const EventVisitor& visit) const {
   TDBG_CHECK(rank >= 0 && rank < num_ranks_, "rank out of range");
-  for (std::size_t s = 0; s < footer_.segments.size(); ++s) {
+  const std::size_t nseg = footer_.segments.size();
+  for (std::size_t s = 0; s < nseg; ++s) {
     const auto& meta = footer_.segments[s];
     if (meta.ranks[static_cast<std::size_t>(rank)].count == 0) continue;
+    if (s + 1 < nseg &&
+        footer_.segments[s + 1].ranks[static_cast<std::size_t>(rank)].count >
+            0) {
+      maybe_prefetch(s + 1);
+    }
     const auto seg = segment(s);
     const std::size_t base = seg_first_index_[s];
     for (std::uint32_t k : seg->rank_positions[static_cast<std::size_t>(rank)]) {

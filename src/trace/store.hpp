@@ -1,13 +1,16 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpi/types.hpp"
@@ -87,7 +90,34 @@ class TraceStore {
   /// Last event of `rank` whose start time is <= `t`, if any.
   [[nodiscard]] virtual std::optional<std::size_t> last_event_at_or_before(
       mpi::Rank rank, support::TimeNs t) const = 0;
+
+  // --- Segment view (the unit of analysis parallelism) ----------------
+  //
+  // Both backends expose the stream as consecutive display-order
+  // segments: the v2 file's directory segments for the lazy store,
+  // fixed-size chunks for the in-memory store.  Segment boundaries
+  // depend only on the history (never on thread count), which is what
+  // lets `Trace::map_reduce` merge per-segment partials in segment
+  // order and produce bit-identical results at any parallelism.
+
+  /// Number of segments (0 for an empty trace).
+  [[nodiscard]] virtual std::size_t segment_count() const = 0;
+
+  /// Global display-index range [begin, end) of segment `seg`.
+  [[nodiscard]] virtual std::pair<std::size_t, std::size_t> segment_range(
+      std::size_t seg) const = 0;
+
+  /// Visits segment `seg`'s events in display order.  Safe to call
+  /// concurrently from pool workers on different (or the same)
+  /// segments.
+  virtual void for_each_in_segment(std::size_t seg,
+                                   const EventVisitor& visit) const = 0;
 };
+
+/// Chunk size the in-memory store presents as its "segments".  Small
+/// enough that moderate test traces parallelize, fixed so results
+/// never depend on thread count.
+inline constexpr std::size_t kInMemorySegmentEvents = 1u << 13;
 
 /// The seed storage: one eagerly sorted vector plus per-rank indexes.
 ///
@@ -123,6 +153,11 @@ class InMemoryTraceStore final : public TraceStore {
       mpi::Rank rank, std::uint64_t marker) const override;
   [[nodiscard]] std::optional<std::size_t> last_event_at_or_before(
       mpi::Rank rank, support::TimeNs t) const override;
+  [[nodiscard]] std::size_t segment_count() const override;
+  [[nodiscard]] std::pair<std::size_t, std::size_t> segment_range(
+      std::size_t seg) const override;
+  void for_each_in_segment(std::size_t seg,
+                           const EventVisitor& visit) const override;
 
   /// Zero-copy views for the `Trace::events()` / `rank_events()`
   /// compatibility surface.
@@ -149,6 +184,7 @@ struct SegmentCacheStats {
   std::uint64_t loads = 0;
   std::uint64_t hits = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t prefetches = 0;  ///< async segment loads issued
   std::size_t resident_segments = 0;
   std::size_t resident_bytes = 0;
 };
@@ -160,16 +196,33 @@ struct SegmentCacheStats {
 /// every query into a directory binary search.  `open_trace` falls
 /// back to the eager reader when the flags are absent.
 ///
-/// Thread-safe: the file handle and cache sit behind one mutex, and
-/// loaded segments are handed out as `shared_ptr`s so an eviction
-/// never invalidates a segment another thread is scanning.
+/// Thread-safe for any number of concurrent readers:
+///
+///   - segment IO uses `pread` on a shared descriptor (no seek state),
+///     and decoding runs *outside* the cache lock, so two workers can
+///     load two different segments truly in parallel;
+///   - the LRU index itself sits behind one mutex, held only for
+///     lookups and installs, with a `shared_future` per in-flight load
+///     so concurrent misses on the same segment share one read;
+///   - loaded segments are handed out as `shared_ptr`s (pinned-segment
+///     refcounts): an eviction drops the cache slot, never the data a
+///     reader is scanning.
+///
+/// With a multi-thread executor installed, the sequential cursors also
+/// prefetch segment k+1 through `Executor::async` while the caller
+/// consumes segment k — the read-ahead pipeline `TraceOpenOptions::
+/// prefetch` controls.
 class SegmentedTraceStore final : public TraceStore {
  public:
   /// Opens `path`, whose parsed footer the caller already has (from
   /// `try_read_footer`).  `num_ranks` comes from the file header;
-  /// `cache_segments` bounds resident segments (minimum 1).
+  /// `cache_segments` bounds resident segments (minimum 1);
+  /// `prefetch` enables the sequential read-ahead pipeline.
   SegmentedTraceStore(std::filesystem::path path, int num_ranks,
-                      wire::Footer footer, std::size_t cache_segments);
+                      wire::Footer footer, std::size_t cache_segments,
+                      bool prefetch = true);
+
+  ~SegmentedTraceStore() override;
 
   [[nodiscard]] int num_ranks() const override { return num_ranks_; }
   [[nodiscard]] std::size_t size() const override {
@@ -196,9 +249,13 @@ class SegmentedTraceStore final : public TraceStore {
   [[nodiscard]] std::optional<std::size_t> last_event_at_or_before(
       mpi::Rank rank, support::TimeNs t) const override;
 
-  [[nodiscard]] std::size_t segment_count() const {
+  [[nodiscard]] std::size_t segment_count() const override {
     return footer_.segments.size();
   }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> segment_range(
+      std::size_t seg) const override;
+  void for_each_in_segment(std::size_t seg,
+                           const EventVisitor& visit) const override;
   [[nodiscard]] SegmentCacheStats cache_stats() const;
 
  private:
@@ -209,9 +266,16 @@ class SegmentedTraceStore final : public TraceStore {
     std::vector<Event> events;
     std::vector<std::vector<std::uint32_t>> rank_positions;
   };
+  using SegmentPtr = std::shared_ptr<const LoadedSegment>;
 
-  [[nodiscard]] std::shared_ptr<const LoadedSegment> segment(
-      std::size_t seg) const;
+  [[nodiscard]] SegmentPtr segment(std::size_t seg) const;
+  /// pread + decode of one segment; no lock held.
+  [[nodiscard]] SegmentPtr load_segment(std::size_t seg) const;
+  /// Installs a loaded segment into the LRU (evicting), under mu_.
+  void install(std::size_t seg, const SegmentPtr& loaded) const;
+  /// Queues an async load of `seg` if it is absent and a parallel
+  /// executor is available.
+  void maybe_prefetch(std::size_t seg) const;
   [[nodiscard]] std::size_t segment_of_index(std::size_t i) const;
 
   std::filesystem::path path_;
@@ -220,6 +284,7 @@ class SegmentedTraceStore final : public TraceStore {
   support::TimeNs t_min_ = 0;
   support::TimeNs t_max_ = 0;
   std::shared_ptr<const ConstructRegistry> constructs_;
+  bool prefetch_enabled_ = true;
 
   /// Global display index of each segment's first event (size =
   /// segments + 1; last entry = event_count).
@@ -228,12 +293,20 @@ class SegmentedTraceStore final : public TraceStore {
   /// start (size = segments + 1; last entry = the rank's total).
   std::vector<std::vector<std::size_t>> rank_first_pos_;
 
+  int fd_ = -1;  ///< shared pread descriptor (immutable after open)
   std::size_t cache_segments_ = 1;
-  mutable std::mutex mu_;
-  mutable std::ifstream in_;  ///< under mu_
-  mutable std::list<std::size_t> lru_;  ///< most recent first, under mu_
-  mutable std::vector<std::shared_ptr<const LoadedSegment>> cache_;
+  mutable std::mutex mu_;  ///< guards lru_/cache_/loading_/stats_
+  mutable std::list<std::size_t> lru_;  ///< most recent first
+  mutable std::vector<SegmentPtr> cache_;
+  mutable std::unordered_map<std::size_t, std::shared_future<SegmentPtr>>
+      loading_;
   mutable SegmentCacheStats stats_;
+
+  /// Outstanding async prefetch tasks; the destructor waits for zero
+  /// before closing fd_.
+  mutable std::mutex prefetch_mu_;
+  mutable std::condition_variable prefetch_cv_;
+  mutable std::size_t prefetch_inflight_ = 0;
 };
 
 }  // namespace tdbg::trace

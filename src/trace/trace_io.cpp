@@ -372,7 +372,7 @@ Trace open_trace(const std::filesystem::path& path,
       footer->footer.rank_markers_monotone()) {
     return Trace(std::make_shared<SegmentedTraceStore>(
         path, footer->num_ranks, std::move(footer->footer),
-        options.cache_segments));
+        options.cache_segments, options.prefetch));
   }
   // v1, text, footerless prefix, or an unsorted stream: the directory
   // binary searches would be wrong, so fall back to the eager store.

@@ -108,6 +108,10 @@ Trace read_trace(const std::filesystem::path& path);
 struct TraceOpenOptions {
   /// Max segments the lazy store keeps resident (LRU).
   std::size_t cache_segments = 8;
+  /// Read-ahead pipeline: while a sequential cursor consumes segment
+  /// k, segment k+1 is loaded and decoded on the analysis pool.  A
+  /// no-op when the pool is serial.
+  bool prefetch = true;
 };
 
 /// Opens a trace for querying.  A v2 file whose footer marks the

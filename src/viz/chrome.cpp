@@ -1,8 +1,10 @@
 #include "viz/chrome.hpp"
 
+#include <set>
 #include <sstream>
 #include <string>
 
+#include "support/executor.hpp"
 #include "trace/event.hpp"
 
 namespace tdbg::viz {
@@ -41,6 +43,21 @@ std::size_t write_chrome_trace(
   for (int r = 0; r < trace.num_ranks(); ++r) {
     writer.set_thread_name(telemetry::ChromeTraceWriter::kAppPid, r,
                            "rank " + std::to_string(r));
+  }
+  // Spans recorded on executor workers carry synthetic ranks at or
+  // above kWorkerRankBase; name those tracks so the tdbg process shows
+  // one row per pool worker.
+  std::set<int> worker_ranks;
+  for (const auto& span : self_spans) {
+    if (span.rank >= static_cast<int>(exec::kWorkerRankBase)) {
+      worker_ranks.insert(span.rank);
+    }
+  }
+  for (int tid : worker_ranks) {
+    writer.set_thread_name(
+        telemetry::ChromeTraceWriter::kTdbgPid, tid,
+        "exec worker " +
+            std::to_string(tid - static_cast<int>(exec::kWorkerRankBase)));
   }
 
   trace.for_each_event([&](std::size_t, const trace::Event& e) {

@@ -4,10 +4,15 @@
 // Usage:
 //   tdbg_cli <target> [--script <file>] [--auto-record] [--stats]
 //            [--fault-plan <name>] [--fault-seed <n>]
-//            [--chrome-trace <out.json>]
+//            [--chrome-trace <out.json>] [--threads <n>]
 //
 // --stats dumps the final metrics report (per-rank sends/recvs/bytes/
-// recv-block time, collector flush stats, analysis timings) on exit.
+// recv-block time, collector flush stats, analysis timings, analysis
+// pool task/steal counts) on exit.
+//
+// --threads sizes the analysis thread pool (default: hardware
+// concurrency, capped; 1 = fully serial analysis).  The TDBG_THREADS
+// environment variable does the same without a flag.
 //
 // --chrome-trace writes the whole session as Chrome trace_event JSON
 // on exit — the application's message events (pid "app", one thread
@@ -52,6 +57,7 @@
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/span.hpp"
 #include "viz/chrome.hpp"
@@ -127,6 +133,13 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(argv[++i]);
     } else if (arg == "--chrome-trace" && i + 1 < argc) {
       chrome_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const unsigned long long n = std::stoull(argv[++i]);
+      if (n < 1) {
+        std::cerr << "--threads wants a positive count\n";
+        return 2;
+      }
+      tdbg::exec::Executor::set_default_threads(static_cast<std::size_t>(n));
     } else if (arg == "--auto-record") {
       auto_record = true;
     } else if (arg == "--stats") {
@@ -135,7 +148,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
                    "taskfarm5|lu8> [--script file] [--auto-record] "
                    "[--stats] [--fault-plan name] [--fault-seed n] "
-                   "[--chrome-trace out.json]\n";
+                   "[--chrome-trace out.json] [--threads n]\n";
       return 0;
     } else {
       target_name = arg;

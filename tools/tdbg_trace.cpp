@@ -17,11 +17,14 @@
 // Any trace-opening mode also accepts --chrome-trace <out.json>: the
 // trace (plus any telemetry self-spans this tool produced) is exported
 // as Chrome trace_event JSON for chrome://tracing / Perfetto.
+// --threads N sizes the analysis pool (default: hardware concurrency,
+// capped; 1 = serial). TDBG_THREADS in the environment works too.
 //
 // Traces are produced by attaching a TraceWriter to a run's collector
 // (see README "Writing traces to disk") or via trace::write_trace.
 
 #include <array>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,6 +36,7 @@
 #include "graph/call_graph.hpp"
 #include "graph/export.hpp"
 #include "obs/metrics.hpp"
+#include "support/executor.hpp"
 #include "telemetry/span.hpp"
 #include "trace/merge.hpp"
 #include "trace/trace_io.hpp"
@@ -116,6 +120,8 @@ int stats(const tdbg::trace::Trace& trace) {
   using namespace tdbg;
   std::printf("ranks   : %d\n", trace.num_ranks());
   std::printf("events  : %zu\n", trace.size());
+  std::printf("threads : %zu (analysis pool)\n",
+              exec::Executor::global().threads());
   std::printf("span    : %lld ns\n",
               static_cast<long long>(trace.t_max() - trace.t_min()));
   const auto& report = trace.match_report();
@@ -131,8 +137,8 @@ int stats(const tdbg::trace::Trace& trace) {
 
 int main(int raw_argc, char** raw_argv) {
   using namespace tdbg;
-  // Strip the global --stats / --chrome-trace flags before positional
-  // parsing.
+  // Strip the global --stats / --chrome-trace / --threads flags before
+  // positional parsing.
   bool want_stats = false;
   std::string chrome_path;
   std::vector<char*> args;
@@ -142,6 +148,14 @@ int main(int raw_argc, char** raw_argv) {
     } else if (std::string_view(raw_argv[i]) == "--chrome-trace" &&
                i + 1 < raw_argc) {
       chrome_path = raw_argv[++i];
+    } else if (std::string_view(raw_argv[i]) == "--threads" &&
+               i + 1 < raw_argc) {
+      const long n = std::strtol(raw_argv[++i], nullptr, 10);
+      if (n < 1) {
+        std::cerr << "--threads wants a positive count\n";
+        return 2;
+      }
+      exec::Executor::set_default_threads(static_cast<std::size_t>(n));
     } else {
       args.push_back(raw_argv[i]);
     }
@@ -158,7 +172,7 @@ int main(int raw_argc, char** raw_argv) {
   } stats_dump{want_stats};
   if (argc < 3) {
     std::cerr << "usage: tdbg_trace {info|dump|stats|convert|svg|graph} "
-                 "<file> [args] [--stats]\n";
+                 "<file> [args] [--stats] [--threads N]\n";
     return 2;
   }
   const std::string mode = argv[1];
