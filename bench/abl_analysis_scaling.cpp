@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "apps/ring.hpp"
+#include "analysis/pass.hpp"
+#include "analysis/session.hpp"
 #include "bench_util.hpp"
 #include "causality/causal_order.hpp"
 #include "graph/trace_graph.hpp"
@@ -35,11 +37,13 @@ int main() {
     }
 
     const double match_s = bench::time_median_s(3, [&] {
-      const auto report = rec.trace.match_report();
+      analysis::Session fresh(rec.trace);
+      const auto& report = fresh.match_report();
       (void)report;
     });
     const double order_s = bench::time_median_s(3, [&] {
-      causality::CausalOrder order(rec.trace);
+      analysis::Session fresh(rec.trace);
+      const auto& order = fresh.causal_order();
       (void)order;
     });
     std::size_t arcs = 0;
@@ -48,7 +52,8 @@ int main() {
       arcs = g.arc_count();
     });
 
-    causality::CausalOrder order(rec.trace);
+    analysis::Session session(rec.trace);
+    const auto& order = session.causal_order();
     const auto mid = rec.trace.rank_events(4)[rec.trace.rank_events(4).size() / 2];
     const double frontier_s = bench::time_median_s(5, [&] {
       const auto pf = order.past_frontier(mid);

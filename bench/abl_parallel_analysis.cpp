@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/races.hpp"
+#include "analysis/session.hpp"
 #include "analysis/traffic.hpp"
 #include "causality/causal_order.hpp"
 #include "graph/comm_graph.hpp"
@@ -142,9 +143,9 @@ BenchData& data() {
 std::size_t match_traffic(
     const std::shared_ptr<const trace::TraceStore>& store) {
   const trace::Trace t(store);
-  const auto& report = t.match_report();
-  const auto traffic = analysis::analyze_traffic(t);
-  return report.matches.size() + traffic.to_string().size();
+  analysis::Session session(t);
+  const auto& report = session.match_report();
+  return report.matches.size() + session.traffic().to_string().size();
 }
 
 struct PipelineDigest {
@@ -159,15 +160,15 @@ struct PipelineDigest {
 PipelineDigest full_pipeline(
     const std::shared_ptr<const trace::TraceStore>& store) {
   const trace::Trace t(store);
+  analysis::Session session(t);
   PipelineDigest d;
-  const auto& report = t.match_report();
+  const auto& report = session.match_report();
   d.matches = report.matches.size();
   d.unmatched_sends = report.unmatched_sends;
   d.unmatched_recvs = report.unmatched_recvs;
-  d.traffic = analysis::analyze_traffic(t).to_string();
-  const causality::CausalOrder order(t);
-  d.races = analysis::find_races(t, order).races;
-  d.comm_dot = graph::to_dot(graph::CommGraph::from_trace(t).to_export());
+  d.traffic = session.traffic().to_string();
+  d.races = session.races().races;
+  d.comm_dot = graph::to_dot(session.comm_graph().to_export());
   return d;
 }
 

@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "apps/strassen.hpp"
+#include "analysis/session.hpp"
 #include "bench_util.hpp"
 #include "causality/causal_order.hpp"
 #include "replay/record.hpp"
@@ -32,7 +33,8 @@ int main() {
     return 1;
   }
 
-  const auto matches = rec.trace.match_report();
+  analysis::Session session(rec.trace);
+  const auto& matches = session.match_report();
   // Stopline "near the left side": 20% into the history.
   const auto t_line =
       rec.trace.t_min() + (rec.trace.t_max() - rec.trace.t_min()) / 5;
@@ -44,14 +46,18 @@ int main() {
   std::ofstream("fig2_ntv_timeline.svg") << svg;
 
   auto cut = causality::cut_at_time(rec.trace, t_line);
-  causality::restrict_to_consistent(rec.trace, cut);
+  causality::restrict_to_consistent(rec.trace, session.match_report(),
+                                    session.rank_index(), cut);
 
   std::printf("processes               : %d\n", rec.trace.num_ranks());
   std::printf("trace records           : %zu\n", rec.trace.size());
   std::printf("message lines drawn     : %zu\n", matches.matches.size());
   std::printf("stopline time           : 20%% into the run\n");
   std::printf("stopline cut consistent : %s\n",
-              causality::is_consistent(rec.trace, cut) ? "yes" : "NO");
+              causality::is_consistent(rec.trace, session.match_report(),
+                                       session.rank_index(), cut)
+                  ? "yes"
+                  : "NO");
   std::printf("svg written             : fig2_ntv_timeline.svg (%zu bytes)\n",
               svg.size());
   std::printf("\nASCII preview (sends 's', recvs 'r', compute '='):\n%s",

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "apps/strassen.hpp"
+#include "analysis/session.hpp"
 #include "bench_util.hpp"
 #include "graph/comm_graph.hpp"
 #include "replay/record.hpp"
@@ -26,7 +27,8 @@ int main() {
     return 1;
   }
 
-  const auto graph = graph::CommGraph::from_trace(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& graph = session.comm_graph();
   std::printf("message nodes   : %zu (expect 21: 14 operands + 7 results)\n",
               graph.nodes().size());
   std::printf("causality arcs  : %zu\n", graph.arcs().size());

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "analysis/session.hpp"
 #include "analysis/traffic.hpp"
 #include "apps/strassen.hpp"
 #include "bench_util.hpp"
@@ -48,7 +49,8 @@ int main() {
   std::printf("P7 received only 1 of 2      : %s\n",
               seven_short ? "yes" : "NO");
 
-  const auto matches = rec.trace.match_report();
+  analysis::Session session(rec.trace);
+  const auto& matches = session.match_report();
   std::printf("missed (unreceived) messages : %zu (expect 1)\n",
               matches.unmatched_sends.size());
   if (!matches.unmatched_sends.empty()) {
@@ -58,7 +60,7 @@ int main() {
                 e.rank, e.peer, e.tag);
   }
 
-  const auto traffic = analysis::analyze_traffic(rec.trace);
+  const auto& traffic = session.traffic();
   std::printf("irregularity report          : %zu finding(s)\n",
               traffic.irregularities.size());
   for (const auto& irr : traffic.irregularities) {
@@ -77,13 +79,17 @@ int main() {
   });
   const auto t_line = first_send_t - 1;
   auto cut = causality::cut_at_time(rec.trace, t_line);
-  const auto dropped = causality::restrict_to_consistent(rec.trace, cut);
+  const auto dropped = causality::restrict_to_consistent(
+      rec.trace, session.match_report(), session.rank_index(), cut);
   const auto line = replay::stopline_from_cut(rec.trace, cut);
   int armed = 0;
   for (const auto& t : line.thresholds) armed += t.has_value() ? 1 : 0;
   std::printf("stopline placed before first send; consistent: %s "
               "(%zu events dropped to restore consistency)\n",
-              causality::is_consistent(rec.trace, cut) ? "yes" : "NO",
+              causality::is_consistent(rec.trace, session.match_report(),
+                                       session.rank_index(), cut)
+                  ? "yes"
+                  : "NO",
               dropped);
   std::printf("breakpoints armed            : %d of 8 ranks\n", armed);
 

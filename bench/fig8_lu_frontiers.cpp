@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "analysis/session.hpp"
 #include "apps/lu.hpp"
 #include "bench_util.hpp"
 #include "causality/causal_order.hpp"
@@ -38,7 +39,8 @@ int main() {
     std::printf("FAILED: %s\n", rec.result.abort_detail.c_str());
     return 1;
   }
-  causality::CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
 
   // "The user clicked at the point indicated by the circle": a
   // mid-trace receive on an interior rank.
@@ -75,12 +77,14 @@ int main() {
   // Consistency of the frontier cuts (what makes them usable as
   // stoplines, §4.1's closing suggestion).
   std::printf("past-frontier cut consistent  : %s\n",
-              causality::is_consistent(rec.trace,
+              causality::is_consistent(rec.trace, session.match_report(),
+                                       session.rank_index(),
                                        order.past_frontier_cut(selected))
                   ? "yes"
                   : "NO");
   std::printf("future-frontier cut consistent: %s\n",
-              causality::is_consistent(rec.trace,
+              causality::is_consistent(rec.trace, session.match_report(),
+                                       session.rank_index(),
                                        order.future_frontier_cut(selected))
                   ? "yes"
                   : "NO");

@@ -58,7 +58,7 @@ int main() {
   std::cout << "process groups: "
             << dbg::describe_groups(debugger.process_groups()) << "\n\n";
 
-  const auto path = analysis::critical_path(debugger.trace());
+  const auto& path = debugger.session().critical_path();
   std::cout << path.to_string(debugger.trace(), 5) << "\n";
 
   std::cout << viz::profile_trace(debugger.trace())
@@ -66,6 +66,7 @@ int main() {
 
   viz::HtmlOptions html;
   html.title = "LU wavefront (post-mortem)";
+  html.diagram.matches = &debugger.session().match_report();
   std::ofstream("postmortem.html") << viz::to_html(debugger.trace(), html);
   std::cout << "\nwrote postmortem.html — open in a browser to pan/zoom\n";
   return 0;

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Measures the PR-8 unified analysis pipeline and emits
+# BENCH_pr8_session.json next to the sources: median times for the
+# fused all-analyses sweep vs the pre-refactor N-scan baseline on a
+# ~2.1M-event trace in the segmented on-disk store, and the full sweep
+# recompute vs the incremental update after a 1% append, plus the
+# resulting ratios.
+#
+# Exits nonzero if the binary's built-in contracts fail (best-of-5
+# process-CPU-time, asserted before any timing):
+#   - fused sweep < 2x cheaper than the N-scan baseline, or
+#   - incremental update < 10x cheaper than a full recompute.
+#
+# Usage: scripts/bench_pr8_session.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr8_session.json"
+
+[[ -x "$bdir/bench/abl_pass_fusion" ]] || {
+  echo "missing $bdir/bench/abl_pass_fusion — build the bench targets first" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The binary exits 1 if either cpu-time contract fails — propagate
+# that as our failure.  The gate numbers land on stderr.
+"$bdir/bench/abl_pass_fusion" \
+  --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$tmp/fusion.json" 2>"$tmp/gates.txt"
+cat "$tmp/gates.txt" >&2
+
+python3 - "$tmp/fusion.json" "$tmp/gates.txt" "$out" <<'PY'
+import json
+import re
+import sys
+
+src, gates_txt, out = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(src) as f:
+    data = json.load(f)
+
+real_ms = {}
+for b in data["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["name"].removesuffix("_median")
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    real_ms[name] = b["real_time"] * scale
+
+required = ["BM_FusedSweep", "BM_NScanBaseline", "BM_FullRecompute",
+            "BM_IncrementalUpdate"]
+missing = [n for n in required if n not in real_ms]
+assert not missing, f"benchmark output missing {missing}"
+
+# The authoritative gate numbers are the binary's best-of-5 process-CPU
+# measurements, printed before the timed section.
+gates = open(gates_txt).read()
+fusion = re.search(
+    r"fusion: fused sweep ([\d.]+) ms cpu, N-scan baseline ([\d.]+) ms "
+    r"cpu -> ([\d.]+)x", gates)
+incremental = re.search(
+    r"incremental: full sweep ([\d.]+) ms cpu, update after 1% append "
+    r"([\d.]+) ms cpu -> ([\d.]+)x", gates)
+assert fusion and incremental, f"gate lines missing from stderr:\n{gates}"
+
+doc = {
+    "pr": 8,
+    "description": "Unified analysis pipeline on a ~2.1M-event trace: "
+                   "the fused all-analyses sweep vs five independent "
+                   "per-consumer scans of the segmented store, and the "
+                   "incremental sweep update after a 1% append vs a "
+                   "from-scratch recompute; medians of 3 reps, times "
+                   "in ms",
+    "median_ms": {
+        "fused_sweep": round(real_ms["BM_FusedSweep"], 2),
+        "nscan_baseline": round(real_ms["BM_NScanBaseline"], 2),
+        "full_recompute": round(real_ms["BM_FullRecompute"], 2),
+        "incremental_update": round(real_ms["BM_IncrementalUpdate"], 2),
+    },
+    "speedup_wall": {
+        "fusion": round(real_ms["BM_NScanBaseline"] /
+                        real_ms["BM_FusedSweep"], 2),
+        "incremental": round(real_ms["BM_FullRecompute"] /
+                             real_ms["BM_IncrementalUpdate"], 2),
+    },
+    "gate_cpu": {
+        "fused_sweep_ms": float(fusion.group(1)),
+        "nscan_baseline_ms": float(fusion.group(2)),
+        "fusion_x": float(fusion.group(3)),
+        "full_recompute_ms": float(incremental.group(1)),
+        "incremental_update_ms": float(incremental.group(2)),
+        "incremental_x": float(incremental.group(3)),
+    },
+    "acceptance": {
+        "required_fusion_x": 2.0,
+        "required_incremental_x": 10.0,
+        "gate": "enforced by abl_pass_fusion itself before timing "
+                "(exit 1 below either threshold, best-of-5 cpu-time)",
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+print(f"  fusion:      {doc['gate_cpu']['fusion_x']}x cpu "
+      f"(gate >= 2x), wall median {doc['speedup_wall']['fusion']}x")
+print(f"  incremental: {doc['gate_cpu']['incremental_x']}x cpu "
+      f"(gate >= 10x), wall median {doc['speedup_wall']['incremental']}x")
+PY

@@ -10,8 +10,8 @@
 #                still pass
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
 #                runs the concurrency-heavy suites
-#                (ctest -L "mpi|trace|perf|fault|telemetry|exec") and
-#                must report zero races — the fault label covers the
+#                (ctest -L "mpi|trace|perf|fault|telemetry|exec|session")
+#                and must report zero races — the fault label covers the
 #                injection seams, which perturb the hot path from extra
 #                threadside angles; telemetry covers the flight-recorder
 #                seqlock rings and the health heartbeat; exec covers the
@@ -19,12 +19,20 @@
 #                LRU cache under concurrent readers
 #   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
 #                runs the store/query-heavy suites
-#                (ctest -L "trace|analysis|viz|fault|telemetry|exec")
+#                (ctest -L "trace|analysis|viz|fault|telemetry|exec|session")
 #                and must report zero memory or UB findings (payload
-#                corruption and held-message buffers live here)
+#                corruption and held-message buffers live here; the
+#                session label adds the AnalysisSession invalidation
+#                and incremental-recompute contract)
 #
 # Extras under metrics-on:
+#   - grep gate           (matching / vector-clock computation confined
+#                          to src/analysis; everything else consumes
+#                          Session artifacts)
 #   - ctest -L obs        (the obs label must select the obs suite)
+#   - abl_pass_fusion     (asserts fused-sweep ≥2x cpu-time over the
+#                          N-scan baseline and incremental ≥10x over
+#                          full recompute; exits nonzero on drift)
 #   - abl_metrics_cost    (asserts the disabled-metric ≤ relaxed-load
 #                          budget contract; exits nonzero on drift)
 #   - abl_fault_overhead  (asserts the null-injector pointer-test
@@ -65,7 +73,7 @@ cmake --build "$tsan_bdir" -j "$jobs"
 # scrolling past; second_deadlock_stack for readable lock reports.
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
- ctest -L 'mpi|trace|perf|fault|telemetry|exec' --output-on-failure -j "$jobs")
+ ctest -L 'mpi|trace|perf|fault|telemetry|exec|session' --output-on-failure -j "$jobs")
 
 echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
 asan_bdir="$repo/build-verify-asan-ubsan"
@@ -76,9 +84,26 @@ cmake --build "$asan_bdir" -j "$jobs"
 (cd "$asan_bdir" && \
  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
- ctest -L 'trace|analysis|viz|fault|telemetry|exec' --output-on-failure -j "$jobs")
+ ctest -L 'trace|analysis|viz|fault|telemetry|exec|session' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
+
+echo "=== grep gate: matching/vector clocks computed only in src/analysis ==="
+# The AnalysisSession owns the fused sweep artifacts.  No consumer
+# outside src/analysis/ may invoke the pass-level compute entry points
+# or construct a CausalOrder directly (src/causality implements the
+# clock math the session invokes; everything else goes through
+# Session::match_report()/causal_order()/...).
+leaks="$(grep -rnE 'compute_match_report|compute_rank_index|compute_traffic|compute_sweep|extend_sweep|CausalOrder\(' \
+         "$repo/src" "$repo/tools" "$repo/examples" \
+         --include='*.cpp' --include='*.hpp' \
+       | grep -vE "^$repo/src/(analysis|causality)/" || true)"
+if [[ -n "$leaks" ]]; then
+  echo "FAIL: matching/vector-clock computation outside src/analysis:" >&2
+  echo "$leaks" >&2
+  exit 1
+fi
+echo "grep gate OK"
 
 echo "=== ctest -L obs ==="
 (cd "$bdir" && ctest -L obs --output-on-failure)
@@ -91,6 +116,13 @@ echo "=== abl_fault_overhead contract ==="
 
 echo "=== abl_telemetry_overhead contract ==="
 "$bdir/bench/abl_telemetry_overhead" --benchmark_min_time=0.05
+
+echo "=== abl_pass_fusion fusion + incremental contract ==="
+# Asserts, on best-of-5 cpu-time: fused all-analyses sweep >= 2x
+# cheaper than the pre-refactor N-scan baseline, and the incremental
+# sweep update after a 1% append >= 10x cheaper than a full recompute
+# (exit 1 on either failure; the contract runs in main()).
+"$bdir/bench/abl_pass_fusion" --benchmark_filter='^$'
 
 echo "=== abl_parallel_analysis determinism + speedup contract ==="
 # The binary asserts byte-identical reports at 1/2/4/8 threads before

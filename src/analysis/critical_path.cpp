@@ -10,7 +10,9 @@
 
 namespace tdbg::analysis {
 
-CriticalPath critical_path(const trace::Trace& trace) {
+CriticalPath critical_path(const trace::Trace& trace,
+                           const trace::MatchReport& matches,
+                           const trace::RankIndex& index) {
   obs::ScopedTimer timer(
       obs::MetricsRegistry::global().histogram("analysis.critical_path_ns",
                                                obs::Unit::kNanoseconds),
@@ -19,7 +21,6 @@ CriticalPath critical_path(const trace::Trace& trace) {
   out.per_rank.assign(static_cast<std::size_t>(trace.num_ranks()), 0);
   if (trace.empty()) return out;
 
-  const auto& matches = trace.match_report();
   std::unordered_map<std::size_t, std::size_t> send_of_recv;
   for (const auto& m : matches.matches) {
     send_of_recv.emplace(m.recv_index, m.send_index);
@@ -30,11 +31,9 @@ CriticalPath critical_path(const trace::Trace& trace) {
   std::vector<support::TimeNs> eff(trace.size(), 0);   // effective durations
   std::vector<std::size_t> pred(trace.size(), kNone);
 
-  // Per-rank program-order sequences, gathered once through the rank
-  // cursor (one segment sweep on a lazy store) and random-accessed by
-  // the worklist below.
-  std::vector<std::vector<std::size_t>> seqs(
-      static_cast<std::size_t>(trace.num_ranks()));
+  // Per-rank program-order sequences come from the session's shared
+  // rank index — random-accessed by the worklist below.
+  const auto& seqs = index.seq;
 
   // Weights are profiler-style *self times*: an event's interval minus
   // the intervals of events directly nested inside it on the same rank
@@ -47,10 +46,7 @@ CriticalPath critical_path(const trace::Trace& trace) {
       support::TimeNs t_end;
     };
     std::vector<Open> stack;  // open enclosing intervals
-    auto& seq = seqs[static_cast<std::size_t>(r)];
-    seq.reserve(trace.rank_size(r));
     trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event& ev) {
-      seq.push_back(e);
       const auto raw = std::max<support::TimeNs>(0, ev.t_end - ev.t_start);
       eff[e] = raw;
       while (!stack.empty() && stack.back().t_end <= ev.t_start) {

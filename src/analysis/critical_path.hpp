@@ -41,7 +41,11 @@ struct CriticalPath {
                                       std::size_t max_rows = 12) const;
 };
 
-/// Computes the critical path.  O(events + messages).
-CriticalPath critical_path(const trace::Trace& trace);
+/// Computes the critical path.  O(events + messages).  `matches` and
+/// `index` come from the owning `analysis::Session`
+/// (`Session::critical_path()` is the public entry point).
+CriticalPath critical_path(const trace::Trace& trace,
+                           const trace::MatchReport& matches,
+                           const trace::RankIndex& index);
 
 }  // namespace tdbg::analysis

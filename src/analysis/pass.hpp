@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/traffic.hpp"
+#include "graph/comm_graph.hpp"
+#include "trace/trace.hpp"
+
+/// \file pass.hpp
+/// The raw pass builders behind `analysis::Session` (DeWiz-style: the
+/// analyses are composable modules over one shared event-graph
+/// substrate, not independent full-scan subsystems).
+///
+/// The foundation is the **fused sweep**: one segment-parallel
+/// `map_reduce` over the trace that simultaneously feeds
+///
+///   * message matching (per-channel send/receive records),
+///   * communication supervision (the unmatched remainder),
+///   * traffic accounting (every field the aggregator needs is
+///     captured in the records, so no per-match `event()` lookups),
+///   * race-candidate gathering (the send pool and wildcard receives),
+///   * comm-graph node/edge extraction, and
+///   * the per-rank program-order index,
+///
+/// where the pre-refactor code ran one full scan per consumer.  The
+/// sweep is *monoid-shaped*: per-segment partials concatenate in
+/// segment order, so results are bit-identical at any thread count
+/// (the PR-7 contract), and a delta sweep over appended segments
+/// extends an existing `SweepData` without rescanning the prefix —
+/// the incremental-recompute path `Session::update()` rides on.
+///
+/// Only this file and `session.cpp` may compute matching or vector
+/// clocks; `scripts/verify.sh` greps the rest of the source tree
+/// clean.
+
+namespace tdbg::analysis {
+
+/// A send captured by the fused sweep — every field any downstream
+/// pass (matching, traffic, races, comm graph) reads.
+struct SweepSend {
+  std::size_t index = 0;  ///< global display index
+  std::uint64_t marker = 0;
+  support::TimeNs t_start = 0;
+  support::TimeNs t_end = 0;
+  mpi::Rank rank = 0;  ///< source
+  mpi::Rank peer = 0;  ///< destination
+  mpi::Tag tag = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// A receive captured by the fused sweep.
+struct SweepRecv {
+  std::size_t index = 0;  ///< global display index
+  mpi::ChannelSeq seq = 0;
+  support::TimeNs t_start = 0;
+  support::TimeNs t_end = 0;
+  mpi::Rank rank = 0;  ///< receiver
+  mpi::Rank peer = 0;  ///< actual source
+  mpi::Tag tag = 0;
+  std::uint64_t bytes = 0;
+  bool wildcard = false;
+};
+
+/// One (source, dest) channel's records, each list in display order.
+struct SweepChannel {
+  std::vector<SweepSend> sends;
+  std::vector<SweepRecv> recvs;
+};
+
+/// The fused-sweep artifact: everything one pass over the segments can
+/// extract.  Monoid-shaped — `extend_sweep` appends delta segments
+/// without touching the prefix.
+struct SweepData {
+  using ChannelKey = std::pair<mpi::Rank, mpi::Rank>;  ///< (src, dst)
+
+  std::map<ChannelKey, SweepChannel> channels;
+
+  /// Per rank: (marker, display index) for every event, sorted by
+  /// marker — the store's program-order contract — ready to be turned
+  /// into the shared `trace::RankIndex`.
+  std::vector<std::vector<std::pair<std::uint64_t, std::size_t>>> rank_order;
+
+  /// Events covered: the segment watermark.  Display indices in
+  /// [0, num_events) have been swept.
+  std::size_t num_events = 0;
+};
+
+/// The race detector's candidate pools, in display order (derived from
+/// the sweep's channels, no trace rescan).
+struct MessagePools {
+  std::vector<SweepSend> sends;
+  std::vector<SweepRecv> wildcard_recvs;
+};
+
+/// One fused pass over every segment of `trace`.
+SweepData compute_sweep(const trace::Trace& trace);
+
+/// Extends `sweep` over the delta `[sweep.num_events, trace.size())`
+/// by sweeping only the segments that intersect it.  The caller has
+/// verified the prefix is unchanged (the session's fingerprint check).
+void extend_sweep(SweepData& sweep, const trace::Trace& trace);
+
+/// Per-channel FIFO pairing over the sweep's channels (the
+/// non-overtaking rule), identical in every byte to the pre-refactor
+/// `Trace::match_report`.  Re-running it after `extend_sweep` is the
+/// incremental match path: pairing revisits the channel records but
+/// never the trace.
+trace::MatchReport compute_match_report(const SweepData& sweep);
+
+/// The shared per-rank program-order index.
+std::shared_ptr<const trace::RankIndex> compute_rank_index(
+    const SweepData& sweep);
+
+/// Traffic accounting from the sweep records and the matching — no
+/// `event()` lookups.  Byte-identical to the pre-refactor
+/// `analyze_traffic` text output.
+TrafficReport compute_traffic(const SweepData& sweep,
+                              const trace::MatchReport& report, int num_ranks);
+
+/// The race detector's candidate pools (sorted back into display
+/// order from the per-channel lists).
+MessagePools compute_message_pools(const SweepData& sweep);
+
+/// Communication-graph construction from the sweep + matching + rank
+/// index (node layout and arc list byte-identical to the pre-refactor
+/// `CommGraph::from_trace`).
+graph::CommGraph compute_comm_graph(const SweepData& sweep,
+                                    const trace::MatchReport& report,
+                                    const trace::RankIndex& index);
+
+}  // namespace tdbg::analysis

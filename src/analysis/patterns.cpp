@@ -141,9 +141,9 @@ ModelResult check_model(const trace::Trace& trace,
 }
 
 std::vector<ModelResult> check_model_all(const trace::Trace& trace,
+                                         const graph::ActionGraph& actions,
                                          const std::string& pattern) {
   const auto tokens = parse_pattern(pattern);
-  const auto actions = graph::ActionGraph::from_trace(trace);
   // One backtracking match per rank into a pre-sized slot: the slot
   // is the rank index, so the result order never depends on task
   // scheduling.

@@ -56,8 +56,11 @@ ModelResult check_model(const trace::Trace& trace,
                         const graph::ActionGraph& actions, mpi::Rank rank,
                         const std::vector<PatternToken>& pattern);
 
-/// Checks every rank; convenience over `check_model`.
+/// Checks every rank; convenience over `check_model`.  `actions` is
+/// the cached action graph from the owning `analysis::Session`
+/// (`Session::check_model()` is the public entry point).
 std::vector<ModelResult> check_model_all(const trace::Trace& trace,
+                                         const graph::ActionGraph& actions,
                                          const std::string& pattern);
 
 }  // namespace tdbg::analysis

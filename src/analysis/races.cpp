@@ -19,7 +19,7 @@ constexpr std::size_t kRecvChunk = 16;
 
 }  // namespace
 
-RaceReport find_races(const trace::Trace& trace,
+RaceReport find_races(const MessagePools& pools,
                       const causality::CausalOrder& order) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
                              "analysis.races_ns", obs::Unit::kNanoseconds),
@@ -34,42 +34,14 @@ RaceReport find_races(const trace::Trace& trace,
     recv_of_send.emplace(m.send_index, m.recv_index);
   }
 
-  // Gather the candidate pools with one map task per segment —
-  // concatenated in segment order, the pools land in display order,
-  // exactly as the serial sweep produced them.
-  struct Indexed {
-    std::size_t index;
-    trace::Event event;
-  };
-  struct Pools {
-    std::vector<Indexed> sends;
-    std::vector<Indexed> wildcard_recvs;
-  };
-  const Pools pools = trace.map_reduce<Pools>(
-      "analysis.races.gather",
-      [&](std::size_t seg, Pools& part) {
-        trace.for_each_in_segment(seg, [&](std::size_t i,
-                                           const trace::Event& e) {
-          if (e.kind == trace::EventKind::kSend) {
-            part.sends.push_back(Indexed{i, e});
-          } else if (e.kind == trace::EventKind::kRecv && e.wildcard) {
-            part.wildcard_recvs.push_back(Indexed{i, e});
-          }
-        });
-      },
-      [](Pools& acc, Pools&& part) {
-        acc.sends.insert(acc.sends.end(), part.sends.begin(),
-                         part.sends.end());
-        acc.wildcard_recvs.insert(acc.wildcard_recvs.end(),
-                                  part.wildcard_recvs.begin(),
-                                  part.wildcard_recvs.end());
-      });
+  // The candidate pools arrive in display order from the fused sweep —
+  // the order the pre-session per-segment gather produced.
   const auto& sends = pools.sends;
   const auto& wildcard_recvs = pools.wildcard_recvs;
 
-  std::unordered_map<std::size_t, const trace::Event*> send_events;
-  send_events.reserve(sends.size());
-  for (const auto& s : sends) send_events.emplace(s.index, &s.event);
+  std::unordered_map<std::size_t, const SweepSend*> send_records;
+  send_records.reserve(sends.size());
+  for (const auto& s : sends) send_records.emplace(s.index, &s);
 
   // Pairing: chunks of receives in parallel over read-only state; the
   // per-chunk race lists concatenate in chunk order, which is the
@@ -82,19 +54,21 @@ RaceReport find_races(const trace::Trace& trace,
         const std::size_t lo = c * kRecvChunk;
         const std::size_t hi = std::min(lo + kRecvChunk, nrecvs);
         for (std::size_t k = lo; k < hi; ++k) {
-          const auto& [r, recv] = wildcard_recvs[k];
+          const auto& recv = wildcard_recvs[k];
+          const std::size_t r = recv.index;
           const auto matched_it = send_of_recv.find(r);
           if (matched_it == send_of_recv.end()) continue;
           const std::size_t matched = matched_it->second;
-          const auto matched_send_it = send_events.find(matched);
-          if (matched_send_it == send_events.end()) continue;
+          const auto matched_send_it = send_records.find(matched);
+          if (matched_send_it == send_records.end()) continue;
           const auto& matched_send = *matched_send_it->second;
 
           MessageRace race;
           race.recv_index = r;
           race.matched_send = matched;
 
-          for (const auto& [s, send] : sends) {
+          for (const auto& send : sends) {
+            const std::size_t s = send.index;
             if (s == matched) continue;
             if (send.peer != recv.rank) continue;  // different destination
             // Tag compatibility with the posted receive.  The posted

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/pass.hpp"
 #include "causality/causal_order.hpp"
 #include "trace/trace.hpp"
 
@@ -41,9 +42,11 @@ struct RaceReport {
   [[nodiscard]] bool racy() const { return !races.empty(); }
 };
 
-/// Finds races among the trace's wildcard receives.  `order` must be
-/// built over the same trace.
-RaceReport find_races(const trace::Trace& trace,
+/// Finds races among the trace's wildcard receives.  `pools` is the
+/// fused sweep's candidate extract and `order` must be built over the
+/// same trace; both come from the owning `analysis::Session`
+/// (`Session::races()` is the public entry point).
+RaceReport find_races(const MessagePools& pools,
                       const causality::CausalOrder& order);
 
 }  // namespace tdbg::analysis

@@ -1,0 +1,283 @@
+#include "analysis/session.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "support/clock.hpp"
+#include "support/strings.hpp"
+#include "telemetry/span.hpp"
+
+namespace tdbg::analysis {
+
+namespace {
+
+/// Key for the call-graph cache: rank, or -1 for "all ranks".
+int call_graph_key(std::optional<mpi::Rank> rank) {
+  return rank ? static_cast<int>(*rank) : -1;
+}
+
+}  // namespace
+
+Session::Session(trace::Trace trace) : trace_(std::move(trace)) {}
+
+Session::Fingerprint Session::fingerprint(const trace::Trace& t,
+                                          std::size_t i) const {
+  const auto& e = t.event(i);
+  return Fingerprint{e.rank, e.marker, e.t_start};
+}
+
+template <typename T, typename Build>
+const T& Session::materialize(Artifact<T>& slot, const char* span_name,
+                              Build&& build) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  if (slot.value) {
+    ++slot.reuses;
+    obs::MetricsRegistry::global().counter("session.artifacts.reused")
+        .add(/*rank=*/-1);
+    return *slot.value;
+  }
+  telemetry::Span span{std::string_view(span_name)};
+  const auto t0 = support::now_ns();
+  slot.value.emplace(build());
+  slot.last_ns = support::now_ns() - t0;
+  slot.watermark = trace_.size();
+  ++slot.computes;
+  obs::MetricsRegistry::global().counter("session.artifacts.computed")
+      .add(/*rank=*/-1);
+  return *slot.value;
+}
+
+template <typename T>
+void Session::invalidate(Artifact<T>& slot) {
+  if (!slot.value) return;
+  slot.value.reset();
+  slot.watermark = 0;
+  obs::MetricsRegistry::global().counter("session.artifacts.invalidated")
+      .add(/*rank=*/-1);
+}
+
+void Session::update(trace::Trace trace) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  const std::size_t old_size = trace_.size();
+
+  // Prefix-stable extension?  Cheap structural check: at least as many
+  // events, and the same event identities at the prefix edges.  A
+  // reordered / replaced trace fails it and takes the full path.
+  bool prefix_stable = trace.size() >= old_size;
+  if (prefix_stable && old_size > 0) {
+    prefix_stable = fingerprint(trace, 0) == fingerprint(trace_, 0) &&
+                    fingerprint(trace, old_size - 1) ==
+                        fingerprint(trace_, old_size - 1);
+  }
+  if (prefix_stable && trace.size() == old_size) {
+    // Same trace state: every artifact stays valid.
+    trace_ = std::move(trace);
+    return;
+  }
+
+  // Everything derived from the sweep (or the trace) goes; the sweep
+  // itself survives a prefix-stable extension and extends over the
+  // delta segments only.
+  invalidate(match_);
+  invalidate(rank_index_);
+  invalidate(order_);
+  invalidate(traffic_);
+  invalidate(races_);
+  invalidate(comm_graph_);
+  invalidate(action_graph_);
+  invalidate(critical_path_);
+  invalidate(intertwined_);
+  for (auto& [limit, slot] : trace_graphs_) invalidate(slot);
+  for (auto& [key, slot] : call_graphs_) invalidate(slot);
+  if (!prefix_stable) invalidate(sweep_);
+
+  trace_ = std::move(trace);
+
+  if (prefix_stable && sweep_.value) {
+    // Incremental path: sweep only the appended segments.  Counted as
+    // a (delta) compute, not a reuse — work happened.
+    telemetry::Span span{std::string_view("session.sweep.delta")};
+    const auto t0 = support::now_ns();
+    extend_sweep(*sweep_.value, trace_);
+    sweep_.last_ns = support::now_ns() - t0;
+    sweep_.watermark = trace_.size();
+    ++sweep_.computes;
+    obs::MetricsRegistry::global().counter("session.artifacts.computed")
+        .add(/*rank=*/-1);
+  }
+}
+
+std::size_t Session::watermark() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return trace_.size();
+}
+
+const SweepData& Session::sweep() {
+  return materialize(sweep_, "session.sweep",
+                     [&] { return compute_sweep(trace_); });
+}
+
+const trace::MatchReport& Session::match_report() {
+  return materialize(match_, "session.match",
+                     [&] { return compute_match_report(sweep()); });
+}
+
+const trace::RankIndex& Session::rank_index() { return *rank_index_ptr(); }
+
+std::shared_ptr<const trace::RankIndex> Session::rank_index_ptr() {
+  return materialize(rank_index_, "session.rank_index",
+                     [&] { return compute_rank_index(sweep()); });
+}
+
+const causality::CausalOrder& Session::causal_order() {
+  return materialize(order_, "session.causal_order", [&] {
+    return causality::CausalOrder(trace_, match_report(), rank_index_ptr());
+  });
+}
+
+const TrafficReport& Session::traffic() {
+  return materialize(traffic_, "session.traffic", [&] {
+    return compute_traffic(sweep(), match_report(), trace_.num_ranks());
+  });
+}
+
+const RaceReport& Session::races() {
+  return materialize(races_, "session.races", [&] {
+    return find_races(compute_message_pools(sweep()), causal_order());
+  });
+}
+
+const graph::CommGraph& Session::comm_graph() {
+  return materialize(comm_graph_, "session.comm_graph", [&] {
+    return compute_comm_graph(sweep(), match_report(), rank_index());
+  });
+}
+
+const graph::ActionGraph& Session::action_graph() {
+  return materialize(action_graph_, "session.action_graph", [&] {
+    return graph::ActionGraph::from_trace(trace_);
+  });
+}
+
+const graph::TraceGraph& Session::trace_graph(std::size_t merge_limit) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return materialize(trace_graphs_[merge_limit], "session.trace_graph", [&] {
+    return graph::TraceGraph::from_trace(trace_, merge_limit);
+  });
+}
+
+const graph::CallGraph& Session::call_graph(std::optional<mpi::Rank> rank) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  return materialize(call_graphs_[call_graph_key(rank)], "session.call_graph",
+                     [&] {
+                       // Projected from the cached default trace graph,
+                       // so N rank projections share one merge.
+                       return graph::CallGraph::project(trace_graph(), rank);
+                     });
+}
+
+const CriticalPath& Session::critical_path() {
+  return materialize(critical_path_, "session.critical_path", [&] {
+    return analysis::critical_path(trace_, match_report(), rank_index());
+  });
+}
+
+const std::vector<IntertwinedPair>& Session::intertwined() {
+  return materialize(intertwined_, "session.intertwined", [&] {
+    return find_intertwined(trace_, causal_order());
+  });
+}
+
+std::vector<ModelResult> Session::check_model(const std::string& pattern) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  telemetry::Span span{std::string_view("session.check_model")};
+  return check_model_all(trace_, action_graph(), pattern);
+}
+
+void Session::fill_info(std::vector<PassInfo>& out, const char* name,
+                        const char* deps, bool incremental,
+                        std::uint64_t computes, std::uint64_t reuses,
+                        support::TimeNs last_ns, std::size_t watermark,
+                        bool cached) const {
+  PassInfo info;
+  info.name = name;
+  info.deps = deps;
+  info.incremental = incremental;
+  info.cached = cached;
+  info.computes = computes;
+  info.reuses = reuses;
+  info.last_ns = last_ns;
+  info.watermark = watermark;
+  out.push_back(std::move(info));
+}
+
+std::vector<PassInfo> Session::pass_states() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  std::vector<PassInfo> out;
+  const auto one = [&](const char* name, const char* deps, bool incremental,
+                       const auto& slot) {
+    fill_info(out, name, deps, incremental, slot.computes, slot.reuses,
+              slot.last_ns, slot.watermark, slot.value.has_value());
+  };
+  one("sweep", "-", true, sweep_);
+  one("match", "sweep", true, match_);
+  one("rank_index", "sweep", true, rank_index_);
+  one("traffic", "sweep, match", true, traffic_);
+  one("comm_graph", "sweep, match, rank_index", true, comm_graph_);
+  one("causal_order", "match, rank_index", false, order_);
+  one("races", "sweep, causal_order", false, races_);
+  one("critical_path", "match, rank_index", false, critical_path_);
+  one("intertwined", "causal_order", false, intertwined_);
+  one("action_graph", "trace", false, action_graph_);
+  // The parameterized graph caches aggregate across their keys.
+  const auto many = [&](const char* name, const char* deps,
+                        const auto& slots) {
+    std::uint64_t computes = 0;
+    std::uint64_t reuses = 0;
+    support::TimeNs last_ns = 0;
+    std::size_t watermark = 0;
+    bool cached = false;
+    for (const auto& [key, slot] : slots) {
+      computes += slot.computes;
+      reuses += slot.reuses;
+      last_ns = std::max(last_ns, slot.last_ns);
+      watermark = std::max(watermark, slot.watermark);
+      cached = cached || slot.value.has_value();
+    }
+    fill_info(out, name, deps, false, computes, reuses, last_ns, watermark,
+              cached);
+  };
+  many("trace_graph", "trace", trace_graphs_);
+  many("call_graph", "trace_graph", call_graphs_);
+  return out;
+}
+
+std::string Session::describe() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  const auto states = pass_states();
+  std::ostringstream os;
+  os << "analysis session: " << states.size() << " passes, watermark "
+     << trace_.size() << " event(s)\n";
+  os << "  pass           state     inc  computes  reuses  last build\n";
+  for (const auto& s : states) {
+    os << "  " << s.name;
+    for (std::size_t p = s.name.size(); p < 15; ++p) os << ' ';
+    os << (s.cached ? "cached  " : "pending ") << "  "
+       << (s.incremental ? "yes" : "no ") << "  ";
+    std::string computes = std::to_string(s.computes);
+    os << computes;
+    for (std::size_t p = computes.size(); p < 8; ++p) os << ' ';
+    os << "  ";
+    std::string reuses = std::to_string(s.reuses);
+    os << reuses;
+    for (std::size_t p = reuses.size(); p < 6; ++p) os << ' ';
+    os << "  "
+       << (s.computes > 0 ? support::human_duration(s.last_ns)
+                          : std::string("-"))
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tdbg::analysis

@@ -1,188 +1,8 @@
 #include "analysis/traffic.hpp"
 
-#include <algorithm>
-#include <cstdint>
-#include <map>
 #include <sstream>
-#include <vector>
-
-#include "obs/metrics.hpp"
-#include "support/executor.hpp"
 
 namespace tdbg::analysis {
-
-namespace {
-
-/// Matches aggregated per parallel task.  A fixed chunk size (never a
-/// function of thread count) plus a chunk-ordered merge keeps the
-/// report bit-identical at any parallelism; latency sums stay in exact
-/// integer arithmetic until the final mean division, so no
-/// floating-point reassociation can leak in either.
-constexpr std::size_t kMatchChunk = 1u << 14;
-
-struct ChannelAgg {
-  mpi::Rank src = 0;
-  mpi::Rank dst = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  support::TimeNs min_latency = 0;
-  support::TimeNs max_latency = 0;
-  std::int64_t latency_sum = 0;
-};
-
-struct RankAgg {
-  std::uint64_t sends = 0;
-  std::uint64_t recvs = 0;
-  std::uint64_t bytes_out = 0;
-  std::uint64_t bytes_in = 0;
-};
-
-struct TrafficPartial {
-  std::map<std::pair<mpi::Rank, mpi::Rank>, ChannelAgg> channels;
-  std::vector<RankAgg> ranks;
-};
-
-}  // namespace
-
-TrafficReport analyze_traffic(const trace::Trace& trace) {
-  obs::ScopedTimer timer(obs::MetricsRegistry::global().histogram(
-                             "analysis.traffic_ns", obs::Unit::kNanoseconds),
-                         /*rank=*/-1);
-  TrafficReport report;
-  const auto& matches = trace.match_report();
-  const auto nranks = static_cast<std::size_t>(trace.num_ranks());
-
-  report.ranks.resize(nranks);
-  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
-    report.ranks[static_cast<std::size_t>(r)].rank = r;
-  }
-
-  const std::size_t nmatches = matches.matches.size();
-  const std::size_t nchunks = (nmatches + kMatchChunk - 1) / kMatchChunk;
-  std::vector<TrafficPartial> partials(nchunks);
-  exec::Executor::global().parallel_for(
-      nchunks, "analysis.traffic", [&](std::size_t c) {
-        auto& part = partials[c];
-        part.ranks.resize(nranks);
-        const std::size_t lo = c * kMatchChunk;
-        const std::size_t hi = std::min(lo + kMatchChunk, nmatches);
-        for (std::size_t k = lo; k < hi; ++k) {
-          const auto& m = matches.matches[k];
-          const auto send = trace.event(m.send_index);
-          const auto recv = trace.event(m.recv_index);
-          auto& ch = part.channels[{send.rank, send.peer}];
-          ch.src = send.rank;
-          ch.dst = send.peer;
-          const auto latency = recv.t_end - send.t_start;
-          if (ch.messages == 0) {
-            ch.min_latency = ch.max_latency = latency;
-          } else {
-            ch.min_latency = std::min(ch.min_latency, latency);
-            ch.max_latency = std::max(ch.max_latency, latency);
-          }
-          ch.latency_sum += latency;
-          ++ch.messages;
-          ch.bytes += send.bytes;
-
-          auto& s = part.ranks[static_cast<std::size_t>(send.rank)];
-          ++s.sends;
-          s.bytes_out += send.bytes;
-          auto& d = part.ranks[static_cast<std::size_t>(recv.rank)];
-          ++d.recvs;
-          d.bytes_in += recv.bytes;
-        }
-      });
-
-  // Merge in chunk order (all operations commutative-exact; the order
-  // only matters for picking first-writer src/dst, which every chunk
-  // sets identically).
-  std::map<std::pair<mpi::Rank, mpi::Rank>, ChannelAgg> channels;
-  for (const auto& part : partials) {
-    for (const auto& [key, agg] : part.channels) {
-      auto& ch = channels[key];
-      if (ch.messages == 0) {
-        ch = agg;
-        continue;
-      }
-      ch.min_latency = std::min(ch.min_latency, agg.min_latency);
-      ch.max_latency = std::max(ch.max_latency, agg.max_latency);
-      ch.latency_sum += agg.latency_sum;
-      ch.messages += agg.messages;
-      ch.bytes += agg.bytes;
-    }
-    for (std::size_t r = 0; r < part.ranks.size(); ++r) {
-      auto& dst = report.ranks[r];
-      dst.sends += part.ranks[r].sends;
-      dst.recvs += part.ranks[r].recvs;
-      dst.bytes_out += part.ranks[r].bytes_out;
-      dst.bytes_in += part.ranks[r].bytes_in;
-    }
-  }
-  for (const auto& [key, agg] : channels) {
-    ChannelStats ch;
-    ch.src = agg.src;
-    ch.dst = agg.dst;
-    ch.messages = agg.messages;
-    ch.bytes = agg.bytes;
-    ch.min_latency = agg.min_latency;
-    ch.max_latency = agg.max_latency;
-    ch.mean_latency = agg.messages > 0 ? static_cast<double>(agg.latency_sum) /
-                                             static_cast<double>(agg.messages)
-                                       : 0.0;
-    report.channels.push_back(ch);
-  }
-
-  // Irregularities: missed messages first.
-  for (std::size_t i : matches.unmatched_sends) {
-    const auto& e = trace.event(i);
-    std::ostringstream os;
-    os << "missed message: send " << e.rank << "->" << e.peer << " tag "
-       << e.tag << " was never received";
-    report.irregularities.push_back(Irregularity{
-        Irregularity::Kind::kUnmatchedSend, e.rank, i, os.str()});
-  }
-  for (std::size_t i : matches.unmatched_recvs) {
-    const auto& e = trace.event(i);
-    std::ostringstream os;
-    os << "orphan receive on rank " << e.rank << " from " << e.peer
-       << " (no send record)";
-    report.irregularities.push_back(
-        Irregularity{Irregularity::Kind::kOrphanRecv, e.rank, i, os.str()});
-  }
-
-  // Receive-count outliers among the non-root ranks (the Fig. 6
-  // observation: workers 1-6 received 2 messages, worker 7 only 1).
-  // A rank is an outlier when its receive count differs from the
-  // majority count of ranks with the same role; as a simple robust
-  // proxy, compare against the modal receive count over ranks > 0.
-  if (trace.num_ranks() > 2) {
-    std::map<std::uint64_t, int> histogram;
-    for (mpi::Rank r = 1; r < trace.num_ranks(); ++r) {
-      ++histogram[report.ranks[static_cast<std::size_t>(r)].recvs];
-    }
-    std::uint64_t modal = 0;
-    int best = -1;
-    for (const auto& [count, freq] : histogram) {
-      if (freq > best) {
-        best = freq;
-        modal = count;
-      }
-    }
-    if (histogram.size() > 1) {
-      for (mpi::Rank r = 1; r < trace.num_ranks(); ++r) {
-        const auto& rt = report.ranks[static_cast<std::size_t>(r)];
-        if (rt.recvs != modal) {
-          std::ostringstream os;
-          os << "rank " << r << " received " << rt.recvs
-             << " messages; its peers received " << modal;
-          report.irregularities.push_back(Irregularity{
-              Irregularity::Kind::kRecvCountOutlier, r, 0, os.str()});
-        }
-      }
-    }
-  }
-  return report;
-}
 
 std::string TrafficReport::to_string() const {
   std::ostringstream os;

@@ -62,7 +62,8 @@ struct TrafficReport {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Analyzes a trace's message traffic.
-TrafficReport analyze_traffic(const trace::Trace& trace);
+// The report is produced by `analysis::compute_traffic` (pass.hpp)
+// from the fused sweep's records; `analysis::Session::traffic()` is
+// the public entry point.
 
 }  // namespace tdbg::analysis

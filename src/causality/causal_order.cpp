@@ -5,33 +5,13 @@
 
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
-#include "support/executor.hpp"
 
 namespace tdbg::causality {
 
-namespace {
-
-/// Per-event program-order positions, one rank-cursor sweep per pool
-/// task (no whole-vector materialization on a lazy trace store).  Rank
-/// sweeps write disjoint slots of `pos`, so the tasks never conflict
-/// and the result is independent of scheduling.
-std::vector<std::size_t> rank_positions(const trace::Trace& trace) {
-  std::vector<std::size_t> pos(trace.size(), 0);
-  exec::Executor::global().parallel_for(
-      static_cast<std::size_t>(trace.num_ranks()), "causality.positions",
-      [&](std::size_t r) {
-        std::size_t p = 0;
-        trace.for_each_rank_event(
-            static_cast<mpi::Rank>(r),
-            [&](std::size_t e, const trace::Event&) { pos[e] = p++; });
-      });
-  return pos;
-}
-
-}  // namespace
-
-CausalOrder::CausalOrder(const trace::Trace& trace)
-    : trace_(&trace), matches_(trace.match_report()) {
+CausalOrder::CausalOrder(const trace::Trace& trace, trace::MatchReport matches,
+                         std::shared_ptr<const trace::RankIndex> index)
+    : trace_(&trace), matches_(std::move(matches)), index_(std::move(index)) {
+  TDBG_CHECK(index_ != nullptr, "causal order needs a rank index");
   obs::ScopedTimer timer(
       obs::MetricsRegistry::global().histogram("analysis.causal_order_ns",
                                                obs::Unit::kNanoseconds),
@@ -39,8 +19,6 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
   const auto n = trace.size();
   const auto ranks = static_cast<std::size_t>(trace.num_ranks());
   clocks_.assign(n, {});
-  positions_.assign(n, 0);
-  seqs_.assign(ranks, {});
 
   // Map receive event -> matched send event.
   std::unordered_map<std::size_t, std::size_t> send_of_recv;
@@ -48,20 +26,6 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
   for (const auto& m : matches_.matches) {
     send_of_recv.emplace(m.recv_index, m.send_index);
   }
-
-  // Per-rank program-order indexes: every task owns its rank's
-  // `seqs_` slot and that rank's disjoint share of `positions_`, so
-  // the parallel build is race-free and scheduling-independent.
-  exec::Executor::global().parallel_for(
-      ranks, "causality.rank_index", [&](std::size_t ri) {
-        const auto r = static_cast<mpi::Rank>(ri);
-        auto& seq = seqs_[ri];
-        seq.reserve(trace.rank_size(r));
-        trace.for_each_rank_event(r, [&](std::size_t e, const trace::Event&) {
-          positions_[e] = seq.size();
-          seq.push_back(e);
-        });
-      });
 
   // Propagate clocks in dependency order.  Each rank's events are
   // processed in program order; a receive additionally waits for its
@@ -77,7 +41,7 @@ CausalOrder::CausalOrder(const trace::Trace& trace)
                "cyclic message dependency in trace (corrupt trace file?)");
     progressed = false;
     for (std::size_t r = 0; r < ranks; ++r) {
-      const auto& seq = seqs_[r];
+      const auto& seq = seqs()[r];
       while (next[r] < seq.size()) {
         const std::size_t e = seq[next[r]];
         const auto it = send_of_recv.find(e);
@@ -107,14 +71,14 @@ const std::vector<std::uint32_t>& CausalOrder::clock(std::size_t e) const {
 }
 
 std::size_t CausalOrder::position(std::size_t e) const {
-  return positions_.at(e);
+  return pos_of(e);
 }
 
 bool CausalOrder::happens_before(std::size_t a, std::size_t b) const {
   if (a == b) return false;
   const auto ra = static_cast<std::size_t>(trace_->event(a).rank);
   // a happens before b iff b's clock has seen a's position on a's rank.
-  return clocks_.at(b)[ra] >= positions_.at(a) + 1;
+  return clocks_.at(b)[ra] >= pos_of(a) + 1;
 }
 
 bool CausalOrder::concurrent(std::size_t a, std::size_t b) const {
@@ -132,7 +96,7 @@ Frontier CausalOrder::past_frontier(std::size_t e) const {
     std::size_t count = vc[r];
     if (r == re) --count;  // exclude e
     if (count == 0) continue;
-    frontier[r] = seqs_[r][count - 1];
+    frontier[r] = seqs()[r][count - 1];
   }
   return frontier;
 }
@@ -141,12 +105,12 @@ Frontier CausalOrder::future_frontier(std::size_t e) const {
   const auto ranks = static_cast<std::size_t>(trace_->num_ranks());
   Frontier frontier(ranks);
   const auto re = static_cast<std::size_t>(trace_->event(e).rank);
-  const auto threshold = static_cast<std::uint32_t>(positions_.at(e) + 1);
+  const auto threshold = static_cast<std::uint32_t>(pos_of(e) + 1);
   for (std::size_t r = 0; r < ranks; ++r) {
-    const auto& seq = seqs_[r];
+    const auto& seq = seqs()[r];
     if (r == re) {
-      if (positions_.at(e) + 1 < seq.size()) {
-        frontier[r] = seq[positions_.at(e) + 1];
+      if (pos_of(e) + 1 < seq.size()) {
+        frontier[r] = seq[pos_of(e) + 1];
       }
       continue;
     }
@@ -166,8 +130,8 @@ std::vector<std::size_t> CausalOrder::causal_past(std::size_t e) const {
   const auto frontier = past_frontier(e);
   for (std::size_t r = 0; r < frontier.size(); ++r) {
     if (!frontier[r]) continue;
-    const auto& seq = seqs_[r];
-    const auto last_pos = positions_.at(*frontier[r]);
+    const auto& seq = seqs()[r];
+    const auto last_pos = pos_of(*frontier[r]);
     for (std::size_t pos = 0; pos <= last_pos; ++pos) past.push_back(seq[pos]);
   }
   std::sort(past.begin(), past.end());
@@ -179,8 +143,8 @@ std::vector<std::size_t> CausalOrder::causal_future(std::size_t e) const {
   const auto frontier = future_frontier(e);
   for (std::size_t r = 0; r < frontier.size(); ++r) {
     if (!frontier[r]) continue;
-    const auto& seq = seqs_[r];
-    for (std::size_t pos = positions_.at(*frontier[r]); pos < seq.size();
+    const auto& seq = seqs()[r];
+    for (std::size_t pos = pos_of(*frontier[r]); pos < seq.size();
          ++pos) {
       future.push_back(seq[pos]);
     }
@@ -206,7 +170,7 @@ Cut CausalOrder::past_frontier_cut(std::size_t e) const {
   for (std::size_t r = 0; r < ranks; ++r) {
     cut.prefix_len[r] = vc[r];
   }
-  cut.prefix_len[re] = positions_.at(e);  // stop right before executing e
+  cut.prefix_len[re] = pos_of(e);  // stop right before executing e
   return cut;
 }
 
@@ -218,18 +182,18 @@ Cut CausalOrder::future_frontier_cut(std::size_t e) const {
   for (std::size_t r = 0; r < ranks; ++r) {
     // Ranks with no event in e's future run to completion.
     cut.prefix_len[r] =
-        frontier[r] ? positions_.at(*frontier[r]) : seqs_[r].size();
+        frontier[r] ? pos_of(*frontier[r]) : seqs()[r].size();
   }
   const auto re = static_cast<std::size_t>(trace_->event(e).rank);
-  cut.prefix_len[re] = positions_.at(e) + 1;  // e itself has executed
+  cut.prefix_len[re] = pos_of(e) + 1;  // e itself has executed
   return cut;
 }
 
-bool is_consistent(const trace::Trace& trace, const Cut& cut) {
+bool is_consistent(const trace::Trace& trace, const trace::MatchReport& report,
+                   const trace::RankIndex& index, const Cut& cut) {
   TDBG_CHECK(cut.prefix_len.size() == static_cast<std::size_t>(trace.num_ranks()),
              "cut rank count mismatch");
-  const auto& report = trace.match_report();
-  const auto pos = rank_positions(trace);
+  const auto& pos = index.position;
   const auto inside = [&](std::size_t e) {
     return pos[e] <
            cut.prefix_len[static_cast<std::size_t>(trace.event(e).rank)];
@@ -257,9 +221,10 @@ Cut cut_at_time(const trace::Trace& trace, support::TimeNs t) {
   return cut;
 }
 
-std::size_t restrict_to_consistent(const trace::Trace& trace, Cut& cut) {
-  const auto& report = trace.match_report();
-  const auto pos = rank_positions(trace);
+std::size_t restrict_to_consistent(const trace::Trace& trace,
+                                   const trace::MatchReport& report,
+                                   const trace::RankIndex& index, Cut& cut) {
+  const auto& pos = index.position;
   std::size_t dropped = 0;
   bool changed = true;
   while (changed) {

@@ -59,6 +59,7 @@ std::string CommandInterpreter::help() {
   model <pattern...>             check a behavioral model per rank (Ariadne)
   profile                        time per construct and per rank
   critpath                       critical path through the history
+  passes                         analysis-session artifact cache state
   html <path>                    interactive HTML view (zoom/pan/inspect)
   export {calls|comm|trace} {dot|vcg} <path>   write a graph file
   frontiers <rank> <marker>      past/future frontier of an event
@@ -177,8 +178,7 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
         if (i > 1) pattern += ' ';
         pattern += args[i];
       }
-      const auto results =
-          analysis::check_model_all(debugger_.trace(), pattern);
+      const auto results = debugger_.session().check_model(pattern);
       std::ostringstream os;
       for (const auto& r : results) {
         os << "  rank " << r.rank << ": "
@@ -193,8 +193,11 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
     }
     if (cmd == "critpath") {
       return {true, false,
-              analysis::critical_path(debugger_.trace())
+              debugger_.session().critical_path()
                   .to_string(debugger_.trace())};
+    }
+    if (cmd == "passes") {
+      return {true, false, debugger_.session().describe()};
     }
     if (cmd == "html") {
       if (args.size() != 2) return {false, false, "usage: html <path>\n"};
@@ -205,6 +208,7 @@ CommandResult CommandInterpreter::execute(std::string_view line) {
       html_options.metrics = &snap;
       const auto spans = telemetry::SpanCollector::global().snapshot();
       html_options.self_spans = &spans;
+      html_options.diagram.matches = &debugger_.session().match_report();
       out << viz::to_html(debugger_.trace(), html_options);
       return {true, false, "wrote " + args[1] + "\n"};
     }
@@ -551,7 +555,7 @@ CommandResult CommandInterpreter::cmd_flightrec(
 }
 
 CommandResult CommandInterpreter::cmd_unmatched() {
-  const auto& report = debugger_.trace().match_report();
+  const auto& report = debugger_.session().match_report();
   std::ostringstream os;
   os << report.unmatched_sends.size() << " unmatched send(s), "
      << report.unmatched_recvs.size() << " orphan receive(s)\n";
@@ -567,7 +571,7 @@ CommandResult CommandInterpreter::cmd_calls(
     const std::vector<std::string>& args) {
   std::optional<mpi::Rank> rank;
   if (args.size() > 1) rank = parse_rank(args[1]);
-  const auto cg = debugger_.call_graph(rank);
+  const auto& cg = debugger_.call_graph(rank);
   std::ostringstream os;
   os << cg.function_count() << " functions, " << cg.edges().size()
      << " caller->callee edges\n";
@@ -587,7 +591,7 @@ CommandResult CommandInterpreter::cmd_actions(
     const std::vector<std::string>& args) {
   if (args.size() != 2) return {false, false, "usage: actions <rank>\n"};
   const auto rank = parse_rank(args[1]);
-  const auto ag = debugger_.action_graph();
+  const auto& ag = debugger_.action_graph();
   std::ostringstream os;
   for (const auto& a : ag.actions(rank)) {
     os << "  " << trace::event_kind_name(a.kind) << " "

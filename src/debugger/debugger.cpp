@@ -63,13 +63,17 @@ const trace::Trace& Debugger::trace() const {
   return recorded_run_.trace;
 }
 
-const causality::CausalOrder& Debugger::order() {
+analysis::Session& Debugger::session() const {
   TDBG_CHECK(recorded_, "call record() first");
-  if (!order_) {
+  if (!session_) {
     telemetry::Span span("debugger.analysis");
-    order_.emplace(recorded_run_.trace);
+    session_ = std::make_unique<analysis::Session>(recorded_run_.trace);
   }
-  return *order_;
+  return *session_;
+}
+
+const causality::CausalOrder& Debugger::order() {
+  return session().causal_order();
 }
 
 const mpi::RunResult& Debugger::run_result() const {
@@ -78,32 +82,36 @@ const mpi::RunResult& Debugger::run_result() const {
 }
 
 viz::TimeSpaceDiagram Debugger::diagram(viz::DiagramOptions options) const {
+  // Share the session's matching: the diagram draws the message lines
+  // without running its own pairing.
+  if (options.matches == nullptr) options.matches = &session().match_report();
   return viz::TimeSpaceDiagram(trace(), options);
 }
 
-graph::CallGraph Debugger::call_graph(std::optional<mpi::Rank> rank) const {
-  return graph::CallGraph::from_trace(trace(), rank);
+const graph::CallGraph& Debugger::call_graph(
+    std::optional<mpi::Rank> rank) const {
+  return session().call_graph(rank);
 }
 
-graph::CommGraph Debugger::comm_graph() const {
-  return graph::CommGraph::from_trace(trace());
+const graph::CommGraph& Debugger::comm_graph() const {
+  return session().comm_graph();
 }
 
-graph::TraceGraph Debugger::trace_graph(std::size_t merge_limit) const {
-  return graph::TraceGraph::from_trace(trace(), merge_limit);
+const graph::TraceGraph& Debugger::trace_graph(std::size_t merge_limit) const {
+  return session().trace_graph(merge_limit);
 }
 
-graph::ActionGraph Debugger::action_graph() const {
-  return graph::ActionGraph::from_trace(trace());
+const graph::ActionGraph& Debugger::action_graph() const {
+  return session().action_graph();
 }
 
 std::vector<ProcessGroup> Debugger::process_groups(
     GroupingLevel level) const {
-  return group_processes(trace(), level);
+  return group_processes(trace(), session().action_graph(), level);
 }
 
-analysis::TrafficReport Debugger::traffic() const {
-  return analysis::analyze_traffic(trace());
+const analysis::TrafficReport& Debugger::traffic() const {
+  return session().traffic();
 }
 
 analysis::DeadlockReport Debugger::deadlock_report() const {
@@ -111,12 +119,11 @@ analysis::DeadlockReport Debugger::deadlock_report() const {
   return analysis::explain_deadlock(recorded_run_.result.final_waits);
 }
 
-analysis::RaceReport Debugger::races() {
-  return analysis::find_races(trace(), order());
-}
+const analysis::RaceReport& Debugger::races() { return session().races(); }
 
 replay::Stopline Debugger::stopline_at(support::TimeNs t) const {
-  return replay::stopline_at_time(trace(), t);
+  return replay::stopline_at_time(trace(), session().match_report(),
+                                  session().rank_index(), t);
 }
 
 replay::Stopline Debugger::stopline_past_frontier(std::size_t event) {
@@ -242,7 +249,10 @@ std::optional<mpi::RunResult> Debugger::end_replay() {
     recorded_run_.log = active_->match_log();
     recorded_ = true;
     live_ = false;
-    order_.reset();
+    // The history changed: the next analysis gets a fresh session over
+    // the completed trace (or an incremental update of the old one,
+    // but a live run's partial trace was never analyzable, so reset).
+    session_.reset();
   }
   active_.reset();
   undo_stack_.clear();

@@ -6,6 +6,7 @@
 
 #include "analysis/deadlock.hpp"
 #include "analysis/races.hpp"
+#include "analysis/session.hpp"
 #include "analysis/traffic.hpp"
 #include "debugger/process_groups.hpp"
 #include "fault/engine.hpp"
@@ -95,7 +96,14 @@ class Debugger {
   /// The recorded execution history.
   [[nodiscard]] const trace::Trace& trace() const;
 
-  /// The happens-before structure (built lazily, cached).
+  /// The analysis session over the recorded history — the shared
+  /// artifact cache every display and analysis command pulls from.
+  /// Created lazily on first use; replaced when a live run finishes
+  /// and the history changes.
+  analysis::Session& session() const;
+
+  /// The happens-before structure (shorthand for
+  /// `session().causal_order()`).
   const causality::CausalOrder& order();
 
   /// The recorded run's outcome.
@@ -115,19 +123,19 @@ class Debugger {
       viz::DiagramOptions options = {}) const;
 
   /// Dynamic call graph (merged, or per rank).
-  [[nodiscard]] graph::CallGraph call_graph(
+  [[nodiscard]] const graph::CallGraph& call_graph(
       std::optional<mpi::Rank> rank = std::nullopt) const;
 
   /// Communication graph (Fig. 4).
-  [[nodiscard]] graph::CommGraph comm_graph() const;
+  [[nodiscard]] const graph::CommGraph& comm_graph() const;
 
   /// Trace graph with the given dissemination limit (§4.3).
-  [[nodiscard]] graph::TraceGraph trace_graph(
+  [[nodiscard]] const graph::TraceGraph& trace_graph(
       std::size_t merge_limit = 16) const;
 
   /// Action graph — the §4.4 coarse view (runs of same-construct
   /// operations collapsed into actions).
-  [[nodiscard]] graph::ActionGraph action_graph() const;
+  [[nodiscard]] const graph::ActionGraph& action_graph() const;
 
   /// Behavioral process groups (the p2d2 scalability view): ranks with
   /// equivalent histories collapse into one group.
@@ -135,13 +143,13 @@ class Debugger {
       GroupingLevel level = GroupingLevel::kShape) const;
 
   /// Traffic statistics and irregularities (§4.4/§6).
-  [[nodiscard]] analysis::TrafficReport traffic() const;
+  [[nodiscard]] const analysis::TrafficReport& traffic() const;
 
   /// Deadlock explanation of the recorded run's final wait states.
   [[nodiscard]] analysis::DeadlockReport deadlock_report() const;
 
   /// Message races among wildcard receives (§4.4).
-  analysis::RaceReport races();
+  const analysis::RaceReport& races();
 
   // --- Stoplines ---------------------------------------------------------
 
@@ -239,7 +247,10 @@ class Debugger {
   std::optional<fault::FaultPlan> fault_plan_;
   std::unique_ptr<fault::FaultEngine> fault_engine_;
   replay::RecordedRun recorded_run_;
-  std::optional<causality::CausalOrder> order_;
+  /// Lazily-created shared artifact cache over `recorded_run_.trace`
+  /// (pointer, not optional: `Session` pins a mutex, the debugger must
+  /// stay movable).  Reset when the history is replaced.
+  mutable std::unique_ptr<analysis::Session> session_;
 
   std::unique_ptr<replay::ReplaySession> active_;
   std::vector<replay::Stopline> undo_stack_;

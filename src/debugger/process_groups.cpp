@@ -25,12 +25,12 @@ std::string signature_of(const trace::Trace& trace,
 }  // namespace
 
 std::vector<ProcessGroup> group_processes(const trace::Trace& trace,
+                                          const graph::ActionGraph& actions,
                                           GroupingLevel level) {
   // signature -> group, keyed so first-seen rank order decides output
   // order.
   std::map<std::string, std::size_t> index;
   std::vector<ProcessGroup> groups;
-  const auto actions = graph::ActionGraph::from_trace(trace);
   for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
     auto sig = signature_of(trace, actions, r, level);
     const auto it = index.find(sig);

@@ -37,9 +37,11 @@ struct ProcessGroup {
 };
 
 /// Groups the trace's ranks by behavioral signature.  Groups are
-/// ordered by their lowest member rank.
+/// ordered by their lowest member rank.  `actions` is the cached
+/// action graph from the trace's `analysis::Session`.
 std::vector<ProcessGroup> group_processes(
-    const trace::Trace& trace, GroupingLevel level = GroupingLevel::kShape);
+    const trace::Trace& trace, const graph::ActionGraph& actions,
+    GroupingLevel level = GroupingLevel::kShape);
 
 /// One-line rendering ("{0} {1-6} {7}").
 std::string describe_groups(const std::vector<ProcessGroup>& groups);

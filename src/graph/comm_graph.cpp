@@ -1,91 +1,8 @@
 #include "graph/comm_graph.hpp"
 
-#include <algorithm>
-#include <set>
 #include <sstream>
-#include <unordered_map>
-
-#include "support/executor.hpp"
-#include "trace/store.hpp"
 
 namespace tdbg::graph {
-
-CommGraph CommGraph::from_trace(const trace::Trace& trace) {
-  CommGraph g;
-  const auto& report = trace.match_report();
-
-  // Node per matched pair, then per unmatched half.  Matched node i
-  // is simply match i, so the slots can be filled in parallel chunks
-  // (the per-node event lookup dominates); the chunk size is fixed so
-  // the layout never depends on thread count.
-  const std::size_t nmatches = report.matches.size();
-  g.nodes_.resize(nmatches);
-  const std::size_t chunk = trace::kInMemorySegmentEvents;
-  const std::size_t nchunks = (nmatches + chunk - 1) / chunk;
-  exec::Executor::global().parallel_for(
-      nchunks, "graph.comm.nodes", [&](std::size_t c) {
-        const std::size_t lo = c * chunk;
-        const std::size_t hi = std::min(lo + chunk, nmatches);
-        for (std::size_t k = lo; k < hi; ++k) {
-          const auto& m = report.matches[k];
-          const auto send = trace.event(m.send_index);
-          MessageNode node;
-          node.send_event = m.send_index;
-          node.recv_event = m.recv_index;
-          node.src = send.rank;
-          node.dst = send.peer;
-          node.tag = send.tag;
-          g.nodes_[k] = node;
-        }
-      });
-  std::unordered_map<std::size_t, std::size_t> node_of_event;
-  node_of_event.reserve(2 * nmatches + report.unmatched_sends.size() +
-                        report.unmatched_recvs.size());
-  for (std::size_t k = 0; k < nmatches; ++k) {
-    node_of_event[report.matches[k].send_index] = k;
-    node_of_event[report.matches[k].recv_index] = k;
-  }
-  for (std::size_t i : report.unmatched_sends) {
-    const auto& send = trace.event(i);
-    node_of_event[i] = g.nodes_.size();
-    g.nodes_.push_back(MessageNode{i, kNoEvent, send.rank, send.peer, send.tag});
-  }
-  for (std::size_t i : report.unmatched_recvs) {
-    const auto& recv = trace.event(i);
-    node_of_event[i] = g.nodes_.size();
-    g.nodes_.push_back(MessageNode{kNoEvent, i, recv.peer, recv.rank, recv.tag});
-  }
-
-  // Arcs: per rank, consecutive message endpoints in program order
-  // connect their messages (the covering relation of message
-  // causality along each process line).  Rank sweeps are independent;
-  // each writes its own arc vector and the set union below is
-  // order-insensitive, so the final sorted arc list is deterministic.
-  const auto nranks = static_cast<std::size_t>(trace.num_ranks());
-  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> rank_arcs(
-      nranks);
-  exec::Executor::global().parallel_for(
-      nranks, "graph.comm.arcs", [&](std::size_t ri) {
-        std::size_t prev_node = kNoEvent;
-        trace.for_each_rank_event(
-            static_cast<mpi::Rank>(ri),
-            [&](std::size_t i, const trace::Event& e) {
-              if (!e.is_message()) return;
-              const auto it = node_of_event.find(i);
-              if (it == node_of_event.end()) return;
-              if (prev_node != kNoEvent && prev_node != it->second) {
-                rank_arcs[ri].emplace_back(prev_node, it->second);
-              }
-              prev_node = it->second;
-            });
-      });
-  std::set<std::pair<std::size_t, std::size_t>> arc_set;
-  for (const auto& arcs : rank_arcs) {
-    arc_set.insert(arcs.begin(), arcs.end());
-  }
-  g.arcs_.assign(arc_set.begin(), arc_set.end());
-  return g;
-}
 
 std::vector<std::size_t> CommGraph::unmatched_sends() const {
   std::vector<std::size_t> out;

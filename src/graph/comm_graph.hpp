@@ -1,6 +1,7 @@
 #pragma once
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "graph/export.hpp"
@@ -37,9 +38,16 @@ struct MessageNode {
 };
 
 /// The communication graph of one trace.
+///
+/// Constructed from prebuilt parts by `analysis::compute_comm_graph`
+/// (the fused-sweep pass behind `analysis::Session::comm_graph()`);
+/// the graph layer itself never scans the trace or matches messages.
 class CommGraph {
  public:
-  static CommGraph from_trace(const trace::Trace& trace);
+  CommGraph() = default;
+  CommGraph(std::vector<MessageNode> nodes,
+            std::vector<std::pair<std::size_t, std::size_t>> arcs)
+      : nodes_(std::move(nodes)), arcs_(std::move(arcs)) {}
 
   [[nodiscard]] const std::vector<MessageNode>& nodes() const { return nodes_; }
 

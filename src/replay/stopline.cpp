@@ -9,9 +9,11 @@ Stopline stopline_from_cut(const trace::Trace& trace,
   return line;
 }
 
-Stopline stopline_at_time(const trace::Trace& trace, support::TimeNs t) {
+Stopline stopline_at_time(const trace::Trace& trace,
+                          const trace::MatchReport& report,
+                          const trace::RankIndex& index, support::TimeNs t) {
   auto cut = causality::cut_at_time(trace, t);
-  causality::restrict_to_consistent(trace, cut);
+  causality::restrict_to_consistent(trace, report, index, cut);
   return stopline_from_cut(trace, cut);
 }
 

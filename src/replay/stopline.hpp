@@ -37,8 +37,11 @@ struct Stopline {
 };
 
 /// Vertical stopline at display time `t` (consistent by construction;
-/// see file comment).
-Stopline stopline_at_time(const trace::Trace& trace, support::TimeNs t);
+/// see file comment).  `report` and `index` come from the trace's
+/// `analysis::Session`.
+Stopline stopline_at_time(const trace::Trace& trace,
+                          const trace::MatchReport& report,
+                          const trace::RankIndex& index, support::TimeNs t);
 
 /// Stopline along the past frontier of event `e`.
 Stopline stopline_past_frontier(const causality::CausalOrder& order,

@@ -1,9 +1,5 @@
 #include "trace/trace.hpp"
 
-#include <algorithm>
-#include <map>
-#include <tuple>
-
 #include "support/error.hpp"
 
 namespace tdbg::trace {
@@ -111,117 +107,6 @@ void Trace::parallel_for_each_segment(
     const std::function<void(std::size_t seg)>& body) const {
   if (!store_) return;
   exec::Executor::global().parallel_for(store_->segment_count(), site, body);
-}
-
-const MatchReport& Trace::match_report() const {
-  static const MatchReport kEmptyReport;
-  if (!store_) return kEmptyReport;
-  std::lock_guard lk(caches_->mu);
-  if (caches_->match) return *caches_->match;
-
-  // Phase 1 — gather, one map task per segment: sends and receives
-  // per (source, dest) channel.  Concatenating the per-segment lists
-  // in segment order reproduces display order exactly, so the result
-  // is independent of how tasks interleave.
-  using ChannelKey = std::pair<mpi::Rank, mpi::Rank>;  // (src, dst)
-  struct SendRec {
-    std::uint64_t marker;
-    support::TimeNs t_start;
-    std::size_t index;
-  };
-  struct RecvRec {
-    mpi::ChannelSeq seq;
-    std::size_t index;
-  };
-  struct Channel {
-    std::vector<SendRec> sends;
-    std::vector<RecvRec> recvs;  ///< display order
-  };
-  using ChannelMap = std::map<ChannelKey, Channel>;
-  const ChannelMap channels = map_reduce<ChannelMap>(
-      "trace.match.gather",
-      [&](std::size_t seg, ChannelMap& part) {
-        store_->for_each_in_segment(seg, [&](std::size_t i, const Event& e) {
-          if (e.kind == EventKind::kSend) {
-            part[ChannelKey(e.rank, e.peer)].sends.push_back(
-                SendRec{e.marker, e.t_start, i});
-          } else if (e.kind == EventKind::kRecv) {
-            part[ChannelKey(e.peer, e.rank)].recvs.push_back(
-                RecvRec{e.channel_seq, i});
-          }
-        });
-      },
-      [](ChannelMap& acc, ChannelMap&& part) {
-        for (auto& [key, ch] : part) {
-          auto& dst = acc[key];
-          dst.sends.insert(dst.sends.end(), ch.sends.begin(), ch.sends.end());
-          dst.recvs.insert(dst.recvs.end(), ch.recvs.begin(), ch.recvs.end());
-        }
-      });
-
-  // Phase 2 — match, one task per channel.  Sends take FIFO sequence
-  // numbers in the sender's program order — (marker, t_start), all
-  // sends of a channel share one rank; receives carry their sequence
-  // numbers explicitly.  Channels are independent, so each task works
-  // on its own slot and the merge below just walks slots in key order.
-  std::vector<const ChannelMap::value_type*> flat;
-  flat.reserve(channels.size());
-  for (const auto& entry : channels) flat.push_back(&entry);
-
-  struct ChannelResult {
-    std::vector<MessageMatch> matches;  ///< recv display order
-    std::vector<std::size_t> unmatched_sends;
-    std::vector<std::size_t> unmatched_recvs;
-  };
-  std::vector<ChannelResult> per_channel(flat.size());
-  exec::Executor::global().parallel_for(
-      flat.size(), "trace.match.pair", [&](std::size_t c) {
-        auto sends = flat[c]->second.sends;  // copy: sort locally
-        const auto& recvs = flat[c]->second.recvs;
-        auto& out = per_channel[c];
-        std::stable_sort(sends.begin(), sends.end(),
-                         [](const SendRec& a, const SendRec& b) {
-                           if (a.marker != b.marker) return a.marker < b.marker;
-                           return a.t_start < b.t_start;
-                         });
-        std::vector<bool> used(sends.size(), false);
-        for (const RecvRec& rv : recvs) {
-          if (rv.seq >= sends.size() || used[rv.seq]) {
-            out.unmatched_recvs.push_back(rv.index);
-            continue;
-          }
-          used[rv.seq] = true;
-          out.matches.push_back(MessageMatch{sends[rv.seq].index, rv.index});
-        }
-        for (std::size_t s = 0; s < sends.size(); ++s) {
-          if (!used[s]) out.unmatched_sends.push_back(sends[s].index);
-        }
-      });
-
-  // Phase 3 — canonicalize: the serial algorithm emitted matches and
-  // orphan receives in global recv display order and unmatched sends
-  // sorted by index; sorting the per-channel concatenation restores
-  // exactly that.
-  MatchReport report;
-  for (const auto& cr : per_channel) {
-    report.matches.insert(report.matches.end(), cr.matches.begin(),
-                          cr.matches.end());
-    report.unmatched_sends.insert(report.unmatched_sends.end(),
-                                  cr.unmatched_sends.begin(),
-                                  cr.unmatched_sends.end());
-    report.unmatched_recvs.insert(report.unmatched_recvs.end(),
-                                  cr.unmatched_recvs.begin(),
-                                  cr.unmatched_recvs.end());
-  }
-  std::sort(report.matches.begin(), report.matches.end(),
-            [](const MessageMatch& a, const MessageMatch& b) {
-              return a.recv_index < b.recv_index;
-            });
-  std::sort(report.unmatched_sends.begin(), report.unmatched_sends.end());
-  std::sort(report.unmatched_recvs.begin(), report.unmatched_recvs.end());
-
-  caches_->match = std::move(report);
-  return *caches_->match;
 }
 
 const std::vector<Event>& Trace::events() const {

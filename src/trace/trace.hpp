@@ -20,14 +20,30 @@ struct MessageMatch {
   std::size_t recv_index = 0;
 };
 
-/// Output of `Trace::match_report`: the unique send/receive matching
-/// plus the leftovers the debugger's communication supervision shows
-/// the user (paper §4.4: "the debugger maintains a list of unmatched
-/// sends and receives").
+/// The unique send/receive matching plus the leftovers the debugger's
+/// communication supervision shows the user (paper §4.4: "the debugger
+/// maintains a list of unmatched sends and receives").  Computed by
+/// `analysis::Session::match_report()` — the trace layer only defines
+/// the data type so lower layers (causality, graph, replay) can accept
+/// it as a parameter without linking the analysis library.
 struct MatchReport {
   std::vector<MessageMatch> matches;
   std::vector<std::size_t> unmatched_sends;  ///< sent but never received
   std::vector<std::size_t> unmatched_recvs;  ///< received with no send record
+};
+
+/// Per-rank program-order index over the whole trace, the shared
+/// artifact that replaces the three hand-rolled builders causality,
+/// races, and the action graph used to carry.  Built (and kept fresh
+/// incrementally) by `analysis::Session::rank_index()`; defined here so
+/// the causality and graph layers can consume it by reference.
+struct RankIndex {
+  /// `seq[r][k]` = global display index of rank r's k-th event in
+  /// program order (marker order, per the store contract).
+  std::vector<std::vector<std::size_t>> seq;
+  /// `position[i]` = program-order position of display index i within
+  /// its own rank (the inverse of `seq`).
+  std::vector<std::size_t> position;
 };
 
 /// An immutable execution history: the merged event stream of one run.
@@ -153,8 +169,8 @@ class Trace {
 
   /// Runs `body(seg)` for every segment on the analysis pool.  `site`
   /// tags the telemetry spans and `exec.tasks.<site>` counter.  Bodies
-  /// must not touch this trace's memoized getters (`match_report`,
-  /// `events`, `rank_events`).
+  /// must not touch this trace's memoized getters (`events`,
+  /// `rank_events`).
   void parallel_for_each_segment(
       std::string_view site,
       const std::function<void(std::size_t seg)>& body) const;
@@ -177,12 +193,6 @@ class Trace {
     return acc;
   }
 
-  /// Pairs send records with receive records using per-channel FIFO
-  /// counting (the non-overtaking rule; see `Event` docs) and reports
-  /// the unmatched remainder.  Computed once and memoized; the
-  /// returned reference lives as long as any copy of this trace.
-  [[nodiscard]] const MatchReport& match_report() const;
-
   /// Compatibility: the full event vector in display order.  On a
   /// segmented backend this materializes (once, cached) — prefer the
   /// cursor queries above.
@@ -195,11 +205,11 @@ class Trace {
       mpi::Rank rank) const;
 
  private:
-  /// Lazily computed caches, shared across copies of the facade so a
-  /// memoized match report survives `Trace` being copied or moved.
+  /// Lazily computed compatibility caches, shared across copies of the
+  /// facade.  Analysis results are NOT cached here — that is
+  /// `analysis::Session`'s job; the trace is a pure storage facade.
   struct Caches {
     std::mutex mu;
-    std::optional<MatchReport> match;
     std::optional<std::vector<Event>> events;
     std::vector<std::optional<std::vector<std::size_t>>> rank_index;
   };

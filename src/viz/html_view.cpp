@@ -1,8 +1,10 @@
 #include "viz/html_view.hpp"
 
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "analysis/session.hpp"
 #include "support/strings.hpp"
 
 namespace tdbg::viz {
@@ -112,7 +114,12 @@ std::string to_html(const trace::Trace& trace, const HtmlOptions& options,
   const auto row_y = [&](mpi::Rank r) { return 10 + (rows - 1 - r) * row_h; };
 
   std::ostringstream svg;
-  const auto& matches = trace.match_report();
+  // Shared matching from the caller's session when provided
+  // (options.diagram.matches); a throwaway session otherwise.
+  std::optional<analysis::Session> fallback;
+  if (options.diagram.matches == nullptr) fallback.emplace(trace);
+  const auto& matches = options.diagram.matches ? *options.diagram.matches
+                                                : fallback->match_report();
   for (const auto& m : matches.matches) {
     const auto s = trace.event(m.send_index);
     const auto r = trace.event(m.recv_index);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
+#include "analysis/session.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -89,7 +91,12 @@ std::string TimeSpaceDiagram::to_svg(const Overlay& overlay) const {
        << "\" stroke=\"#e0e0e0\"/>\n";
   }
 
-  const auto& matches = trace_->match_report();
+  // Shared matching from the caller's session when provided; a
+  // throwaway session otherwise (standalone renders).
+  std::optional<analysis::Session> fallback;
+  if (options_.matches == nullptr) fallback.emplace(*trace_);
+  const auto& matches =
+      options_.matches ? *options_.matches : fallback->match_report();
 
   // Construct bars: only the segments the window intersects are
   // touched on a lazy store.

@@ -47,6 +47,10 @@ struct DiagramOptions {
   support::TimeNs window_t1 = -1;  ///< zoom window end (-1 = trace end)
   bool show_messages = true;
   bool show_enter_exit = false;  ///< draw zero-width ticks for enter/exit
+  /// The trace's matching, normally shared from the caller's
+  /// `analysis::Session` (the debugger wires it automatically).  When
+  /// null the renderer builds a throwaway session itself.
+  const trace::MatchReport* matches = nullptr;
 };
 
 /// A time-space diagram over one trace.

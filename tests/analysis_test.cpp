@@ -2,6 +2,7 @@
 
 #include "analysis/deadlock.hpp"
 #include "analysis/races.hpp"
+#include "analysis/session.hpp"
 #include "analysis/supervision.hpp"
 #include "analysis/traffic.hpp"
 #include "apps/strassen.hpp"
@@ -120,8 +121,8 @@ TEST(RaceTest, DeterministicProgramHasNoRaces) {
   const auto rec = replay::record(
       4, [&](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  const auto report = find_races(rec.trace, order);
+  analysis::Session session(rec.trace);
+  const auto& report = session.races();
   EXPECT_FALSE(report.racy());
 }
 
@@ -136,8 +137,8 @@ TEST(RaceTest, ConcurrentSendersToWildcardAreRacy) {
     }
   });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  const auto report = find_races(rec.trace, order);
+  analysis::Session session(rec.trace);
+  const auto& report = session.races();
   ASSERT_TRUE(report.racy());
   // Both receives race (each had the other sender as a candidate).
   EXPECT_GE(report.races.size(), 1u);
@@ -163,8 +164,8 @@ TEST(RaceTest, CausallyOrderedWildcardIsNotRacy) {
     }
   });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  const auto report = find_races(rec.trace, order);
+  analysis::Session session(rec.trace);
+  const auto& report = session.races();
   EXPECT_FALSE(report.racy());
 }
 
@@ -174,8 +175,8 @@ TEST(RaceTest, TaskFarmIsRacyWithManyWorkers) {
   const auto rec = replay::record(
       4, [&](mpi::Comm& comm) { apps::taskfarm::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  EXPECT_TRUE(find_races(rec.trace, order).racy());
+  analysis::Session session(rec.trace);
+  EXPECT_TRUE(session.races().racy());
 }
 
 TEST(TrafficTest, CountsChannelsAndBytes) {
@@ -190,7 +191,8 @@ TEST(TrafficTest, CountsChannelsAndBytes) {
     }
   });
   ASSERT_TRUE(rec.result.completed);
-  const auto report = analyze_traffic(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& report = session.traffic();
   ASSERT_EQ(report.channels.size(), 2u);
   EXPECT_EQ(report.ranks[0].sends, 3u);
   EXPECT_EQ(report.ranks[0].bytes_out, 3 * sizeof(double));
@@ -209,7 +211,8 @@ TEST(TrafficTest, BuggyStrassenIrregularities) {
   const auto rec = replay::record(
       8, [&](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.deadlocked);
-  const auto report = analyze_traffic(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& report = session.traffic();
 
   bool missed = false;
   bool outlier7 = false;
@@ -233,7 +236,8 @@ TEST(TrafficTest, CleanRunHasNoIrregularities) {
   const auto rec = replay::record(
       8, [&](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
-  const auto report = analyze_traffic(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& report = session.traffic();
   EXPECT_TRUE(report.irregularities.empty())
       << report.to_string();
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/session.hpp"
 #include "apps/lu.hpp"
 #include "apps/strassen.hpp"
 #include "causality/causal_order.hpp"
@@ -49,7 +50,8 @@ std::size_t index_of(const trace::Trace& t, mpi::Rank rank,
 
 TEST(CausalOrderTest, ProgramOrderIsHappensBefore) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   const auto a0 = index_of(trace, 0, 1);
   const auto s01 = index_of(trace, 0, 2);
   EXPECT_TRUE(order.happens_before(a0, s01));
@@ -59,7 +61,8 @@ TEST(CausalOrderTest, ProgramOrderIsHappensBefore) {
 
 TEST(CausalOrderTest, MessageEdgeAndTransitivity) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   const auto s01 = index_of(trace, 0, 2);
   const auto r01 = index_of(trace, 1, 1);
   const auto r12 = index_of(trace, 2, 1);
@@ -71,7 +74,8 @@ TEST(CausalOrderTest, MessageEdgeAndTransitivity) {
 
 TEST(CausalOrderTest, ConcurrencyAcrossRanks) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   const auto a0 = index_of(trace, 0, 1);
   const auto a1 = index_of(trace, 0, 3);
   const auto r12 = index_of(trace, 2, 1);
@@ -83,7 +87,8 @@ TEST(CausalOrderTest, ConcurrencyAcrossRanks) {
 
 TEST(CausalOrderTest, PastFrontierPicksLatestPredecessors) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   const auto b1 = index_of(trace, 2, 2);
   const auto frontier = order.past_frontier(b1);
   ASSERT_EQ(frontier.size(), 3u);
@@ -101,7 +106,8 @@ TEST(CausalOrderTest, PastFrontierPicksLatestPredecessors) {
 
 TEST(CausalOrderTest, FutureFrontierPicksEarliestSuccessors) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   const auto s01 = index_of(trace, 0, 2);
   const auto frontier = order.future_frontier(s01);
   // Rank 1: the receive (marker 1) is the first affected event.
@@ -117,7 +123,8 @@ TEST(CausalOrderTest, FutureFrontierPicksEarliestSuccessors) {
 
 TEST(CausalOrderTest, PastAndFutureSetsPartitionWithConcurrency) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
   for (std::size_t e = 0; e < trace.size(); ++e) {
     const auto past = order.causal_past(e);
     const auto future = order.causal_future(e);
@@ -132,11 +139,15 @@ TEST(CausalOrderTest, PastAndFutureSetsPartitionWithConcurrency) {
 
 TEST(CausalOrderTest, FrontierCutsAreConsistent) {
   const auto trace = chain_trace();
-  CausalOrder order(trace);
+  analysis::Session session(trace);
+  const auto& order = session.causal_order();
+  const auto& report = session.match_report();
+  const auto& index = session.rank_index();
   for (std::size_t e = 0; e < trace.size(); ++e) {
-    EXPECT_TRUE(is_consistent(trace, order.past_frontier_cut(e)))
+    EXPECT_TRUE(is_consistent(trace, report, index, order.past_frontier_cut(e)))
         << "past cut of " << e;
-    EXPECT_TRUE(is_consistent(trace, order.future_frontier_cut(e)))
+    EXPECT_TRUE(
+        is_consistent(trace, report, index, order.future_frontier_cut(e)))
         << "future cut of " << e;
   }
 }
@@ -144,13 +155,16 @@ TEST(CausalOrderTest, FrontierCutsAreConsistent) {
 TEST(CausalOrderTest, InconsistentCutDetected) {
   const auto trace = chain_trace();
   // Include rank 1's receive but exclude rank 0's send.
+  analysis::Session session(trace);
+  const auto& report = session.match_report();
+  const auto& index = session.rank_index();
   Cut cut;
   cut.prefix_len = {1, 1, 0};  // rank 0: only marker 1; rank 1: the recv
-  EXPECT_FALSE(is_consistent(trace, cut));
+  EXPECT_FALSE(is_consistent(trace, report, index, cut));
   auto fixed = cut;
-  const auto dropped = restrict_to_consistent(trace, fixed);
+  const auto dropped = restrict_to_consistent(trace, report, index, fixed);
   EXPECT_GT(dropped, 0u);
-  EXPECT_TRUE(is_consistent(trace, fixed));
+  EXPECT_TRUE(is_consistent(trace, report, index, fixed));
 }
 
 // --- Property-style sweeps over real application traces -----------------
@@ -167,7 +181,8 @@ TEST_P(FrontierPropertyTest, LuFrontiersAreSoundAndTight) {
   const auto rec = replay::record(
       8, [&](mpi::Comm& comm) { apps::lu::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
-  CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
 
   // Probe a pseudo-random selection of events determined by the param.
   const auto step = std::max<std::size_t>(1, rec.trace.size() / 13);
@@ -203,8 +218,12 @@ TEST_P(FrontierPropertyTest, LuFrontiersAreSoundAndTight) {
       }
     }
     // Frontier cuts of real traces are consistent.
-    EXPECT_TRUE(is_consistent(rec.trace, order.past_frontier_cut(e)));
-    EXPECT_TRUE(is_consistent(rec.trace, order.future_frontier_cut(e)));
+    EXPECT_TRUE(is_consistent(rec.trace, session.match_report(),
+                              session.rank_index(),
+                              order.past_frontier_cut(e)));
+    EXPECT_TRUE(is_consistent(rec.trace, session.match_report(),
+                              session.rank_index(),
+                              order.future_frontier_cut(e)));
   }
 }
 
@@ -218,12 +237,15 @@ TEST(CausalOrderTest, StrassenEveryVerticalCutConsistentAfterRestriction) {
   const auto rec = replay::record(
       4, [&](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
+  analysis::Session session(rec.trace);
+  const auto& report = session.match_report();
+  const auto& index = session.rank_index();
   for (int i = 0; i <= 50; ++i) {
     const auto t =
         rec.trace.t_min() + (rec.trace.t_max() - rec.trace.t_min()) * i / 50;
     auto cut = cut_at_time(rec.trace, t);
-    restrict_to_consistent(rec.trace, cut);
-    EXPECT_TRUE(is_consistent(rec.trace, cut)) << "i=" << i;
+    restrict_to_consistent(rec.trace, report, index, cut);
+    EXPECT_TRUE(is_consistent(rec.trace, report, index, cut)) << "i=" << i;
   }
 }
 

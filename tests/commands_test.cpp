@@ -188,6 +188,21 @@ TEST_F(CommandsTest, HelpListsFaults) {
   const auto r = run("help");
   EXPECT_TRUE(r.ok);
   EXPECT_NE(r.output.find("faults"), std::string::npos);
+  EXPECT_NE(r.output.find("passes"), std::string::npos);
+}
+
+TEST_F(CommandsTest, PassesShowsArtifactCacheState) {
+  run("record");
+  // Before any analysis, the table exists but nothing is cached.
+  auto r = run("passes");
+  ASSERT_TRUE(r.ok) << r.output;
+  EXPECT_NE(r.output.find("analysis session"), std::string::npos);
+  EXPECT_NE(r.output.find("match"), std::string::npos);
+  // Running an analysis materializes its artifact chain.
+  ASSERT_TRUE(run("traffic").ok);
+  r = run("passes");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("cached"), std::string::npos) << r.output;
 }
 
 TEST_F(CommandsTest, FaultsWithoutPlanSaysSo) {

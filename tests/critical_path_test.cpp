@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/critical_path.hpp"
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "causality/causal_order.hpp"
 #include "replay/record.hpp"
@@ -36,7 +37,8 @@ TEST(CriticalPathTest, FollowsMessageChain) {
   events.push_back(ev(EventKind::kCompute, 1, 2, 12, 32));
   trace::Trace trace(2, std::move(events), nullptr);
 
-  const auto path = critical_path(trace);
+  Session session(trace);
+  const auto& path = session.critical_path();
   EXPECT_EQ(path.total, 10 + 1 + 1 + 20);
   ASSERT_EQ(path.events.size(), 4u);
   EXPECT_EQ(path.rank_switches, 1u);
@@ -51,7 +53,8 @@ TEST(CriticalPathTest, PrefersHeavierBranch) {
   events.push_back(ev(EventKind::kCompute, 0, 1, 0, 5));
   events.push_back(ev(EventKind::kCompute, 1, 1, 0, 50));
   trace::Trace trace(2, std::move(events), nullptr);
-  const auto path = critical_path(trace);
+  Session session(trace);
+  const auto& path = session.critical_path();
   EXPECT_EQ(path.total, 50);
   ASSERT_EQ(path.events.size(), 1u);
   EXPECT_EQ(trace.event(path.events[0]).rank, 1);
@@ -65,11 +68,12 @@ TEST(CriticalPathTest, PathIsCausallyOrdered) {
       4, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
 
-  const auto path = critical_path(rec.trace);
+  Session session(rec.trace);
+  const auto& path = session.critical_path();
   EXPECT_FALSE(path.events.empty());
   EXPECT_GT(path.total, 0);
 
-  causality::CausalOrder order(rec.trace);
+  const auto& order = session.causal_order();
   for (std::size_t i = 1; i < path.events.size(); ++i) {
     EXPECT_TRUE(order.happens_before(path.events[i - 1], path.events[i]))
         << "path step " << i << " not causally ordered";
@@ -91,7 +95,8 @@ TEST(CriticalPathTest, PathIsCausallyOrdered) {
 
 TEST(CriticalPathTest, EmptyTrace) {
   trace::Trace trace(2, {}, nullptr);
-  const auto path = critical_path(trace);
+  Session session(trace);
+  const auto& path = session.critical_path();
   EXPECT_TRUE(path.events.empty());
   EXPECT_EQ(path.total, 0);
 }

@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "analysis/session.hpp"
 #include "causality/causal_order.hpp"
 #include "mpi/runtime.hpp"
 #include "replay/match_log.hpp"
@@ -165,15 +166,18 @@ TEST(EdgeReplay, LogShorterThanRunFallsBackToFreeChoice) {
 
 TEST(EdgeCausality, EmptyAndSingleEventTraces) {
   trace::Trace empty(2, {}, nullptr);
-  causality::CausalOrder order(empty);
+  analysis::Session empty_session(empty);
+  (void)empty_session.causal_order();
   EXPECT_TRUE(causality::is_consistent(
-      empty, causality::cut_at_time(empty, 100)));
+      empty, empty_session.match_report(), empty_session.rank_index(),
+      causality::cut_at_time(empty, 100)));
 
   std::vector<trace::Event> one(1);
   one[0].rank = 0;
   one[0].marker = 1;
   trace::Trace single(2, std::move(one), nullptr);
-  causality::CausalOrder single_order(single);
+  analysis::Session single_session(single);
+  const auto& single_order = single_session.causal_order();
   EXPECT_TRUE(single_order.causal_past(0).empty());
   EXPECT_TRUE(single_order.causal_future(0).empty());
   const auto frontier = single_order.past_frontier(0);

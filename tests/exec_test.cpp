@@ -19,6 +19,7 @@
 
 #include "analysis/patterns.hpp"
 #include "analysis/races.hpp"
+#include "analysis/session.hpp"
 #include "analysis/traffic.hpp"
 #include "causality/causal_order.hpp"
 #include "fault/engine.hpp"
@@ -138,15 +139,15 @@ PipelineReports run_pipeline(
     std::size_t threads) {
   exec::ScopedExecutor pool(threads);
   const trace::Trace trace(store);
+  analysis::Session session(trace);
   PipelineReports out;
-  out.match = trace.match_report();
-  out.traffic = analysis::analyze_traffic(trace).to_string();
-  const causality::CausalOrder order(trace);
-  out.races = analysis::find_races(trace, order);
-  out.comm_graph = graph::to_dot(graph::CommGraph::from_trace(trace).to_export());
-  out.action_graph = graph::to_dot(
-      graph::ActionGraph::from_trace(trace).to_export(trace.constructs()));
-  out.model = analysis::check_model_all(trace, "any*");
+  out.match = session.match_report();
+  out.traffic = session.traffic().to_string();
+  out.races = session.races();
+  out.comm_graph = graph::to_dot(session.comm_graph().to_export());
+  out.action_graph =
+      graph::to_dot(session.action_graph().to_export(trace.constructs()));
+  out.model = session.check_model("any*");
   return out;
 }
 
@@ -251,6 +252,7 @@ TEST(ExecutorTest, ExceptionPropagatesInline) {
 }
 
 TEST(ExecutorTest, StealsUnderSkewedTasks) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
   // One worker (threads=2): every task lands in its queue.  The worker
   // pops the front and sleeps in it; the actively-draining caller must
   // take the rest from the back — every caller pop counts as a steal.
@@ -264,6 +266,7 @@ TEST(ExecutorTest, StealsUnderSkewedTasks) {
 }
 
 TEST(ExecutorTest, TaskAndSiteCountersAdvance) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "TDBG_METRICS=OFF";
   auto& reg = obs::MetricsRegistry::global();
   const auto tasks_before = reg.counter("exec.tasks").total();
   const auto site_before = reg.counter("exec.tasks.test.site").total();

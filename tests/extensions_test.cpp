@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/intertwined.hpp"
+#include "analysis/session.hpp"
 #include "apps/ring.hpp"
 #include "apps/strassen.hpp"
 #include "debugger/debugger.hpp"
@@ -113,8 +114,8 @@ TEST(IntertwinedTest, CrossingMessagesDetected) {
     }
   });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  const auto pairs = analysis::find_intertwined(rec.trace, order);
+  analysis::Session session(rec.trace);
+  const auto& pairs = session.intertwined();
   ASSERT_EQ(pairs.size(), 1u);
   EXPECT_EQ(rec.trace.event(pairs[0].first_send).tag, 10);
   EXPECT_EQ(rec.trace.event(pairs[0].second_send).tag, 20);
@@ -131,8 +132,8 @@ TEST(IntertwinedTest, OrderedMessagesAreNot) {
     }
   });
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
-  EXPECT_TRUE(analysis::find_intertwined(rec.trace, order).empty());
+  analysis::Session session(rec.trace);
+  EXPECT_TRUE(session.intertwined().empty());
 }
 
 TEST(ExposeVariableTest, SessionSeesRankVariables) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/deadlock.hpp"
+#include "analysis/session.hpp"
 #include "analysis/races.hpp"
 #include "analysis/supervision.hpp"
 #include "causality/causal_order.hpp"
@@ -286,8 +287,8 @@ TEST(FaultGroundTruthTest, WidenedReceivesManufactureDetectableRaces) {
   // Baseline: specific-source receives — raceless by construction.
   auto clean = record_with(nullptr);
   ASSERT_TRUE(clean.result.completed);
-  causality::CausalOrder clean_order(clean.trace);
-  EXPECT_FALSE(analysis::find_races(clean.trace, clean_order).racy());
+  analysis::Session clean_session(clean.trace);
+  EXPECT_FALSE(clean_session.races().racy());
 
   // Widened: same program, receive postings rewritten to ANY_SOURCE.
   FaultEngine engine(FaultPlan::named("widen_races", /*seed=*/3), 3);
@@ -295,8 +296,8 @@ TEST(FaultGroundTruthTest, WidenedReceivesManufactureDetectableRaces) {
   ASSERT_TRUE(widened.result.completed);
   ASSERT_GE(engine.injection_count(FaultKind::kWidenMatch), 1u);
 
-  causality::CausalOrder order(widened.trace);
-  const auto report = analysis::find_races(widened.trace, order);
+  analysis::Session widened_session(widened.trace);
+  const auto& report = widened_session.races();
   ASSERT_TRUE(report.racy());
   // The racing pair: a widened receive on rank 0 with a send from each
   // concurrent sender as candidates.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "graph/action_graph.hpp"
 #include "graph/call_graph.hpp"
@@ -153,7 +154,8 @@ TEST(CallGraphTest, CallsPerArcSplitsEdges) {
 
 TEST(CommGraphTest, MatchedPairsBecomeNodes) {
   const auto trace = small_trace();
-  const auto cg = CommGraph::from_trace(trace);
+  analysis::Session session(trace);
+  const auto& cg = session.comm_graph();
   ASSERT_EQ(cg.nodes().size(), 2u);
   EXPECT_TRUE(cg.nodes()[0].matched());
   EXPECT_TRUE(cg.unmatched_sends().empty());
@@ -171,7 +173,8 @@ TEST(CommGraphTest, BuggyStrassenShowsMissedMessage) {
   const auto rec = replay::record(
       8, [&](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.deadlocked);
-  const auto cg = CommGraph::from_trace(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& cg = session.comm_graph();
   const auto missed = cg.unmatched_sends();
   // Exactly one missed message: the second operand that went to rank 0
   // instead of rank 7 (the paper's Fig. 6).

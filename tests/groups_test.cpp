@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "apps/taskfarm.hpp"
 #include "debugger/process_groups.hpp"
@@ -16,7 +17,9 @@ TEST(ProcessGroupsTest, StrassenMasterVsWorkers) {
       8, [opts](mpi::Comm& comm) { apps::strassen::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
 
-  const auto groups = group_processes(rec.trace, GroupingLevel::kShape);
+  analysis::Session session(rec.trace);
+  const auto groups = group_processes(rec.trace, session.action_graph(),
+                                      GroupingLevel::kShape);
   // The classic picture: one master, seven interchangeable workers.
   ASSERT_EQ(groups.size(), 2u);
   EXPECT_EQ(groups[0].ranks, (std::vector<mpi::Rank>{0}));
@@ -36,7 +39,9 @@ TEST(ProcessGroupsTest, BuggyStrassenIsolatesRankSeven) {
 
   // The Fig. 6 observation as a grouping: rank 7's truncated history
   // breaks it out of the worker group.
-  const auto groups = group_processes(rec.trace, GroupingLevel::kShape);
+  analysis::Session session(rec.trace);
+  const auto groups = group_processes(rec.trace, session.action_graph(),
+                                      GroupingLevel::kShape);
   bool seven_alone = false;
   for (const auto& g : groups) {
     if (g.ranks == std::vector<mpi::Rank>{7}) seven_alone = true;
@@ -53,8 +58,11 @@ TEST(ProcessGroupsTest, StrictSplitsByRepetitionCount) {
       4, [opts](mpi::Comm& comm) { apps::taskfarm::rank_body(comm, opts); });
   ASSERT_TRUE(rec.result.completed);
 
-  const auto shape = group_processes(rec.trace, GroupingLevel::kShape);
-  const auto strict = group_processes(rec.trace, GroupingLevel::kStrict);
+  analysis::Session session(rec.trace);
+  const auto shape = group_processes(rec.trace, session.action_graph(),
+                                     GroupingLevel::kShape);
+  const auto strict = group_processes(rec.trace, session.action_graph(),
+                                      GroupingLevel::kStrict);
   EXPECT_LE(shape.size(), strict.size());
   // Master always alone.
   EXPECT_EQ(shape[0].ranks, (std::vector<mpi::Rank>{0}));

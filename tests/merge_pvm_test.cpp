@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "mpi/pvm.hpp"
 #include "mpi/runtime.hpp"
@@ -31,8 +32,10 @@ TEST(MergeTest, SplitThenMergeRoundTrips) {
   EXPECT_EQ(merged.size(), rec.trace.size());
   EXPECT_EQ(merged.num_ranks(), 4);
   // Matching survives the round trip.
-  EXPECT_EQ(merged.match_report().matches.size(),
-            rec.trace.match_report().matches.size());
+  analysis::Session merged_session(merged);
+  analysis::Session original_session(rec.trace);
+  EXPECT_EQ(merged_session.match_report().matches.size(),
+            original_session.match_report().matches.size());
 }
 
 TEST(MergeTest, DistinctConstructTablesRemap) {
@@ -148,7 +151,8 @@ TEST(PvmTest, PvmTrafficIsTracedAndReplayable) {
   };
   const auto rec = replay::record(3, body);
   ASSERT_TRUE(rec.result.completed);
-  EXPECT_EQ(rec.trace.match_report().matches.size(), 4u);
+  analysis::Session session(rec.trace);
+  EXPECT_EQ(session.match_report().matches.size(), 4u);
 
   // PVM-style wildcard receives replay under the same controller.
   replay::MatchRecorder second(3);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/patterns.hpp"
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "replay/record.hpp"
 
@@ -47,8 +48,8 @@ TEST_F(ModelTest, WorkerModelMatchesAllWorkers) {
   ASSERT_TRUE(rec_.result.completed);
   // A worker: enter rank_body, enter worker, then receive/compute/send
   // in some shape.
-  const auto results = check_model_all(
-      rec_.trace, "enter:rank_body enter:worker any*");
+  Session session(rec_.trace);
+  const auto results = session.check_model("enter:rank_body enter:worker any*");
   for (const auto& r : results) {
     if (r.rank == 0) {
       EXPECT_FALSE(r.matched) << "the master is not a worker";
@@ -62,8 +63,8 @@ TEST_F(ModelTest, PreciseWorkerSequence) {
   ASSERT_TRUE(rec_.result.completed);
   // Full worker body on 8 ranks: recv A, tick, recv B, compute
   // (strassen recursion collapses into `any*`), send result.
-  const auto results = check_model_all(
-      rec_.trace,
+  Session session(rec_.trace);
+  const auto results = session.check_model(
       "enter:rank_body enter:worker enter:MatrRecv recv:MatrRecv "
       "compute:prepare_operands enter:MatrRecv recv:MatrRecv any* "
       "enter:MatrSend send:MatrSend");
@@ -86,8 +87,8 @@ TEST(ModelBuggyTest, RankSevenDeviates) {
 
   // Against the worker model, ranks 1-6 conform and rank 7's truncated
   // history deviates — the Fig. 6 observation as a model query.
-  const auto results = check_model_all(
-      rec.trace,
+  Session session(rec.trace);
+  const auto results = session.check_model(
       "enter:rank_body enter:worker enter:MatrRecv recv:MatrRecv "
       "compute:prepare_operands enter:MatrRecv recv:MatrRecv any* "
       "enter:MatrSend send:MatrSend");

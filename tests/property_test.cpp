@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/races.hpp"
+#include "analysis/session.hpp"
 #include "apps/lu.hpp"
 #include "apps/strassen.hpp"
 #include "apps/taskfarm.hpp"
@@ -68,7 +69,9 @@ TEST_P(StoplineSweep, EveryVerticalStoplineParksAtItsThresholds) {
   const auto pct = GetParam();
   const auto t = rec.trace.t_min() +
                  (rec.trace.t_max() - rec.trace.t_min()) * pct / 100;
-  const auto line = replay::stopline_at_time(rec.trace, t);
+  analysis::Session analysis(rec.trace);
+  const auto line = replay::stopline_at_time(
+      rec.trace, analysis.match_report(), analysis.rank_index(), t);
 
   replay::ReplaySession session(4, body, rec.log);
   const auto stops = session.run_to(line);
@@ -127,7 +130,8 @@ class CausalityInvariants : public ::testing::TestWithParam<Workload> {
 TEST_P(CausalityInvariants, HappensBeforeIsAStrictPartialOrder) {
   const auto rec = record_workload();
   ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
-  causality::CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
   const auto n = rec.trace.size();
   // Subsample pairs for the O(n^2)/O(n^3) checks.
   const std::size_t stride = std::max<std::size_t>(1, n / 40);
@@ -151,7 +155,8 @@ TEST_P(CausalityInvariants, HappensBeforeIsAStrictPartialOrder) {
 TEST_P(CausalityInvariants, MessagesInduceHappensBefore) {
   const auto rec = record_workload();
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
   for (const auto& m : order.matches().matches) {
     EXPECT_TRUE(order.happens_before(m.send_index, m.recv_index));
   }
@@ -162,7 +167,8 @@ TEST_P(CausalityInvariants, MessagesInduceHappensBefore) {
 TEST_P(CausalityInvariants, ProgramOrderIsRespected) {
   const auto rec = record_workload();
   ASSERT_TRUE(rec.result.completed);
-  causality::CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
   for (mpi::Rank r = 0; r < rec.trace.num_ranks(); ++r) {
     const auto& seq = rec.trace.rank_events(r);
     for (std::size_t i = 1; i < seq.size(); ++i) {
@@ -196,8 +202,10 @@ TEST_P(CausalityInvariants, TraceRoundTripsThroughBothFormats) {
       EXPECT_EQ(a.wildcard, b.wildcard);
     }
     // Matching is format-independent.
-    EXPECT_EQ(loaded.match_report().matches.size(),
-              rec.trace.match_report().matches.size());
+    analysis::Session loaded_session(loaded);
+    analysis::Session original_session(rec.trace);
+    EXPECT_EQ(loaded_session.match_report().matches.size(),
+              original_session.match_report().matches.size());
     std::filesystem::remove(path);
   }
 }

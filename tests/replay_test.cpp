@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "apps/taskfarm.hpp"
 #include "replay/checkpoint.hpp"
@@ -36,7 +37,8 @@ TEST(Record, CapturesTraceAndLog) {
   EXPECT_GT(rec.trace.size(), 0u);
 
   // Trace message matching must pair every send with a receive.
-  const auto report = rec.trace.match_report();
+  analysis::Session session(rec.trace);
+  const auto& report = session.match_report();
   EXPECT_EQ(report.matches.size(), 8u);
   EXPECT_TRUE(report.unmatched_sends.empty());
   EXPECT_TRUE(report.unmatched_recvs.empty());
@@ -90,7 +92,9 @@ TEST(Replay, StoplineParksEveryRankAtItsMarker) {
 
   // Vertical stopline through the middle of the trace.
   const auto t_mid = (rec.trace.t_min() + rec.trace.t_max()) / 2;
-  const auto line = stopline_at_time(rec.trace, t_mid);
+  analysis::Session analysis(rec.trace);
+  const auto line = stopline_at_time(rec.trace, analysis.match_report(),
+                                     analysis.rank_index(), t_mid);
 
   ReplaySession session(8, body, rec.log);
   const auto stops = session.run_to(line);
@@ -176,11 +180,15 @@ TEST(Stopline, VerticalCutsAreConsistent) {
   // must come out consistent.
   const auto t0 = rec.trace.t_min();
   const auto t1 = rec.trace.t_max();
+  analysis::Session analysis(rec.trace);
+  const auto& report = analysis.match_report();
+  const auto& index = analysis.rank_index();
   for (int i = 0; i <= 20; ++i) {
     const auto t = t0 + (t1 - t0) * i / 20;
     auto cut = causality::cut_at_time(rec.trace, t);
-    causality::restrict_to_consistent(rec.trace, cut);
-    EXPECT_TRUE(causality::is_consistent(rec.trace, cut)) << "i=" << i;
+    causality::restrict_to_consistent(rec.trace, report, index, cut);
+    EXPECT_TRUE(causality::is_consistent(rec.trace, report, index, cut))
+        << "i=" << i;
   }
 }
 

@@ -1,0 +1,436 @@
+// analysis::Session contract tests (ctest label `session`):
+//
+//   * artifact memoization and the shared-reference guarantee,
+//   * update() invalidation — stale artifacts refresh after growth,
+//   * incremental recompute byte-identical to a from-scratch session,
+//   * fused-sweep results equal the legacy per-pass algorithms on the
+//     storm and deadlock_ring workloads at 1 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/session.hpp"
+#include "fault/engine.hpp"
+#include "fault/plan.hpp"
+#include "graph/export.hpp"
+#include "mpi/runtime.hpp"
+#include "replay/record.hpp"
+#include "support/executor.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace tdbg {
+namespace {
+
+// --- workloads -------------------------------------------------------------
+
+struct StormPlan {
+  std::vector<std::vector<std::array<int, 3>>> sends;  // (dest, tag, payload)
+  std::vector<int> recv_count;
+};
+
+StormPlan make_storm_plan(int ranks, int msgs_per_rank, std::uint64_t seed) {
+  StormPlan plan;
+  plan.sends.resize(static_cast<std::size_t>(ranks));
+  plan.recv_count.assign(static_cast<std::size_t>(ranks), 0);
+  const support::SplitMix64 root(seed);
+  for (int s = 0; s < ranks; ++s) {
+    auto rng = root.split(static_cast<std::uint64_t>(s));
+    for (int m = 0; m < msgs_per_rank; ++m) {
+      const int dest =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+      const int tag = static_cast<int>(rng.next_below(5));
+      const int payload = static_cast<int>(rng.next_below(100000));
+      plan.sends[static_cast<std::size_t>(s)].push_back({dest, tag, payload});
+      ++plan.recv_count[static_cast<std::size_t>(dest)];
+    }
+  }
+  return plan;
+}
+
+mpi::RankBody storm_body(const StormPlan& plan) {
+  return [plan](mpi::Comm& comm) {
+    const auto& mine = plan.sends[static_cast<std::size_t>(comm.rank())];
+    for (const auto& [dest, tag, payload] : mine) {
+      comm.send_value<int>(payload, dest, tag, "storm_send");
+    }
+    const int quota = plan.recv_count[static_cast<std::size_t>(comm.rank())];
+    for (int i = 0; i < quota; ++i) {
+      comm.recv_value<int>(mpi::kAnySource, mpi::kAnyTag, nullptr,
+                           "storm_recv");
+    }
+  };
+}
+
+/// Token ring; with the deadlock_ring fault plan armed, rank 0's send
+/// is held and the run deadlocks, leaving unmatched traffic.
+mpi::RankBody ring_body(int n) {
+  return [n](mpi::Comm& comm) {
+    const mpi::Rank r = comm.rank();
+    const mpi::Rank next = (r + 1) % n;
+    const mpi::Rank prev = (r + n - 1) % n;
+    if (r == 0) {
+      comm.send_value<int>(42, next, /*tag=*/1);
+      comm.recv_value<int>(prev, /*tag=*/1);
+    } else {
+      const int token = comm.recv_value<int>(prev, /*tag=*/1);
+      comm.send_value<int>(token, next, /*tag=*/1);
+    }
+  };
+}
+
+/// Deterministic synthetic trace for the growth tests: increasing
+/// timestamps (display order == construction order), per-rank monotone
+/// markers, valid per-channel sequence numbers, and a mix of matched,
+/// pending, and compute events.  Any prefix of the vector is itself a
+/// valid trace, which is exactly the prefix-stable growth `update()`
+/// recognizes.
+std::vector<trace::Event> synth_events(std::size_t n, int ranks,
+                                       std::uint64_t seed) {
+  auto rng = support::SplitMix64(seed).split(1);
+  std::vector<trace::Event> events;
+  events.reserve(n);
+  std::vector<std::uint64_t> next_marker(static_cast<std::size_t>(ranks), 1);
+  // Per (src, dst): sends issued, receives consumed.
+  std::map<std::pair<int, int>, std::pair<std::uint64_t, std::uint64_t>> chan;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Event e;
+    const int rank =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    e.rank = rank;
+    e.marker = next_marker[static_cast<std::size_t>(rank)]++;
+    e.t_start = static_cast<support::TimeNs>(i) * 10;
+    e.t_end = e.t_start + 6;
+    const auto roll = rng.next_below(4);
+    e.kind = trace::EventKind::kCompute;
+    if (roll == 0 && ranks > 1) {
+      const int peer = static_cast<int>(
+          (static_cast<std::uint64_t>(rank) + 1 +
+           rng.next_below(static_cast<std::uint64_t>(ranks - 1))) %
+          static_cast<std::uint64_t>(ranks));
+      e.kind = trace::EventKind::kSend;
+      e.peer = peer;
+      e.tag = static_cast<mpi::Tag>(rng.next_below(3));
+      e.bytes = 8 + rng.next_below(64);
+      ++chan[{rank, peer}].first;
+    } else if (roll == 1) {
+      // Receive the oldest pending message from some source, if any.
+      const auto start = rng.next_below(static_cast<std::uint64_t>(ranks));
+      for (int k = 0; k < ranks; ++k) {
+        const int src = static_cast<int>(
+            (start + static_cast<std::uint64_t>(k)) %
+            static_cast<std::uint64_t>(ranks));
+        auto& [sent, received] = chan[{src, rank}];
+        if (src == rank || received >= sent) continue;
+        e.kind = trace::EventKind::kRecv;
+        e.peer = src;
+        e.channel_seq = static_cast<mpi::ChannelSeq>(received++);
+        e.tag = static_cast<mpi::Tag>(rng.next_below(3));
+        e.bytes = 8 + rng.next_below(64);
+        e.wildcard = rng.next_below(2) == 0;
+        break;
+      }
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+// --- legacy per-pass reference implementations -----------------------------
+
+/// The pre-refactor serial matcher: one direct scan over the trace,
+/// per-channel FIFO pairing by sequence number, canonical ordering.
+trace::MatchReport legacy_match(const trace::Trace& trace) {
+  struct ChSend {
+    std::uint64_t marker = 0;
+    support::TimeNs t_start = 0;
+    std::size_t index = 0;
+  };
+  struct ChRecv {
+    mpi::ChannelSeq seq = 0;
+    std::size_t index = 0;
+  };
+  std::map<std::pair<mpi::Rank, mpi::Rank>, std::vector<ChSend>> sends;
+  std::map<std::pair<mpi::Rank, mpi::Rank>, std::vector<ChRecv>> recvs;
+  trace.for_each_event([&](std::size_t i, const trace::Event& e) {
+    if (e.kind == trace::EventKind::kSend) {
+      sends[{e.rank, e.peer}].push_back({e.marker, e.t_start, i});
+    } else if (e.kind == trace::EventKind::kRecv) {
+      recvs[{e.peer, e.rank}].push_back({e.channel_seq, i});
+    }
+  });
+  trace::MatchReport report;
+  std::map<std::pair<mpi::Rank, mpi::Rank>, std::vector<bool>> used;
+  for (auto& [key, ss] : sends) {
+    std::stable_sort(ss.begin(), ss.end(),
+                     [](const ChSend& a, const ChSend& b) {
+                       if (a.marker != b.marker) return a.marker < b.marker;
+                       return a.t_start < b.t_start;
+                     });
+    used[key].assign(ss.size(), false);
+  }
+  for (const auto& [key, rs] : recvs) {
+    const auto it = sends.find(key);
+    for (const auto& rv : rs) {
+      if (it == sends.end() || rv.seq >= it->second.size() ||
+          used[key][rv.seq]) {
+        report.unmatched_recvs.push_back(rv.index);
+        continue;
+      }
+      used[key][rv.seq] = true;
+      report.matches.push_back(
+          trace::MessageMatch{it->second[rv.seq].index, rv.index});
+    }
+  }
+  for (const auto& [key, ss] : sends) {
+    const auto& u = used[key];
+    for (std::size_t s = 0; s < ss.size(); ++s) {
+      if (!u[s]) report.unmatched_sends.push_back(ss[s].index);
+    }
+  }
+  std::sort(report.matches.begin(), report.matches.end(),
+            [](const trace::MessageMatch& a, const trace::MessageMatch& b) {
+              return a.recv_index < b.recv_index;
+            });
+  std::sort(report.unmatched_sends.begin(), report.unmatched_sends.end());
+  std::sort(report.unmatched_recvs.begin(), report.unmatched_recvs.end());
+  return report;
+}
+
+void expect_match_reports_equal(const trace::MatchReport& a,
+                                const trace::MatchReport& b) {
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (std::size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].send_index, b.matches[i].send_index) << "at " << i;
+    EXPECT_EQ(a.matches[i].recv_index, b.matches[i].recv_index) << "at " << i;
+  }
+  EXPECT_EQ(a.unmatched_sends, b.unmatched_sends);
+  EXPECT_EQ(a.unmatched_recvs, b.unmatched_recvs);
+}
+
+/// The legacy traffic totals: per-match `trace.event()` lookups, the
+/// way `analyze_traffic` accumulated before the fused sweep.
+struct LegacyRankTotals {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t bytes_in = 0;
+};
+
+std::vector<LegacyRankTotals> legacy_rank_totals(
+    const trace::Trace& trace, const trace::MatchReport& report) {
+  std::vector<LegacyRankTotals> totals(
+      static_cast<std::size_t>(trace.num_ranks()));
+  for (const auto& m : report.matches) {
+    const auto send = trace.event(m.send_index);
+    const auto recv = trace.event(m.recv_index);
+    auto& s = totals[static_cast<std::size_t>(send.rank)];
+    ++s.sends;
+    s.bytes_out += send.bytes;
+    auto& d = totals[static_cast<std::size_t>(recv.rank)];
+    ++d.recvs;
+    d.bytes_in += recv.bytes;
+  }
+  return totals;
+}
+
+/// Full fused-vs-legacy comparison for one trace at one thread count.
+void expect_fused_equals_legacy(const trace::Trace& trace,
+                                std::size_t threads) {
+  exec::ScopedExecutor pool(threads);
+  analysis::Session session(trace);
+
+  // Matching: fused per-channel pairing == the serial direct scan.
+  const auto& report = session.match_report();
+  expect_match_reports_equal(report, legacy_match(trace));
+
+  // Rank index: the shared artifact == the trace facade's legacy
+  // per-rank builder (`rank_events`).
+  const auto& index = session.rank_index();
+  ASSERT_EQ(index.seq.size(), static_cast<std::size_t>(trace.num_ranks()));
+  for (mpi::Rank r = 0; r < trace.num_ranks(); ++r) {
+    EXPECT_EQ(index.seq[static_cast<std::size_t>(r)], trace.rank_events(r))
+        << "rank " << r;
+  }
+
+  // Traffic: sweep-record accounting == per-match event() lookups.
+  const auto& traffic = session.traffic();
+  const auto totals = legacy_rank_totals(trace, report);
+  ASSERT_EQ(traffic.ranks.size(), totals.size());
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    EXPECT_EQ(traffic.ranks[r].sends, totals[r].sends) << "rank " << r;
+    EXPECT_EQ(traffic.ranks[r].recvs, totals[r].recvs) << "rank " << r;
+    EXPECT_EQ(traffic.ranks[r].bytes_out, totals[r].bytes_out) << "rank " << r;
+    EXPECT_EQ(traffic.ranks[r].bytes_in, totals[r].bytes_in) << "rank " << r;
+  }
+
+  // Causality rides the shared artifacts: every match is ordered.
+  const auto& order = session.causal_order();
+  for (const auto& m : report.matches) {
+    EXPECT_TRUE(order.happens_before(m.send_index, m.recv_index));
+  }
+}
+
+void expect_sessions_identical(analysis::Session& a, analysis::Session& b) {
+  expect_match_reports_equal(a.match_report(), b.match_report());
+  EXPECT_EQ(a.rank_index().seq, b.rank_index().seq);
+  EXPECT_EQ(a.rank_index().position, b.rank_index().position);
+  EXPECT_EQ(a.traffic().to_string(), b.traffic().to_string());
+  EXPECT_EQ(graph::to_dot(a.comm_graph().to_export()),
+            graph::to_dot(b.comm_graph().to_export()));
+  const auto& ra = a.races().races;
+  const auto& rb = b.races().races;
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].recv_index, rb[i].recv_index) << "at " << i;
+    EXPECT_EQ(ra[i].matched_send, rb[i].matched_send) << "at " << i;
+    EXPECT_EQ(ra[i].candidates, rb[i].candidates) << "at " << i;
+  }
+  // Sampled happens-before grid over both causal orders.
+  const auto& oa = a.causal_order();
+  const auto& ob = b.causal_order();
+  const auto n = a.trace().size();
+  const std::size_t stride = std::max<std::size_t>(1, n / 29);
+  for (std::size_t x = 0; x < n; x += stride) {
+    for (std::size_t y = 0; y < n; y += stride) {
+      EXPECT_EQ(oa.happens_before(x, y), ob.happens_before(x, y))
+          << x << " -> " << y;
+    }
+  }
+}
+
+// --- memoization and invalidation ------------------------------------------
+
+TEST(SessionTest, ArtifactsAreSharedAndMemoized) {
+  const auto rec = replay::record(4, ring_body(4));
+  ASSERT_TRUE(rec.result.completed);
+  analysis::Session session(rec.trace);
+
+  const auto* first = &session.match_report();
+  EXPECT_EQ(first, &session.match_report());  // same object, no rebuild
+
+  bool match_seen = false;
+  for (const auto& info : session.pass_states()) {
+    if (info.name != "match") continue;
+    match_seen = true;
+    EXPECT_TRUE(info.cached);
+    EXPECT_EQ(info.computes, 1u);
+    EXPECT_GE(info.reuses, 1u);
+    EXPECT_EQ(info.watermark, rec.trace.size());
+  }
+  EXPECT_TRUE(match_seen);
+  EXPECT_NE(session.describe().find("analysis session"), std::string::npos);
+}
+
+TEST(SessionTest, UpdateRefreshesStaleArtifacts) {
+  constexpr int kRanks = 6;
+  const auto events = synth_events(3000, kRanks, /*seed=*/20260809);
+  const std::vector<trace::Event> prefix(events.begin(),
+                                         events.begin() + 2000);
+
+  analysis::Session session(trace::Trace(kRanks, prefix, nullptr));
+  const auto matches_before = session.match_report().matches.size();
+  const auto traffic_before = session.traffic().to_string();
+  EXPECT_EQ(session.watermark(), 2000u);
+
+  // Prefix-stable growth: artifacts must refresh, not stay stale.
+  session.update(trace::Trace(kRanks, events, nullptr));
+  EXPECT_EQ(session.watermark(), 3000u);
+  const auto matches_after = session.match_report().matches.size();
+  EXPECT_GT(matches_after, matches_before);
+  EXPECT_NE(session.traffic().to_string(), traffic_before);
+
+  // Same-size no-op tick: everything stays valid, nothing recomputes.
+  const auto* stable = &session.match_report();
+  session.update(trace::Trace(kRanks, events, nullptr));
+  EXPECT_EQ(stable, &session.match_report());
+}
+
+TEST(SessionTest, NonPrefixUpdateDropsEverything) {
+  constexpr int kRanks = 4;
+  const auto events = synth_events(500, kRanks, /*seed=*/11);
+  analysis::Session session(trace::Trace(kRanks, events, nullptr));
+  (void)session.match_report();
+  (void)session.traffic();
+
+  // A different history (not an extension): full invalidation, and the
+  // refreshed artifacts equal a from-scratch session's.
+  auto other = synth_events(500, kRanks, /*seed=*/12);
+  session.update(trace::Trace(kRanks, other, nullptr));
+  for (const auto& info : session.pass_states()) {
+    EXPECT_FALSE(info.cached) << info.name;
+  }
+  analysis::Session fresh(trace::Trace(kRanks, other, nullptr));
+  expect_sessions_identical(session, fresh);
+}
+
+// --- incremental == from-scratch -------------------------------------------
+
+TEST(SessionTest, IncrementalIdenticalToFromScratch) {
+  constexpr int kRanks = 6;
+  // 20k events cross the in-memory store's 8k-event segment size, so
+  // the delta sweep exercises partial-segment skipping.
+  const auto events = synth_events(20000, kRanks, /*seed=*/777);
+  const std::vector<trace::Event> prefix(events.begin(),
+                                         events.begin() + 12000);
+
+  analysis::Session incremental(trace::Trace(kRanks, prefix, nullptr));
+  // Materialize the full artifact chain before growing.
+  (void)incremental.match_report();
+  (void)incremental.traffic();
+  (void)incremental.comm_graph();
+  (void)incremental.races();
+  (void)incremental.causal_order();
+
+  incremental.update(trace::Trace(kRanks, events, nullptr));
+  analysis::Session scratch(trace::Trace(kRanks, events, nullptr));
+  expect_sessions_identical(incremental, scratch);
+
+  // A small (1%-scale) append on top — the live-recording cadence.
+  const std::vector<trace::Event> grown(events.begin(),
+                                        events.begin() + 19000);
+  analysis::Session live(trace::Trace(kRanks, grown, nullptr));
+  (void)live.match_report();
+  (void)live.traffic();
+  live.update(trace::Trace(kRanks, events, nullptr));
+  analysis::Session full(trace::Trace(kRanks, events, nullptr));
+  expect_sessions_identical(live, full);
+}
+
+// --- fused == legacy per-pass ----------------------------------------------
+
+TEST(SessionTest, FusedEqualsLegacyOnStormAt1And8Threads) {
+  const auto plan = make_storm_plan(8, 40, /*seed=*/55);
+  const auto rec = replay::record(8, storm_body(plan));
+  ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
+  expect_fused_equals_legacy(rec.trace, 1);
+  expect_fused_equals_legacy(rec.trace, 8);
+}
+
+TEST(SessionTest, FusedEqualsLegacyOnDeadlockRingAt1And8Threads) {
+  constexpr int kRanks = 6;
+  fault::FaultEngine engine(fault::FaultPlan::named("deadlock_ring",
+                                                    /*seed=*/3),
+                            kRanks);
+  replay::RecordOptions options;
+  options.fault_engine = &engine;
+  const auto rec = replay::record(kRanks, ring_body(kRanks), options);
+  ASSERT_FALSE(rec.trace.empty());
+  // The held message leaves unmatched traffic — the interesting case.
+  {
+    exec::ScopedExecutor pool(1);
+    analysis::Session probe(rec.trace);
+    EXPECT_FALSE(probe.match_report().unmatched_sends.empty() &&
+                 probe.match_report().unmatched_recvs.empty());
+  }
+  expect_fused_equals_legacy(rec.trace, 1);
+  expect_fused_equals_legacy(rec.trace, 8);
+}
+
+}  // namespace
+}  // namespace tdbg

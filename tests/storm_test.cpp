@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/session.hpp"
 #include "causality/causal_order.hpp"
 #include "fault/engine.hpp"
 #include "fault/plan.hpp"
@@ -91,14 +92,15 @@ TEST_P(StormTest, CompletesAndMatchesFully) {
   const auto rec = replay::record(p.ranks, storm_body(plan));
   ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
 
-  const auto report = rec.trace.match_report();
+  analysis::Session session(rec.trace);
+  const auto& report = session.match_report();
   EXPECT_EQ(report.matches.size(),
             static_cast<std::size_t>(p.ranks * p.msgs));
   EXPECT_TRUE(report.unmatched_sends.empty());
   EXPECT_TRUE(report.unmatched_recvs.empty());
 
   // Causality is well-formed even on dense wildcard traffic.
-  causality::CausalOrder order(rec.trace);
+  const auto& order = session.causal_order();
   for (const auto& m : order.matches().matches) {
     EXPECT_TRUE(order.happens_before(m.send_index, m.recv_index));
   }
@@ -140,7 +142,8 @@ TEST(FaultStormTest, DelayPlanStormAtEightRanksMatchesFully) {
   ASSERT_TRUE(rec.result.completed) << rec.result.abort_detail;
   EXPECT_GE(engine.injection_count(fault::FaultKind::kDelay), 1u);
 
-  const auto report = rec.trace.match_report();
+  analysis::Session session(rec.trace);
+  const auto& report = session.match_report();
   EXPECT_EQ(report.matches.size(), static_cast<std::size_t>(kRanks * 20));
   EXPECT_TRUE(report.unmatched_sends.empty());
   EXPECT_TRUE(report.unmatched_recvs.empty());

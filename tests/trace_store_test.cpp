@@ -13,6 +13,7 @@
 #include <random>
 #include <vector>
 
+#include "analysis/session.hpp"
 #include "support/error.hpp"
 #include "trace/store.hpp"
 #include "trace/trace.hpp"
@@ -52,8 +53,10 @@ void expect_same_trace(const Trace& a, const Trace& b) {
     const auto eb = b.event(i);
     EXPECT_TRUE(same_event(ea, eb)) << "event " << i << " differs";
   }
-  const auto& ra = a.match_report();
-  const auto& rb = b.match_report();
+  analysis::Session sa(a);
+  analysis::Session sb(b);
+  const auto& ra = sa.match_report();
+  const auto& rb = sb.match_report();
   ASSERT_EQ(ra.matches.size(), rb.matches.size());
   for (std::size_t i = 0; i < ra.matches.size(); ++i) {
     EXPECT_EQ(ra.matches[i].send_index, rb.matches[i].send_index);
@@ -163,7 +166,8 @@ TEST_P(RoundTripTest, EmptyTrace) {
   const auto loaded = open_trace(file.path());
   EXPECT_EQ(loaded.num_ranks(), 3);
   EXPECT_EQ(loaded.size(), 0u);
-  EXPECT_TRUE(loaded.match_report().matches.empty());
+  analysis::Session session(loaded);
+  EXPECT_TRUE(session.match_report().matches.empty());
 }
 
 TEST_P(RoundTripTest, SingleRank) {
@@ -459,7 +463,8 @@ TEST(GoldenTest, CommittedV1TraceReadsIdentically) {
   EXPECT_EQ(e3.peer, 0);
   EXPECT_TRUE(e3.wildcard);
 
-  const auto& report = trace.match_report();
+  analysis::Session session(trace);
+  const auto& report = session.match_report();
   ASSERT_EQ(report.matches.size(), 1u);
   EXPECT_EQ(report.matches[0].send_index, 2u);
   EXPECT_EQ(report.matches[0].recv_index, 3u);

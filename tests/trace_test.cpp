@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "analysis/session.hpp"
 #include "support/error.hpp"
 #include "trace/collector.hpp"
 #include "trace/trace.hpp"
@@ -126,7 +127,8 @@ TEST(TraceTest, MatchReportPairsByChannelSeq) {
   events.push_back(make_event(EventKind::kRecv, 1, 1, 4, 5, 0, 5, 0));
   events.push_back(make_event(EventKind::kRecv, 1, 2, 6, 7, 0, 5, 1));
   Trace trace(2, std::move(events), nullptr);
-  const auto report = trace.match_report();
+  analysis::Session session(trace);
+  const auto& report = session.match_report();
   ASSERT_EQ(report.matches.size(), 2u);
   EXPECT_TRUE(report.unmatched_sends.empty());
   EXPECT_TRUE(report.unmatched_recvs.empty());
@@ -140,7 +142,8 @@ TEST(TraceTest, MatchReportFlagsUnmatched) {
   events.push_back(make_event(EventKind::kSend, 0, 1, 0, 1, 1, 5));
   events.push_back(make_event(EventKind::kRecv, 1, 1, 2, 3, 0, 9, 4));
   Trace trace(2, std::move(events), nullptr);
-  const auto report = trace.match_report();
+  analysis::Session session(trace);
+  const auto& report = session.match_report();
   EXPECT_TRUE(report.matches.empty());
   EXPECT_EQ(report.unmatched_sends.size(), 1u);
   EXPECT_EQ(report.unmatched_recvs.size(), 1u);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/session.hpp"
 #include "apps/strassen.hpp"
 #include "causality/causal_order.hpp"
 #include "replay/record.hpp"
@@ -54,7 +55,8 @@ TEST(TimelineTest, MissedMessageRendersDashed) {
 
 TEST(TimelineTest, FrontierOverlayDrawsPolylines) {
   const auto rec = strassen_run();
-  causality::CausalOrder order(rec.trace);
+  analysis::Session session(rec.trace);
+  const auto& order = session.causal_order();
   // Mid-trace event on rank 0.
   const auto& seq = rec.trace.rank_events(0);
   const auto target = seq[seq.size() / 2];

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analysis/critical_path.hpp"
+#include "analysis/session.hpp"
 #include "analysis/traffic.hpp"
 #include "graph/call_graph.hpp"
 #include "graph/export.hpp"
@@ -116,20 +117,21 @@ int info(const std::filesystem::path& path) {
   return 0;
 }
 
-int stats(const tdbg::trace::Trace& trace) {
+int stats(tdbg::analysis::Session& session) {
   using namespace tdbg;
+  const auto& trace = session.trace();
   std::printf("ranks   : %d\n", trace.num_ranks());
   std::printf("events  : %zu\n", trace.size());
   std::printf("threads : %zu (analysis pool)\n",
               exec::Executor::global().threads());
   std::printf("span    : %lld ns\n",
               static_cast<long long>(trace.t_max() - trace.t_min()));
-  const auto& report = trace.match_report();
+  const auto& report = session.match_report();
   std::printf("messages: %zu matched, %zu unmatched sends, %zu orphan "
               "recvs\n",
               report.matches.size(), report.unmatched_sends.size(),
               report.unmatched_recvs.size());
-  std::printf("%s", analysis::analyze_traffic(trace).to_string().c_str());
+  std::printf("%s", session.traffic().to_string().c_str());
   return 0;
 }
 
@@ -211,14 +213,18 @@ int main(int raw_argc, char** raw_argv) {
         std::cerr << "wrote chrome trace " << path << "\n";
       }
     } chrome_dump{&trace, chrome_path};
+    // One shared-artifact analysis session serves every mode below:
+    // matching, traffic, the rank index, and the graphs are each
+    // computed at most once however many of them a mode touches.
+    analysis::Session session(trace);
     if (mode == "dump") return dump(trace);
-    if (mode == "stats") return stats(trace);
+    if (mode == "stats") return stats(session);
     if (mode == "profile") {
       std::cout << viz::profile_trace(trace).to_string(trace.constructs());
       return 0;
     }
     if (mode == "critpath") {
-      std::cout << analysis::critical_path(trace).to_string(trace);
+      std::cout << session.critical_path().to_string(trace);
       return 0;
     }
     if (mode == "html") {
@@ -226,7 +232,9 @@ int main(int raw_argc, char** raw_argv) {
         std::cerr << "html needs an output path\n";
         return 2;
       }
-      std::ofstream(argv[3]) << viz::to_html(trace);
+      viz::HtmlOptions html_options;
+      html_options.diagram.matches = &session.match_report();
+      std::ofstream(argv[3]) << viz::to_html(trace, html_options);
       std::cout << "wrote " << argv[3] << "\n";
       return 0;
     }
@@ -259,7 +267,10 @@ int main(int raw_argc, char** raw_argv) {
         std::cerr << "svg needs an output path\n";
         return 2;
       }
-      std::ofstream(argv[3]) << viz::TimeSpaceDiagram(trace).to_svg();
+      viz::DiagramOptions svg_options;
+      svg_options.matches = &session.match_report();
+      std::ofstream(argv[3])
+          << viz::TimeSpaceDiagram(trace, svg_options).to_svg();
       std::cout << "wrote " << argv[3] << "\n";
       return 0;
     }
@@ -268,7 +279,7 @@ int main(int raw_argc, char** raw_argv) {
         std::cerr << "graph needs an output path\n";
         return 2;
       }
-      const auto cg = graph::CallGraph::from_trace(trace, std::nullopt);
+      const auto& cg = session.call_graph(std::nullopt);
       std::ofstream(argv[3])
           << graph::to_dot(cg.to_export(trace.constructs()));
       std::cout << "wrote " << argv[3] << "\n";
