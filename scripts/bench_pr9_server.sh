@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Measures the PR-9 trace-analysis service and emits
+# BENCH_pr9_server.json next to the sources: p50/p99 latency and
+# requests/second for match_report over the real wire protocol, in
+# three scenarios — cold open (every request loads a fresh session
+# through a 1-entry cache), cached session (resident artifact reuse),
+# and an 8-client concurrent fan-out over the cached session.
+#
+# Exits nonzero if the binary's built-in acceptance gate fails:
+# cached-session match_report p50 must be >= 10x faster than the
+# cold-open p50.
+#
+# Usage: scripts/bench_pr9_server.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr9_server.json"
+
+[[ -x "$bdir/bench/abl_server_throughput" ]] || {
+  echo "missing $bdir/bench/abl_server_throughput — build the bench targets first" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The binary exits 1 if the >= 10x gate fails — propagate that as our
+# failure.  All numbers land on stderr.
+"$bdir/bench/abl_server_throughput" 2>"$tmp/gates.txt"
+cat "$tmp/gates.txt" >&2
+
+python3 - "$tmp/gates.txt" "$out" <<'PY'
+import json
+import re
+import sys
+
+gates_txt, out = sys.argv[1], sys.argv[2]
+gates = open(gates_txt).read()
+
+cold = re.search(
+    r"cold match_report p50 ([\d.]+) ms p99 ([\d.]+) ms, ([\d.]+) req/s "
+    r"\((\d+) requests, (\d+) events\)", gates)
+cached = re.search(
+    r"cached match_report p50 ([\d.]+) ms p99 ([\d.]+) ms, ([\d.]+) req/s "
+    r"\((\d+) requests\)", gates)
+fanout = re.search(r"fanout 8 clients ([\d.]+) req/s", gates)
+speedup = re.search(r"cached/cold p50 speedup ([\d.]+)x", gates)
+assert cold and cached and fanout and speedup, \
+    f"gate lines missing from stderr:\n{gates}"
+
+doc = {
+    "pr": 9,
+    "description": "tdbg::server match_report over a Unix-domain socket "
+                   "on a 120k-event 8-rank synthetic trace: cold open "
+                   "(1-entry session cache, alternating fingerprints, so "
+                   "every request pays fingerprint + open_trace + Session "
+                   "build + first match compute) vs cached session "
+                   "(resident artifact reuse) vs 8 concurrent clients on "
+                   "the cached session; latencies in ms",
+    "cold_open": {
+        "p50_ms": float(cold.group(1)),
+        "p99_ms": float(cold.group(2)),
+        "req_per_s": float(cold.group(3)),
+        "requests": int(cold.group(4)),
+        "trace_events": int(cold.group(5)),
+    },
+    "cached_session": {
+        "p50_ms": float(cached.group(1)),
+        "p99_ms": float(cached.group(2)),
+        "req_per_s": float(cached.group(3)),
+        "requests": int(cached.group(4)),
+    },
+    "fanout_8_clients": {
+        "req_per_s": float(fanout.group(1)),
+    },
+    "acceptance": {
+        "cached_vs_cold_p50_x": float(speedup.group(1)),
+        "required_x": 10.0,
+        "gate": "enforced by abl_server_throughput itself "
+                "(exit 1 below the threshold)",
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+print(f"  cold open:      p50 {doc['cold_open']['p50_ms']} ms, "
+      f"{doc['cold_open']['req_per_s']} req/s")
+print(f"  cached session: p50 {doc['cached_session']['p50_ms']} ms, "
+      f"{doc['cached_session']['req_per_s']} req/s")
+print(f"  speedup:        {doc['acceptance']['cached_vs_cold_p50_x']}x "
+      f"(gate >= 10x), fanout {doc['fanout_8_clients']['req_per_s']} req/s")
+PY

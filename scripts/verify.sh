@@ -10,20 +10,23 @@
 #                still pass
 #   tsan         -DTDBG_TSAN=ON                    — ThreadSanitizer build;
 #                runs the concurrency-heavy suites
-#                (ctest -L "mpi|trace|perf|fault|telemetry|exec|session")
+#                (ctest -L "mpi|trace|perf|fault|telemetry|exec|session|server")
 #                and must report zero races — the fault label covers the
 #                injection seams, which perturb the hot path from extra
 #                threadside angles; telemetry covers the flight-recorder
 #                seqlock rings and the health heartbeat; exec covers the
 #                analysis thread pool and the segmented store's shared
-#                LRU cache under concurrent readers
+#                LRU cache under concurrent readers; server covers the
+#                reader/dispatcher threads, the session cache, and the
+#                8-client stress test
 #   asan-ubsan   -DTDBG_ASAN=ON                    — Address+UB sanitizers;
 #                runs the store/query-heavy suites
-#                (ctest -L "trace|analysis|viz|fault|telemetry|exec|session")
+#                (ctest -L "trace|analysis|viz|fault|telemetry|exec|session|server")
 #                and must report zero memory or UB findings (payload
 #                corruption and held-message buffers live here; the
 #                session label adds the AnalysisSession invalidation
-#                and incremental-recompute contract)
+#                and incremental-recompute contract; server adds the
+#                wire codec's malformed-frame handling)
 #
 # Extras under metrics-on:
 #   - grep gate           (matching / vector-clock computation confined
@@ -48,6 +51,10 @@
 #     must deadlock the ring, flush a readable partial trace, auto-dump
 #     a flight log naming the hold, and export a Chrome trace with app
 #     events plus ≥4 distinct debugger self-span names)
+#   - tdbg_client e2e smoke (serve the deadlock_ring partial trace with
+#     `tdbg_cli serve`, then ping / match / deadlock (must report
+#     STALLED, exit 3) / shutdown over the Unix socket, and the server
+#     must drain cleanly)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -73,7 +80,7 @@ cmake --build "$tsan_bdir" -j "$jobs"
 # scrolling past; second_deadlock_stack for readable lock reports.
 (cd "$tsan_bdir" && \
  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
- ctest -L 'mpi|trace|perf|fault|telemetry|exec|session' --output-on-failure -j "$jobs")
+ ctest -L 'mpi|trace|perf|fault|telemetry|exec|session|server' --output-on-failure -j "$jobs")
 
 echo "=== config asan-ubsan: trace store + query layers under ASan/UBSan ==="
 asan_bdir="$repo/build-verify-asan-ubsan"
@@ -84,7 +91,7 @@ cmake --build "$asan_bdir" -j "$jobs"
 (cd "$asan_bdir" && \
  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
- ctest -L 'trace|analysis|viz|fault|telemetry|exec|session' --output-on-failure -j "$jobs")
+ ctest -L 'trace|analysis|viz|fault|telemetry|exec|session|server' --output-on-failure -j "$jobs")
 
 bdir="$repo/build-verify-metrics-on"
 
@@ -169,5 +176,42 @@ echo "$out" | grep -q 'runtime.calls.send' || {
 echo "$out" | grep -q 'runtime.bytes_sent' || {
   echo "FAIL: --stats output missing runtime.bytes_sent" >&2; exit 1; }
 echo "smoke OK"
+
+echo "=== tdbg_client e2e smoke: serve + query a deadlocked trace ==="
+# Record a deadlock_ring partial trace, serve it with `tdbg_cli serve`,
+# and drive the server over the wire: ping, match, deadlock (the held
+# ring must come back STALLED, exit 3), then a clean drain.
+srv_tmp="$(mktemp -d /tmp/tdbg_vfy_XXXXXX)"
+(cd "$srv_tmp" && \
+ "$bdir/tools/tdbg_cli" ring4 --fault-seed 42 --fault-plan deadlock_ring \
+   --auto-record </dev/null >/dev/null 2>&1) || true
+[[ -f "$srv_tmp/tdbg_fault_partial.trc" ]] || {
+  echo "FAIL: no partial trace to serve" >&2; exit 1; }
+sock="$srv_tmp/s.sock"
+"$bdir/tools/tdbg_cli" serve --socket "$sock" >"$srv_tmp/serve.out" 2>&1 &
+srv_pid=$!
+for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.05; done
+[[ -S "$sock" ]] || { echo "FAIL: server socket never appeared" >&2; exit 1; }
+client="$bdir/tools/tdbg_client"
+"$client" "unix:$sock" ping >/dev/null
+"$client" "unix:$sock" match "$srv_tmp/tdbg_fault_partial.trc" \
+  >"$srv_tmp/match.out"
+grep -q 'unmatched' "$srv_tmp/match.out" || {
+  echo "FAIL: served match report missing unmatched counts" >&2; exit 1; }
+dl_rc=0
+"$client" "unix:$sock" deadlock "$srv_tmp/tdbg_fault_partial.trc" \
+  >"$srv_tmp/deadlock.out" || dl_rc=$?
+[[ "$dl_rc" -eq 3 ]] || {
+  echo "FAIL: deadlock op on held ring expected exit 3, got $dl_rc" >&2
+  exit 1; }
+grep -q 'STALLED' "$srv_tmp/deadlock.out" || {
+  echo "FAIL: served deadlock report not STALLED" >&2; exit 1; }
+"$client" "unix:$sock" shutdown >/dev/null
+wait "$srv_pid" || {
+  echo "FAIL: served tdbg_cli did not drain cleanly" >&2; exit 1; }
+grep -q 'drained' "$srv_tmp/serve.out" || {
+  echo "FAIL: serve mode missing drain summary" >&2; exit 1; }
+rm -rf "$srv_tmp"
+echo "server e2e smoke OK"
 
 echo "=== verify: all configs green ==="

@@ -1,0 +1,200 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace tdbg::server {
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw UsageError("empty unix socket path in " + spec);
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      // "tcp:<port>" — localhost.
+      ep.host = "127.0.0.1";
+      ep.port = std::atoi(rest.c_str());
+    } else {
+      ep.host = rest.substr(0, colon);
+      ep.port = std::atoi(rest.c_str() + colon + 1);
+    }
+    if (ep.port <= 0 || ep.port > 65535) {
+      throw UsageError("bad tcp port in endpoint " + spec);
+    }
+    return ep;
+  }
+  throw UsageError("endpoint must be unix:<path> or tcp:<host>:<port>, got " +
+                   spec);
+}
+
+Client::Client(const std::string& endpoint_spec) {
+  connect(parse_endpoint(endpoint_spec));
+}
+
+Client::Client(const Endpoint& endpoint) { connect(endpoint); }
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::connect(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+      throw IoError("unix socket path too long: " + endpoint.path);
+    }
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+      throw IoError("cannot connect to unix:" + endpoint.path + ": " + err);
+    }
+    return;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    // Resolve a hostname ("localhost") without requiring dotted quads.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    if (::getaddrinfo(endpoint.host.c_str(), nullptr, &hints, &found) != 0 ||
+        found == nullptr) {
+      throw IoError("cannot resolve host " + endpoint.host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    ::freeaddrinfo(found);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot connect to tcp:" + endpoint.host + ":" +
+                  std::to_string(endpoint.port) + ": " + err);
+  }
+}
+
+Response Client::call(Op op, std::vector<std::byte> args,
+                      std::uint32_t deadline_ms) {
+  if (fd_ < 0) throw IoError("client is not connected");
+  Request request;
+  request.op = op;
+  request.id = next_id_++;
+  request.deadline_ms = deadline_ms != 0 ? deadline_ms : default_deadline_ms_;
+  request.args = std::move(args);
+
+  const auto frame = encode_request(request);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const auto n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw IoError("connection lost while sending request");
+    sent += static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    if (auto body = assembler_.next()) {
+      const auto response = decode_response(*body);
+      if (response.id != request.id && response.id != 0) {
+        throw FormatError("response id " + std::to_string(response.id) +
+                          " does not match request " +
+                          std::to_string(request.id));
+      }
+      return response;
+    }
+    std::byte buf[16 * 1024];
+    const auto got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) throw IoError("connection lost while awaiting response");
+    assembler_.feed({buf, static_cast<std::size_t>(got)});
+  }
+}
+
+std::vector<std::byte> Client::expect_ok(Op op, std::vector<std::byte> args) {
+  auto response = call(op, std::move(args));
+  if (response.status != Status::kOk) {
+    std::string message;
+    try {
+      message = decode_text(response.payload);
+    } catch (const FormatError&) {
+      message = "(no detail)";
+    }
+    throw Error(std::string(op_name(op)) + " failed: " +
+                std::string(status_name(response.status)) + ": " + message);
+  }
+  return std::move(response.payload);
+}
+
+void Client::ping() { (void)expect_ok(Op::kPing, {}); }
+
+OpenInfo Client::open_trace(const std::string& trace_path) {
+  return decode_open_info(
+      expect_ok(Op::kOpenTrace, encode_trace_arg(trace_path)));
+}
+
+trace::MatchReport Client::match_report(const std::string& trace_path) {
+  return decode_match_report(
+      expect_ok(Op::kMatchReport, encode_trace_arg(trace_path)));
+}
+
+analysis::TrafficReport Client::traffic(const std::string& trace_path) {
+  return decode_traffic(expect_ok(Op::kTraffic, encode_trace_arg(trace_path)));
+}
+
+analysis::RaceReport Client::races(const std::string& trace_path) {
+  return decode_races(expect_ok(Op::kRaces, encode_trace_arg(trace_path)));
+}
+
+DeadlockInfo Client::deadlock(const std::string& trace_path) {
+  return decode_deadlock(
+      expect_ok(Op::kDeadlock, encode_trace_arg(trace_path)));
+}
+
+std::vector<trace::Event> Client::window(const std::string& trace_path,
+                                         support::TimeNs t0,
+                                         support::TimeNs t1) {
+  return decode_events(
+      expect_ok(Op::kWindow, encode_window_args(trace_path, t0, t1)));
+}
+
+std::string Client::graph_dot(const std::string& trace_path, GraphKind kind) {
+  return decode_text(
+      expect_ok(Op::kGraphDot, encode_graph_args(trace_path, kind)));
+}
+
+SessionStatsInfo Client::session_stats(const std::string& trace_path) {
+  return decode_session_stats(
+      expect_ok(Op::kSessionStats, encode_trace_arg(trace_path)));
+}
+
+void Client::shutdown_server() { (void)expect_ok(Op::kShutdown, {}); }
+
+}  // namespace tdbg::server

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+/// \file client.hpp
+/// Blocking client for the trace-analysis service.  One `Client` is
+/// one connection; it is NOT thread-safe (each thread opens its own —
+/// the server multiplexes).  Typed helpers decode the common payloads
+/// and turn non-`kOk` statuses into `Error`s; `call` exposes the raw
+/// response for callers that need the status or the exact payload
+/// bytes (the byte-identity tests, the CLI's `--raw` mode).
+
+namespace tdbg::server {
+
+/// A parsed `unix:<path>` or `tcp:<host>:<port>` endpoint.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;        ///< kUnix
+  std::string host;        ///< kTcp
+  int port = 0;            ///< kTcp
+};
+
+/// Parses an endpoint spec; throws `UsageError` on anything else.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+class Client {
+ public:
+  /// Connects immediately; throws `IoError` when the server is not
+  /// reachable.
+  explicit Client(const std::string& endpoint_spec);
+  explicit Client(const Endpoint& endpoint);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and blocks for its response.  Throws `IoError`
+  /// on connection loss and `FormatError` on a malformed response;
+  /// server-side failures come back as the response's status.
+  Response call(Op op, std::vector<std::byte> args = {},
+                std::uint32_t deadline_ms = 0);
+
+  // Typed helpers (throw `Error` unless the server answered kOk).
+  void ping();
+  OpenInfo open_trace(const std::string& trace_path);
+  trace::MatchReport match_report(const std::string& trace_path);
+  analysis::TrafficReport traffic(const std::string& trace_path);
+  analysis::RaceReport races(const std::string& trace_path);
+  DeadlockInfo deadlock(const std::string& trace_path);
+  std::vector<trace::Event> window(const std::string& trace_path,
+                                   support::TimeNs t0, support::TimeNs t1);
+  std::string graph_dot(const std::string& trace_path, GraphKind kind);
+  SessionStatsInfo session_stats(const std::string& trace_path);
+  /// Requests the graceful drain; the server still answers kOk first.
+  void shutdown_server();
+
+  /// Default queue-wait budget applied to every subsequent `call`
+  /// (0 = none).  Explicit per-call deadlines override it.
+  void set_deadline_ms(std::uint32_t deadline_ms) {
+    default_deadline_ms_ = deadline_ms;
+  }
+
+ private:
+  void connect(const Endpoint& endpoint);
+  /// Response payload, after insisting the status is kOk.
+  std::vector<std::byte> expect_ok(Op op, std::vector<std::byte> args);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::uint32_t default_deadline_ms_ = 0;
+  FrameAssembler assembler_;
+};
+
+}  // namespace tdbg::server

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "analysis/session.hpp"
+#include "server/protocol.hpp"
+#include "server/session_cache.hpp"
+
+/// \file ops.hpp
+/// Request execution against one `analysis::Session` — the pure
+/// compute core the server dispatches to.  Separated from the socket
+/// machinery so the acceptance contract is testable in-process: a
+/// served response's payload must be byte-identical to what
+/// `execute_on_session` produces on a direct local session over the
+/// same trace file.
+
+namespace tdbg::server {
+
+/// Cache-level numbers `Op::kSessionStats` reports alongside the
+/// session's own state.
+struct CacheView {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident = 0;
+};
+
+/// Executes one analysis request on `entry`'s session and returns the
+/// full response.  Handles every op that needs a trace (`kOpenTrace`
+/// through `kSessionStats`); `kPing` and `kShutdown` never reach here.
+/// Exceptions from analysis surface as `Status::kError` responses —
+/// the server never dies on a bad request.
+///
+/// All ops except `kSessionStats` are deterministic functions of the
+/// trace content: concurrent clients receive byte-identical payloads.
+[[nodiscard]] Response execute_on_session(const Request& request,
+                                          SessionCache::Entry& entry,
+                                          const CacheView& cache);
+
+/// The trace-level stall explanation behind `Op::kDeadlock`:
+/// messages still in flight when the history ends plus each rank's
+/// last recorded marker.  Deterministic.
+[[nodiscard]] DeadlockInfo deadlock_from_trace(analysis::Session& session);
+
+}  // namespace tdbg::server

@@ -1,0 +1,194 @@
+#include "server/session_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/wire.hpp"
+
+namespace tdbg::server {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Cached instrument handles (registry lookups take a mutex).
+struct CacheMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("server.cache.hits");
+  obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("server.cache.misses");
+  obs::Counter& evictions =
+      obs::MetricsRegistry::global().counter("server.cache.evictions");
+  obs::Gauge& resident =
+      obs::MetricsRegistry::global().gauge("server.cache.resident");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string TraceKey::hex() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu-%016llx",
+                static_cast<unsigned long long>(file_size),
+                static_cast<unsigned long long>(footer_hash));
+  return buf;
+}
+
+TraceKey fingerprint_trace_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open trace " + path.string() + " for fingerprint");
+  }
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+
+  // Hash the footer region of a v2 file exactly: the directory pins
+  // segment layout, event count, and time bounds, so any semantic
+  // change to the file moves the hash even at equal size.  Files
+  // without a v2 trailer (v1, text, partial flushes) hash their tail.
+  std::uint64_t begin = 0;
+  if (const auto footer = trace::try_read_footer(path)) {
+    // Recover the footer offset from the trailer at end-of-file.
+    in.seekg(static_cast<std::streamoff>(size - trace::wire::kTrailerBytes));
+    char trailer[8];
+    in.read(trailer, 8);
+    std::uint64_t footer_offset = 0;
+    std::memcpy(&footer_offset, trailer, 8);
+    if (in && footer_offset < size) begin = footer_offset;
+  } else if (size > 64 * 1024) {
+    begin = size - 64 * 1024;
+  }
+
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(begin));
+  std::uint64_t h = kFnvOffset;
+  std::vector<char> buf(64 * 1024);
+  std::uint64_t remaining = size - begin;
+  while (remaining > 0 && in) {
+    const auto chunk =
+        static_cast<std::streamsize>(std::min<std::uint64_t>(remaining,
+                                                             buf.size()));
+    in.read(buf.data(), chunk);
+    const auto got = in.gcount();
+    if (got <= 0) break;
+    h = fnv1a(h, buf.data(), static_cast<std::size_t>(got));
+    remaining -= static_cast<std::uint64_t>(got);
+  }
+  TraceKey key;
+  key.path = path.string();
+  key.file_size = size;
+  key.footer_hash = h;
+  return key;
+}
+
+SessionCache::SessionCache(std::size_t max_sessions)
+    : max_sessions_(std::max<std::size_t>(1, max_sessions)) {}
+
+SessionCache::EntryPtr SessionCache::open(const std::string& path) {
+  // Fingerprint outside the lock: it reads the file tail.
+  const TraceKey key = fingerprint_trace_file(path);
+  const std::string id = key.hex();
+  auto& metrics = CacheMetrics::get();
+
+  std::shared_future<EntryPtr> pending;
+  std::promise<EntryPtr> promise;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = cache_.find(id); it != cache_.end()) {
+      ++stats_.hits;
+      metrics.hits.add(-1);
+      lru_.remove(id);
+      lru_.push_front(id);
+      return it->second;
+    }
+    if (auto it = loading_.find(id); it != loading_.end()) {
+      // Joining an in-flight load counts as a hit: no second load.
+      ++stats_.hits;
+      metrics.hits.add(-1);
+      pending = it->second;
+    } else {
+      ++stats_.misses;
+      metrics.misses.add(-1);
+      pending = loading_[id] = promise.get_future().share();
+      loader = true;
+    }
+  }
+  if (!loader) return pending.get();
+
+  // We own the load; run it with no lock held so other keys (and
+  // joiners of this one) proceed.
+  EntryPtr entry;
+  try {
+    auto loaded = std::make_shared<Entry>();
+    loaded->key = key;
+    loaded->trace = trace::open_trace(path);
+    loaded->session = std::make_unique<analysis::Session>(loaded->trace);
+    entry = std::move(loaded);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      loading_.erase(id);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loading_.erase(id);
+    cache_[id] = entry;
+    lru_.push_front(id);
+    evict_excess_locked();
+    stats_.resident = cache_.size();
+    metrics.resident.set(-1, cache_.size());
+  }
+  promise.set_value(entry);
+  return entry;
+}
+
+void SessionCache::evict_excess_locked() {
+  auto& metrics = CacheMetrics::get();
+  while (cache_.size() > max_sessions_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+    metrics.evictions.add(-1);
+  }
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = stats_;
+  s.resident = cache_.size();
+  return s;
+}
+
+void SessionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  stats_.resident = 0;
+  CacheMetrics::get().resident.set(-1, 0);
+}
+
+}  // namespace tdbg::server

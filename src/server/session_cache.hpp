@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analysis/session.hpp"
+#include "trace/trace.hpp"
+
+/// \file session_cache.hpp
+/// The server's shared-session store: N clients querying the same
+/// trace file share ONE `analysis::Session` (and therefore one fused
+/// sweep, one match report, one causal order...), which is the whole
+/// point of PR-8's shared-artifact pipeline at serving scale.
+///
+/// Keying: a trace is identified by its **fingerprint** — path + file
+/// size + a hash of the footer region (for a v2 file, the exact
+/// directory bytes; otherwise the file tail).  Replacing a trace file
+/// in place therefore mints a new key: in-flight requests keep the old
+/// entry alive through their `shared_ptr` while new opens load the new
+/// content.
+///
+/// Concurrency: lookups and installs sit behind one mutex; the
+/// *load* (open_trace + Session construction) runs outside it with a
+/// `shared_future` per in-flight key, so N clients cold-opening the
+/// same trace share a single load (same dedup discipline as the
+/// segmented store's LRU).  Eviction is LRU by last touch and only
+/// drops the cache's reference — never data a request is using.
+
+namespace tdbg::server {
+
+/// Identity of one trace file's content.
+struct TraceKey {
+  std::string path;
+  std::uint64_t file_size = 0;
+  std::uint64_t footer_hash = 0;
+
+  /// Compact stable id ("<size>-<hash hex>") used on the wire.
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const TraceKey&, const TraceKey&) = default;
+  friend auto operator<=>(const TraceKey&, const TraceKey&) = default;
+};
+
+/// Fingerprints `path` without building a trace: file size plus an
+/// FNV-1a hash of the v2 footer bytes (or the last 64 KiB when the
+/// file carries no v2 trailer).  Throws `IoError` when unreadable.
+[[nodiscard]] TraceKey fingerprint_trace_file(
+    const std::filesystem::path& path);
+
+/// LRU cache of live analysis sessions, keyed by trace fingerprint.
+class SessionCache {
+ public:
+  /// One resident trace: the open trace handle plus its session.
+  struct Entry {
+    TraceKey key;
+    trace::Trace trace;
+    std::unique_ptr<analysis::Session> session;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// \param max_sessions resident-session bound (minimum 1).
+  explicit SessionCache(std::size_t max_sessions);
+
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  /// The session for `path`, loading (or joining an in-flight load of)
+  /// it on a miss.  Throws `IoError`/`FormatError` on unreadable or
+  /// malformed files — the load failure is NOT cached.
+  [[nodiscard]] EntryPtr open(const std::string& path);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     ///< loads started
+    std::uint64_t evictions = 0;
+    std::size_t resident = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every resident session (in-flight users keep theirs).
+  void clear();
+
+ private:
+  void evict_excess_locked();
+
+  const std::size_t max_sessions_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< key.hex(), most recent first
+  std::map<std::string, EntryPtr> cache_;
+  std::map<std::string, std::shared_future<EntryPtr>> loading_;
+  Stats stats_;
+};
+
+}  // namespace tdbg::server

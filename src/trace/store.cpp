@@ -7,11 +7,40 @@
 #include <cassert>
 #include <cerrno>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
 #include "support/serialize.hpp"
 
 namespace tdbg::trace {
+
+namespace {
+
+/// `trace.cache.*` instruments mirroring `SegmentCacheStats`, so the
+/// segment cache shows up in `stats`/`--stats` reports and on the
+/// analysis server without callers plumbing `cache_stats()` around.
+/// Handles are cached once — registry lookups take a mutex.
+struct SegmentCacheMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("trace.cache.hits");
+  obs::Counter& loads =
+      obs::MetricsRegistry::global().counter("trace.cache.loads");
+  obs::Counter& evictions =
+      obs::MetricsRegistry::global().counter("trace.cache.evictions");
+  obs::Counter& prefetches =
+      obs::MetricsRegistry::global().counter("trace.cache.prefetches");
+  obs::Gauge& resident_segments =
+      obs::MetricsRegistry::global().gauge("trace.cache.resident_segments");
+  obs::Gauge& resident_bytes =
+      obs::MetricsRegistry::global().gauge("trace.cache.resident_bytes");
+
+  static SegmentCacheMetrics& get() {
+    static SegmentCacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // InMemoryTraceStore
@@ -237,18 +266,23 @@ void SegmentedTraceStore::install(std::size_t seg,
     for (const auto& v : s.rank_positions) b += v.size() * sizeof(std::uint32_t);
     return b;
   };
+  auto& metrics = SegmentCacheMetrics::get();
   while (lru_.size() >= cache_segments_) {
     const std::size_t victim = lru_.back();
     lru_.pop_back();
     stats_.resident_bytes -= seg_bytes(*cache_[victim]);
     cache_[victim] = nullptr;
     ++stats_.evictions;
+    metrics.evictions.add(-1);
   }
   cache_[seg] = loaded;
   lru_.push_front(seg);
   ++stats_.loads;
+  metrics.loads.add(-1);
   stats_.resident_bytes += seg_bytes(*loaded);
   stats_.resident_segments = lru_.size();
+  metrics.resident_segments.set(-1, stats_.resident_segments);
+  metrics.resident_bytes.set(-1, stats_.resident_bytes);
 }
 
 SegmentedTraceStore::SegmentPtr SegmentedTraceStore::segment(
@@ -260,6 +294,7 @@ SegmentedTraceStore::SegmentPtr SegmentedTraceStore::segment(
     std::lock_guard lk(mu_);
     if (cache_[seg]) {
       ++stats_.hits;
+      SegmentCacheMetrics::get().hits.add(-1);
       lru_.remove(seg);
       lru_.push_front(seg);
       return cache_[seg];
@@ -268,6 +303,7 @@ SegmentedTraceStore::SegmentPtr SegmentedTraceStore::segment(
     if (it != loading_.end()) {
       // Someone is already reading this segment: share its result.
       ++stats_.hits;
+      SegmentCacheMetrics::get().hits.add(-1);
       pending = it->second;
     } else {
       loader = true;
@@ -306,6 +342,7 @@ void SegmentedTraceStore::maybe_prefetch(std::size_t seg) const {
     std::lock_guard lk(mu_);
     if (cache_[seg] || loading_.count(seg) != 0) return;
     ++stats_.prefetches;
+    SegmentCacheMetrics::get().prefetches.add(-1);
   }
   {
     std::lock_guard lk(prefetch_mu_);

@@ -42,10 +42,24 @@
 // With --script, commands come from the file (one per line, '#'
 // comments) instead of stdin — which is also how the test-suite
 // exercises this binary's command set.
+//
+// Service mode:
+//   tdbg_cli serve [--socket <path>] [--port <n>] [--max-sessions <n>]
+//                  [--max-pending <n>] [--threads <n>] [--stats]
+//
+// runs the trace-analysis daemon (`tdbg::server::Server`) instead of a
+// debugging session: clients (`tdbg_client`, `tdbg::server::Client`)
+// query recorded traces over a Unix or TCP socket and share one
+// analysis session per trace.  Stops on SIGINT/SIGTERM or a client's
+// `shutdown` request, draining admitted work first.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "apps/halo.hpp"
 #include "apps/lu.hpp"
@@ -56,6 +70,7 @@
 #include "fault/hang.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+#include "server/server.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
 #include "telemetry/log.hpp"
@@ -113,6 +128,43 @@ Target make_target(const std::string& name) {
   return {};
 }
 
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// `tdbg_cli serve`: run the analysis service until a client sends
+/// `shutdown` or the process receives SIGINT/SIGTERM.
+int run_server(const tdbg::server::ServerOptions& options, bool stats) {
+  tdbg::server::Server server(options);
+  try {
+    server.start();
+  } catch (const tdbg::Error& e) {
+    std::cerr << "tdbg serve: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "tdbg server listening on";
+  if (!options.unix_path.empty()) std::cout << " unix:" << options.unix_path;
+  if (server.tcp_port() >= 0) std::cout << " tcp:127.0.0.1:" << server.tcp_port();
+  std::cout << "\n" << std::flush;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!server.finished()) {
+    if (g_stop.load(std::memory_order_relaxed)) server.shutdown();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.wait();
+  const auto cache = server.cache_stats();
+  std::cout << "tdbg server drained (" << cache.hits << " cache hit(s), "
+            << cache.misses << " load(s), " << cache.evictions
+            << " eviction(s))\n";
+  if (stats) {
+    std::cout << "--- stats ---\n"
+              << tdbg::obs::MetricsRegistry::global().snapshot().to_text();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,10 +175,19 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 0;
   bool auto_record = false;
   bool stats = false;
+  tdbg::server::ServerOptions serve_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--script" && i + 1 < argc) {
       script_path = argv[++i];
+    } else if (arg == "--socket" && i + 1 < argc) {
+      serve_options.unix_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      serve_options.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      serve_options.max_sessions = std::stoull(argv[++i]);
+    } else if (arg == "--max-pending" && i + 1 < argc) {
+      serve_options.max_pending = std::stoull(argv[++i]);
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan_name = argv[++i];
     } else if (arg == "--fault-seed" && i + 1 < argc) {
@@ -148,11 +209,21 @@ int main(int argc, char** argv) {
       std::cout << "usage: tdbg_cli <ring4|strassen8|strassen8-buggy|"
                    "taskfarm5|lu8> [--script file] [--auto-record] "
                    "[--stats] [--fault-plan name] [--fault-seed n] "
-                   "[--chrome-trace out.json] [--threads n]\n";
+                   "[--chrome-trace out.json] [--threads n]\n"
+                   "       tdbg_cli serve [--socket path] [--port n] "
+                   "[--max-sessions n] [--max-pending n] [--threads n] "
+                   "[--stats]\n";
       return 0;
     } else {
       target_name = arg;
     }
+  }
+  if (target_name == "serve") {
+    if (serve_options.unix_path.empty() && serve_options.tcp_port < 0) {
+      std::cerr << "serve wants --socket <path> and/or --port <n>\n";
+      return 2;
+    }
+    return run_server(serve_options, stats);
   }
   auto target = make_target(target_name);
   if (target.ranks == 0) {

@@ -1,0 +1,171 @@
+// tdbg_client — command-line client for the tdbg trace-analysis
+// service (`tdbg_cli serve` / `tdbg::server::Server`).
+//
+// Usage:
+//   tdbg_client <endpoint> <command> [args] [--deadline <ms>]
+//
+//   endpoint:  unix:<path> | tcp:<host>:<port> | tcp:<port>
+//   commands:
+//     ping
+//     open     <trace>          session identity + trace shape
+//     match    <trace>          send/receive matching summary
+//     traffic  <trace>          per-channel and per-rank traffic
+//     races    <trace>          wildcard-receive race report
+//     deadlock <trace>          terminal-stall explanation
+//     window   <trace> <t0> <t1>  events intersecting [t0, t1] ns
+//     graph    <trace> comm|call  DOT text on stdout
+//     stats    <trace>          session + cache observability
+//     shutdown                  graceful drain-then-stop
+//
+// --deadline bounds the request's queue wait; an overloaded server
+// answers `overloaded` and an expired wait answers `timeout` — both
+// exit nonzero with the status on stderr, never hang.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace tdbg;
+using namespace tdbg::server;
+
+int usage() {
+  std::cerr
+      << "usage: tdbg_client <unix:PATH|tcp:HOST:PORT> <command> [args]\n"
+         "                   [--deadline ms]\n"
+         "commands: ping | open T | match T | traffic T | races T |\n"
+         "          deadlock T | window T T0 T1 | graph T comm|call |\n"
+         "          stats T | shutdown    (T = trace file path)\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::uint32_t deadline_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) return usage();
+  const std::string& endpoint = positional[0];
+  const std::string& command = positional[1];
+
+  Client client(endpoint);
+  client.set_deadline_ms(deadline_ms);
+
+  if (command == "ping") {
+    client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (command == "shutdown") {
+    client.shutdown_server();
+    std::cout << "server draining\n";
+    return 0;
+  }
+  if (positional.size() < 3) return usage();
+  const std::string& path = positional[2];
+
+  if (command == "open") {
+    const auto info = client.open_trace(path);
+    std::cout << "fingerprint : " << info.fingerprint << "\n"
+              << "ranks       : " << info.num_ranks << "\n"
+              << "events      : " << info.events << "\n"
+              << "segments    : " << info.segments << "\n"
+              << "time span   : [" << info.t_min << ", " << info.t_max
+              << "] ns\n";
+    return 0;
+  }
+  if (command == "match") {
+    const auto report = client.match_report(path);
+    std::cout << "matches          : " << report.matches.size() << "\n"
+              << "unmatched sends  : " << report.unmatched_sends.size() << "\n"
+              << "unmatched recvs  : " << report.unmatched_recvs.size()
+              << "\n";
+    return 0;
+  }
+  if (command == "traffic") {
+    const auto report = client.traffic(path);
+    std::cout << "channels:\n";
+    for (const auto& c : report.channels) {
+      std::cout << "  " << c.src << " -> " << c.dst << "  " << c.messages
+                << " msg, " << c.bytes << " B, latency [" << c.min_latency
+                << ", " << c.max_latency << "] ns\n";
+    }
+    std::cout << "ranks:\n";
+    for (const auto& t : report.ranks) {
+      std::cout << "  rank " << t.rank << ": " << t.sends << " sends / "
+                << t.recvs << " recvs, " << t.bytes_out << " B out / "
+                << t.bytes_in << " B in\n";
+    }
+    for (const auto& irr : report.irregularities) {
+      std::cout << "irregularity: " << irr.description << "\n";
+    }
+    return 0;
+  }
+  if (command == "races") {
+    const auto report = client.races(path);
+    std::cout << report.races.size() << " wildcard race(s)\n";
+    for (const auto& race : report.races) {
+      std::cout << "  recv #" << race.recv_index << " matched send #"
+                << race.matched_send << ", " << race.candidates.size()
+                << " candidate(s)\n";
+    }
+    return 0;
+  }
+  if (command == "deadlock") {
+    const auto info = client.deadlock(path);
+    std::cout << (info.stalled ? "STALLED\n" : "clean\n") << info.description;
+    return info.stalled ? 3 : 0;
+  }
+  if (command == "window") {
+    if (positional.size() < 5) return usage();
+    const auto events = client.window(path, std::stoll(positional[3]),
+                                      std::stoll(positional[4]));
+    std::cout << events.size() << " event(s) in window\n";
+    return 0;
+  }
+  if (command == "graph") {
+    if (positional.size() < 4) return usage();
+    const auto kind = positional[3] == "call" ? GraphKind::kCall
+                                              : GraphKind::kComm;
+    std::cout << client.graph_dot(path, kind);
+    return 0;
+  }
+  if (command == "stats") {
+    const auto stats = client.session_stats(path);
+    std::cout << "fingerprint     : " << stats.fingerprint << "\n"
+              << "events          : " << stats.events << "\n"
+              << "watermark       : " << stats.watermark << "\n"
+              << "cache hits      : " << stats.cache_hits << "\n"
+              << "cache misses    : " << stats.cache_misses << "\n"
+              << "cache evictions : " << stats.cache_evictions << "\n"
+              << "resident        : " << stats.resident_sessions << "\n"
+              << stats.passes_text;
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const tdbg::Error& e) {
+    std::cerr << "tdbg_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -93,6 +93,20 @@ int info(const std::filesystem::path& path) {
     std::printf("sorted      : %s\n", fi.display_sorted ? "yes" : "no");
     std::printf("monotone    : %s\n",
                 fi.rank_markers_monotone ? "yes" : "no");
+    // The v2 segment directory itself: this is exactly what the lazy
+    // store's window/eviction decisions key on, so surface it.
+    if (const auto tf = trace::try_read_footer(path)) {
+      for (std::size_t s = 0; s < tf->footer.segments.size(); ++s) {
+        const auto& seg = tf->footer.segments[s];
+        std::printf("  seg %-4zu : %8llu events  t=[%lld .. %lld] ns  "
+                    "%llu B @ %llu\n",
+                    s, static_cast<unsigned long long>(seg.count),
+                    static_cast<long long>(seg.t_min),
+                    static_cast<long long>(seg.t_max),
+                    static_cast<unsigned long long>(seg.byte_len),
+                    static_cast<unsigned long long>(seg.offset));
+      }
+    }
   }
   if (fi.has_time_span) {
     std::printf("time span   : [%lld .. %lld] ns\n",
