@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Measures the PR-10 columnar trace store (TDBGTRC3) and emits
+# BENCH_pr10_columnar.json next to the sources: on-disk size, cold
+# full-sweep and rank-filtered window-query times for the v3 columnar
+# format vs the v2 row format on a ~2.1M-event 8-rank trace, plus the
+# resulting ratios.
+#
+# Exits nonzero if any of the binary's built-in gates fail (asserted
+# before this script parses anything):
+#   - analysis artifacts over v3 differ from v2 byte-for-byte, or
+#   - v3 on-disk size > 0.35x of v2, or
+#   - cold full sweep < 2x faster than v2 (wall or cpu), or
+#   - rank-filtered window queries < 4x faster than v2 (wall or cpu).
+#
+# Usage: scripts/bench_pr10_columnar.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bdir="${1:-$repo/build}"
+out="$repo/BENCH_pr10_columnar.json"
+
+[[ -x "$bdir/bench/abl_columnar_store" ]] || {
+  echo "missing $bdir/bench/abl_columnar_store — build the bench targets first" >&2
+  exit 1
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The binary exits 1 if any gate fails — propagate that as our
+# failure.  The gate numbers land on stderr.
+"$bdir/bench/abl_columnar_store" --reps 5 2>"$tmp/gates.txt"
+cat "$tmp/gates.txt" >&2
+
+python3 - "$tmp/gates.txt" "$out" <<'PY'
+import json
+import re
+import sys
+
+gates_txt, out = sys.argv[1], sys.argv[2]
+gates = open(gates_txt).read()
+
+ident = re.search(
+    r"columnar: artifacts byte-identical across v2/v3 \((\d+) events\)",
+    gates)
+size = re.search(
+    r"columnar: size v2 (\d+) bytes, v3 (\d+) bytes -> ([\d.]+)x", gates)
+sweep = re.search(
+    r"columnar: cold full sweep v2 ([\d.]+) ms wall / ([\d.]+) ms cpu, "
+    r"v3 ([\d.]+) ms wall / ([\d.]+) ms cpu -> ([\d.]+)x wall, "
+    r"([\d.]+)x cpu", gates)
+window = re.search(
+    r"columnar: rank-window queries v2 ([\d.]+) ms wall / ([\d.]+) ms cpu, "
+    r"v3 ([\d.]+) ms wall / ([\d.]+) ms cpu -> ([\d.]+)x wall, "
+    r"([\d.]+)x cpu", gates)
+assert ident and size and sweep and window, \
+    f"gate lines missing from stderr:\n{gates}"
+
+doc = {
+    "pr": 10,
+    "description": "TDBGTRC3 columnar trace store vs the v2 row format "
+                   "on a ~2.1M-event 8-rank trace: on-disk bytes, cold "
+                   "full-sweep time, and 64 narrow rank-filtered window "
+                   "queries through the zone-map + column-pruning path; "
+                   "best of 5 reps, times in ms",
+    "events": int(ident.group(1)),
+    "artifacts_byte_identical": True,
+    "size_bytes": {
+        "v2": int(size.group(1)),
+        "v3": int(size.group(2)),
+        "v3_over_v2": float(size.group(3)),
+    },
+    "cold_sweep_ms": {
+        "v2_wall": float(sweep.group(1)),
+        "v2_cpu": float(sweep.group(2)),
+        "v3_wall": float(sweep.group(3)),
+        "v3_cpu": float(sweep.group(4)),
+        "speedup_wall": float(sweep.group(5)),
+        "speedup_cpu": float(sweep.group(6)),
+    },
+    "rank_window_ms": {
+        "v2_wall": float(window.group(1)),
+        "v2_cpu": float(window.group(2)),
+        "v3_wall": float(window.group(3)),
+        "v3_cpu": float(window.group(4)),
+        "speedup_wall": float(window.group(5)),
+        "speedup_cpu": float(window.group(6)),
+    },
+    "acceptance": {
+        "required_size_ratio": 0.35,
+        "required_sweep_x": 2.0,
+        "required_window_x": 4.0,
+        "gate": "enforced by abl_columnar_store itself (exit 1 on any "
+                "miss, after asserting v2/v3 artifact byte-identity)",
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out}")
+print(f"  size:   {doc['size_bytes']['v3_over_v2']}x of v2 "
+      f"(gate <= 0.35x)")
+print(f"  sweep:  {doc['cold_sweep_ms']['speedup_wall']}x wall / "
+      f"{doc['cold_sweep_ms']['speedup_cpu']}x cpu (gate >= 2x)")
+print(f"  window: {doc['rank_window_ms']['speedup_wall']}x wall / "
+      f"{doc['rank_window_ms']['speedup_cpu']}x cpu (gate >= 4x)")
+PY

@@ -46,6 +46,11 @@
 #   - abl_parallel_analysis (asserts analysis reports are byte-identical
 #                          at 1/2/4/8 threads, and the ≥3x speedup gate
 #                          where 8 hardware threads exist)
+#   - abl_columnar_store  (asserts v3-vs-v2 artifact byte-identity, the
+#                          ≤0.35x on-disk size gate, the ≥2x cold-sweep
+#                          gate, and the ≥4x rank-window gate)
+#   - trace conversion round-trip smoke (v2 → v3 → v2 must be
+#     byte-identical; converted v3 reports as binary-v3 in `info`)
 #   - tdbg_cli ring4 --stats smoke (per-rank sends/recvs/bytes visible)
 #   - tdbg_cli ring4 --fault-plan deadlock_ring smoke (injected hold
 #     must deadlock the ring, flush a readable partial trace, auto-dump
@@ -137,6 +142,37 @@ echo "=== abl_parallel_analysis determinism + speedup contract ==="
 # (exit 1 on either failure).  Filter out the timed section: the
 # contract runs in main().
 "$bdir/bench/abl_parallel_analysis" --benchmark_filter='^$'
+
+echo "=== abl_columnar_store size + sweep + window contract ==="
+# Asserts analysis artifacts over the v3 columnar store are
+# byte-identical to v2 before any timing, then (best-of-reps) the on-
+# disk gate (v3 <= 0.35x of v2), the cold full-sweep gate (>= 2x wall
+# and cpu), and the rank-filtered window-query gate (>= 4x wall and
+# cpu) on a ~2.1M-event trace; exit 1 on any miss.
+"$bdir/bench/abl_columnar_store" --reps 5
+
+echo "=== trace format conversion round-trip smoke ==="
+# A v2 -> v3 -> v2 conversion chain must reproduce the original v2
+# file byte for byte: the columnar encode/decode is lossless and the
+# row writer is deterministic.
+conv_tmp="$(mktemp -d)"
+(cd "$conv_tmp" && \
+ "$bdir/tools/tdbg_cli" ring4 --fault-seed 42 --fault-plan deadlock_ring \
+   --auto-record </dev/null >/dev/null 2>&1) || true
+[[ -f "$conv_tmp/tdbg_fault_partial.trc" ]] || {
+  echo "FAIL: no recorded trace to convert" >&2; exit 1; }
+"$bdir/tools/tdbg_trace" convert "$conv_tmp/tdbg_fault_partial.trc" \
+  "$conv_tmp/trace.v2.trc" v2 >/dev/null
+"$bdir/tools/tdbg_trace" convert "$conv_tmp/trace.v2.trc" \
+  "$conv_tmp/trace.v3.trc" v3 >/dev/null
+"$bdir/tools/tdbg_trace" convert "$conv_tmp/trace.v3.trc" \
+  "$conv_tmp/trace.rt.trc" v2 >/dev/null
+cmp "$conv_tmp/trace.v2.trc" "$conv_tmp/trace.rt.trc" || {
+  echo "FAIL: v2 -> v3 -> v2 conversion is not byte-identical" >&2; exit 1; }
+"$bdir/tools/tdbg_trace" info "$conv_tmp/trace.v3.trc" | grep -q 'binary-v3' || {
+  echo "FAIL: converted v3 trace not reported as binary-v3" >&2; exit 1; }
+rm -rf "$conv_tmp"
+echo "conversion round-trip OK"
 
 echo "=== tdbg_cli fault-plan smoke ==="
 fault_tmp="$(mktemp -d)"

@@ -50,19 +50,40 @@ void sweep_segment(const trace::Trace& trace, std::size_t seg,
     }
     return part.overflow[SweepData::ChannelKey(src, dst)];
   };
-  trace.for_each_in_segment(seg, [&](std::size_t i, const trace::Event& e) {
-    if (i < min_index) return;
-    part.rank_order[static_cast<std::size_t>(e.rank)].emplace_back(e.marker, i);
-    if (e.kind == trace::EventKind::kSend) {
-      channel(e.rank, e.peer).sends.push_back(
-          SweepSend{i, e.marker, e.t_start, e.t_end, e.rank, e.peer, e.tag,
-                    e.bytes});
-    } else if (e.kind == trace::EventKind::kRecv) {
-      channel(e.peer, e.rank).recvs.push_back(
-          SweepRecv{i, e.channel_seq, e.t_start, e.t_end, e.rank, e.peer,
-                    e.tag, e.bytes, e.wildcard});
-    }
-  });
+  // Column pushdown: the sweep never reads `construct`, and a segment
+  // whose zone map shows no message events contributes only to the
+  // rank-order index — rank + marker are the only columns a columnar
+  // backend then has to decode.
+  const std::uint32_t msg_mask =
+      (1u << static_cast<unsigned>(trace::EventKind::kSend)) |
+      (1u << static_cast<unsigned>(trace::EventKind::kRecv));
+  if (const auto zones = trace.segment_zones(seg);
+      zones && (zones->kind_mask & msg_mask) == 0) {
+    trace.for_each_in_segment_cols(
+        seg, trace::kColRank | trace::kColMarker,
+        [&](std::size_t i, const trace::Event& e) {
+          if (i < min_index) return;
+          part.rank_order[static_cast<std::size_t>(e.rank)].emplace_back(
+              e.marker, i);
+        });
+    return;
+  }
+  trace.for_each_in_segment_cols(
+      seg, trace::kAllEventColumns & ~trace::kColConstruct,
+      [&](std::size_t i, const trace::Event& e) {
+        if (i < min_index) return;
+        part.rank_order[static_cast<std::size_t>(e.rank)].emplace_back(
+            e.marker, i);
+        if (e.kind == trace::EventKind::kSend) {
+          channel(e.rank, e.peer).sends.push_back(
+              SweepSend{i, e.marker, e.t_start, e.t_end, e.rank, e.peer, e.tag,
+                        e.bytes});
+        } else if (e.kind == trace::EventKind::kRecv) {
+          channel(e.peer, e.rank).recvs.push_back(
+              SweepRecv{i, e.channel_seq, e.t_start, e.t_end, e.rank, e.peer,
+                        e.tag, e.bytes, e.wildcard});
+        }
+      });
 }
 
 void fold_partial(SweepData& acc, SweepPartial&& part) {

@@ -277,6 +277,18 @@ std::string Session::describe() const {
                           : std::string("-"))
        << "\n";
   }
+  // Storage-side effectiveness of the passes: how much decode work the
+  // trace backend's zone maps and column pruning saved so far (process
+  // totals; nonzero only on columnar/segmented backends).
+  auto& reg = obs::MetricsRegistry::global();
+  os << "  trace decode: "
+     << reg.counter("trace.decode.segments_skipped").total()
+     << " segment(s) skipped, "
+     << reg.counter("trace.decode.columns_skipped").total()
+     << " column(s) skipped, "
+     << support::human_bytes(
+            reg.counter("trace.decode.decoded_bytes").total())
+     << " decoded\n";
   return os.str();
 }
 

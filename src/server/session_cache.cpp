@@ -61,10 +61,11 @@ TraceKey fingerprint_trace_file(const std::filesystem::path& path) {
   in.seekg(0, std::ios::end);
   const auto size = static_cast<std::uint64_t>(in.tellg());
 
-  // Hash the footer region of a v2 file exactly: the directory pins
-  // segment layout, event count, and time bounds, so any semantic
-  // change to the file moves the hash even at equal size.  Files
-  // without a v2 trailer (v1, text, partial flushes) hash their tail.
+  // Hash the footer region of a v2/v3 file exactly: the directory
+  // pins segment layout, event count, time bounds — and, on v3, the
+  // per-segment zone maps and presence masks — so any semantic change
+  // to the file moves the hash even at equal size.  Files without a
+  // v2/v3 trailer (v1, text, partial flushes) hash their tail.
   std::uint64_t begin = 0;
   if (const auto footer = trace::try_read_footer(path)) {
     // Recover the footer offset from the trailer at end-of-file.

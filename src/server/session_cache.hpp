@@ -19,8 +19,9 @@
 /// point of PR-8's shared-artifact pipeline at serving scale.
 ///
 /// Keying: a trace is identified by its **fingerprint** — path + file
-/// size + a hash of the footer region (for a v2 file, the exact
-/// directory bytes; otherwise the file tail).  Replacing a trace file
+/// size + a hash of the footer region (for a v2/v3 file, the exact
+/// directory bytes, zone maps included; otherwise the file tail).
+/// Replacing a trace file
 /// in place therefore mints a new key: in-flight requests keep the old
 /// entry alive through their `shared_ptr` while new opens load the new
 /// content.
@@ -48,8 +49,8 @@ struct TraceKey {
 };
 
 /// Fingerprints `path` without building a trace: file size plus an
-/// FNV-1a hash of the v2 footer bytes (or the last 64 KiB when the
-/// file carries no v2 trailer).  Throws `IoError` when unreadable.
+/// FNV-1a hash of the v2/v3 footer bytes (or the last 64 KiB when the
+/// file carries no such trailer).  Throws `IoError` when unreadable.
 [[nodiscard]] TraceKey fingerprint_trace_file(
     const std::filesystem::path& path);
 

@@ -46,6 +46,38 @@ namespace tdbg::trace {
 /// the event if it must outlive the visit.
 using EventVisitor = std::function<void(std::size_t index, const Event& e)>;
 
+/// Bitmask selecting a subset of event fields for column-pruned
+/// scans.  Bit i selects storage column i of the v3 columnar format
+/// (see columnar.hpp for the fixed order).  The mask is a *permission*:
+/// a columnar backend decodes only the selected columns and leaves the
+/// other fields of the visited events value-initialized; row-major and
+/// in-memory backends ignore it and deliver full events.
+using ColumnSet = std::uint32_t;
+inline constexpr ColumnSet kColKind = 1u << 0;
+inline constexpr ColumnSet kColRank = 1u << 1;
+inline constexpr ColumnSet kColMarker = 1u << 2;
+inline constexpr ColumnSet kColConstruct = 1u << 3;
+inline constexpr ColumnSet kColTStart = 1u << 4;
+inline constexpr ColumnSet kColTEnd = 1u << 5;
+inline constexpr ColumnSet kColPeer = 1u << 6;
+inline constexpr ColumnSet kColTag = 1u << 7;
+inline constexpr ColumnSet kColChannelSeq = 1u << 8;
+inline constexpr ColumnSet kColBytes = 1u << 9;
+inline constexpr ColumnSet kColWildcard = 1u << 10;
+inline constexpr ColumnSet kAllEventColumns = (1u << wire::kNumColumnsV3) - 1;
+
+/// Zone summary of one segment, from the trace directory: which event
+/// kinds and ranks appear, whether a wildcard receive may appear, and
+/// the segment's time span.  Query layers use it to skip whole
+/// segments — or decode fewer columns — without touching event data.
+struct SegmentZones {
+  std::uint32_t kind_mask = 0;  ///< bit k set iff some event has kind k
+  std::uint64_t rank_mask = 0;  ///< bit min(rank, 63) set iff rank appears
+  bool may_have_wildcard = false;
+  support::TimeNs t_min = 0;
+  support::TimeNs t_max = 0;
+};
+
 /// Read-only random/sequential access to one recorded history.
 class TraceStore {
  public:
@@ -112,6 +144,49 @@ class TraceStore {
   /// segments.
   virtual void for_each_in_segment(std::size_t seg,
                                    const EventVisitor& visit) const = 0;
+
+  /// Zone summary of segment `seg`, when the backend has one.  A v3
+  /// footer carries exact presence masks; a v2 footer yields a
+  /// conservative summary (every kind possible, rank mask from the
+  /// per-rank counts); the in-memory store has none.
+  [[nodiscard]] virtual std::optional<SegmentZones> segment_zones(
+      std::size_t seg) const {
+    (void)seg;
+    return std::nullopt;
+  }
+
+  /// Like `for_each_in_segment`, but the caller promises to read only
+  /// the fields selected by `cols` — a columnar backend decodes just
+  /// those columns (leaving the rest value-initialized) and skips the
+  /// decoded-segment cache.  Default: full events.  Thread-safe.
+  virtual void for_each_in_segment_cols(std::size_t seg, ColumnSet cols,
+                                        const EventVisitor& visit) const {
+    (void)cols;
+    for_each_in_segment(seg, visit);
+  }
+
+  /// Visits `rank`'s events whose [t_start, t_end] intersects
+  /// [t0, t1], in program order.  The segmented store prunes whole
+  /// segments through the directory (time spans, per-rank counts) and,
+  /// on a v3 file, peeks at the rank/time columns of the surviving
+  /// segments before paying a full decode.
+  virtual void for_each_rank_in_window(mpi::Rank rank, support::TimeNs t0,
+                                       support::TimeNs t1,
+                                       const EventVisitor& visit) const;
+
+  /// Like `for_each_rank_in_window`, but the caller promises to read
+  /// only the fields selected by `cols` (the timeline-zoom shape:
+  /// rank + marker + times).  A columnar backend answers from the
+  /// rank/time probe columns plus `cols` alone, never materializing
+  /// full events; other backends deliver full events.  Thread-safe.
+  virtual void for_each_rank_in_window_cols(mpi::Rank rank,
+                                            support::TimeNs t0,
+                                            support::TimeNs t1,
+                                            ColumnSet cols,
+                                            const EventVisitor& visit) const {
+    (void)cols;
+    for_each_rank_in_window(rank, t0, t1, visit);
+  }
 };
 
 /// Chunk size the in-memory store presents as its "segments".  Small
@@ -187,14 +262,40 @@ struct SegmentCacheStats {
   std::uint64_t prefetches = 0;  ///< async segment loads issued
   std::size_t resident_segments = 0;
   std::size_t resident_bytes = 0;
+  // Compressed-blob tier (v3 files only): raw segment blocks kept
+  // resident so repeated decodes skip disk entirely.
+  std::uint64_t blob_loads = 0;  ///< compressed blocks read from disk
+  std::uint64_t blob_hits = 0;   ///< decodes served from resident blocks
+  std::size_t compressed_segments = 0;  ///< blocks resident right now
+  std::size_t compressed_bytes = 0;
+  // Column-projection tier (v3 only): decoded column arrays kept for
+  // repeated narrow queries (window scans); see `projection()`.
+  std::uint64_t projection_loads = 0;  ///< projections decoded
+  std::uint64_t projection_hits = 0;   ///< queries served from a resident one
+  std::size_t projections = 0;         ///< projections resident right now
+  std::size_t projection_bytes = 0;
 };
 
-/// Lazily loads a v2 trace file through its footer directory.
+/// Lazily loads a v2/v3 trace file through its footer directory.
 ///
 /// Requires a display-sorted stream with monotone per-rank markers
-/// (the v2 writer records both as footer flags) — that is what turns
+/// (the writer records both as footer flags) — that is what turns
 /// every query into a directory binary search.  `open_trace` falls
 /// back to the eager reader when the flags are absent.
+///
+/// On a v3 file the store is three-tiered: decoded segments sit in the
+/// LRU below; the *compressed* column blocks are kept in a byte-bounded
+/// LRU of their own (budget: what `cache_segments` decoded segments
+/// would have cost as v2 rows, so the configured memory envelope holds
+/// ~4-6x more trace); and narrow queries additionally keep *column
+/// projections* — the decoded u64 arrays of just the columns a query
+/// touched — in a third byte-bounded LRU.  A projection of four
+/// columns costs 32 bytes/event where a decoded row costs
+/// `sizeof(Event)`, so repeated window queries keep several times more
+/// of the trace decoded-resident than the row cache could.  Column-
+/// pruned scans (`for_each_in_segment_cols`) and the v3 full sweep
+/// (`for_each`) decode straight from the resident blocks into
+/// per-thread scratch and never populate the decoded LRU.
 ///
 /// Thread-safe for any number of concurrent readers:
 ///
@@ -256,6 +357,16 @@ class SegmentedTraceStore final : public TraceStore {
       std::size_t seg) const override;
   void for_each_in_segment(std::size_t seg,
                            const EventVisitor& visit) const override;
+  [[nodiscard]] std::optional<SegmentZones> segment_zones(
+      std::size_t seg) const override;
+  void for_each_in_segment_cols(std::size_t seg, ColumnSet cols,
+                                const EventVisitor& visit) const override;
+  void for_each_rank_in_window(mpi::Rank rank, support::TimeNs t0,
+                               support::TimeNs t1,
+                               const EventVisitor& visit) const override;
+  void for_each_rank_in_window_cols(mpi::Rank rank, support::TimeNs t0,
+                                    support::TimeNs t1, ColumnSet cols,
+                                    const EventVisitor& visit) const override;
   [[nodiscard]] SegmentCacheStats cache_stats() const;
 
  private:
@@ -267,10 +378,32 @@ class SegmentedTraceStore final : public TraceStore {
     std::vector<std::vector<std::uint32_t>> rank_positions;
   };
   using SegmentPtr = std::shared_ptr<const LoadedSegment>;
+  using BlobPtr = std::shared_ptr<const std::vector<std::byte>>;
+
+  /// Decoded logical values of a column subset of one segment, kept
+  /// column-major: `col[c][k]` is row k's field c as a u64 bit pattern
+  /// (signed fields two's-complement).  Only columns in `cols` are
+  /// populated.
+  struct ColumnProjection {
+    ColumnSet cols = 0;
+    std::size_t bytes = 0;
+    std::array<std::vector<std::uint64_t>, wire::kNumColumnsV3> col;
+  };
+  using ProjectionPtr = std::shared_ptr<const ColumnProjection>;
 
   [[nodiscard]] SegmentPtr segment(std::size_t seg) const;
   /// pread + decode of one segment; no lock held.
   [[nodiscard]] SegmentPtr load_segment(std::size_t seg) const;
+  /// The raw bytes of segment `seg`'s on-disk block, through the
+  /// compressed-blob LRU (v3; also used as the read path for v2).
+  [[nodiscard]] BlobPtr blob(std::size_t seg) const;
+  /// The decoded segment if it is resident right now (LRU-touching),
+  /// else null — lets column-pruned scans reuse full decodes for free.
+  [[nodiscard]] SegmentPtr resident_segment(std::size_t seg) const;
+  /// The projection of segment `seg` onto `cols` (v3 only), through
+  /// the projection LRU — decoded from the compressed block on a miss.
+  [[nodiscard]] ProjectionPtr projection(std::size_t seg,
+                                         ColumnSet cols) const;
   /// Installs a loaded segment into the LRU (evicting), under mu_.
   void install(std::size_t seg, const SegmentPtr& loaded) const;
   /// Queues an async load of `seg` if it is absent and a parallel
@@ -301,6 +434,30 @@ class SegmentedTraceStore final : public TraceStore {
   mutable std::unordered_map<std::size_t, std::shared_future<SegmentPtr>>
       loading_;
   mutable SegmentCacheStats stats_;
+
+  /// Compressed-blob tier (v3): raw segment blocks under their own
+  /// lock so a blob hit never contends with the decoded-segment LRU.
+  std::size_t blob_budget_ = 0;  ///< bytes; 0 disables the tier
+  mutable std::mutex blob_mu_;
+  mutable std::list<std::size_t> blob_lru_;  ///< most recent first
+  mutable std::vector<BlobPtr> blob_cache_;
+  mutable std::size_t blob_bytes_ = 0;
+  mutable std::uint64_t blob_hits_ = 0;
+  mutable std::uint64_t blob_loads_ = 0;
+
+  /// Column-projection tier (v3): decoded column arrays keyed by
+  /// (segment, column set), byte-bounded by what the decoded-row LRU
+  /// is allowed (`cache_segments` segments of `sizeof(Event)` rows).
+  std::size_t proj_budget_ = 0;  ///< bytes; 0 disables the tier
+  mutable std::mutex proj_mu_;
+  mutable std::list<std::pair<std::uint64_t, ProjectionPtr>> proj_lru_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::list<std::pair<std::uint64_t,
+                                                 ProjectionPtr>>::iterator>
+      proj_map_;
+  mutable std::size_t proj_bytes_ = 0;
+  mutable std::uint64_t proj_hits_ = 0;
+  mutable std::uint64_t proj_loads_ = 0;
 
   /// Outstanding async prefetch tasks; the destructor waits for zero
   /// before closing fd_.

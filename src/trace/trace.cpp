@@ -102,6 +102,31 @@ void Trace::for_each_in_segment(std::size_t seg,
   store_->for_each_in_segment(seg, visit);
 }
 
+void Trace::for_each_in_segment_cols(std::size_t seg, ColumnSet cols,
+                                     const EventVisitor& visit) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  store_->for_each_in_segment_cols(seg, cols, visit);
+}
+
+std::optional<SegmentZones> Trace::segment_zones(std::size_t seg) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  return store_->segment_zones(seg);
+}
+
+void Trace::for_each_rank_in_window(mpi::Rank rank, support::TimeNs t0,
+                                    support::TimeNs t1,
+                                    const EventVisitor& visit) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  store_->for_each_rank_in_window(rank, t0, t1, visit);
+}
+
+void Trace::for_each_rank_in_window_cols(mpi::Rank rank, support::TimeNs t0,
+                                         support::TimeNs t1, ColumnSet cols,
+                                         const EventVisitor& visit) const {
+  TDBG_CHECK(store_ != nullptr, "empty trace");
+  store_->for_each_rank_in_window_cols(rank, t0, t1, cols, visit);
+}
+
 void Trace::parallel_for_each_segment(
     std::string_view site,
     const std::function<void(std::size_t seg)>& body) const {

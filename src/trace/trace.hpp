@@ -167,6 +167,38 @@ class Trace {
   /// Visits segment `seg`'s events in display order.  Thread-safe.
   void for_each_in_segment(std::size_t seg, const EventVisitor& visit) const;
 
+  /// Like `for_each_in_segment`, but the caller promises to read only
+  /// the fields selected by `cols` (store.hpp's `kCol*` bits).  A
+  /// columnar backend decodes just those columns and leaves the other
+  /// fields value-initialized; other backends deliver full events.
+  void for_each_in_segment_cols(std::size_t seg, ColumnSet cols,
+                                const EventVisitor& visit) const;
+
+  /// Zone summary of segment `seg` (kind/rank presence, time span)
+  /// when the backend's directory has one — lets analysis passes skip
+  /// segments, or request fewer columns, without touching event data.
+  [[nodiscard]] std::optional<SegmentZones> segment_zones(
+      std::size_t seg) const;
+
+  /// Visits `rank`'s events whose [t_start, t_end] intersects
+  /// [t0, t1], in program order.  A segmented backend prunes whole
+  /// segments via the directory and, on a v3 file, probes the
+  /// rank/time columns before paying a full decode.
+  void for_each_rank_in_window(mpi::Rank rank, support::TimeNs t0,
+                               support::TimeNs t1,
+                               const EventVisitor& visit) const;
+
+  /// Column-restricted variant of `for_each_rank_in_window`: the
+  /// caller promises to read only the fields named by `cols` (plus
+  /// rank and times, which the predicate needs anyway).  On a v3 file
+  /// the backend decodes just those columns — a timeline zoom touching
+  /// rank/marker/times reads a few bytes per event instead of the full
+  /// row.  Other backends deliver full events; either way the visited
+  /// index/field pairs for the selected columns are identical.
+  void for_each_rank_in_window_cols(mpi::Rank rank, support::TimeNs t0,
+                                    support::TimeNs t1, ColumnSet cols,
+                                    const EventVisitor& visit) const;
+
   /// Runs `body(seg)` for every segment on the analysis pool.  `site`
   /// tags the telemetry spans and `exec.tasks.<site>` counter.  Bodies
   /// must not touch this trace's memoized getters (`events`,

@@ -7,6 +7,7 @@
 #include "support/error.hpp"
 #include "support/serialize.hpp"
 #include "support/strings.hpp"
+#include "trace/columnar.hpp"
 #include "trace/store.hpp"
 
 namespace tdbg::trace {
@@ -47,21 +48,26 @@ TraceWriter::TraceWriter(const std::filesystem::path& path, int num_ranks,
     out_ << "#tdbg-trace v1\n";
     out_ << "R\t" << num_ranks << "\n";
   } else {
-    out_.write(format_ == TraceFormat::kBinary ? wire::kMagicV2
-                                               : wire::kMagicV1,
-               sizeof wire::kMagicV2);
+    const char* magic = wire::kMagicV1;
+    if (format_ == TraceFormat::kBinary) magic = wire::kMagicV2;
+    if (format_ == TraceFormat::kBinaryV3) magic = wire::kMagicV3;
+    out_.write(magic, sizeof wire::kMagicV2);
     support::BinaryWriter w;
     w.put<std::int32_t>(num_ranks);
     out_.write(reinterpret_cast<const char*>(w.bytes().data()),
                static_cast<std::streamsize>(w.size()));
   }
   check_stream("header write");
-  if (format_ == TraceFormat::kBinary) {
+  if (format_ == TraceFormat::kBinary || format_ == TraceFormat::kBinaryV3) {
     TDBG_CHECK(num_ranks_ > 0, "trace needs at least one rank");
     cur_.offset = wire::kHeaderBytes;
     cur_.ranks.assign(static_cast<std::size_t>(num_ranks_), {});
     last_marker_.assign(static_cast<std::size_t>(num_ranks_), 0);
     rank_seen_.assign(static_cast<std::size_t>(num_ranks_), false);
+    file_bytes_ = wire::kHeaderBytes;
+    if (format_ == TraceFormat::kBinaryV3) {
+      seg_buf_.reserve(segment_events_);
+    }
   }
 }
 
@@ -115,12 +121,36 @@ void TraceWriter::note_event(const Event& e) {
 }
 
 void TraceWriter::close_segment() {
+  if (format_ == TraceFormat::kBinaryV3) {
+    close_segment_v3();
+    return;
+  }
   if (cur_.count == 0) return;
   cur_.byte_len = cur_.count * wire::kEventRecordBytes;
   segments_.push_back(std::move(cur_));
   cur_ = wire::SegmentMeta{};
   cur_.offset = wire::kHeaderBytes + count_ * wire::kEventRecordBytes;
   cur_.ranks.assign(static_cast<std::size_t>(num_ranks_), {});
+}
+
+void TraceWriter::close_segment_v3() {
+  if (seg_buf_.empty()) return;
+  scratch_.clear();
+  columnar::SegmentZoneInfo zones;
+  columnar::encode_segment(seg_buf_, scratch_, &zones);
+  cur_.byte_len = scratch_.size();
+  cur_.kind_mask = zones.kind_mask;
+  cur_.rank_mask = zones.rank_mask;
+  cur_.zones.assign(zones.zones.begin(), zones.zones.end());
+  out_.write(reinterpret_cast<const char*>(scratch_.bytes().data()),
+             static_cast<std::streamsize>(scratch_.size()));
+  check_stream("segment write");
+  file_bytes_ += scratch_.size();
+  segments_.push_back(std::move(cur_));
+  cur_ = wire::SegmentMeta{};
+  cur_.offset = file_bytes_;
+  cur_.ranks.assign(static_cast<std::size_t>(num_ranks_), {});
+  seg_buf_.clear();
 }
 
 void TraceWriter::write_event(const Event& event) {
@@ -134,6 +164,14 @@ void TraceWriter::write_events(std::span<const Event> events) {
   if (format_ == TraceFormat::kText) {
     for (const Event& e : events) out_ << text_event_line(e) << '\n';
     count_ += events.size();
+  } else if (format_ == TraceFormat::kBinaryV3) {
+    // Columnar blocks are sealed a segment at a time: buffer the
+    // events and let `note_event` close (encode + write) full
+    // segments as they fill.
+    for (const Event& e : events) {
+      seg_buf_.push_back(e);
+      note_event(e);
+    }
   } else {
     scratch_.clear();
     for (const Event& e : events) {
@@ -160,6 +198,9 @@ void TraceWriter::finish() {
            << '\t' << table[id].file << '\n';
     }
   } else {
+    // The v3 tail segment writes its own block (and uses scratch_), so
+    // it must be sealed before the footer encoding starts.
+    if (format_ == TraceFormat::kBinaryV3) close_segment();
     scratch_.clear();
     wire::encode_construct_table(scratch_, table);
     if (format_ == TraceFormat::kBinary) {
@@ -175,6 +216,19 @@ void TraceWriter::finish() {
       scratch_.put<std::uint64_t>(wire::kHeaderBytes +
                                   count_ * wire::kEventRecordBytes);
       scratch_.put_raw(std::as_bytes(std::span(wire::kFooterMagic)));
+    } else if (format_ == TraceFormat::kBinaryV3) {
+      wire::Footer footer;
+      footer.version = 3;
+      footer.flags = (display_sorted_ ? wire::kFlagDisplaySorted : 0u) |
+                     (markers_monotone_ ? wire::kFlagRankMarkersMonotone : 0u);
+      footer.segment_events = segment_events_;
+      footer.event_count = count_;
+      footer.segments = std::move(segments_);
+      wire::encode_directory_v3(scratch_, footer);
+      // Trailer: v3 blocks are variable-width, so the footer offset is
+      // the tracked running byte count.
+      scratch_.put<std::uint64_t>(file_bytes_);
+      scratch_.put_raw(std::as_bytes(std::span(wire::kFooterMagicV3)));
     }
     out_.write(reinterpret_cast<const char*>(scratch_.bytes().data()),
                static_cast<std::streamsize>(scratch_.size()));
@@ -229,6 +283,51 @@ Trace read_binary(const std::vector<std::byte>& bytes,
     // Anything after the construct table is the v2 directory +
     // trailer; the eager reader rebuilds its own indexes, so it is
     // skipped (and may be truncated) here.
+  }
+  return Trace(num_ranks, std::move(events), std::move(registry));
+}
+
+/// Eager v3 reader: walks the segment blocks sequentially.  A file cut
+/// at a block boundary before the footer yields the segment-aligned
+/// event prefix; a cut inside a block is corruption (`FormatError`
+/// naming the segment and column, from the columnar decoder).
+Trace read_binary_v3(const std::vector<std::byte>& bytes,
+                     const std::filesystem::path& path) {
+  support::BinaryReader r(bytes);
+  r.seek(sizeof wire::kMagicV3);
+  const auto num_ranks = r.get<std::int32_t>();
+  std::vector<Event> events;
+  std::vector<Event> seg_events;
+  std::vector<std::uint64_t> scratch;
+  bool saw_end = false;
+  std::size_t seg = 0;
+  while (!r.exhausted()) {
+    const auto tag = std::to_integer<std::uint8_t>(bytes[r.position()]);
+    if (tag == wire::kRecordEnd) {
+      r.seek(r.position() + 1);
+      saw_end = true;
+      break;
+    }
+    if (tag != wire::kRecordSegment) {
+      throw FormatError("unknown record tag in trace file " + path.string());
+    }
+    const auto res = columnar::decode_segment(
+        std::span(bytes).subspan(r.position()), columnar::kAllColumns,
+        num_ranks, seg_events, scratch, path, seg);
+    events.insert(events.end(), seg_events.begin(), seg_events.end());
+    r.seek(r.position() + static_cast<std::size_t>(res.block_len));
+    ++seg;
+  }
+  auto registry = std::make_shared<ConstructRegistry>();
+  if (saw_end) {
+    try {
+      registry->restore(wire::decode_construct_table(r));
+    } catch (const FormatError& e) {
+      throw FormatError("truncated construct table in trace file " +
+                        path.string() + ": " + e.what());
+    }
+    // The v3 directory + trailer follow; the eager reader rebuilds its
+    // own indexes, so they are skipped here.
   }
   return Trace(num_ranks, std::move(events), std::move(registry));
 }
@@ -304,6 +403,11 @@ Trace read_trace(const std::filesystem::path& path) {
     std::memcpy(bytes.data(), content.data(), content.size());
     return read_binary(bytes, path);
   }
+  if (has_magic(content, wire::kMagicV3)) {
+    std::vector<std::byte> bytes(content.size());
+    std::memcpy(bytes.data(), content.data(), content.size());
+    return read_binary_v3(bytes, path);
+  }
   return read_text(content);
 }
 
@@ -319,16 +423,20 @@ std::optional<TraceFooter> try_read_footer(const std::filesystem::path& path) {
   char header[wire::kHeaderBytes];
   in.seekg(0);
   in.read(header, sizeof header);
-  if (!in || std::memcmp(header, wire::kMagicV2, sizeof wire::kMagicV2) != 0) {
-    return std::nullopt;
-  }
+  if (!in) return std::nullopt;
+  const bool v2 =
+      std::memcmp(header, wire::kMagicV2, sizeof wire::kMagicV2) == 0;
+  const bool v3 =
+      std::memcmp(header, wire::kMagicV3, sizeof wire::kMagicV3) == 0;
+  if (!v2 && !v3) return std::nullopt;
   std::int32_t num_ranks = 0;
   std::memcpy(&num_ranks, header + sizeof wire::kMagicV2, sizeof num_ranks);
 
   char trailer[wire::kTrailerBytes];
   in.seekg(static_cast<std::streamoff>(file_size - wire::kTrailerBytes));
   in.read(trailer, sizeof trailer);
-  if (!in || std::memcmp(trailer + sizeof(std::uint64_t), wire::kFooterMagic,
+  const char* footer_magic = v2 ? wire::kFooterMagic : wire::kFooterMagicV3;
+  if (!in || std::memcmp(trailer + sizeof(std::uint64_t), footer_magic,
                          sizeof wire::kFooterMagic) != 0) {
     return std::nullopt;  // no trailer: flush-on-demand prefix or crash
   }
@@ -354,10 +462,18 @@ std::optional<TraceFooter> try_read_footer(const std::filesystem::path& path) {
       throw FormatError("footer does not start with the construct table");
     }
     result.footer.constructs = wire::decode_construct_table(r);
-    if (r.get<std::uint8_t>() != wire::kRecordDirectory) {
-      throw FormatError("footer is missing the segment directory");
+    const auto dir_tag = r.get<std::uint8_t>();
+    if (v3) {
+      if (dir_tag != wire::kRecordDirectoryV3) {
+        throw FormatError("footer is missing the v3 segment directory");
+      }
+      wire::decode_directory_v3(r, num_ranks, &result.footer);
+    } else {
+      if (dir_tag != wire::kRecordDirectory) {
+        throw FormatError("footer is missing the segment directory");
+      }
+      wire::decode_directory(r, num_ranks, &result.footer);
     }
-    wire::decode_directory(r, num_ranks, &result.footer);
     return result;
   } catch (const FormatError& e) {
     throw FormatError("corrupt trace footer in " + path.string() + ": " +
@@ -395,9 +511,10 @@ TraceFileInfo inspect_trace(const std::filesystem::path& path) {
   }
   const bool v1 = std::memcmp(magic, wire::kMagicV1, sizeof magic) == 0;
   const bool v2 = std::memcmp(magic, wire::kMagicV2, sizeof magic) == 0;
+  const bool v3 = std::memcmp(magic, wire::kMagicV3, sizeof magic) == 0;
 
-  if (v2) {
-    info.format = "binary-v2";
+  if (v2 || v3) {
+    info.format = v3 ? "binary-v3" : "binary-v2";
     if (auto footer = try_read_footer(path)) {
       info.has_footer = true;
       info.num_ranks = footer->num_ranks;
@@ -435,8 +552,8 @@ TraceFileInfo inspect_trace(const std::filesystem::path& path) {
     return info;
   }
 
-  // Binary stream without a usable footer: walk the fixed-width
-  // records counting tags (no event decode).
+  // Binary stream without a usable footer: walk the records counting
+  // tags (no event decode).
   std::string content;
   in.clear();
   in.seekg(0);
@@ -447,6 +564,32 @@ TraceFileInfo inspect_trace(const std::filesystem::path& path) {
   support::BinaryReader r(bytes);
   r.seek(sizeof magic);
   info.num_ranks = r.get<std::int32_t>();
+  if (v3) {
+    // v3: hop over the segment blocks via their headers.
+    while (!r.exhausted()) {
+      const auto tag = std::to_integer<std::uint8_t>(bytes[r.position()]);
+      if (tag == wire::kRecordEnd) {
+        r.seek(r.position() + 1);
+        info.construct_count = r.get<std::uint32_t>();
+        break;
+      }
+      if (tag != wire::kRecordSegment) break;
+      columnar::SegmentHeader h;
+      try {
+        h = columnar::parse_segment_header(
+            std::span(bytes).subspan(r.position()), path, info.segment_count);
+      } catch (const FormatError&) {
+        break;  // truncated header: report the prefix count
+      }
+      const auto block =
+          columnar::kSegmentHeaderBytes + h.payload_bytes();
+      if (block > r.remaining()) break;  // truncated mid-block
+      r.seek(r.position() + static_cast<std::size_t>(block));
+      info.event_count += h.count;
+      ++info.segment_count;
+    }
+    return info;
+  }
   while (!r.exhausted()) {
     const auto tag = r.get<std::uint8_t>();
     if (tag == wire::kRecordEnd) {
@@ -461,6 +604,46 @@ TraceFileInfo inspect_trace(const std::filesystem::path& path) {
     ++info.event_count;
   }
   return info;
+}
+
+std::vector<ColumnStorageInfo> inspect_columns(
+    const std::filesystem::path& path, const TraceFooter& footer) {
+  std::vector<ColumnStorageInfo> out;
+  if (footer.footer.version != 3) return out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path.string());
+
+  out.resize(wire::kNumColumnsV3);
+  std::vector<std::array<std::size_t, columnar::kNumEncodings>> used(
+      wire::kNumColumnsV3);
+  for (auto& u : used) u.fill(0);
+  std::vector<std::byte> buf(columnar::kSegmentHeaderBytes);
+  for (std::size_t s = 0; s < footer.footer.segments.size(); ++s) {
+    const auto& meta = footer.footer.segments[s];
+    in.seekg(static_cast<std::streamoff>(meta.offset));
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!in) throw IoError("trace segment header read failed: " + path.string());
+    const auto h = columnar::parse_segment_header(buf, path, s);
+    for (std::size_t c = 0; c < wire::kNumColumnsV3; ++c) {
+      out[c].bytes += h.cols[c].byte_len;
+      ++used[c][static_cast<std::size_t>(h.cols[c].encoding)];
+    }
+  }
+  for (std::size_t c = 0; c < wire::kNumColumnsV3; ++c) {
+    out[c].name = columnar::column_name(c);
+    for (std::size_t e = 0; e < columnar::kNumEncodings; ++e) {
+      if (used[c][e] == 0) continue;
+      out[c].encodings.emplace_back(
+          columnar::encoding_name(static_cast<columnar::Encoding>(e)),
+          used[c][e]);
+    }
+    std::stable_sort(out[c].encodings.begin(), out[c].encodings.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+  }
+  return out;
 }
 
 void write_trace(const std::filesystem::path& path, const Trace& trace,

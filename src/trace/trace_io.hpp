@@ -16,12 +16,13 @@ namespace tdbg::trace {
 
 /// On-disk encodings of a trace.
 enum class TraceFormat : std::uint8_t {
-  kBinary,    ///< segmented + indexed (v2, default)
+  kBinary,    ///< segmented + indexed, row-major records (v2, default)
   kBinaryV1,  ///< flat record stream (pre-segment format)
   kText,      ///< tab-separated, human-greppable
+  kBinaryV3,  ///< segmented, columnar compressed, zone-mapped (v3)
 };
 
-/// Default events per v2 segment (~64Ki; ~3.7 MiB of records).
+/// Default events per v2/v3 segment (~64Ki; ~3.7 MiB of v2 records).
 inline constexpr std::uint32_t kDefaultSegmentEvents = 1u << 16;
 
 /// Streams trace records to a file.
@@ -38,6 +39,14 @@ inline constexpr std::uint32_t kDefaultSegmentEvents = 1u << 16;
 /// saw was in display order with monotone per-rank markers; the
 /// resulting footer flags decide whether `open_trace` may use the
 /// lazy segmented store.
+///
+/// For v3 the writer buffers the open segment and seals it as one
+/// columnar block (see columnar.hpp) when it reaches `segment_events`
+/// records; the directory entry additionally carries the segment's
+/// kind/rank presence masks and per-column zone maps.  Because whole
+/// segments are buffered, a mid-segment crash loses the buffered tail
+/// — the collector's flush-on-demand partial traces therefore stay on
+/// v2, where every written record is durable.
 ///
 /// Stream failures (full disk, failed flush) throw `IoError` naming
 /// the path.
@@ -73,6 +82,7 @@ class TraceWriter {
  private:
   void note_event(const Event& e);   ///< directory bookkeeping, under mu_
   void close_segment();              ///< seals the open segment, under mu_
+  void close_segment_v3();           ///< encodes + writes a v3 block, under mu_
   void check_stream(const char* op); ///< throws IoError on failure
 
   std::filesystem::path path_;
@@ -86,7 +96,7 @@ class TraceWriter {
   std::uint64_t count_ = 0;
   bool finished_ = false;
 
-  // v2 directory state (under mu_).
+  // v2/v3 directory state (under mu_).
   std::vector<wire::SegmentMeta> segments_;
   wire::SegmentMeta cur_;
   bool display_sorted_ = true;
@@ -94,6 +104,12 @@ class TraceWriter {
   Event prev_;                      ///< last event seen (display order check)
   std::vector<std::uint64_t> last_marker_;  ///< per rank, monotonicity check
   std::vector<bool> rank_seen_;
+
+  // v3 state (under mu_): the open segment's buffered events and the
+  // running file offset (v3 blocks are variable-width, so offsets
+  // cannot be derived from the record count).
+  std::vector<Event> seg_buf_;
+  std::uint64_t file_bytes_ = 0;
 };
 
 /// Reads a trace file eagerly (any format, detected by magic) into an
@@ -122,20 +138,20 @@ Trace open_trace(const std::filesystem::path& path,
                  const TraceOpenOptions& options = {});
 
 /// Footer-level description of a trace file, for `tdbg_trace info`.
-/// For a v2 file this comes from the footer alone (no event data is
-/// read); for v1/text the event region is scanned for counts and the
-/// time span is left unset.
+/// For a v2/v3 file this comes from the footer alone (no event data
+/// is read); for v1/text the event region is scanned for counts and
+/// the time span is left unset.
 struct TraceFileInfo {
-  std::string format;  ///< "binary-v2", "binary-v1", or "text"
+  std::string format;  ///< "binary-v3", "binary-v2", "binary-v1", or "text"
   int num_ranks = 0;
   std::uint64_t event_count = 0;
   std::uint64_t file_bytes = 0;
   std::size_t construct_count = 0;
-  bool has_footer = false;        ///< v2 directory present
-  std::uint64_t segment_count = 0;    ///< v2 only
-  std::uint32_t segment_events = 0;   ///< v2 only
-  bool display_sorted = false;        ///< v2 only
-  bool rank_markers_monotone = false; ///< v2 only
+  bool has_footer = false;        ///< v2/v3 directory present
+  std::uint64_t segment_count = 0;    ///< v2/v3 only
+  std::uint32_t segment_events = 0;   ///< v2/v3 only
+  bool display_sorted = false;        ///< v2/v3 only
+  bool rank_markers_monotone = false; ///< v2/v3 only
   bool has_time_span = false;
   support::TimeNs t_min = 0;  ///< valid when has_time_span
   support::TimeNs t_max = 0;  ///< valid when has_time_span
@@ -144,20 +160,35 @@ struct TraceFileInfo {
 /// Describes `path` without building a `Trace`.
 TraceFileInfo inspect_trace(const std::filesystem::path& path);
 
-/// A v2 footer together with the file-header rank count.
+/// A v2/v3 footer together with the file-header rank count.
 struct TraceFooter {
   int num_ranks = 0;
-  wire::Footer footer;
+  wire::Footer footer;  ///< `footer.version` distinguishes v2 from v3
 };
 
-/// Reads the v2 footer of `path` via the end-of-file trailer, touching
-/// only the header and footer bytes.  Returns nullopt when the file is
-/// not v2 or carries no (complete) trailer.  Throws `IoError` if the
-/// file cannot be opened.
+/// Reads the v2/v3 footer of `path` via the end-of-file trailer,
+/// touching only the header and footer bytes.  Returns nullopt when
+/// the file has neither magic or carries no (complete) trailer.
+/// Throws `IoError` if the file cannot be opened.
 std::optional<TraceFooter> try_read_footer(const std::filesystem::path& path);
 
+/// Aggregated storage description of one v3 column across all
+/// segments, for `tdbg_trace info`.
+struct ColumnStorageInfo {
+  std::string name;          ///< column name ("kind", "t_start", ...)
+  std::uint64_t bytes = 0;   ///< payload bytes across all segments
+  /// (encoding name, number of segments using it), most-used first.
+  std::vector<std::pair<std::string, std::size_t>> encodings;
+};
+
+/// Reads the per-segment column headers of a v3 file (one small read
+/// per segment) and aggregates them per column.  Returns an empty
+/// vector unless `footer.footer.version == 3`.
+std::vector<ColumnStorageInfo> inspect_columns(
+    const std::filesystem::path& path, const TraceFooter& footer);
+
 /// Writes a complete trace to `path`.  Events are emitted in display
-/// order, so a v2 file written here always earns the sorted footer
+/// order, so a v2/v3 file written here always earns the sorted footer
 /// flags (and thus lazy reopening).
 void write_trace(const std::filesystem::path& path, const Trace& trace,
                  TraceFormat format = TraceFormat::kBinary,

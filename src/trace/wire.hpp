@@ -21,24 +21,45 @@
 ///               + u8 kRecordDirectory + flags + segment directory
 ///       trailer = u64 footer_offset + "TDBGIDX2"
 ///
+///   v3  TDBGTRC3 | i32 num_ranks | segment blocks... | footer | trailer
+///       segment block = u8 kRecordSegment + columnar header + column
+///                       payloads (see columnar.hpp)
+///       footer  = u8 kRecordEnd + construct table
+///               + u8 kRecordDirectoryV3 + flags + extended directory
+///                 (per-segment kind/rank presence masks + per-column
+///                 zone maps on top of the v2 entry)
+///       trailer = u64 footer_offset + "TDBGIDX3"
+///
 /// Event records are fixed width (kEventRecordBytes, tag byte included)
-/// in both versions, so the k-th record of a file lives at
+/// in v1/v2, so the k-th record of a file lives at
 /// `kHeaderBytes + k * kEventRecordBytes` — that is what lets the v2
-/// directory address segments without any per-event index.  The v2
-/// trailer is at a fixed distance from the end of the file, so a
-/// reader finds the footer in O(1) without scanning the event stream;
-/// a file missing the trailer (crash, flush-on-demand snapshot) still
-/// parses as a v1-style record-stream prefix.
+/// directory address segments without any per-event index.  v3 drops
+/// the fixed width in favor of per-segment column blocks; its
+/// directory carries explicit byte offsets instead.  The v2/v3 trailer
+/// is at a fixed distance from the end of the file, so a reader finds
+/// the footer in O(1) without scanning the event stream; a file
+/// missing the trailer (crash, flush-on-demand snapshot) still parses
+/// as a record-stream prefix.
 
 namespace tdbg::trace::wire {
 
 inline constexpr char kMagicV1[8] = {'T', 'D', 'B', 'G', 'T', 'R', 'C', '1'};
 inline constexpr char kMagicV2[8] = {'T', 'D', 'B', 'G', 'T', 'R', 'C', '2'};
+inline constexpr char kMagicV3[8] = {'T', 'D', 'B', 'G', 'T', 'R', 'C', '3'};
 inline constexpr char kFooterMagic[8] = {'T', 'D', 'B', 'G', 'I', 'D', 'X', '2'};
+inline constexpr char kFooterMagicV3[8] = {'T', 'D', 'B', 'G',
+                                           'I', 'D', 'X', '3'};
 
 inline constexpr std::uint8_t kRecordEvent = 0;
 inline constexpr std::uint8_t kRecordEnd = 1;
 inline constexpr std::uint8_t kRecordDirectory = 2;
+inline constexpr std::uint8_t kRecordSegment = 3;      ///< v3 column block
+inline constexpr std::uint8_t kRecordDirectoryV3 = 4;  ///< v3 directory
+
+/// Number of event columns in the v3 layout, in storage order: kind,
+/// rank, marker, construct, t_start, t_end, peer, tag, channel_seq,
+/// bytes, wildcard.
+inline constexpr std::size_t kNumColumnsV3 = 11;
 
 /// magic (8) + i32 num_ranks.
 inline constexpr std::uint64_t kHeaderBytes = 12;
@@ -111,18 +132,33 @@ struct SegmentRankMeta {
   std::uint64_t marker_hi = 0;
 };
 
+/// Logical [min, max] of one column's values within one segment (v3
+/// zone map).  Signed fields compare as signed; unsigned fields fit
+/// because the runtime's counters stay far below 2^63.
+struct ColumnZone {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
 /// Directory entry for one segment of the event stream.
 struct SegmentMeta {
   std::uint64_t offset = 0;    ///< file offset of the first record
-  std::uint64_t byte_len = 0;  ///< count * kEventRecordBytes
+  std::uint64_t byte_len = 0;  ///< v2: count * kEventRecordBytes;
+                               ///< v3: whole column block, tag included
   std::uint64_t count = 0;     ///< events in the segment
   support::TimeNs t_min = 0;   ///< min t_start
   support::TimeNs t_max = 0;   ///< max t_end
   std::vector<SegmentRankMeta> ranks;  ///< one entry per rank
+
+  // v3 zone maps (empty `zones` on a v2 directory):
+  std::uint32_t kind_mask = 0;  ///< bit k set iff EventKind k occurs
+  std::uint64_t rank_mask = 0;  ///< bit min(rank, 63) set iff rank occurs
+  std::vector<ColumnZone> zones;  ///< kNumColumnsV3 entries
 };
 
-/// Parsed v2 footer.
+/// Parsed v2/v3 footer.
 struct Footer {
+  std::uint32_t version = 2;  ///< 2 or 3, from the file magic
   std::uint32_t flags = 0;
   std::uint32_t segment_events = 0;  ///< the writer's segment size
   std::uint64_t event_count = 0;
@@ -210,6 +246,72 @@ inline void decode_directory(support::BinaryReader& r, int num_ranks,
       rk.count = r.get<std::uint64_t>();
       rk.marker_lo = r.get<std::uint64_t>();
       rk.marker_hi = r.get<std::uint64_t>();
+    }
+    footer->segments.push_back(std::move(seg));
+  }
+}
+
+/// Encodes the v3 directory record: the v2 entry plus the per-segment
+/// kind/rank presence masks and the per-column zone maps.
+inline void encode_directory_v3(support::BinaryWriter& w,
+                                const Footer& footer) {
+  w.put<std::uint8_t>(kRecordDirectoryV3);
+  w.put<std::uint32_t>(footer.flags);
+  w.put<std::uint32_t>(footer.segment_events);
+  w.put<std::uint64_t>(footer.event_count);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(footer.segments.size()));
+  for (const auto& seg : footer.segments) {
+    w.put<std::uint64_t>(seg.offset);
+    w.put<std::uint64_t>(seg.byte_len);
+    w.put<std::uint64_t>(seg.count);
+    w.put<std::int64_t>(seg.t_min);
+    w.put<std::int64_t>(seg.t_max);
+    w.put<std::uint32_t>(seg.kind_mask);
+    w.put<std::uint64_t>(seg.rank_mask);
+    for (const auto& rk : seg.ranks) {
+      w.put<std::uint64_t>(rk.count);
+      w.put<std::uint64_t>(rk.marker_lo);
+      w.put<std::uint64_t>(rk.marker_hi);
+    }
+    for (std::size_t c = 0; c < kNumColumnsV3; ++c) {
+      const ColumnZone z =
+          c < seg.zones.size() ? seg.zones[c] : ColumnZone{};
+      w.put<std::int64_t>(z.lo);
+      w.put<std::int64_t>(z.hi);
+    }
+  }
+}
+
+/// Decodes the v3 directory record; the caller has consumed the
+/// kRecordDirectoryV3 tag.
+inline void decode_directory_v3(support::BinaryReader& r, int num_ranks,
+                                Footer* footer) {
+  footer->version = 3;
+  footer->flags = r.get<std::uint32_t>();
+  footer->segment_events = r.get<std::uint32_t>();
+  footer->event_count = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint32_t>();
+  footer->segments.clear();
+  footer->segments.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SegmentMeta seg;
+    seg.offset = r.get<std::uint64_t>();
+    seg.byte_len = r.get<std::uint64_t>();
+    seg.count = r.get<std::uint64_t>();
+    seg.t_min = r.get<std::int64_t>();
+    seg.t_max = r.get<std::int64_t>();
+    seg.kind_mask = r.get<std::uint32_t>();
+    seg.rank_mask = r.get<std::uint64_t>();
+    seg.ranks.resize(static_cast<std::size_t>(num_ranks));
+    for (auto& rk : seg.ranks) {
+      rk.count = r.get<std::uint64_t>();
+      rk.marker_lo = r.get<std::uint64_t>();
+      rk.marker_hi = r.get<std::uint64_t>();
+    }
+    seg.zones.resize(kNumColumnsV3);
+    for (auto& z : seg.zones) {
+      z.lo = r.get<std::int64_t>();
+      z.hi = r.get<std::int64_t>();
     }
     footer->segments.push_back(std::move(seg));
   }

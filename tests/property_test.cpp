@@ -181,7 +181,8 @@ TEST_P(CausalityInvariants, TraceRoundTripsThroughBothFormats) {
   const auto rec = record_workload();
   ASSERT_TRUE(rec.result.completed);
   for (const auto format :
-       {trace::TraceFormat::kBinary, trace::TraceFormat::kText}) {
+       {trace::TraceFormat::kBinary, trace::TraceFormat::kBinaryV3,
+        trace::TraceFormat::kText}) {
     const auto path =
         std::filesystem::temp_directory_path() /
         ("prop_roundtrip_" +

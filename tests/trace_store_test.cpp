@@ -193,11 +193,13 @@ TEST_P(RoundTripTest, WildcardHeavy) {
 INSTANTIATE_TEST_SUITE_P(Formats, RoundTripTest,
                          ::testing::Values(TraceFormat::kBinary,
                                            TraceFormat::kBinaryV1,
+                                           TraceFormat::kBinaryV3,
                                            TraceFormat::kText),
                          [](const auto& info) {
                            switch (info.param) {
                              case TraceFormat::kBinary: return "v2";
                              case TraceFormat::kBinaryV1: return "v1";
+                             case TraceFormat::kBinaryV3: return "v3";
                              case TraceFormat::kText: return "text";
                            }
                            return "unknown";

@@ -6,7 +6,7 @@
 //   tdbg_trace stats <file>                summary + traffic report
 //   tdbg_trace profile <file>              time per construct / per rank
 //   tdbg_trace critpath <file>             critical path through the run
-//   tdbg_trace convert <in> <out> [text|v1|v2]   (default v2)
+//   tdbg_trace convert <in> <out> [text|v1|v2|v3]   (default v2)
 //   tdbg_trace svg <file> <out.svg>        render the time-space diagram
 //   tdbg_trace html <file> <out.html>      interactive view (zoom/pan)
 //   tdbg_trace graph <file> <out.dot>      dynamic call graph (DOT)
@@ -80,6 +80,12 @@ int info(const std::filesystem::path& path) {
   std::printf("format      : %s\n", fi.format.c_str());
   std::printf("file bytes  : %llu\n",
               static_cast<unsigned long long>(fi.file_bytes));
+  if (fi.event_count > 0) {
+    std::printf("bytes/event : %.2f (v2 rows are %llu)\n",
+                static_cast<double>(fi.file_bytes) /
+                    static_cast<double>(fi.event_count),
+                static_cast<unsigned long long>(trace::wire::kEventRecordBytes));
+  }
   std::printf("ranks       : %d\n", fi.num_ranks);
   std::printf("events      : %llu\n",
               static_cast<unsigned long long>(fi.event_count));
@@ -93,18 +99,40 @@ int info(const std::filesystem::path& path) {
     std::printf("sorted      : %s\n", fi.display_sorted ? "yes" : "no");
     std::printf("monotone    : %s\n",
                 fi.rank_markers_monotone ? "yes" : "no");
-    // The v2 segment directory itself: this is exactly what the lazy
-    // store's window/eviction decisions key on, so surface it.
+    // The segment directory itself: this is exactly what the lazy
+    // store's window/eviction decisions key on, so surface it.  The
+    // per-segment ratio compares the on-disk block against the same
+    // events as fixed v2 rows (1.00x for a v2 file, by construction).
     if (const auto tf = trace::try_read_footer(path)) {
       for (std::size_t s = 0; s < tf->footer.segments.size(); ++s) {
         const auto& seg = tf->footer.segments[s];
+        const double row_bytes =
+            static_cast<double>(seg.count) *
+            static_cast<double>(trace::wire::kEventRecordBytes);
         std::printf("  seg %-4zu : %8llu events  t=[%lld .. %lld] ns  "
-                    "%llu B @ %llu\n",
+                    "%llu B @ %llu  (%.2fx of v2 rows)\n",
                     s, static_cast<unsigned long long>(seg.count),
                     static_cast<long long>(seg.t_min),
                     static_cast<long long>(seg.t_max),
                     static_cast<unsigned long long>(seg.byte_len),
-                    static_cast<unsigned long long>(seg.offset));
+                    static_cast<unsigned long long>(seg.offset),
+                    row_bytes > 0
+                        ? static_cast<double>(seg.byte_len) / row_bytes
+                        : 0.0);
+      }
+      // v3 only: how each column is actually stored, aggregated over
+      // all segments (encoding counts are segments-using-it).
+      const auto columns = trace::inspect_columns(path, *tf);
+      if (!columns.empty()) {
+        std::printf("columns (payload bytes across segments):\n");
+        for (const auto& c : columns) {
+          std::printf("  %-11s: %10llu B ", c.name.c_str(),
+                      static_cast<unsigned long long>(c.bytes));
+          for (const auto& [enc, nseg] : c.encodings) {
+            std::printf(" %s x%zu", enc.c_str(), nseg);
+          }
+          std::printf("\n");
+        }
       }
     }
   }
@@ -266,9 +294,11 @@ int main(int raw_argc, char** raw_argv) {
           format = trace::TraceFormat::kBinaryV1;
         } else if (name == "v2" || name == "binary" || name == "binary-v2") {
           format = trace::TraceFormat::kBinary;
+        } else if (name == "v3" || name == "binary-v3") {
+          format = trace::TraceFormat::kBinaryV3;
         } else {
           std::cerr << "unknown format " << name
-                    << " (expected text|v1|v2)\n";
+                    << " (expected text|v1|v2|v3)\n";
           return 2;
         }
       }
